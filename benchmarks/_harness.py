@@ -1,0 +1,93 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module reproduces one table or figure of the paper (see
+DESIGN.md §4).  The helpers here build the workload graphs, run one algorithm
+per table row, collect the measured parameters, render them with
+:func:`repro.analysis.tables.format_table`, and archive the rendered tables
+under ``benchmarks/results/`` so that EXPERIMENTS.md can quote them.
+
+Run the harness with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+import networkx as nx
+
+import repro
+from repro.analysis.metrics import evaluate_carving, evaluate_decomposition
+from repro.analysis.tables import format_table
+from repro.graphs.generators import random_regular_graph, torus_graph
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+# The algorithm rows of Table 1 / Table 2, in the paper's order.
+DECOMPOSITION_ROWS = (
+    ("LS93 (weak, randomized)", "ls93"),
+    ("RG20/GGR21 (weak, deterministic)", "weak-rg20"),
+    ("MPX13/EN16 (strong, randomized)", "mpx"),
+    ("Theorem 2.3 (strong, deterministic)", "strong-log3"),
+    ("Theorem 3.4 (strong, deterministic)", "strong-log2"),
+    ("LS93 existential (centralized)", "sequential"),
+)
+
+CARVING_ROWS = (
+    ("LS93 (weak, randomized)", "ls93"),
+    ("RG20/GGR21 (weak, deterministic)", "weak-rg20"),
+    ("MPX13/EN16 (strong, randomized)", "mpx"),
+    ("Theorem 2.2 (strong, deterministic)", "strong-log3"),
+    ("Theorem 3.3 (strong, deterministic)", "strong-log2"),
+    ("Greedy ball growing (centralized)", "sequential"),
+)
+
+
+def benchmark_torus(n: int, seed: int = 7) -> nx.Graph:
+    """The default benchmark workload: a roughly square torus with ~n nodes."""
+    side = max(3, int(round(n ** 0.5)))
+    return torus_graph(side, side, seed=seed)
+
+
+def benchmark_regular(n: int, seed: int = 7) -> nx.Graph:
+    """The expander-like workload: a random 4-regular graph with ~n nodes."""
+    size = n if (n * 4) % 2 == 0 else n + 1
+    return random_regular_graph(size, 4, seed=seed)
+
+
+def decomposition_row(graph: nx.Graph, label: str, method: str, seed: int = 0) -> Dict[str, Any]:
+    """Run one decomposition algorithm and return its Table 1 row."""
+    decomposition = repro.decompose(graph, method=method, seed=seed)
+    return evaluate_decomposition(decomposition, label).as_row()
+
+
+def carving_row(
+    graph: nx.Graph, label: str, method: str, eps: float, seed: int = 0
+) -> Dict[str, Any]:
+    """Run one ball carving algorithm and return its Table 2 row."""
+    carving = repro.carve(graph, eps, method=method, seed=seed)
+    return evaluate_carving(carving, label).as_row()
+
+
+def emit_table(name: str, rows: Sequence[Dict[str, Any]], title: str) -> str:
+    """Render, print and archive one reproduced table."""
+    table = format_table(list(rows), title=title)
+    print("\n" + table)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "{}.txt".format(name))
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(table + "\n")
+    return table
+
+
+def run_once(benchmark, func: Callable[[], Any]) -> Any:
+    """Run ``func`` exactly once under pytest-benchmark timing.
+
+    The algorithms under study are deterministic-cost simulations, not
+    micro-kernels; a single timed execution per benchmark keeps the harness
+    fast while still recording wall-clock numbers alongside the round counts.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,77 @@
+"""Experiment: the C * D application template (MIS and coloring).
+
+Section 1.1 motivates network decomposition through the standard template:
+process colors one by one, solve inside each cluster, total cost proportional
+to ``C * D``.  This benchmark runs MIS and (Δ+1)-coloring on top of the
+decompositions produced by the different algorithms and reports the template's
+round cost, confirming that
+
+* every decomposition yields correct MIS / coloring solutions, and
+* the template cost is bounded by ``colors * (2 * max diameter + 2)`` —
+  i.e. better decomposition parameters translate directly into cheaper
+  applications, which is why polylog ``C`` and ``D`` matter.
+"""
+
+import pytest
+
+from _harness import benchmark_torus, emit_table, run_once
+import repro
+from repro.applications.coloring import delta_plus_one_coloring, verify_coloring
+from repro.applications.mis import maximal_independent_set, verify_mis
+from repro.clustering.validation import max_cluster_diameter
+from repro.congest.rounds import RoundLedger
+
+_N = 256
+_METHODS = ("sequential", "mpx", "ls93", "strong-log3")
+
+
+def _application_row(graph, method):
+    decomposition = repro.decompose(graph, method=method, seed=2)
+    mis_ledger = RoundLedger()
+    independent_set = maximal_independent_set(decomposition, ledger=mis_ledger)
+    coloring_ledger = RoundLedger()
+    coloring = delta_plus_one_coloring(decomposition, ledger=coloring_ledger)
+    diameter = max_cluster_diameter(
+        decomposition.graph, decomposition.clusters, kind=decomposition.kind
+    )
+    return {
+        "method": method,
+        "colors": decomposition.num_colors,
+        "diameter": diameter,
+        "decomposition rounds": decomposition.rounds,
+        "MIS template rounds": mis_ledger.total_rounds,
+        "coloring template rounds": coloring_ledger.total_rounds,
+        "MIS valid": verify_mis(graph, independent_set),
+        "coloring valid": verify_coloring(graph, coloring),
+        "CxD bound": decomposition.num_colors * (2 * diameter + 2),
+    }
+
+
+@pytest.mark.benchmark(group="applications")
+def test_applications_on_torus(benchmark):
+    graph = benchmark_torus(_N)
+    rows = run_once(benchmark, lambda: [_application_row(graph, method) for method in _METHODS])
+    emit_table("applications_torus", rows, "Applications — MIS / coloring via the C*D template")
+    for row in rows:
+        assert row["MIS valid"] and row["coloring valid"], row
+        assert row["MIS template rounds"] <= row["CxD bound"]
+        assert row["coloring template rounds"] <= row["CxD bound"]
+
+
+@pytest.mark.benchmark(group="applications")
+def test_better_parameters_give_cheaper_template(benchmark):
+    graph = benchmark_torus(_N)
+
+    def compare():
+        return {
+            method: _application_row(graph, method) for method in ("sequential", "strong-log3")
+        }
+
+    rows = run_once(benchmark, compare)
+    emit_table(
+        "applications_comparison",
+        list(rows.values()),
+        "Applications — template cost follows C*D",
+    )
+    for row in rows.values():
+        assert row["MIS template rounds"] <= row["CxD bound"]

@@ -1,0 +1,80 @@
+"""Experiment: the Section-3 barrier construction.
+
+The paper closes Section 3 with a graph showing that the ``O(log^2 n / eps)``
+diameter is the limit of the Lemma 3.1 approach: a constant-degree expander
+with every edge subdivided into a path of length ``log n / eps``.  Such a
+graph has conductance ``Theta(eps / log n)``, admits no balanced sparse cut
+with a light separator, and every subset with at least ``n/3`` nodes induces a
+subgraph of diameter ``Omega(log^2 n / eps)``.
+
+This benchmark builds the construction, measures those three properties, and
+runs the Lemma 3.1 procedure on it to confirm that whichever outcome it
+returns pays the predicted price (a large-diameter component), while a
+"benign" workload of the same size does not.
+"""
+
+import math
+
+import pytest
+
+from _harness import benchmark_torus, emit_table, run_once
+from repro.core.sparse_cut import LargeComponent, SparseCut, sparse_cut_or_component
+from repro.graphs.expanders import barrier_graph
+from repro.graphs.properties import graph_conductance_lower_bound, subgraph_diameter
+
+_EPS = 0.5
+_TARGET_N = 500
+
+
+def _analyse(graph, eps):
+    result = sparse_cut_or_component(graph, graph.nodes(), eps)
+    n = graph.number_of_nodes()
+    row = {"n": n, "outcome": result.kind}
+    if isinstance(result, LargeComponent):
+        row["component_size"] = len(result.component)
+        row["component_diameter"] = subgraph_diameter(graph, result.component)
+        row["boundary"] = len(result.boundary)
+    else:
+        row["side_a"] = len(result.side_a)
+        row["side_b"] = len(result.side_b)
+        row["separator"] = len(result.separator)
+    return result, row
+
+
+@pytest.mark.benchmark(group="barrier")
+def test_barrier_construction_properties(benchmark):
+    def build_and_measure():
+        graph, meta = barrier_graph(_TARGET_N, _EPS, seed=5)
+        conductance = graph_conductance_lower_bound(graph, samples=48, seed=1)
+        result, row = _analyse(graph, _EPS)
+        row.update(
+            {
+                "subdivision": meta["subdivision_length"],
+                "conductance": round(conductance, 4),
+            }
+        )
+        return graph, meta, result, row
+
+    graph, meta, result, row = run_once(benchmark, build_and_measure)
+    emit_table("barrier_properties", [row], "Section 3 barrier graph — measured properties")
+
+    n = graph.number_of_nodes()
+    log_n = math.log2(n)
+    # Conductance is tiny (Theta(eps / log n) up to constants).
+    assert row["conductance"] <= 4 * _EPS / log_n + 0.1
+    # Whatever Lemma 3.1 returns, a large component on this graph must have
+    # diameter at least on the order of the subdivision length (the barrier's
+    # lower-bound witness), i.e. it cannot be a genuinely low-diameter chunk.
+    if isinstance(result, LargeComponent):
+        assert row["component_diameter"] >= meta["subdivision_length"] // 2
+
+
+@pytest.mark.benchmark(group="barrier")
+def test_benign_graph_has_no_such_barrier(benchmark):
+    """Control: a torus of comparable size yields a small-diameter component."""
+    graph = benchmark_torus(_TARGET_N)
+    result, row = run_once(benchmark, lambda: _analyse(graph, _EPS))
+    emit_table("barrier_control_torus", [row], "Control — Lemma 3.1 on a torus of similar size")
+    n = graph.number_of_nodes()
+    if isinstance(result, LargeComponent):
+        assert row["component_diameter"] <= 16 * math.log2(n) ** 2 / _EPS + 8

@@ -1,0 +1,63 @@
+"""Experiment: the Theorem 3.2 / Lemma 3.1 diameter improvement.
+
+Section 3 improves the cluster diameter from ``O(log^3 n / eps)`` to
+``O(log^2 n / eps)`` at the price of an ``O(log^3 n)`` factor more rounds.
+This benchmark compares the Theorem 2.2 carving (before) and the Theorem 3.3
+carving (after) on a high-diameter workload where the distinction is visible,
+and verifies the expected trade-off:
+
+* the improved carving's clusters satisfy the ``O(log^2 n / eps)`` envelope;
+* the improved carving charges at least as many rounds;
+* both remove at most an ``eps`` fraction of nodes.
+"""
+
+import math
+
+import pytest
+
+from _harness import emit_table, run_once
+from repro.analysis.metrics import evaluate_carving
+from repro.clustering.validation import check_ball_carving
+from repro.core.improved_carving import theorem33_carving
+from repro.core.strong_carving import theorem22_carving
+from repro.graphs.generators import cycle_graph, torus_graph
+
+_EPS = 0.5
+
+
+def _compare_on(graph, graph_name):
+    before = theorem22_carving(graph, _EPS)
+    after = theorem33_carving(graph, _EPS)
+    check_ball_carving(before)
+    check_ball_carving(after)
+    row_before = evaluate_carving(before, "Theorem 2.2 (log^3)").as_row()
+    row_after = evaluate_carving(after, "Theorem 3.3 (log^2)").as_row()
+    row_before["graph"] = graph_name
+    row_after["graph"] = graph_name
+    return [row_before, row_after]
+
+
+@pytest.mark.benchmark(group="diameter-improvement")
+def test_improvement_on_long_cycle(benchmark):
+    graph = cycle_graph(700, seed=2)
+    rows = run_once(benchmark, lambda: _compare_on(graph, "cycle-700"))
+    emit_table("improvement_cycle", rows, "Theorem 2.2 vs Theorem 3.3 — cycle n=700, eps=0.5")
+
+    n = graph.number_of_nodes()
+    log_n = math.log2(n)
+    before, after = rows
+    assert after["diameter"] <= 16 * log_n ** 2 / _EPS + 8
+    assert after["rounds"] >= before["rounds"]
+    assert before["dead%"] <= 100 * _EPS + 100.0 / n
+    assert after["dead%"] <= 100 * _EPS + 100.0 / n
+
+
+@pytest.mark.benchmark(group="diameter-improvement")
+def test_improvement_on_torus(benchmark):
+    graph = torus_graph(18, 18, seed=2)
+    rows = run_once(benchmark, lambda: _compare_on(graph, "torus-324"))
+    emit_table("improvement_torus", rows, "Theorem 2.2 vs Theorem 3.3 — torus n=324, eps=0.5")
+    before, after = rows
+    n = graph.number_of_nodes()
+    assert after["diameter"] <= 16 * math.log2(n) ** 2 / _EPS + 8
+    assert after["rounds"] >= before["rounds"]

@@ -1,0 +1,75 @@
+"""Experiment: the edge version of ball carving (end of Section 1.3).
+
+The paper notes that all Table 2 results also hold for the edge version,
+where at most an ``eps`` fraction of *edges* is removed.  This benchmark runs
+the library's edge-version algorithms (sequential edge ball growing, the MPX
+edge version, and the node-to-edge adapter over Theorem 2.2) and checks the
+same qualitative shape as the node version: removal budgets hold (exactly for
+the deterministic variants, in expectation for the randomized one), and the
+cluster diameters of the surviving graph carry the familiar ``1/eps`` factor.
+"""
+
+import math
+import random
+
+import pytest
+
+from _harness import benchmark_torus, emit_table, run_once
+from repro.core.edge_carving import (
+    check_edge_carving,
+    edge_carving_from_node_carving,
+    mpx_edge_carving,
+    sequential_edge_carving,
+)
+from repro.graphs.properties import subgraph_diameter
+
+_N = 256
+_EPS = 0.25
+
+
+def _row(name, carving):
+    survivor = carving.surviving_graph()
+    diameter = max(
+        (subgraph_diameter(survivor, cluster.nodes) for cluster in carving.clusters), default=0
+    )
+    summary = carving.summary()
+    return {
+        "algorithm": name,
+        "n": summary["n"],
+        "m": summary["m"],
+        "clusters": summary["clusters"],
+        "removed edges": summary["removed_edges"],
+        "removed %": round(100 * summary["removed_fraction"], 2),
+        "diameter": diameter,
+        "rounds": summary["rounds"],
+    }
+
+
+@pytest.mark.benchmark(group="edge-carving")
+def test_edge_carving_variants(benchmark):
+    graph = benchmark_torus(_N)
+
+    def run_all():
+        rows = []
+        sequential = sequential_edge_carving(graph, _EPS)
+        check_edge_carving(sequential)
+        rows.append(_row("sequential edge growing (deterministic)", sequential))
+
+        randomized = mpx_edge_carving(graph, _EPS, rng=random.Random(1))
+        check_edge_carving(randomized, max_removed_fraction=0.95)
+        rows.append(_row("MPX edge version (randomized)", randomized))
+
+        adapted = edge_carving_from_node_carving(graph, _EPS)
+        check_edge_carving(adapted, max_removed_fraction=0.95)
+        rows.append(_row("Theorem 2.2 node-to-edge adapter", adapted))
+        return rows
+
+    rows = run_once(benchmark, run_all)
+    emit_table("edge_carving", rows, "Edge-version ball carving — torus, eps={}".format(_EPS))
+
+    m = graph.number_of_edges()
+    by_name = {row["algorithm"]: row for row in rows}
+    assert by_name["sequential edge growing (deterministic)"]["removed %"] <= 100 * _EPS + 100.0 / m
+    assert by_name["Theorem 2.2 node-to-edge adapter"]["removed %"] <= 100 * _EPS + 100.0 / m
+    log_m = math.log2(max(2, m))
+    assert by_name["sequential edge growing (deterministic)"]["diameter"] <= 8 * log_m / _EPS + 8

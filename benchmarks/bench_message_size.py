@@ -1,0 +1,76 @@
+"""Experiment: message sizes — ABCP96 gathering vs the small-message pipeline.
+
+The reason Theorem 2.1 matters is bandwidth: the previously known
+weak-to-strong transformation of Awerbuch et al. [ABCP96] gathers whole
+cluster topologies at cluster centres, which requires messages of
+``Theta(local edges * log n)`` bits, while the paper's transformation only
+ever ships identifiers, counters and layer sizes — all ``O(log n)`` bits.
+
+This benchmark measures, as ``n`` grows:
+
+* the largest message the ABCP96 gathering step needs (and its blow-up factor
+  over the CONGEST bandwidth ``B = O(log n)``);
+* the largest message observed when the *distributed primitives* our pipeline
+  is built from (BFS, layer counting, convergecast) run on the message-level
+  simulator — which must stay within ``B``.
+"""
+
+import pytest
+
+from _harness import emit_table, run_once
+from repro.baselines.abcp import abcp_strong_carving
+from repro.congest.messages import default_bandwidth
+from repro.congest.primitives import bfs_tree, convergecast_sum, count_nodes_at_distances
+from repro.graphs.generators import torus_graph
+
+_SIDES = (5, 7, 9)
+
+
+def _abcp_row(side):
+    graph = torus_graph(side, side, seed=1)
+    _, report = abcp_strong_carving(graph)
+    return {
+        "n": graph.number_of_nodes(),
+        "ABCP96 max bits": report.max_message_bits,
+        "CONGEST bandwidth": report.congest_bandwidth_bits,
+        "blowup": round(report.blowup_factor, 1),
+    }
+
+
+def _primitive_row(side):
+    graph = torus_graph(side, side, seed=1)
+    root = 0
+    parents, distances, bfs_report = bfs_tree(graph, root)
+    _, cc_report = convergecast_sum(graph, parents, {node: 1 for node in graph.nodes()})
+    _, lc_report = count_nodes_at_distances(graph, root, max_radius=max(distances.values()))
+    worst = max(
+        bfs_report.max_message_bits, cc_report.max_message_bits, lc_report.max_message_bits
+    )
+    return {
+        "n": graph.number_of_nodes(),
+        "primitive max bits": worst,
+        "CONGEST bandwidth": default_bandwidth(graph.number_of_nodes()),
+        "within budget": worst <= default_bandwidth(graph.number_of_nodes()),
+    }
+
+
+@pytest.mark.benchmark(group="message-size")
+def test_abcp_messages_blow_up(benchmark):
+    rows = run_once(benchmark, lambda: [_abcp_row(side) for side in _SIDES])
+    emit_table("message_size_abcp", rows, "ABCP96 transformation — topology-gathering message sizes")
+    for row in rows:
+        assert row["ABCP96 max bits"] > row["CONGEST bandwidth"]
+    # The blow-up grows with n (more topology to gather).
+    assert rows[-1]["ABCP96 max bits"] >= rows[0]["ABCP96 max bits"]
+
+
+@pytest.mark.benchmark(group="message-size")
+def test_our_primitives_stay_within_bandwidth(benchmark):
+    rows = run_once(benchmark, lambda: [_primitive_row(side) for side in _SIDES])
+    emit_table(
+        "message_size_primitives",
+        rows,
+        "Small-message pipeline — largest message of the distributed primitives",
+    )
+    for row in rows:
+        assert row["within budget"], row

@@ -1,0 +1,69 @@
+"""Experiment "scaling figure": polylogarithmic growth of the round counts.
+
+The paper's claim is qualitative — the deterministic strong-diameter
+decomposition runs in poly(log n) rounds.  This benchmark sweeps ``n`` over a
+geometric range on the torus workload, measures the charged rounds and the
+cluster diameters, fits a ``c * (log2 n)^k`` curve, and checks that the data
+are consistent with a polylogarithmic bound (and inconsistent with linear
+growth), which is the "figure" a systems reader would want to see.
+"""
+
+import math
+
+import pytest
+
+from _harness import benchmark_torus, emit_table, run_once
+from repro.analysis.fitting import fit_polylog, is_polylog_bounded
+from repro.analysis.metrics import evaluate_decomposition
+import repro
+
+_SIZES = (64, 144, 256, 400, 576)
+
+
+def _sweep(method, seed=1):
+    rows = []
+    for n in _SIZES:
+        graph = benchmark_torus(n)
+        decomposition = repro.decompose(graph, method=method, seed=seed)
+        row = evaluate_decomposition(decomposition, method).as_row()
+        rows.append(row)
+    return rows
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_scaling_deterministic_strong(benchmark):
+    rows = run_once(benchmark, lambda: _sweep("strong-log3"))
+    emit_table("scaling_strong_log3", rows, "Scaling — Theorem 2.3 rounds/diameter vs n (torus)")
+
+    sizes = [row["n"] for row in rows]
+    rounds = [max(1, row["rounds"]) for row in rows]
+    fit = fit_polylog(sizes, rounds)
+    print("\npolylog fit: rounds ~ {:.2f} * (log2 n)^{:.2f}  (poly exponent {:.2f})".format(
+        fit.coefficient, fit.exponent, fit.polynomial_exponent))
+    # Consistent with a polylog bound of degree at most the paper's log^8.
+    assert is_polylog_bounded(sizes, rounds, max_exponent=12.0)
+    # Colors stay logarithmic across the sweep.
+    for row in rows:
+        assert row["colors"] <= 2 * math.ceil(math.log2(row["n"])) + 2
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_scaling_randomized_baseline_cheaper(benchmark):
+    deterministic = _sweep("strong-log3")
+
+    def randomized():
+        return _sweep("mpx", seed=3)
+
+    rows = run_once(benchmark, randomized)
+    emit_table("scaling_mpx", rows, "Scaling — MPX/EN16 rounds vs n (torus)")
+    for det_row, rand_row in zip(deterministic, rows):
+        assert rand_row["rounds"] <= det_row["rounds"]
+
+
+@pytest.mark.benchmark(group="scaling")
+def test_scaling_diameters_stay_polylog(benchmark):
+    rows = run_once(benchmark, lambda: _sweep("strong-log2"))
+    emit_table("scaling_strong_log2", rows, "Scaling — Theorem 3.4 diameter vs n (torus)")
+    for row in rows:
+        bound = 16 * math.log2(row["n"]) ** 2 / 0.5 + 8
+        assert row["diameter"] <= bound

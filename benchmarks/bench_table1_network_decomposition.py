@@ -1,0 +1,78 @@
+"""Experiment "Table 1": network decomposition in the CONGEST model.
+
+The paper's Table 1 compares network-decomposition algorithms by their number
+of colors, cluster diameter, and round complexity.  This benchmark
+instantiates every row we implement on two workload graphs (a torus and a
+random 4-regular expander-like graph) and reports the *measured* colors,
+maximal cluster diameter (strong or weak as appropriate), and charged CONGEST
+rounds.
+
+Expected shape (what the paper's table predicts qualitatively):
+
+* every algorithm uses O(log n) colors;
+* the randomized algorithms (LS93, MPX/EN16) need far fewer rounds than the
+  deterministic ones;
+* the deterministic strong-diameter algorithms (Theorems 2.3 / 3.4) pay the
+  largest round counts — that is the price of determinism + strong diameter
+  with small messages;
+* all measured cluster diameters stay well below the polylog bounds.
+"""
+
+import math
+
+import pytest
+
+from _harness import (
+    DECOMPOSITION_ROWS,
+    benchmark_regular,
+    benchmark_torus,
+    decomposition_row,
+    emit_table,
+    run_once,
+)
+
+_N = 256
+
+
+def _rows_for(graph, graph_name):
+    rows = []
+    for label, method in DECOMPOSITION_ROWS:
+        row = decomposition_row(graph, label, method, seed=1)
+        row["graph"] = graph_name
+        rows.append(row)
+    return rows
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_torus(benchmark):
+    graph = benchmark_torus(_N)
+    rows = run_once(benchmark, lambda: _rows_for(graph, "torus"))
+    emit_table("table1_torus", rows, "Table 1 (reproduced) — torus, n={}".format(
+        graph.number_of_nodes()))
+
+    n = graph.number_of_nodes()
+    log_n = math.ceil(math.log2(n))
+    by_label = {row["algorithm"]: row for row in rows}
+    for row in rows:
+        assert row["colors"] <= 4 * log_n + 8
+    # Determinism + strong diameter costs the most rounds.
+    assert by_label["Theorem 2.3 (strong, deterministic)"]["rounds"] >= by_label[
+        "MPX13/EN16 (strong, randomized)"]["rounds"]
+    assert by_label["Theorem 3.4 (strong, deterministic)"]["rounds"] >= by_label[
+        "Theorem 2.3 (strong, deterministic)"]["rounds"]
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_random_regular(benchmark):
+    graph = benchmark_regular(_N)
+    rows = run_once(benchmark, lambda: _rows_for(graph, "regular"))
+    emit_table("table1_regular", rows, "Table 1 (reproduced) — random 4-regular, n={}".format(
+        graph.number_of_nodes()))
+
+    n = graph.number_of_nodes()
+    log_n = math.ceil(math.log2(n))
+    for row in rows:
+        assert row["colors"] <= 4 * log_n + 8
+        # Every strong-diameter row's diameter stays below the paper's
+        # poly-log bound envelope (log^3 n is the loosest of them).
+        assert row["diameter"] <= 8 * log_n ** 3

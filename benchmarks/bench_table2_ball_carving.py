@@ -1,0 +1,90 @@
+"""Experiment "Table 2": ball carving in the CONGEST model.
+
+The paper's Table 2 compares ball-carving algorithms by cluster diameter and
+round complexity, both as functions of ``n`` and of the boundary parameter
+``eps``.  This benchmark reproduces the rows on a torus workload for several
+values of ``eps`` and checks the qualitative shape:
+
+* all algorithms remove at most (roughly) an ``eps`` fraction of nodes
+  (exactly for the deterministic ones, in expectation for the randomized
+  ones);
+* the deterministic strong-diameter carvings (Theorems 2.2 / 3.3) cost the
+  most rounds;
+* diameters grow as ``eps`` shrinks (the ``1/eps`` factor in every bound).
+"""
+
+import math
+
+import pytest
+
+from _harness import CARVING_ROWS, benchmark_torus, carving_row, emit_table, run_once
+
+_N = 256
+_EPSILONS = (0.5, 0.25, 0.125)
+
+
+def _rows_for(graph, eps):
+    rows = []
+    for label, method in CARVING_ROWS:
+        row = carving_row(graph, label, method, eps, seed=1)
+        row["eps"] = eps
+        rows.append(row)
+    return rows
+
+
+@pytest.mark.benchmark(group="table2")
+@pytest.mark.parametrize("eps", _EPSILONS)
+def test_table2_torus(benchmark, eps):
+    graph = benchmark_torus(_N)
+    rows = run_once(benchmark, lambda: _rows_for(graph, eps))
+    emit_table(
+        "table2_torus_eps{}".format(str(eps).replace(".", "_")),
+        rows,
+        "Table 2 (reproduced) — torus, n={}, eps={}".format(graph.number_of_nodes(), eps),
+    )
+
+    n = graph.number_of_nodes()
+    log_n = math.ceil(math.log2(n))
+    by_label = {row["algorithm"]: row for row in rows}
+
+    # Deterministic algorithms respect eps exactly (integer slack of 1 node).
+    for label in (
+        "RG20/GGR21 (weak, deterministic)",
+        "Theorem 2.2 (strong, deterministic)",
+        "Theorem 3.3 (strong, deterministic)",
+        "Greedy ball growing (centralized)",
+    ):
+        assert by_label[label]["dead%"] <= 100 * eps + 100.0 / n
+
+    # Deterministic strong-diameter carving costs at least as much as the
+    # randomized strong-diameter carving.
+    assert (
+        by_label["Theorem 2.2 (strong, deterministic)"]["rounds"]
+        >= by_label["MPX13/EN16 (strong, randomized)"]["rounds"]
+    )
+
+    # Diameters stay below the asymptotic envelopes.
+    assert by_label["Theorem 2.2 (strong, deterministic)"]["diameter"] <= 8 * log_n ** 3 / eps
+    assert by_label["Theorem 3.3 (strong, deterministic)"]["diameter"] <= 16 * log_n ** 2 / eps
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_eps_sweep_diameter_trend(benchmark):
+    """The 1/eps dependence: smaller eps may only increase the deterministic
+    strong-diameter carving's certified diameter bound, never shrink the
+    measured rounds."""
+    graph = benchmark_torus(_N)
+
+    def sweep():
+        return {
+            eps: carving_row(graph, "Theorem 2.2", "strong-log3", eps, seed=1)
+            for eps in _EPSILONS
+        }
+
+    rows = run_once(benchmark, sweep)
+    emit_table(
+        "table2_eps_sweep",
+        [dict(row, eps=eps) for eps, row in rows.items()],
+        "Table 2 (reproduced) — eps sweep of Theorem 2.2 on the torus",
+    )
+    assert rows[0.125]["rounds"] >= rows[0.5]["rounds"]

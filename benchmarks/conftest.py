@@ -1,0 +1,8 @@
+"""Pytest configuration for the benchmark harness."""
+
+import sys
+import os
+
+# Make the sibling `_harness` module importable regardless of how pytest was
+# invoked (``pytest benchmarks/`` from the repository root or from elsewhere).
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))

@@ -1,0 +1,75 @@
+"""Barrier example: why the O(log^2 n / eps) diameter is hard to beat.
+
+Run with::
+
+    python examples/barrier_exploration.py
+
+Section 3 of the paper ends with a lower-bound construction for its own
+technique: subdivide every edge of a constant-degree expander into a path of
+length ``log n / eps``.  The resulting graph has conductance
+``Theta(eps / log n)``; it admits no balanced sparse cut with a light
+separator, and every subset with at least ``n/3`` nodes induces a subgraph of
+diameter ``Omega(log^2 n / eps)`` — so the Lemma 3.1 dichotomy cannot produce
+anything better than what Theorem 3.2 already achieves.
+
+This example builds the barrier graph, runs Lemma 3.1 on it and on a benign
+torus of the same size, and prints the contrast.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.tables import format_table
+from repro.core.sparse_cut import LargeComponent, SparseCut, sparse_cut_or_component
+from repro.graphs import barrier_graph, torus_graph
+from repro.graphs.properties import graph_conductance_lower_bound, subgraph_diameter
+
+EPS = 0.5
+
+
+def analyse(name: str, graph) -> dict:
+    """Run Lemma 3.1 and summarise the outcome."""
+    n = graph.number_of_nodes()
+    result = sparse_cut_or_component(graph, graph.nodes(), EPS)
+    row = {
+        "graph": name,
+        "n": n,
+        "conductance (upper est.)": round(graph_conductance_lower_bound(graph, samples=48), 4),
+        "outcome": result.kind,
+    }
+    if isinstance(result, LargeComponent):
+        row["component size"] = len(result.component)
+        row["component diameter"] = subgraph_diameter(graph, result.component)
+        row["boundary"] = len(result.boundary)
+    else:
+        row["sides"] = "{} / {}".format(len(result.side_a), len(result.side_b))
+        row["separator"] = len(result.separator)
+    row["log^2 n / eps"] = int(math.log2(n) ** 2 / EPS)
+    return row
+
+
+def main() -> None:
+    barrier, meta = barrier_graph(500, EPS, seed=3)
+    print(
+        "barrier graph: {}-node expander, every edge subdivided into a {}-edge path "
+        "-> {} nodes".format(
+            meta["base_expander_nodes"], meta["subdivision_length"], meta["result_nodes"]
+        )
+    )
+
+    benign = torus_graph(22, 22, seed=3)
+    rows = [analyse("barrier (subdivided expander)", barrier), analyse("torus (benign control)", benign)]
+    print()
+    print(format_table(rows, title="Lemma 3.1 on the barrier graph vs a benign graph"))
+
+    print(
+        "\nOn the torus the lemma finds a genuinely small-diameter component; on the "
+        "barrier graph any component of comparable size is forced to have diameter on "
+        "the order of log^2 n / eps — which is why beating O(log^2 n / eps) needs a "
+        "different technique (the paper's closing open problem)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Application example: distributed (Δ+1)-coloring and MIS via decomposition.
+
+Run with::
+
+    python examples/coloring_from_decomposition.py
+
+The introduction of the paper motivates network decomposition through the
+standard "process colors one by one" template: clusters of one color are
+non-adjacent, so they compute in parallel; their small diameter makes each
+step cheap; the total cost is proportional to ``C * D``.  This example runs
+that template for the two classic problems the paper cites — maximal
+independent set and (Δ+1)-coloring — on decompositions produced by different
+algorithms, and shows how the decomposition quality translates into the
+template's round cost.
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.analysis.tables import format_table
+from repro.applications.coloring import delta_plus_one_coloring, verify_coloring
+from repro.applications.mis import maximal_independent_set, verify_mis
+from repro.clustering.validation import max_cluster_diameter
+from repro.congest.rounds import RoundLedger
+from repro.graphs import random_regular_graph
+
+
+def run_for_method(graph, method: str) -> dict:
+    """Decompose, then solve MIS and coloring through the template."""
+    decomposition = repro.decompose(graph, method=method, seed=7)
+
+    mis_ledger = RoundLedger()
+    independent_set = maximal_independent_set(decomposition, ledger=mis_ledger)
+
+    coloring_ledger = RoundLedger()
+    coloring = delta_plus_one_coloring(decomposition, ledger=coloring_ledger)
+
+    assert verify_mis(graph, independent_set), "MIS invariant violated"
+    assert verify_coloring(graph, coloring), "coloring invariant violated"
+
+    diameter = max_cluster_diameter(graph, decomposition.clusters, kind=decomposition.kind)
+    return {
+        "method": method,
+        "colors (C)": decomposition.num_colors,
+        "diameter (D)": diameter,
+        "C*D": decomposition.num_colors * max(1, diameter),
+        "MIS size": len(independent_set),
+        "MIS rounds": mis_ledger.total_rounds,
+        "coloring rounds": coloring_ledger.total_rounds,
+        "palette used": max(coloring.values()) + 1,
+    }
+
+
+def main() -> None:
+    graph = random_regular_graph(200, 4, seed=11)
+    print(
+        "graph: random 4-regular, {} nodes, {} edges".format(
+            graph.number_of_nodes(), graph.number_of_edges()
+        )
+    )
+
+    rows = [
+        run_for_method(graph, method)
+        for method in ("sequential", "mpx", "ls93", "strong-log3", "strong-log2")
+    ]
+    print(format_table(rows, title="MIS and (Δ+1)-coloring via the C*D template"))
+    print(
+        "\nNote how the template's round cost tracks C*D: that product is exactly "
+        "why the paper insists on polylogarithmic colors AND diameter."
+    )
+
+
+if __name__ == "__main__":
+    main()

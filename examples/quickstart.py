@@ -1,0 +1,64 @@
+"""Quickstart: compute a strong-diameter network decomposition and inspect it.
+
+Run with::
+
+    python examples/quickstart.py
+
+This is the 60-second tour of the library: build a workload graph, run the
+paper's deterministic strong-diameter decomposition (Theorem 2.3), validate
+every invariant the paper states, and print the measured parameters next to
+the theoretical bounds.
+"""
+
+from __future__ import annotations
+
+import math
+
+import repro
+from repro.analysis.metrics import evaluate_decomposition
+from repro.analysis.tables import format_table
+from repro.clustering.validation import check_network_decomposition, strong_diameter
+from repro.graphs import torus_graph
+
+
+def main() -> None:
+    # 1. A workload graph: a 16x16 torus (256 nodes, diameter 16).  Every node
+    #    carries a unique O(log n)-bit identifier, as the CONGEST model assumes.
+    graph = torus_graph(16, 16, seed=42)
+    n = graph.number_of_nodes()
+    print("graph: {} nodes, {} edges".format(n, graph.number_of_edges()))
+
+    # 2. The paper's first headline result (Theorem 2.3): a deterministic
+    #    strong-diameter network decomposition with O(log n) colors and
+    #    O(log^3 n) diameter, computed with small messages.
+    decomposition = repro.decompose(graph, method="strong-log3")
+
+    # 3. Validate every invariant: full coverage, disjoint clusters,
+    #    same-color clusters non-adjacent, connected (strong-diameter) clusters.
+    check_network_decomposition(decomposition)
+    print("validation: all invariants hold")
+
+    # 4. Measured parameters vs the paper's bounds.
+    metrics = evaluate_decomposition(decomposition, "Theorem 2.3")
+    log_n = math.log2(n)
+    print(format_table([metrics.as_row()], title="measured parameters"))
+    print(
+        "bounds: colors O(log n) ~ {:.0f}, diameter O(log^3 n) ~ {:.0f}".format(
+            log_n, log_n ** 3
+        )
+    )
+
+    # 5. Look inside: the largest cluster and its strong diameter.
+    largest = max(decomposition.clusters, key=len)
+    print(
+        "largest cluster: {} nodes, color {}, strong diameter {}".format(
+            len(largest), largest.color, strong_diameter(graph, largest.nodes)
+        )
+    )
+
+    # 6. Rounds: the ledger records where the CONGEST rounds went.
+    print("round breakdown:", decomposition.ledger.breakdown())
+
+
+if __name__ == "__main__":
+    main()

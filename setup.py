@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is configured through ``pyproject.toml``; this file only exists so
+that legacy editable installs (``pip install -e . --no-use-pep517``) work in
+offline environments where the ``wheel`` package is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

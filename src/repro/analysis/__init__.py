@@ -1,0 +1,35 @@
+"""Measurement, curve fitting and table rendering for the benchmark harness.
+
+* :mod:`repro.analysis.metrics` — extract the quantities Tables 1 and 2
+  report (colors, max strong/weak cluster diameter, rounds, dead fraction,
+  congestion) from carvings and decompositions.
+* :mod:`repro.analysis.fitting` — check that measured round counts /
+  diameters grow polylogarithmically (fit ``c * log^k n`` and report the
+  exponent).
+* :mod:`repro.analysis.tables` — plain-text table rendering used by the
+  benchmarks and EXPERIMENTS.md.
+"""
+
+from repro.analysis.metrics import (
+    CarvingMetrics,
+    DecompositionMetrics,
+    evaluate_carving,
+    evaluate_decomposition,
+)
+from repro.analysis.fitting import PolylogFit, fit_polylog, is_polylog_bounded
+from repro.analysis.tables import format_table
+from repro.analysis.report import collect_archived_tables, generate_report, quick_summary
+
+__all__ = [
+    "collect_archived_tables",
+    "generate_report",
+    "quick_summary",
+    "CarvingMetrics",
+    "DecompositionMetrics",
+    "evaluate_carving",
+    "evaluate_decomposition",
+    "PolylogFit",
+    "fit_polylog",
+    "is_polylog_bounded",
+    "format_table",
+]

@@ -1,0 +1,101 @@
+"""Polylogarithmic growth checks for the scaling benchmark.
+
+The paper's headline claim is qualitative: the deterministic strong-diameter
+decomposition has *polylogarithmic* colors, diameter and round complexity.
+The scaling benchmark measures those quantities over a range of ``n`` and
+uses this module to check that the measurements are consistent with a
+``c * (log n)^k`` curve (and to estimate ``k``), as opposed to a polynomial
+``n^alpha`` growth.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class PolylogFit:
+    """Least-squares fit of measurements to ``c * (log2 n)^k``.
+
+    Attributes:
+        coefficient: The fitted constant ``c``.
+        exponent: The fitted exponent ``k``.
+        residual: Root-mean-square error of the fit in log space.
+        polynomial_exponent: For comparison, the exponent ``alpha`` of the
+            best ``c' * n^alpha`` fit; a polylog-growing quantity has a small
+            ``alpha`` that shrinks as the measured range widens.
+    """
+
+    coefficient: float
+    exponent: float
+    residual: float
+    polynomial_exponent: float
+
+    def predict(self, n: float) -> float:
+        """Predicted value at ``n`` according to the polylog fit."""
+        return self.coefficient * (math.log2(max(2.0, n)) ** self.exponent)
+
+
+def fit_polylog(sizes: Sequence[float], values: Sequence[float]) -> PolylogFit:
+    """Fit ``values ~ c * (log2 sizes)^k`` by least squares in log space.
+
+    Args:
+        sizes: The graph sizes ``n`` (at least two distinct values).
+        values: The measured quantities (positive).
+
+    Returns:
+        A :class:`PolylogFit`; raises ``ValueError`` on degenerate input.
+    """
+    if len(sizes) != len(values):
+        raise ValueError("sizes and values must have the same length")
+    if len(sizes) < 2:
+        raise ValueError("need at least two measurements to fit a curve")
+    if any(value <= 0 for value in values) or any(size < 2 for size in sizes):
+        raise ValueError("sizes must be >= 2 and values must be positive")
+
+    log_log_n = np.array([math.log(math.log2(size)) for size in sizes])
+    log_n = np.array([math.log(size) for size in sizes])
+    log_values = np.array([math.log(value) for value in values])
+
+    # Polylog fit: log(value) = log(c) + k * log(log2 n).
+    design = np.vstack([np.ones_like(log_log_n), log_log_n]).T
+    (intercept, exponent), *_ = np.linalg.lstsq(design, log_values, rcond=None)
+    predictions = design @ np.array([intercept, exponent])
+    residual = float(np.sqrt(np.mean((predictions - log_values) ** 2)))
+
+    # Polynomial fit: log(value) = log(c') + alpha * log(n).
+    design_poly = np.vstack([np.ones_like(log_n), log_n]).T
+    (_, alpha), *_ = np.linalg.lstsq(design_poly, log_values, rcond=None)
+
+    return PolylogFit(
+        coefficient=float(math.exp(intercept)),
+        exponent=float(exponent),
+        residual=residual,
+        polynomial_exponent=float(alpha),
+    )
+
+
+def is_polylog_bounded(
+    sizes: Sequence[float],
+    values: Sequence[float],
+    max_exponent: float = 12.0,
+) -> bool:
+    """A coarse sanity check that measurements grow at most polylogarithmically.
+
+    Accepts when the fitted polylog exponent is below ``max_exponent`` (the
+    paper's worst bound is ``log^11 n``) *and* every measurement is below
+    ``c * (log2 n)^max_exponent`` for the fitted constant — i.e. the data are
+    consistent with some polylog bound of reasonable degree.
+    """
+    fit = fit_polylog(sizes, values)
+    if fit.exponent > max_exponent:
+        return False
+    for size, value in zip(sizes, values):
+        bound = max(1.0, fit.coefficient) * (math.log2(max(2.0, size)) ** max_exponent)
+        if value > bound:
+            return False
+    return True

@@ -1,0 +1,57 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benchmarks print the reproduced Table 1 / Table 2 rows to stdout (and the
+same strings are pasted into EXPERIMENTS.md), so a small dependency-free
+renderer is all that is needed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+
+def format_table(
+    rows: Sequence[Dict[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render dictionaries as an aligned monospace table.
+
+    Args:
+        rows: One dictionary per row; missing keys render as empty cells.
+        columns: Column order; defaults to the keys of the first row.
+        title: Optional title line printed above the table.
+
+    Returns:
+        The rendered table as a single string (no trailing newline).
+    """
+    if not rows:
+        return title or "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value: Any) -> str:
+        if isinstance(value, float):
+            return "{:.3g}".format(value)
+        return str(value)
+
+    widths = {column: len(column) for column in columns}
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        cells = [render(row.get(column, "")) for column in columns]
+        rendered_rows.append(cells)
+        for column, cell in zip(columns, cells):
+            widths[column] = max(widths[column], len(cell))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(column.ljust(widths[column]) for column in columns)
+    separator = "-+-".join("-" * widths[column] for column in columns)
+    lines.append(header)
+    lines.append(separator)
+    for cells in rendered_rows:
+        lines.append(
+            " | ".join(cell.ljust(widths[column]) for column, cell in zip(columns, cells))
+        )
+    return "\n".join(lines)

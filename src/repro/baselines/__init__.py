@@ -1,0 +1,35 @@
+"""Baseline algorithms from prior work (the other rows of Tables 1 and 2).
+
+* :mod:`repro.baselines.linial_saks` — the randomized weak-diameter
+  decomposition of Linial and Saks [LS93].
+* :mod:`repro.baselines.mpx` — the randomized strong-diameter clustering of
+  Miller, Peng and Xu [MPX13] / Elkin and Neiman [EN16] via exponential
+  random shifts.
+* :mod:`repro.baselines.sequential` — the centralized existential
+  construction of [LS93] (sequential ball growing); not a distributed
+  algorithm, used as the quality reference line.
+* :mod:`repro.baselines.abcp` — the ABCP96 transformation that gathers
+  cluster topologies with *unbounded* messages; used by the message-size
+  experiment to quantify why small messages are the hard part.
+"""
+
+from repro.baselines.linial_saks import linial_saks_carving, linial_saks_decomposition
+from repro.baselines.mpx import mpx_carving, mpx_decomposition
+from repro.baselines.mpx_distributed import mpx_distributed_carving
+from repro.baselines.sequential import (
+    greedy_sequential_carving,
+    greedy_sequential_decomposition,
+)
+from repro.baselines.abcp import ABCPReport, abcp_strong_carving
+
+__all__ = [
+    "linial_saks_carving",
+    "linial_saks_decomposition",
+    "mpx_carving",
+    "mpx_decomposition",
+    "mpx_distributed_carving",
+    "greedy_sequential_carving",
+    "greedy_sequential_decomposition",
+    "ABCPReport",
+    "abcp_strong_carving",
+]

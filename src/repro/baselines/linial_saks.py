@@ -1,0 +1,176 @@
+"""Linial–Saks randomized weak-diameter clustering [LS93].
+
+Each node ``v`` independently draws a radius ``r_v`` from a truncated
+geometric distribution and (conceptually) broadcasts ``(uid_v, r_v)`` to its
+``r_v``-hop neighbourhood.  Every node ``u`` considers the candidates ``v``
+with ``dist(u, v) <= r_v`` and joins the cluster of the candidate with the
+largest identifier; ``u`` is *captured* (clustered) when that distance is
+strictly smaller than ``r_v``, and left unclustered (for this repetition) when
+the distance equals ``r_v`` exactly.  The memorylessness of the geometric
+distribution makes the capture probability at least the distribution's
+continuation probability, independently for every node.
+
+Parameters (matching Table 2's weak randomized row): with continuation
+probability ``p = 1 - eps/2`` and radius cap ``B = O(log n / eps)`` the
+clusters have weak diameter ``O(log n / eps)`` and the expected unclustered
+fraction is at most ``eps`` (``eps/2`` from capture failures plus an
+``n^{-Omega(1)}`` term from the truncation).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.clustering.carving import BallCarving
+from repro.clustering.cluster import Cluster, SteinerTree
+from repro.clustering.decomposition import NetworkDecomposition
+from repro.congest.rounds import RoundLedger
+from repro.core.decomposition import decomposition_via_carving
+from repro.graphs.properties import bfs_layers_within
+
+
+def _truncated_geometric(rng: random.Random, continuation: float, cap: int) -> int:
+    """Draw ``r`` with ``P(r >= k+1 | r >= k) = continuation``, capped."""
+    radius = 0
+    while radius < cap and rng.random() < continuation:
+        radius += 1
+    return radius
+
+
+def _radius_cap(n: int, eps: float) -> int:
+    """Truncation point ``B = O(log n / eps)``: the probability that an
+    untruncated geometric exceeds ``B`` is below ``1/n``."""
+    continuation = 1.0 - eps / 2.0
+    if continuation <= 0.0:
+        return 1
+    bound = math.log(max(2, n)) / -math.log(continuation)
+    return max(1, int(math.ceil(bound)) + 1)
+
+
+def linial_saks_carving(
+    graph: nx.Graph,
+    eps: float,
+    nodes: Optional[Iterable[Any]] = None,
+    ledger: Optional[RoundLedger] = None,
+    rng: Optional[random.Random] = None,
+) -> BallCarving:
+    """One repetition of the LS93 clustering as a weak-diameter ball carving.
+
+    Args:
+        graph: Host graph.
+        eps: Boundary parameter — the *expected* unclustered fraction is at
+            most ``eps`` (this is a randomized guarantee; the benchmarks
+            report the measured fraction).
+        nodes: Optional node subset to operate on.
+        ledger: Round ledger; the repetition costs ``O(log n / eps)`` rounds
+            (broadcasting within the radius cap, as in [LS93]).
+        rng: Random source (seed it for reproducibility).
+
+    Returns:
+        A weak-diameter :class:`~repro.clustering.carving.BallCarving`.
+    """
+    if not 0.0 < eps < 1.0:
+        raise ValueError("eps must lie strictly between 0 and 1")
+    rng = rng or random.Random(0)
+    ledger = ledger if ledger is not None else RoundLedger()
+
+    participating: Set[Any] = set(graph.nodes()) if nodes is None else set(nodes)
+    working_graph = graph.subgraph(participating)
+    n = len(participating)
+    if n == 0:
+        return BallCarving(graph=working_graph, clusters=[], dead=set(), eps=eps, ledger=ledger, kind="weak")
+
+    continuation = 1.0 - eps / 2.0
+    cap = _radius_cap(n, eps)
+    uid_of = {node: working_graph.nodes[node].get("uid", node) for node in participating}
+    radius_of = {node: _truncated_geometric(rng, continuation, cap) for node in participating}
+
+    # For every node, the best candidate is the centre with the largest
+    # identifier among those whose radius reaches it.  We compute, for every
+    # centre, the BFS layers up to its radius, and fold them into per-node
+    # "best offers"; ties cannot occur because identifiers are unique.
+    best_offer: Dict[Any, Tuple[int, int, Any]] = {}
+    for center in participating:
+        layers = bfs_layers_within(working_graph, [center], allowed=participating,
+                                   max_radius=radius_of[center])
+        for distance, layer in enumerate(layers):
+            for node in layer:
+                offer = (uid_of[center], -distance, center)
+                if node not in best_offer or offer > best_offer[node]:
+                    best_offer[node] = offer
+
+    members: Dict[Any, Set[Any]] = {}
+    dead: Set[Any] = set()
+    for node in participating:
+        offer = best_offer.get(node)
+        if offer is None:
+            dead.add(node)
+            continue
+        center_uid, negative_distance, center = offer
+        distance = -negative_distance
+        if distance < radius_of[center]:
+            members.setdefault(center, set()).add(node)
+        else:
+            dead.add(node)
+
+    clusters = _build_clusters(working_graph, participating, members, uid_of)
+    ledger.charge("ls93_broadcast", 2 * cap + 2, detail="radius-capped candidate broadcast")
+    return BallCarving(
+        graph=working_graph,
+        clusters=clusters,
+        dead=dead,
+        eps=eps,
+        ledger=ledger,
+        kind="weak",
+    )
+
+
+def _build_clusters(
+    graph: nx.Graph,
+    participating: Set[Any],
+    members: Dict[Any, Set[Any]],
+    uid_of: Dict[Any, int],
+) -> List[Cluster]:
+    """Attach BFS-path Steiner trees (in the host graph) to the LS93 clusters."""
+    clusters: List[Cluster] = []
+    for center, node_set in sorted(members.items(), key=lambda item: uid_of[item[0]]):
+        parent: Dict[Any, Optional[Any]] = {center: None}
+        layers = bfs_layers_within(graph, [center], allowed=participating)
+        for depth in range(1, len(layers)):
+            for node in layers[depth]:
+                for neighbour in graph.neighbors(node):
+                    if neighbour in layers[depth - 1] and neighbour in parent:
+                        parent[node] = neighbour
+                        break
+        # Prune to the paths of the actual members (plus Steiner nodes).
+        needed: Set[Any] = {center}
+        for node in node_set:
+            current = node
+            while current is not None and current not in needed:
+                needed.add(current)
+                current = parent.get(current)
+        pruned = {node: parent.get(node) for node in needed}
+        pruned[center] = None
+        tree = SteinerTree(root=center, parent=pruned)
+        clusters.append(Cluster(nodes=frozenset(node_set), label=("ls93", uid_of[center]), tree=tree))
+    return clusters
+
+
+def linial_saks_decomposition(
+    graph: nx.Graph,
+    ledger: Optional[RoundLedger] = None,
+    rng: Optional[random.Random] = None,
+) -> NetworkDecomposition:
+    """The full LS93 weak-diameter network decomposition: ``O(log n)`` colors
+    and ``O(log n)`` weak diameter with high probability, via repetitions of
+    :func:`linial_saks_carving` with ``eps = 1/2``."""
+    rng = rng or random.Random(0)
+
+    def carving(host, eps, nodes=None, ledger=None):
+        return linial_saks_carving(host, eps, nodes=nodes, ledger=ledger, rng=rng)
+
+    return decomposition_via_carving(graph, carving, eps=0.5, ledger=ledger, kind="weak")

@@ -1,0 +1,186 @@
+"""Miller–Peng–Xu / Elkin–Neiman randomized strong-diameter clustering.
+
+Every node ``v`` draws a shift ``delta_v`` from an exponential distribution
+with rate ``beta``; node ``u`` is assigned to the centre ``v`` minimising the
+*shifted distance* ``dist(u, v) - delta_v``.  The resulting clusters are
+connected (each node's shortest-path predecessor towards its centre is in the
+same cluster), have strong radius ``max_v delta_v = O(log n / beta)`` with
+high probability, and every node's "slack" (second-best shifted distance
+minus best) exceeds 1 with probability at least ``e^{-beta} >= 1 - beta``.
+
+For the **ball carving** variant we remove exactly the low-slack nodes
+(slack <= 1): any two adjacent surviving nodes must then belong to the same
+cluster, and the surviving part of each cluster remains connected because a
+surviving node's predecessor has even larger slack.  Taking ``beta = eps``
+yields an expected removed fraction of at most ``eps`` and strong diameter
+``O(log n / eps)`` — the strong randomized row of Table 2.
+
+For the **network decomposition** (Table 1's strong randomized row) we apply
+the usual reduction: repeat the carving with ``eps = 1/2`` and give color
+``i`` to the clusters of repetition ``i``  [MPX13, EN16].
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.clustering.carving import BallCarving
+from repro.clustering.cluster import Cluster, SteinerTree
+from repro.clustering.decomposition import NetworkDecomposition
+from repro.congest.rounds import RoundLedger
+from repro.core.decomposition import decomposition_via_carving
+
+
+def _two_nearest_centers(
+    graph: nx.Graph,
+    allowed: Set[Any],
+    shifts: Dict[Any, float],
+    uid_of: Dict[Any, int],
+) -> Dict[Any, List[Tuple[float, int, Any, Optional[Any]]]]:
+    """For every node, the two best (shifted distance, centre) labels.
+
+    Runs a multi-source Dijkstra where every node starts as a centre with
+    initial key ``-delta_v``; each node retains the best two labels coming
+    from *distinct* centres, together with the predecessor realising the best
+    label (used to build the intra-cluster tree).  Ties are broken by centre
+    identifier, which makes the assignment deterministic given the shifts.
+    """
+    labels: Dict[Any, List[Tuple[float, int, Any, Optional[Any]]]] = {node: [] for node in allowed}
+    # Heap entries carry a monotone counter so that comparisons never fall
+    # through to the node / predecessor fields (which may not be orderable).
+    counter = 0
+    heap: List[Tuple[float, int, int, Any, Any, Optional[Any]]] = []
+    for center in sorted(allowed, key=lambda node: uid_of[node]):
+        heapq.heappush(heap, (-shifts[center], uid_of[center], counter, center, center, None))
+        counter += 1
+
+    while heap:
+        distance, center_uid, _, center, node, predecessor = heapq.heappop(heap)
+        existing = labels[node]
+        if any(entry[2] == center for entry in existing):
+            continue
+        if len(existing) >= 2:
+            continue
+        existing.append((distance, center_uid, center, predecessor))
+        # Both retained labels propagate: the wave realising a node's
+        # second-nearest centre may have to travel through nodes where that
+        # centre is also only second-nearest, so dropping it would
+        # overestimate slacks and wrongly keep boundary nodes alive.
+        for neighbour in graph.neighbors(node):
+            if neighbour in allowed:
+                heapq.heappush(
+                    heap, (distance + 1.0, center_uid, counter, center, neighbour, node)
+                )
+                counter += 1
+    return labels
+
+
+def mpx_carving(
+    graph: nx.Graph,
+    eps: float,
+    nodes: Optional[Iterable[Any]] = None,
+    ledger: Optional[RoundLedger] = None,
+    rng: Optional[random.Random] = None,
+) -> BallCarving:
+    """The MPX/EN16 strong-diameter ball carving with parameter ``eps``.
+
+    Args:
+        graph: Host graph.
+        eps: Boundary parameter; the exponential shift rate ``beta`` is set to
+            ``eps`` so the expected removed fraction is at most ``eps``.
+        nodes: Optional node subset to operate on.
+        ledger: Round ledger; the algorithm costs ``O(max_shift + cluster
+            radius) = O(log n / eps)`` rounds (the shifted BFS of
+            :func:`repro.congest.primitives.shifted_multisource_bfs` realises
+            exactly this schedule on the message-passing simulator).
+        rng: Random source (seed for reproducibility).
+
+    Returns:
+        A strong-diameter :class:`~repro.clustering.carving.BallCarving`.
+    """
+    if not 0.0 < eps < 1.0:
+        raise ValueError("eps must lie strictly between 0 and 1")
+    rng = rng or random.Random(0)
+    ledger = ledger if ledger is not None else RoundLedger()
+
+    participating: Set[Any] = set(graph.nodes()) if nodes is None else set(nodes)
+    working_graph = graph.subgraph(participating)
+    n = len(participating)
+    if n == 0:
+        return BallCarving(graph=working_graph, clusters=[], dead=set(), eps=eps, ledger=ledger)
+
+    beta = eps
+    uid_of = {node: working_graph.nodes[node].get("uid", node) for node in participating}
+    shifts = {node: rng.expovariate(beta) for node in participating}
+
+    labels = _two_nearest_centers(working_graph, participating, shifts, uid_of)
+
+    assignment: Dict[Any, Any] = {}
+    predecessor: Dict[Any, Optional[Any]] = {}
+    dead: Set[Any] = set()
+    for node in participating:
+        entries = labels[node]
+        if not entries:
+            dead.add(node)
+            continue
+        best = entries[0]
+        slack = (entries[1][0] - best[0]) if len(entries) > 1 else float("inf")
+        if slack <= 1.0:
+            dead.add(node)
+        else:
+            assignment[node] = best[2]
+            predecessor[node] = best[3]
+
+    members: Dict[Any, Set[Any]] = {}
+    for node, center in assignment.items():
+        members.setdefault(center, set()).add(node)
+
+    clusters: List[Cluster] = []
+    for center, node_set in sorted(members.items(), key=lambda item: uid_of[item[0]]):
+        parent: Dict[Any, Optional[Any]] = {center: None}
+        for node in node_set:
+            if node != center:
+                parent[node] = predecessor[node]
+        tree = SteinerTree(root=center, parent=parent)
+        clusters.append(Cluster(nodes=frozenset(node_set), label=("mpx", uid_of[center]), tree=tree))
+
+    max_shift = max(shifts.values()) if shifts else 0.0
+    max_radius = 0
+    for cluster in clusters:
+        if cluster.tree is not None:
+            max_radius = max(max_radius, cluster.tree.depth())
+    ledger.charge(
+        "mpx_shifted_bfs",
+        int(math.ceil(max_shift)) + max_radius + 2,
+        detail="competing shifted BFS waves",
+    )
+
+    return BallCarving(
+        graph=working_graph,
+        clusters=clusters,
+        dead=dead,
+        eps=eps,
+        ledger=ledger,
+        kind="strong",
+    )
+
+
+def mpx_decomposition(
+    graph: nx.Graph,
+    ledger: Optional[RoundLedger] = None,
+    rng: Optional[random.Random] = None,
+) -> NetworkDecomposition:
+    """The randomized strong-diameter network decomposition of [MPX13, EN16]:
+    ``O(log n)`` colors and ``O(log n)`` strong diameter with high
+    probability, via repetitions of :func:`mpx_carving` with ``eps = 1/2``."""
+    rng = rng or random.Random(0)
+
+    def carving(host, eps, nodes=None, ledger=None):
+        return mpx_carving(host, eps, nodes=nodes, ledger=ledger, rng=rng)
+
+    return decomposition_via_carving(graph, carving, eps=0.5, ledger=ledger, kind="strong")

@@ -1,0 +1,35 @@
+"""Clustering data model: clusters, Steiner trees, carvings, decompositions.
+
+These are the *outputs* of every algorithm in the reproduction.  The types are
+deliberately small, immutable-ish containers plus a validation module that
+checks every invariant the paper states (disjointness, non-adjacency of
+same-color clusters, strong/weak diameter bounds, Steiner-tree depth and
+congestion, dead-node fraction).
+"""
+
+from repro.clustering.cluster import Cluster, SteinerTree
+from repro.clustering.carving import BallCarving
+from repro.clustering.decomposition import NetworkDecomposition
+from repro.clustering.validation import (
+    ValidationError,
+    check_ball_carving,
+    check_network_decomposition,
+    clusters_are_disjoint,
+    same_color_clusters_nonadjacent,
+    strong_diameter,
+    weak_diameter,
+)
+
+__all__ = [
+    "Cluster",
+    "SteinerTree",
+    "BallCarving",
+    "NetworkDecomposition",
+    "ValidationError",
+    "check_ball_carving",
+    "check_network_decomposition",
+    "clusters_are_disjoint",
+    "same_color_clusters_nonadjacent",
+    "strong_diameter",
+    "weak_diameter",
+]

@@ -1,0 +1,99 @@
+"""The result type of a ball carving (node version).
+
+A ball carving with boundary parameter ``eps`` removes at most an ``eps``
+fraction of the nodes and clusters the remaining ones into pairwise
+non-adjacent clusters.  :class:`BallCarving` stores the clusters, the removed
+("dead") nodes, the boundary parameter, and a :class:`~repro.congest.rounds.RoundLedger`
+recording the CONGEST rounds the producing algorithm charged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.clustering.cluster import Cluster, edge_congestion
+from repro.congest.rounds import RoundLedger
+
+
+@dataclasses.dataclass
+class BallCarving:
+    """Clusters plus dead nodes produced by a ball carving algorithm.
+
+    Attributes:
+        graph: The host graph the carving was computed on.
+        clusters: The produced clusters (pairwise non-adjacent by contract).
+        dead: The removed nodes.
+        eps: The boundary parameter the algorithm was invoked with.
+        ledger: Round-cost ledger of the producing algorithm.
+        kind: ``"strong"`` or ``"weak"`` — which diameter guarantee the
+            producer claims; validators check the corresponding notion.
+    """
+
+    graph: nx.Graph
+    clusters: List[Cluster]
+    dead: Set[Any]
+    eps: float
+    ledger: RoundLedger = dataclasses.field(default_factory=RoundLedger)
+    kind: str = "strong"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("strong", "weak"):
+            raise ValueError("kind must be 'strong' or 'weak'")
+        self.dead = set(self.dead)
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def clustered_nodes(self) -> Set[Any]:
+        """All nodes belonging to some cluster."""
+        result: Set[Any] = set()
+        for cluster in self.clusters:
+            result |= cluster.nodes
+        return result
+
+    @property
+    def dead_fraction(self) -> float:
+        """Fraction of the graph's nodes that were removed."""
+        n = self.graph.number_of_nodes()
+        return len(self.dead) / n if n else 0.0
+
+    @property
+    def rounds(self) -> int:
+        """Total CONGEST rounds charged by the producing algorithm."""
+        return self.ledger.total_rounds
+
+    def cluster_of(self) -> Dict[Any, Any]:
+        """Mapping node -> cluster label (clustered nodes only)."""
+        assignment: Dict[Any, Any] = {}
+        for cluster in self.clusters:
+            for node in cluster.nodes:
+                assignment[node] = cluster.label
+        return assignment
+
+    def max_cluster_size(self) -> int:
+        """Size of the largest cluster (0 when there are none)."""
+        return max((len(cluster) for cluster in self.clusters), default=0)
+
+    def congestion(self) -> int:
+        """Maximum number of Steiner trees sharing one edge (``L``)."""
+        usage = edge_congestion(self.clusters)
+        return max(usage.values(), default=0)
+
+    def summary(self) -> Dict[str, Any]:
+        """A compact dictionary of the quantities the benchmarks report."""
+        return {
+            "kind": self.kind,
+            "eps": self.eps,
+            "n": self.graph.number_of_nodes(),
+            "clusters": len(self.clusters),
+            "clustered_nodes": len(self.clustered_nodes),
+            "dead_nodes": len(self.dead),
+            "dead_fraction": self.dead_fraction,
+            "max_cluster_size": self.max_cluster_size(),
+            "congestion": self.congestion(),
+            "rounds": self.rounds,
+        }

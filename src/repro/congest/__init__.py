@@ -1,0 +1,50 @@
+"""A synchronous CONGEST-model simulator and distributed primitives.
+
+The paper's algorithms live in the CONGEST model: an ``n``-node network,
+synchronous rounds, and per round each node may send one ``B``-bit message
+(``B = O(log n)``) to each neighbour.  This subpackage provides:
+
+* :mod:`repro.congest.messages` — the message type with explicit bit-size
+  accounting;
+* :mod:`repro.congest.simulator` — the round-driven simulator enforcing the
+  bandwidth limit and recording round / message statistics;
+* :mod:`repro.congest.algorithm` — the base class distributed node programs
+  derive from;
+* :mod:`repro.congest.primitives` — genuinely distributed building blocks
+  (BFS tree construction, broadcast, convergecast aggregation, leader
+  election, shifted multi-source BFS) implemented as node programs and run on
+  the simulator;
+* :mod:`repro.congest.rounds` — the :class:`RoundLedger` cost model used by
+  the composite graph-level algorithms, with the same per-primitive cost
+  formulas that the simulator realises (cross-checked in the test suite).
+"""
+
+from repro.congest.messages import Message, message_bits
+from repro.congest.simulator import BandwidthExceeded, CongestSimulator, SimulationReport
+from repro.congest.algorithm import NodeAlgorithm, NodeContext
+from repro.congest.rounds import RoundLedger
+from repro.congest.primitives import (
+    bfs_tree,
+    broadcast_from_root,
+    convergecast_sum,
+    count_nodes_at_distances,
+    leader_election,
+    shifted_multisource_bfs,
+)
+
+__all__ = [
+    "Message",
+    "message_bits",
+    "BandwidthExceeded",
+    "CongestSimulator",
+    "SimulationReport",
+    "NodeAlgorithm",
+    "NodeContext",
+    "RoundLedger",
+    "bfs_tree",
+    "broadcast_from_root",
+    "convergecast_sum",
+    "count_nodes_at_distances",
+    "leader_election",
+    "shifted_multisource_bfs",
+]

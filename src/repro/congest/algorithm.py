@@ -1,0 +1,83 @@
+"""Base classes for node programs run on the CONGEST simulator.
+
+A distributed algorithm in the CONGEST model is specified *per node*: every
+node runs the same program, knows only its own identifier, its incident edges
+and whatever arrives in its inbox, and decides each round what to send to each
+neighbour.  :class:`NodeAlgorithm` captures that contract; the simulator
+instantiates one copy per node and drives the synchronous rounds.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+@dataclasses.dataclass
+class NodeContext:
+    """Everything a node is allowed to know a priori.
+
+    Attributes:
+        node: The node's label in the underlying graph (used by the simulator
+            only for bookkeeping; programs should use ``uid``).
+        uid: The node's unique ``O(log n)``-bit identifier.
+        neighbors: The node labels of the adjacent nodes.  In a real network a
+            node would only know its *ports*; exposing the neighbour labels is
+            equivalent because the first round can exchange identifiers.
+        n: The number of nodes ``n`` (global knowledge, as assumed by the
+            paper — or an upper bound ``2^ell`` derived from identifier
+            length).
+        extra: Optional per-node inputs (e.g. "is this node alive", "which
+            cluster does it start in") supplied by the caller.
+    """
+
+    node: Any
+    uid: int
+    neighbors: Sequence[Any]
+    n: int
+    extra: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+
+class NodeAlgorithm(abc.ABC):
+    """A per-node program executed synchronously by the simulator.
+
+    Subclasses implement :meth:`initialize` and :meth:`step`.  The simulator
+    calls ``initialize`` once before round 1, then repeatedly calls ``step``
+    with the messages received in the previous round, until every node's
+    program reports that it has halted (:meth:`finished` returns ``True``)
+    or the round limit is reached.
+    """
+
+    def __init__(self, context: NodeContext) -> None:
+        self.context = context
+        self.halted = False
+
+    @abc.abstractmethod
+    def initialize(self) -> Dict[Any, Any]:
+        """Produce the messages for round 1, keyed by neighbour label.
+
+        Returns a mapping ``neighbor -> payload``; missing neighbours receive
+        nothing this round.
+        """
+
+    @abc.abstractmethod
+    def step(self, round_number: int, inbox: List[Any]) -> Dict[Any, Any]:
+        """Process one synchronous round.
+
+        Args:
+            round_number: The 1-based round that is being computed.
+            inbox: The :class:`~repro.congest.messages.Message` objects
+                received at the end of the previous round.
+
+        Returns:
+            Mapping ``neighbor -> payload`` of messages to send this round.
+        """
+
+    def finished(self) -> bool:
+        """Whether this node's program has terminated."""
+        return self.halted
+
+    def output(self) -> Any:
+        """The node's local output once the algorithm has finished."""
+        return None

@@ -1,0 +1,538 @@
+"""Distributed building blocks implemented as CONGEST node programs.
+
+These primitives are the communication patterns the paper's algorithms are
+built from:
+
+* **BFS tree construction** from a root (used for ball growing, for the layer
+  counting of Theorem 2.1 case (II) and of Lemma 3.1);
+* **broadcast** of a value down a tree;
+* **convergecast** (aggregation) of sums up a tree — this is how a cluster
+  learns its size through its Steiner tree;
+* **leader election** by minimum-identifier flooding (used to pick the node
+  ``v*`` in Lemma 3.1 and the component leaders);
+* **shifted multi-source BFS** — the Miller–Peng–Xu random-shift clustering,
+  which is itself the randomized strong-diameter baseline [MPX13, EN16];
+* **distance-layer counting** — gathering ``|B_r(a)|`` for a range of radii
+  at the root ``a``, exactly the quantity Theorem 2.1 case (II) needs.
+
+Every wrapper function at the bottom of the module runs its node program on a
+:class:`~repro.congest.simulator.CongestSimulator` and returns both the
+computed result and the :class:`~repro.congest.simulator.SimulationReport`,
+so callers (and tests) can check round counts and message sizes against the
+theoretical costs recorded in :mod:`repro.congest.rounds`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.congest.algorithm import NodeAlgorithm, NodeContext
+from repro.congest.simulator import CongestSimulator, SimulationReport
+
+# Message tags are small integers rather than strings so that every
+# primitive's messages fit comfortably within the O(log n)-bit bandwidth
+# (a tag costs a constant number of bits under the encoding of
+# repro.congest.messages.message_bits).
+TAG_BFS = 1
+TAG_SUM = 2
+TAG_BC = 3
+TAG_LEADER = 4
+TAG_MPX = 5
+TAG_CHILD = 6
+TAG_COUNT = 7
+TAG_DONE = 8
+
+
+class _BfsNode(NodeAlgorithm):
+    """Layered BFS from a designated root.
+
+    Round ``r`` delivers the "join layer ``r``" announcements; every node
+    remembers its BFS parent (the first neighbour it heard from) and its
+    distance from the root.  Nodes halt once they have joined and forwarded
+    the wave; the simulator stops when no messages remain in flight.
+    """
+
+    def __init__(self, context: NodeContext) -> None:
+        super().__init__(context)
+        self.is_root = bool(context.extra.get("is_root", False))
+        self.distance: Optional[int] = 0 if self.is_root else None
+        self.parent: Optional[Any] = None
+        self._announced = False
+
+    def initialize(self) -> Dict[Any, Any]:
+        if self.is_root:
+            self._announced = True
+            return {neighbor: (TAG_BFS, 0) for neighbor in self.context.neighbors}
+        return {}
+
+    def step(self, round_number: int, inbox: List[Any]) -> Dict[Any, Any]:
+        if self.distance is None:
+            candidates = [
+                message for message in inbox if isinstance(message.payload, tuple)
+                and message.payload and message.payload[0] == TAG_BFS
+            ]
+            if candidates:
+                best = min(candidates, key=lambda message: str(message.sender))
+                self.parent = best.sender
+                self.distance = int(best.payload[1]) + 1
+        if self.distance is not None and not self._announced:
+            self._announced = True
+            self.halted = True
+            return {
+                neighbor: (TAG_BFS, self.distance)
+                for neighbor in self.context.neighbors
+                if neighbor != self.parent
+            }
+        self.halted = True
+        return {}
+
+    def output(self) -> Any:
+        return {"distance": self.distance, "parent": self.parent}
+
+
+class _ConvergecastNode(NodeAlgorithm):
+    """Sum a per-node value up a given tree towards the root.
+
+    Each node knows its parent and children in the tree (supplied as extra
+    inputs).  Leaves send their value in round 1; internal nodes wait for all
+    children, add their own value and forward the partial sum.  The root's
+    output is the total.
+    """
+
+    def __init__(self, context: NodeContext) -> None:
+        super().__init__(context)
+        self.parent = context.extra.get("parent")
+        self.children: Sequence[Any] = tuple(context.extra.get("children", ()))
+        self.value = int(context.extra.get("value", 0))
+        self._received: Dict[Any, int] = {}
+        self._sent = False
+        self.total: Optional[int] = None
+
+    def _ready(self) -> bool:
+        return len(self._received) == len(self.children)
+
+    def initialize(self) -> Dict[Any, Any]:
+        if not self.children and self.parent is not None:
+            self._sent = True
+            self.halted = True
+            return {self.parent: (TAG_SUM, self.value)}
+        if not self.children and self.parent is None:
+            self.total = self.value
+            self.halted = True
+        return {}
+
+    def step(self, round_number: int, inbox: List[Any]) -> Dict[Any, Any]:
+        for message in inbox:
+            payload = message.payload
+            if isinstance(payload, tuple) and payload and payload[0] == TAG_SUM:
+                self._received[message.sender] = int(payload[1])
+        if self._ready() and not self._sent:
+            subtotal = self.value + sum(self._received.values())
+            self._sent = True
+            if self.parent is None:
+                self.total = subtotal
+                self.halted = True
+                return {}
+            self.halted = True
+            return {self.parent: (TAG_SUM, subtotal)}
+        if self._sent:
+            self.halted = True
+        return {}
+
+    def output(self) -> Any:
+        return self.total
+
+
+class _BroadcastNode(NodeAlgorithm):
+    """Broadcast a value from the root down a given tree."""
+
+    def __init__(self, context: NodeContext) -> None:
+        super().__init__(context)
+        self.parent = context.extra.get("parent")
+        self.children: Sequence[Any] = tuple(context.extra.get("children", ()))
+        self.value = context.extra.get("value") if self.parent is None else None
+        self._forwarded = False
+
+    def initialize(self) -> Dict[Any, Any]:
+        if self.parent is None:
+            self._forwarded = True
+            self.halted = True
+            return {child: (TAG_BC, self.value) for child in self.children}
+        return {}
+
+    def step(self, round_number: int, inbox: List[Any]) -> Dict[Any, Any]:
+        for message in inbox:
+            payload = message.payload
+            if isinstance(payload, tuple) and payload and payload[0] == TAG_BC:
+                self.value = payload[1]
+        if self.value is not None and not self._forwarded:
+            self._forwarded = True
+            self.halted = True
+            return {child: (TAG_BC, self.value) for child in self.children}
+        if self._forwarded:
+            self.halted = True
+        return {}
+
+    def output(self) -> Any:
+        return self.value
+
+
+class _LeaderElectionNode(NodeAlgorithm):
+    """Minimum-identifier flooding; terminates after ``max_rounds`` rounds.
+
+    Every node repeatedly forwards the smallest identifier it has seen.  After
+    a number of rounds at least the graph diameter, every node in a connected
+    component knows the component's minimum identifier, which is declared the
+    leader.  The number of rounds to run is supplied by the caller (an upper
+    bound on the diameter, e.g. ``n``); forwarding only happens when the
+    known minimum improves, so the message count stays linear in practice.
+    """
+
+    def __init__(self, context: NodeContext) -> None:
+        super().__init__(context)
+        self.best = context.uid
+        self.rounds_to_run = int(context.extra.get("rounds", context.n))
+        self._changed = True
+
+    def initialize(self) -> Dict[Any, Any]:
+        return {neighbor: (TAG_LEADER, self.best) for neighbor in self.context.neighbors}
+
+    def step(self, round_number: int, inbox: List[Any]) -> Dict[Any, Any]:
+        improved = False
+        for message in inbox:
+            payload = message.payload
+            if isinstance(payload, tuple) and payload and payload[0] == TAG_LEADER:
+                candidate = int(payload[1])
+                if candidate < self.best:
+                    self.best = candidate
+                    improved = True
+        if round_number >= self.rounds_to_run:
+            self.halted = True
+            return {}
+        if improved:
+            return {neighbor: (TAG_LEADER, self.best) for neighbor in self.context.neighbors}
+        return {}
+
+    def output(self) -> Any:
+        return self.best
+
+
+class _ShiftedBfsNode(NodeAlgorithm):
+    """Miller–Peng–Xu shifted multi-source BFS.
+
+    Every node ``v`` holds a non-negative integer shift ``delta_v`` (supplied
+    by the caller; in the MPX algorithm it is drawn from a geometric /
+    discretised exponential distribution).  Node ``v`` wakes up at round
+    ``max_shift - delta_v`` as a source of its own cluster and the BFS waves
+    compete: each node joins the cluster whose wave reaches it first, breaking
+    ties by the smaller centre identifier.  The resulting clusters are exactly
+    the MPX clusters with respect to shifted distances
+    ``dist(u, v) - delta_v``, and each cluster is connected, i.e. has small
+    *strong* diameter.
+    """
+
+    def __init__(self, context: NodeContext) -> None:
+        super().__init__(context)
+        self.shift = int(context.extra.get("shift", 0))
+        self.max_shift = int(context.extra.get("max_shift", 0))
+        self.max_rounds = int(context.extra.get("rounds", context.n + self.max_shift + 2))
+        self.center: Optional[int] = None
+        self.center_distance: Optional[int] = None
+        self.parent: Optional[Any] = None
+        self._pending_announce = False
+
+    def _wake_round(self) -> int:
+        return self.max_shift - self.shift
+
+    def initialize(self) -> Dict[Any, Any]:
+        if self._wake_round() <= 0:
+            self.center = self.context.uid
+            self.center_distance = 0
+            self._pending_announce = True
+            return {
+                neighbor: (TAG_MPX, self.center, 0) for neighbor in self.context.neighbors
+            }
+        return {}
+
+    def step(self, round_number: int, inbox: List[Any]) -> Dict[Any, Any]:
+        if self.center is None:
+            offers = [
+                message
+                for message in inbox
+                if isinstance(message.payload, tuple) and message.payload and message.payload[0] == TAG_MPX
+            ]
+            if offers:
+                best = min(offers, key=lambda message: (int(message.payload[1]),))
+                self.center = int(best.payload[1])
+                self.center_distance = int(best.payload[2]) + 1
+                self.parent = best.sender
+                self._pending_announce = True
+            elif round_number >= self._wake_round():
+                self.center = self.context.uid
+                self.center_distance = 0
+                self._pending_announce = True
+        if self._pending_announce:
+            self._pending_announce = False
+            self.halted = True
+            return {
+                neighbor: (TAG_MPX, self.center, self.center_distance)
+                for neighbor in self.context.neighbors
+                if neighbor != self.parent
+            }
+        if round_number >= self.max_rounds:
+            self.halted = True
+        return {}
+
+    def output(self) -> Any:
+        return {
+            "center": self.center,
+            "distance": self.center_distance,
+            "parent": self.parent,
+        }
+
+
+class _LayerCountNode(NodeAlgorithm):
+    """Count the number of nodes in every BFS layer around a root.
+
+    Phase 1 (rounds ``1..max_radius``): the BFS wave propagates distances.
+    Phase 2: every node reports ``(distance, 1)`` up the BFS tree; internal
+    nodes aggregate per-distance counts.  To stay within the CONGEST
+    bandwidth, a node forwards *one layer count per round* (the counts for
+    different layers are pipelined), so phase 2 takes ``O(depth + #layers)``
+    rounds — the same pipelining argument the paper uses for gathering layer
+    sizes at the root in case (II) of Theorem 2.1.
+    """
+
+    def __init__(self, context: NodeContext) -> None:
+        super().__init__(context)
+        self.is_root = bool(context.extra.get("is_root", False))
+        self.max_radius = int(context.extra.get("max_radius", context.n))
+        self.distance: Optional[int] = 0 if self.is_root else None
+        self.parent: Optional[Any] = None
+        self.children: Set[Any] = set()
+        self._phase = 1
+        self._phase2_start: Optional[int] = None
+        self._pending_counts: Dict[int, int] = {}
+        self._child_done: Set[Any] = set()
+        self._announced = False
+        self._sent_done = False
+        self.layer_counts: Dict[int, int] = {}
+
+    def initialize(self) -> Dict[Any, Any]:
+        if self.is_root:
+            self._announced = True
+            return {neighbor: (TAG_BFS, 0) for neighbor in self.context.neighbors}
+        return {}
+
+    def _start_phase2(self, round_number: int) -> None:
+        self._phase = 2
+        self._phase2_start = round_number
+        if self.distance is not None:
+            self._pending_counts[self.distance] = self._pending_counts.get(self.distance, 0) + 1
+
+    def step(self, round_number: int, inbox: List[Any]) -> Dict[Any, Any]:
+        outgoing: Dict[Any, Any] = {}
+        for message in inbox:
+            payload = message.payload
+            if not isinstance(payload, tuple) or not payload:
+                continue
+            if payload[0] == TAG_BFS:
+                if self.distance is None:
+                    self.parent = message.sender
+                    self.distance = int(payload[1]) + 1
+                    self._announced = False
+            elif payload[0] == TAG_CHILD:
+                self.children.add(message.sender)
+            elif payload[0] == TAG_COUNT:
+                layer = int(payload[1])
+                self._pending_counts[layer] = self._pending_counts.get(layer, 0) + int(payload[2])
+            elif payload[0] == TAG_DONE:
+                self._child_done.add(message.sender)
+
+        if self._phase == 1:
+            if self.distance is not None and not self._announced:
+                self._announced = True
+                outgoing = {
+                    neighbor: (TAG_BFS, self.distance)
+                    for neighbor in self.context.neighbors
+                    if neighbor != self.parent
+                }
+                if self.parent is not None:
+                    outgoing[self.parent] = (TAG_CHILD, 1)
+            # The BFS wave needs at most max_radius + 1 rounds to settle, and
+            # child notifications one more.
+            if round_number >= self.max_radius + 2:
+                self._start_phase2(round_number)
+            return outgoing
+
+        # Phase 2: pipeline one (layer, count) pair per round towards the root.
+        if self.is_root:
+            for layer, count in self._pending_counts.items():
+                self.layer_counts[layer] = self.layer_counts.get(layer, 0) + count
+            self._pending_counts.clear()
+            if self._child_done >= self.children:
+                self.halted = True
+            return {}
+
+        if self.distance is None:
+            # Unreachable from the root within max_radius: nothing to report.
+            self.halted = True
+            return {}
+
+        if self._pending_counts:
+            layer = min(self._pending_counts)
+            count = self._pending_counts.pop(layer)
+            return {self.parent: (TAG_COUNT, layer, count)}
+        if self._child_done >= self.children and not self._sent_done:
+            self._sent_done = True
+            self.halted = True
+            return {self.parent: (TAG_DONE, 1)}
+        return {}
+
+    def output(self) -> Any:
+        if self.is_root:
+            return dict(self.layer_counts)
+        return {"distance": self.distance, "parent": self.parent}
+
+
+def bfs_tree(graph: nx.Graph, root: Any) -> Tuple[Dict[Any, Optional[Any]], Dict[Any, int], SimulationReport]:
+    """Build a BFS tree from ``root`` distributedly.
+
+    Returns ``(parents, distances, report)``; unreachable nodes are absent
+    from both dictionaries.
+    """
+    simulator = CongestSimulator(graph)
+    report = simulator.run(_BfsNode, extra_inputs={root: {"is_root": True}})
+    parents: Dict[Any, Optional[Any]] = {}
+    distances: Dict[Any, int] = {}
+    for node, result in report.outputs.items():
+        if result["distance"] is not None:
+            parents[node] = result["parent"]
+            distances[node] = result["distance"]
+    return parents, distances, report
+
+
+def _tree_inputs(parents: Dict[Any, Optional[Any]], values: Dict[Any, int]) -> Dict[Any, Dict[str, Any]]:
+    children: Dict[Any, List[Any]] = {node: [] for node in parents}
+    for node, parent in parents.items():
+        if parent is not None:
+            children.setdefault(parent, []).append(node)
+    extra: Dict[Any, Dict[str, Any]] = {}
+    for node in parents:
+        extra[node] = {
+            "parent": parents[node],
+            "children": tuple(children.get(node, ())),
+            "value": values.get(node, 0),
+        }
+    return extra
+
+
+def convergecast_sum(
+    graph: nx.Graph,
+    parents: Dict[Any, Optional[Any]],
+    values: Dict[Any, int],
+) -> Tuple[int, SimulationReport]:
+    """Aggregate ``sum(values)`` at the root of the tree given by ``parents``.
+
+    Nodes outside the tree do not participate.  Returns the total (as known by
+    the root) and the simulation report.
+    """
+    subgraph = graph.subgraph(parents.keys())
+    simulator = CongestSimulator(subgraph)
+    extra = _tree_inputs(parents, values)
+    report = simulator.run(_ConvergecastNode, extra_inputs=extra)
+    roots = [node for node, parent in parents.items() if parent is None]
+    if len(roots) != 1:
+        raise ValueError("convergecast requires exactly one root in the parent map")
+    total = report.outputs[roots[0]]
+    return int(total), report
+
+
+def broadcast_from_root(
+    graph: nx.Graph,
+    parents: Dict[Any, Optional[Any]],
+    value: Any,
+) -> Tuple[Dict[Any, Any], SimulationReport]:
+    """Broadcast ``value`` from the root of the tree given by ``parents``."""
+    subgraph = graph.subgraph(parents.keys())
+    simulator = CongestSimulator(subgraph)
+    extra = _tree_inputs(parents, {})
+    roots = [node for node, parent in parents.items() if parent is None]
+    if len(roots) != 1:
+        raise ValueError("broadcast requires exactly one root in the parent map")
+    extra[roots[0]]["value"] = value
+    report = simulator.run(_BroadcastNode, extra_inputs=extra)
+    return dict(report.outputs), report
+
+
+def leader_election(graph: nx.Graph, rounds: Optional[int] = None) -> Tuple[int, SimulationReport]:
+    """Elect the minimum identifier in a connected graph by flooding."""
+    if rounds is None:
+        rounds = graph.number_of_nodes()
+    simulator = CongestSimulator(graph)
+    extra = {node: {"rounds": rounds} for node in graph.nodes()}
+    report = simulator.run(_LeaderElectionNode, extra_inputs=extra)
+    leaders = set(report.outputs.values())
+    if len(leaders) != 1:
+        raise RuntimeError("leader election did not converge; increase the round budget")
+    return int(leaders.pop()), report
+
+
+def shifted_multisource_bfs(
+    graph: nx.Graph,
+    shifts: Dict[Any, int],
+) -> Tuple[Dict[Any, int], Dict[Any, Optional[Any]], SimulationReport]:
+    """Run the MPX shifted-BFS clustering with the given integer shifts.
+
+    Returns ``(center_of, parent_of, report)`` where ``center_of[v]`` is the
+    identifier of the cluster centre that captured ``v`` and ``parent_of[v]``
+    is ``v``'s predecessor on the capturing path (``None`` for centres).
+    """
+    max_shift = max(shifts.values()) if shifts else 0
+    extra = {
+        node: {
+            "shift": int(shifts.get(node, 0)),
+            "max_shift": int(max_shift),
+            "rounds": graph.number_of_nodes() + max_shift + 2,
+        }
+        for node in graph.nodes()
+    }
+    simulator = CongestSimulator(graph)
+    report = simulator.run(_ShiftedBfsNode, extra_inputs=extra)
+    centers: Dict[Any, int] = {}
+    parents: Dict[Any, Optional[Any]] = {}
+    for node, result in report.outputs.items():
+        centers[node] = result["center"]
+        parents[node] = result["parent"]
+    return centers, parents, report
+
+
+def count_nodes_at_distances(
+    graph: nx.Graph,
+    root: Any,
+    max_radius: int,
+) -> Tuple[Dict[int, int], SimulationReport]:
+    """Gather ``|{v : dist(root, v) = r}|`` for every ``r <= max_radius``.
+
+    This is the distributed primitive behind case (II) of Theorem 2.1: the
+    cluster root grows a BFS and learns the size of every layer so it can pick
+    the cheapest boundary.  Layer counts are pipelined up the BFS tree one per
+    round, so the round complexity is ``O(max_radius)``.
+    """
+    simulator = CongestSimulator(graph)
+    extra = {node: {"max_radius": max_radius} for node in graph.nodes()}
+    extra[root]["is_root"] = True
+    report = simulator.run(
+        _LayerCountNode,
+        extra_inputs=extra,
+        max_rounds=10 * (max_radius + graph.number_of_nodes() + 10),
+    )
+    counts = {
+        layer: count
+        for layer, count in report.outputs[root].items()
+        if layer <= max_radius
+    }
+    return counts, report

@@ -1,0 +1,183 @@
+"""The synchronous CONGEST-model simulator.
+
+The simulator realises the model of Section 1.1 of the paper: an undirected
+unweighted graph, synchronous rounds, one ``B``-bit message per edge direction
+per round.  It drives one :class:`~repro.congest.algorithm.NodeAlgorithm`
+instance per node and records, per run:
+
+* the number of rounds until all nodes halt;
+* the total number of messages and total bits sent;
+* the maximum message size observed (to certify that an algorithm really is a
+  small-message algorithm, or to quantify by how much a baseline exceeds the
+  bandwidth);
+* the number of bandwidth violations (only possible in ``permissive`` mode —
+  in strict mode a violation raises :class:`BandwidthExceeded`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Mapping, Optional, Type
+
+import networkx as nx
+
+from repro.congest.algorithm import NodeAlgorithm, NodeContext
+from repro.congest.messages import Message, default_bandwidth, message_bits
+
+
+class BandwidthExceeded(RuntimeError):
+    """Raised in strict mode when a message exceeds the per-edge bandwidth."""
+
+
+@dataclasses.dataclass
+class SimulationReport:
+    """Statistics gathered over one simulated execution."""
+
+    rounds: int
+    messages_sent: int
+    total_bits: int
+    max_message_bits: int
+    bandwidth_bits: int
+    bandwidth_violations: int
+    outputs: Dict[Any, Any]
+
+    @property
+    def within_bandwidth(self) -> bool:
+        """True when every message respected the CONGEST bandwidth."""
+        return self.bandwidth_violations == 0
+
+
+class CongestSimulator:
+    """Run per-node programs over a graph in synchronous rounds.
+
+    Args:
+        graph: The communication network.  Every node must carry a ``"uid"``
+            attribute (see :func:`repro.graphs.assign_unique_identifiers`);
+            when missing, the node label itself is used as identifier.
+        bandwidth_bits: Per-message bit budget; defaults to
+            ``4 * ceil(log2 n)``.
+        strict: When true, any over-budget message raises
+            :class:`BandwidthExceeded`; when false the violation is only
+            counted (used by the ABCP96 message-size experiment).
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        bandwidth_bits: Optional[int] = None,
+        strict: bool = True,
+    ) -> None:
+        if graph.number_of_nodes() == 0:
+            raise ValueError("cannot simulate an empty network")
+        self.graph = graph
+        self.n = graph.number_of_nodes()
+        self.bandwidth_bits = (
+            bandwidth_bits if bandwidth_bits is not None else default_bandwidth(self.n)
+        )
+        self.strict = strict
+
+    def _make_context(self, node: Any, extra: Optional[Mapping[str, Any]]) -> NodeContext:
+        uid = self.graph.nodes[node].get("uid", node)
+        per_node_extra = dict(extra.get(node, {})) if extra else {}
+        return NodeContext(
+            node=node,
+            uid=uid,
+            neighbors=tuple(sorted(self.graph.neighbors(node), key=str)),
+            n=self.n,
+            extra=per_node_extra,
+        )
+
+    def run(
+        self,
+        algorithm_factory: Callable[[NodeContext], NodeAlgorithm],
+        max_rounds: int = 10_000,
+        extra_inputs: Optional[Mapping[Any, Mapping[str, Any]]] = None,
+    ) -> SimulationReport:
+        """Execute the algorithm until every node halts or ``max_rounds``.
+
+        Args:
+            algorithm_factory: Callable building the per-node program from a
+                :class:`NodeContext` (typically the program class itself).
+            max_rounds: Hard cap on the number of simulated rounds; exceeding
+                it raises ``RuntimeError`` because the paper's algorithms all
+                terminate and a non-terminating run indicates a bug.
+            extra_inputs: Optional per-node extra inputs forwarded into the
+                node contexts.
+
+        Returns:
+            A :class:`SimulationReport` with round and message statistics and
+            the per-node outputs.
+        """
+        programs: Dict[Any, NodeAlgorithm] = {}
+        for node in self.graph.nodes():
+            context = self._make_context(node, extra_inputs)
+            programs[node] = algorithm_factory(context)
+
+        messages_sent = 0
+        total_bits = 0
+        max_message_bits = 0
+        violations = 0
+
+        # Round 1 output: initialize() produces the first batch of messages.
+        pending: Dict[Any, List[Message]] = {node: [] for node in self.graph.nodes()}
+        outgoing: Dict[Any, Dict[Any, Any]] = {}
+        for node, program in programs.items():
+            outgoing[node] = program.initialize() or {}
+
+        rounds = 0
+        for round_number in range(1, max_rounds + 1):
+            # Deliver the messages produced in the previous step.
+            deliveries: Dict[Any, List[Message]] = {node: [] for node in self.graph.nodes()}
+            any_message = False
+            for sender, per_neighbor in outgoing.items():
+                for neighbor, payload in per_neighbor.items():
+                    if payload is None:
+                        continue
+                    if not self.graph.has_edge(sender, neighbor):
+                        raise ValueError(
+                            "node {!r} tried to message non-neighbor {!r}".format(sender, neighbor)
+                        )
+                    bits = message_bits(payload)
+                    if bits > self.bandwidth_bits:
+                        violations += 1
+                        if self.strict:
+                            raise BandwidthExceeded(
+                                "message of {} bits exceeds bandwidth {} bits".format(
+                                    bits, self.bandwidth_bits
+                                )
+                            )
+                    messages_sent += 1
+                    total_bits += bits
+                    max_message_bits = max(max_message_bits, bits)
+                    deliveries[neighbor].append(Message(sender=sender, payload=payload))
+                    any_message = True
+
+            rounds = round_number
+            all_halted = all(program.finished() for program in programs.values())
+            if all_halted and not any_message:
+                rounds = round_number - 1
+                break
+
+            outgoing = {}
+            for node, program in programs.items():
+                # A "halted" program is idle, not dead: it is woken up again
+                # whenever a message arrives (event-driven semantics).  This
+                # lets programs like the BFS wave go quiet while waiting for
+                # the frontier to reach them without stalling the simulation.
+                if program.finished() and not deliveries[node]:
+                    outgoing[node] = {}
+                    continue
+                outgoing[node] = program.step(round_number, deliveries[node]) or {}
+        else:
+            raise RuntimeError("simulation did not terminate within {} rounds".format(max_rounds))
+
+        outputs = {node: program.output() for node, program in programs.items()}
+        return SimulationReport(
+            rounds=rounds,
+            messages_sent=messages_sent,
+            total_bits=total_bits,
+            max_message_bits=max_message_bits,
+            bandwidth_bits=self.bandwidth_bits,
+            bandwidth_violations=violations,
+            outputs=outputs,
+        )

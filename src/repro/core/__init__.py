@@ -1,0 +1,58 @@
+"""The paper's primary contribution: weak-to-strong transformations.
+
+* :mod:`repro.core.strong_carving` — Theorem 2.1: the message-efficient
+  transformation from weak-diameter ball carving to strong-diameter ball
+  carving, and Theorem 2.2 (its instantiation with the deterministic weak
+  carving substrate).
+* :mod:`repro.core.sparse_cut` — Lemma 3.1: "balanced sparse cut or large
+  small-diameter component".
+* :mod:`repro.core.improved_carving` — Theorem 3.2 / 3.3: the recursive
+  diameter improvement to ``O(log^2 n / eps)``.
+* :mod:`repro.core.decomposition` — Theorems 2.3 / 3.4: strong-diameter
+  network decompositions via the standard reduction from ball carving.
+* :mod:`repro.core.api` — the one-call public API (:func:`decompose`,
+  :func:`carve`).
+"""
+
+from repro.core.strong_carving import strong_carving_from_weak, theorem22_carving
+from repro.core.sparse_cut import (
+    LargeComponent,
+    SparseCut,
+    sparse_cut_or_component,
+)
+from repro.core.improved_carving import improved_strong_carving, theorem33_carving
+from repro.core.edge_carving import (
+    EdgeCarving,
+    check_edge_carving,
+    edge_carving_from_node_carving,
+    mpx_edge_carving,
+    sequential_edge_carving,
+)
+from repro.core.decomposition import (
+    decomposition_via_carving,
+    theorem23_decomposition,
+    theorem34_decomposition,
+    weak_decomposition_rg20,
+)
+from repro.core.api import carve, decompose
+
+__all__ = [
+    "strong_carving_from_weak",
+    "theorem22_carving",
+    "LargeComponent",
+    "SparseCut",
+    "sparse_cut_or_component",
+    "improved_strong_carving",
+    "theorem33_carving",
+    "EdgeCarving",
+    "check_edge_carving",
+    "edge_carving_from_node_carving",
+    "mpx_edge_carving",
+    "sequential_edge_carving",
+    "decomposition_via_carving",
+    "theorem23_decomposition",
+    "theorem34_decomposition",
+    "weak_decomposition_rg20",
+    "carve",
+    "decompose",
+]

@@ -1,0 +1,122 @@
+"""High-level one-call API: :func:`decompose` and :func:`carve`.
+
+These are the entry points a downstream user (and the examples, CLI and
+benchmarks) interact with.  Every algorithm of the reproduction is reachable
+through a ``method`` string:
+
+===================  ==========================================================
+method               algorithm
+===================  ==========================================================
+``"strong-log3"``    Theorem 2.2 / 2.3 — deterministic strong diameter
+                     ``O(log^3 n)`` (the paper's first headline result)
+``"strong-log2"``    Theorem 3.3 / 3.4 — deterministic strong diameter
+                     ``O(log^2 n)`` (the improved result)
+``"weak-rg20"``      deterministic weak-diameter substrate [RG20/GGR21]
+``"ls93"``           randomized weak-diameter baseline [LS93]
+``"mpx"``            randomized strong-diameter baseline [MPX13, EN16]
+``"sequential"``     centralized existential construction [LS93]
+===================  ==========================================================
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, Iterable, Optional
+
+import networkx as nx
+
+from repro.baselines.linial_saks import linial_saks_carving, linial_saks_decomposition
+from repro.baselines.mpx import mpx_carving, mpx_decomposition
+from repro.baselines.sequential import (
+    greedy_sequential_carving,
+    greedy_sequential_decomposition,
+)
+from repro.clustering.carving import BallCarving
+from repro.clustering.decomposition import NetworkDecomposition
+from repro.congest.rounds import RoundLedger
+from repro.core.decomposition import (
+    theorem23_decomposition,
+    theorem34_decomposition,
+    weak_decomposition_rg20,
+)
+from repro.core.improved_carving import theorem33_carving
+from repro.core.strong_carving import theorem22_carving
+from repro.weak.carving import weak_diameter_carving
+
+CARVING_METHODS = ("strong-log3", "strong-log2", "weak-rg20", "ls93", "mpx", "sequential")
+DECOMPOSITION_METHODS = CARVING_METHODS
+
+
+def carve(
+    graph: nx.Graph,
+    eps: float,
+    method: str = "strong-log3",
+    nodes: Optional[Iterable[Any]] = None,
+    ledger: Optional[RoundLedger] = None,
+    seed: Optional[int] = None,
+) -> BallCarving:
+    """Compute a ball carving of ``graph`` with the chosen algorithm.
+
+    Args:
+        graph: Host graph (nodes should carry ``"uid"`` attributes; see
+            :func:`repro.graphs.assign_unique_identifiers`).
+        eps: Boundary parameter — at most this fraction of nodes is removed.
+        method: One of :data:`CARVING_METHODS`.
+        nodes: Optional node subset to carve.
+        ledger: Optional round ledger to charge into.
+        seed: Seed for the randomized baselines (ignored by deterministic
+            methods).
+
+    Returns:
+        A :class:`~repro.clustering.carving.BallCarving`.
+    """
+    rng = random.Random(seed if seed is not None else 0)
+    if method == "strong-log3":
+        return theorem22_carving(graph, eps, nodes=nodes, ledger=ledger)
+    if method == "strong-log2":
+        return theorem33_carving(graph, eps, nodes=nodes, ledger=ledger)
+    if method == "weak-rg20":
+        return weak_diameter_carving(graph, eps, nodes=nodes, ledger=ledger)
+    if method == "ls93":
+        return linial_saks_carving(graph, eps, nodes=nodes, ledger=ledger, rng=rng)
+    if method == "mpx":
+        return mpx_carving(graph, eps, nodes=nodes, ledger=ledger, rng=rng)
+    if method == "sequential":
+        return greedy_sequential_carving(graph, eps, nodes=nodes, ledger=ledger)
+    raise ValueError("unknown carving method {!r}; choose from {}".format(method, CARVING_METHODS))
+
+
+def decompose(
+    graph: nx.Graph,
+    method: str = "strong-log3",
+    ledger: Optional[RoundLedger] = None,
+    seed: Optional[int] = None,
+) -> NetworkDecomposition:
+    """Compute a network decomposition of ``graph`` with the chosen algorithm.
+
+    Args:
+        graph: Host graph.
+        method: One of :data:`DECOMPOSITION_METHODS`.
+        ledger: Optional round ledger to charge into.
+        seed: Seed for the randomized baselines.
+
+    Returns:
+        A :class:`~repro.clustering.decomposition.NetworkDecomposition`
+        covering every node.
+    """
+    rng = random.Random(seed if seed is not None else 0)
+    if method == "strong-log3":
+        return theorem23_decomposition(graph, ledger=ledger)
+    if method == "strong-log2":
+        return theorem34_decomposition(graph, ledger=ledger)
+    if method == "weak-rg20":
+        return weak_decomposition_rg20(graph, ledger=ledger)
+    if method == "ls93":
+        return linial_saks_decomposition(graph, ledger=ledger, rng=rng)
+    if method == "mpx":
+        return mpx_decomposition(graph, ledger=ledger, rng=rng)
+    if method == "sequential":
+        return greedy_sequential_decomposition(graph, ledger=ledger)
+    raise ValueError(
+        "unknown decomposition method {!r}; choose from {}".format(method, DECOMPOSITION_METHODS)
+    )

@@ -1,0 +1,132 @@
+"""Network decompositions via repeated ball carving (Theorems 2.3 and 3.4).
+
+The standard reduction of Linial and Saks [LS93]: repeat a ball carving with
+boundary parameter ``eps = 1/2`` on the still-unclustered nodes; the clusters
+produced in the ``i``-th repetition receive color ``i``.  Every repetition
+clusters at least half of the remaining nodes, so ``O(log n)`` colors suffice.
+Clusters of the same color are non-adjacent because they come from a single
+carving; the diameter bound of the decomposition is the diameter bound of the
+carving.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Iterable, List, Optional, Set
+
+import networkx as nx
+
+from repro.clustering.carving import BallCarving
+from repro.clustering.cluster import Cluster
+from repro.clustering.decomposition import NetworkDecomposition
+from repro.congest.rounds import RoundLedger
+from repro.core.improved_carving import theorem33_carving
+from repro.core.strong_carving import theorem22_carving
+from repro.weak.carving import weak_diameter_carving
+
+# A ball carving algorithm usable by the reduction: it accepts
+# (graph, eps, nodes=..., ledger=...) and returns a BallCarving.
+CarvingAlgorithm = Callable[..., BallCarving]
+
+
+def decomposition_via_carving(
+    graph: nx.Graph,
+    carving_algorithm: CarvingAlgorithm,
+    eps: float = 0.5,
+    ledger: Optional[RoundLedger] = None,
+    kind: str = "strong",
+    max_colors: Optional[int] = None,
+) -> NetworkDecomposition:
+    """Build a network decomposition by iterating a ball carving algorithm.
+
+    Args:
+        graph: Host graph.
+        carving_algorithm: The ball carving used per color class.
+        eps: Boundary parameter per repetition (the classic reduction uses
+            ``1/2``: at least half of the remaining nodes are clustered per
+            color).
+        ledger: Round ledger; the repetitions run sequentially so their costs
+            add up.
+        kind: ``"strong"`` or ``"weak"`` — the diameter guarantee of the
+            carving (propagated to the decomposition).
+        max_colors: Safety cap on the number of repetitions; defaults to
+            ``4 * log2 n + 8``.
+
+    Returns:
+        A :class:`~repro.clustering.decomposition.NetworkDecomposition`
+        covering every node of ``graph``.
+    """
+    ledger = ledger if ledger is not None else RoundLedger()
+    n = graph.number_of_nodes()
+    if n == 0:
+        return NetworkDecomposition(graph=graph, clusters=[], ledger=ledger, kind=kind)
+
+    if max_colors is None:
+        max_colors = 4 * max(1, int(math.ceil(math.log2(max(2, n))))) + 8
+
+    remaining: Set[Any] = set(graph.nodes())
+    colored_clusters: List[Cluster] = []
+    color = 0
+
+    while remaining:
+        if color >= max_colors:
+            raise RuntimeError(
+                "network decomposition used more than {} colors; the carving "
+                "is not clustering enough nodes per repetition".format(max_colors)
+            )
+        carving = carving_algorithm(graph, eps, nodes=remaining, ledger=ledger)
+        clustered = carving.clustered_nodes
+        if not clustered:
+            # Degenerate fallback (cannot happen for eps < 1 with a correct
+            # carving, which clusters at least a (1 - eps) fraction): cluster
+            # every remaining node as a singleton to guarantee termination.
+            for node in sorted(remaining, key=str):
+                colored_clusters.append(
+                    Cluster(nodes=frozenset({node}), label=("singleton", node), color=color)
+                )
+            remaining = set()
+            break
+        for cluster in carving.clusters:
+            colored_clusters.append(
+                Cluster(
+                    nodes=cluster.nodes,
+                    label=(color, cluster.label),
+                    color=color,
+                    tree=cluster.tree,
+                )
+            )
+        remaining -= clustered
+        color += 1
+
+    return NetworkDecomposition(graph=graph, clusters=colored_clusters, ledger=ledger, kind=kind)
+
+
+def theorem23_decomposition(
+    graph: nx.Graph,
+    ledger: Optional[RoundLedger] = None,
+) -> NetworkDecomposition:
+    """Theorem 2.3 — strong-diameter network decomposition with ``O(log n)``
+    colors and ``O(log^3 n)`` diameter, by iterating the Theorem 2.2 carving
+    with ``eps = 1/2``."""
+    return decomposition_via_carving(graph, theorem22_carving, eps=0.5, ledger=ledger, kind="strong")
+
+
+def theorem34_decomposition(
+    graph: nx.Graph,
+    ledger: Optional[RoundLedger] = None,
+) -> NetworkDecomposition:
+    """Theorem 3.4 — strong-diameter network decomposition with ``O(log n)``
+    colors and ``O(log^2 n)`` diameter, by iterating the Theorem 3.3 carving
+    with ``eps = 1/2``."""
+    return decomposition_via_carving(graph, theorem33_carving, eps=0.5, ledger=ledger, kind="strong")
+
+
+def weak_decomposition_rg20(
+    graph: nx.Graph,
+    ledger: Optional[RoundLedger] = None,
+) -> NetworkDecomposition:
+    """The [RG20]-style *weak*-diameter decomposition (Table 1's weak
+    deterministic row), by iterating the weak carving with ``eps = 1/2``."""
+    return decomposition_via_carving(
+        graph, weak_diameter_carving, eps=0.5, ledger=ledger, kind="weak"
+    )

@@ -1,0 +1,207 @@
+"""Theorem 3.2 / 3.3 — improving the cluster diameter to ``O(log^2 n / eps)``.
+
+The transformation of Theorem 2.1 loses an ``O(log n)`` factor in the cluster
+diameter.  Section 3 of the paper recovers it: given any strong-diameter ball
+carving algorithm ``A`` (we use Theorem 2.2's), recursively apply the
+Lemma 3.1 procedure to each of its clusters:
+
+* if Lemma 3.1 returns a **balanced sparse cut**, recurse on both sides (the
+  separator nodes die);
+* if it returns a **large small-diameter component** ``U``, accept ``U`` as a
+  final cluster, kill the nodes of the cluster adjacent to ``U``, and recurse
+  on the rest.
+
+Every recursion level shrinks the part sizes by a constant factor, so there
+are ``O(log n)`` levels; each level re-runs ``A`` (because the diameter of the
+pieces is unbounded between levels) with boundary parameter
+``Theta(eps / log n)``, and each level's Lemma 3.1 post-processing kills at
+most an ``O(eps / log n)`` fraction — hence at most ``eps`` overall.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any, Callable, Iterable, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.clustering.carving import BallCarving
+from repro.congest.rounds import RoundLedger
+from repro.core.sparse_cut import LargeComponent, SparseCut, sparse_cut_or_component
+from repro.core.strong_carving import _materialise_clusters, theorem22_carving
+
+# A strong-diameter carving algorithm "A" consumed by Theorem 3.2.
+StrongCarvingAlgorithm = Callable[..., BallCarving]
+
+
+@dataclasses.dataclass
+class ImprovementTrace:
+    """Diagnostics of one Theorem 3.2 run."""
+
+    recursion_levels: int = 0
+    sparse_cut_events: int = 0
+    component_events: int = 0
+    accepted_clusters: int = 0
+    base_carving_invocations: int = 0
+
+
+def improved_strong_carving(
+    graph: nx.Graph,
+    eps: float,
+    nodes: Optional[Iterable[Any]] = None,
+    base_algorithm: Optional[StrongCarvingAlgorithm] = None,
+    ledger: Optional[RoundLedger] = None,
+    trace: Optional[ImprovementTrace] = None,
+) -> BallCarving:
+    """The Theorem 3.2 transformation: diameter-improved strong ball carving.
+
+    Args:
+        graph: Host graph.
+        eps: Boundary parameter of the produced carving.
+        nodes: Optional node subset; defaults to all nodes.
+        base_algorithm: The strong-diameter carving ``A`` that is re-run at
+            every recursion level; defaults to Theorem 2.2's algorithm.  Must
+            accept ``(graph, eps, nodes=..., ledger=...)``.
+        ledger: Round ledger to charge into.
+        trace: Optional :class:`ImprovementTrace` filled with diagnostics.
+
+    Returns:
+        A strong-diameter :class:`~repro.clustering.carving.BallCarving` whose
+        clusters have diameter ``O(log^2 n / eps)``.
+    """
+    if not 0.0 < eps < 1.0:
+        raise ValueError("eps must lie strictly between 0 and 1")
+    ledger = ledger if ledger is not None else RoundLedger()
+    trace = trace if trace is not None else ImprovementTrace()
+    base_algorithm = base_algorithm or theorem22_carving
+
+    participating: Set[Any] = set(graph.nodes()) if nodes is None else set(nodes)
+    working_graph = graph.subgraph(participating)
+    n = len(participating)
+    if n == 0:
+        return BallCarving(graph=working_graph, clusters=[], dead=set(), eps=eps, ledger=ledger)
+
+    log_n = max(1, int(math.ceil(math.log2(max(2, n)))))
+    eps_level = eps / (2.0 * log_n)
+    # Clusters whose diameter already meets the O(log^2 n / eps) target are
+    # accepted as-is; only oversized clusters go through the Lemma 3.1
+    # cut-or-component recursion.  This matches the purpose of Theorem 3.2
+    # (enforce the diameter bound) while never paying boundary removals for
+    # clusters that are already good — important on small inputs where the
+    # asymptotic O(eps n / log n) boundary terms would otherwise dominate.
+    target_diameter = max(8, int(math.ceil(2.0 * (math.log2(max(2, n)) ** 2) / eps)))
+
+    dead: Set[Any] = set()
+    final_clusters: List[Set[Any]] = []
+
+    # Work list of node sets still to be processed, together with their
+    # recursion level (for the safety cap and round accounting: sets at the
+    # same level are processed in parallel).
+    pending: List[Tuple[Set[Any], int]] = [(participating, 0)]
+    max_level = 4 * log_n + 8
+
+    while pending:
+        current_level = min(level for _, level in pending)
+        this_level = [item for item in pending if item[1] == current_level]
+        pending = [item for item in pending if item[1] != current_level]
+        trace.recursion_levels = max(trace.recursion_levels, current_level + 1)
+
+        per_piece_rounds: List[int] = []
+        for piece, level in this_level:
+            if not piece:
+                continue
+            if len(piece) <= 3:
+                # Tiny pieces have diameter at most 2 already; accept them as
+                # clusters (component by component, to keep non-adjacency
+                # within the piece trivially true for connected outputs).
+                from repro.graphs.properties import induced_components
+
+                for component in induced_components(working_graph, piece):
+                    final_clusters.append(component)
+                continue
+            if level >= max_level:
+                raise RuntimeError(
+                    "Theorem 3.2 recursion exceeded the expected depth; "
+                    "this indicates a bug in the size-reduction argument"
+                )
+
+            piece_ledger = RoundLedger()
+            trace.base_carving_invocations += 1
+            carving = base_algorithm(graph, eps_level, nodes=piece, ledger=piece_ledger)
+            dead |= piece - carving.clustered_nodes
+
+            for cluster in carving.clusters:
+                # Accept clusters that already meet the diameter target
+                # (certified by twice the eccentricity of one BFS, which costs
+                # O(diameter) rounds).
+                eccentricity = _cluster_eccentricity(working_graph, cluster.nodes)
+                piece_ledger.bfs(eccentricity, detail="diameter certificate")
+                if 2 * eccentricity <= target_diameter:
+                    trace.accepted_clusters += 1
+                    final_clusters.append(set(cluster.nodes))
+                    continue
+                result = sparse_cut_or_component(
+                    working_graph, cluster.nodes, eps, ledger=piece_ledger
+                )
+                if isinstance(result, SparseCut):
+                    trace.sparse_cut_events += 1
+                    dead |= result.separator
+                    if result.side_a:
+                        pending.append((set(result.side_a), level + 1))
+                    if result.side_b:
+                        pending.append((set(result.side_b), level + 1))
+                else:
+                    trace.component_events += 1
+                    final_clusters.append(set(result.component))
+                    dead |= result.boundary
+                    remainder = set(cluster.nodes) - result.component - result.boundary
+                    if remainder:
+                        pending.append((remainder, level + 1))
+
+            per_piece_rounds.append(piece_ledger.total_rounds)
+
+        if per_piece_rounds:
+            ledger.charge(
+                "theorem32_level",
+                max(per_piece_rounds),
+                detail="recursion level {}".format(current_level),
+            )
+
+    clusters = _materialise_clusters(working_graph, final_clusters)
+    return BallCarving(
+        graph=working_graph,
+        clusters=clusters,
+        dead=dead,
+        eps=eps,
+        ledger=ledger,
+        kind="strong",
+    )
+
+
+def _cluster_eccentricity(graph: nx.Graph, nodes) -> int:
+    """Eccentricity of an arbitrary cluster node inside the cluster.
+
+    Twice this value upper-bounds the cluster's strong diameter, which is all
+    the acceptance test of :func:`improved_strong_carving` needs.
+    """
+    from repro.graphs.properties import bfs_layers_within
+
+    node_set = set(nodes)
+    if len(node_set) <= 1:
+        return 0
+    start = next(iter(sorted(node_set, key=str)))
+    layers = bfs_layers_within(graph, [start], allowed=node_set)
+    return len(layers) - 1
+
+
+def theorem33_carving(
+    graph: nx.Graph,
+    eps: float,
+    nodes: Optional[Iterable[Any]] = None,
+    ledger: Optional[RoundLedger] = None,
+) -> BallCarving:
+    """Theorem 3.3 — the diameter-improved carving instantiated with the
+    Theorem 2.2 algorithm as its base, giving clusters of strong diameter
+    ``O(log^2 n / eps)``."""
+    return improved_strong_carving(graph, eps, nodes=nodes, ledger=ledger)

@@ -1,0 +1,207 @@
+"""Lemma 3.1 — balanced sparse cut or large small-diameter component.
+
+Given an ``n``-node graph (in our usage: the subgraph induced by one cluster
+of an intermediate strong-diameter carving) and a parameter ``eps``, the
+procedure returns one of:
+
+* a **balanced sparse cut**: two non-adjacent node sets ``V1, V2`` with
+  ``|V1|, |V2| >= n/3`` and a separator ``V \\ (V1 ∪ V2)`` of
+  ``O(eps * n / log n)`` nodes, or
+* a **large small-diameter component**: a set ``U`` with ``|U| >= n/3``,
+  strong diameter ``O(log^2 n / eps)``, whose outside neighbourhood has
+  ``O(eps * n / log n)`` nodes.
+
+The algorithm follows the proof of Lemma 3.1: it maintains a shrinking seed
+set ``S`` (initially all nodes).  Per iteration it computes the radii ``a``
+(smallest radius whose ball around ``S`` holds ``>= n/3`` nodes) and ``b``
+(``>= 2n/3`` nodes).  If ``b - a`` is large, some intermediate BFS layer is
+light — cutting there yields the balanced sparse cut.  Otherwise ``S`` is
+split into two halves and the half with the smaller ``a`` radius is kept;
+this preserves ``a = O(iteration * log n / eps)``.  After ``O(log n)``
+iterations ``S`` is a single node and a final ball-growing sweep around it
+yields the large small-diameter component.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+import networkx as nx
+
+from repro.congest.rounds import RoundLedger
+from repro.graphs.properties import bfs_layers_within
+
+
+@dataclasses.dataclass
+class SparseCut:
+    """A balanced sparse cut: ``side_a`` and ``side_b`` are non-adjacent."""
+
+    side_a: Set[Any]
+    side_b: Set[Any]
+    separator: Set[Any]
+
+    @property
+    def kind(self) -> str:
+        return "cut"
+
+
+@dataclasses.dataclass
+class LargeComponent:
+    """A large component of small strong diameter with a light boundary.
+
+    ``boundary`` holds the nodes *outside* ``component`` that are adjacent to
+    it (the nodes Theorem 3.2 declares dead when it accepts the component).
+    """
+
+    component: Set[Any]
+    boundary: Set[Any]
+    radius: int
+
+    @property
+    def kind(self) -> str:
+        return "component"
+
+
+SparseCutResult = Union[SparseCut, LargeComponent]
+
+
+def _cumulative_layers(layers: Sequence[Set[Any]]) -> List[int]:
+    sizes: List[int] = []
+    total = 0
+    for layer in layers:
+        total += len(layer)
+        sizes.append(total)
+    return sizes
+
+
+def _ball(layers: Sequence[Set[Any]], radius: int) -> Set[Any]:
+    result: Set[Any] = set()
+    for layer in layers[: radius + 1]:
+        result |= layer
+    return result
+
+
+def _radius_reaching(cumulative: Sequence[int], target: int) -> int:
+    """Smallest radius whose cumulative ball size reaches ``target``."""
+    for radius, size in enumerate(cumulative):
+        if size >= target:
+            return radius
+    return len(cumulative) - 1
+
+
+def _layer_window(n: int, eps: float) -> int:
+    """Number of consecutive BFS layers needed so that the lightest one is an
+    ``O(eps / log n)`` fraction of the ball mass (see the proof of Lemma 3.1:
+    the ball grows by at most a factor 3 over the window, so the minimum
+    per-layer growth ratio is ``3^{1/window} = 1 + O(eps / log n)`` once the
+    window has ``Omega(log n / eps)`` layers)."""
+    log_n = math.log(max(3, n))
+    return max(2, int(math.ceil(2.0 * math.log(3.0) * log_n / eps)) + 1)
+
+
+def _lightest_layer_index(cumulative: Sequence[int], lo: int, hi: int) -> int:
+    """Index ``r`` in ``[lo, hi]`` minimising ``|B_{r+1}| / |B_r|``."""
+    best_index = lo
+    best_ratio = float("inf")
+    for radius in range(lo, min(hi, len(cumulative) - 2) + 1):
+        inner = cumulative[radius]
+        outer = cumulative[radius + 1]
+        if inner == 0:
+            continue
+        ratio = outer / inner
+        if ratio < best_ratio:
+            best_ratio = ratio
+            best_index = radius
+    return best_index
+
+
+def sparse_cut_or_component(
+    graph: nx.Graph,
+    nodes: Iterable[Any],
+    eps: float,
+    ledger: Optional[RoundLedger] = None,
+) -> SparseCutResult:
+    """Run the Lemma 3.1 procedure on the subgraph induced by ``nodes``.
+
+    Args:
+        graph: Host graph.
+        nodes: The node set to operate on (assumed connected; the callers of
+            Theorem 3.2 only invoke this on connected clusters).
+        eps: The parameter ``eps`` of Lemma 3.1; the separator / boundary has
+            ``O(eps * |nodes| / log |nodes|)`` nodes.
+        ledger: Optional round ledger; each iteration is charged ``O(D)``
+            rounds where ``D`` is the BFS depth actually explored.
+
+    Returns:
+        Either a :class:`SparseCut` or a :class:`LargeComponent`.
+    """
+    if not 0.0 < eps < 1.0:
+        raise ValueError("eps must lie strictly between 0 and 1")
+    ledger = ledger if ledger is not None else RoundLedger()
+    node_set: Set[Any] = set(nodes)
+    n = len(node_set)
+    if n == 0:
+        return LargeComponent(component=set(), boundary=set(), radius=0)
+    if n <= 3:
+        return LargeComponent(component=set(node_set), boundary=set(), radius=1)
+
+    window = _layer_window(n, eps)
+    target_a = int(math.ceil(n / 3.0))
+    target_b = int(math.ceil(2.0 * n / 3.0))
+
+    seed: Set[Any] = set(node_set)
+    max_iterations = 2 * max(1, int(math.ceil(math.log2(n)))) + 4
+
+    for _ in range(max_iterations):
+        layers = bfs_layers_within(graph, seed, allowed=node_set)
+        cumulative = _cumulative_layers(layers)
+        ledger.bfs(len(layers), detail="lemma31 radii computation")
+
+        radius_a = _radius_reaching(cumulative, target_a)
+        radius_b = _radius_reaching(cumulative, target_b)
+
+        if radius_b - radius_a >= window and radius_b - 2 >= radius_a:
+            # Balanced sparse cut: cut along the lightest layer between a and
+            # b - 2 (both resulting sides then hold at least n/3 nodes).
+            cut_radius = _lightest_layer_index(cumulative, radius_a, radius_b - 2)
+            inner = _ball(layers, cut_radius)
+            enlarged = _ball(layers, cut_radius + 1)
+            separator = enlarged - inner
+            outside = node_set - enlarged
+            ledger.bfs(cut_radius + 1, detail="lemma31 cut extraction")
+            return SparseCut(side_a=inner, side_b=outside, separator=separator)
+
+        if len(seed) == 1:
+            # Final sweep: grow a ball around the single remaining seed node
+            # and cut at the lightest layer within the window past radius_a.
+            cut_radius = _lightest_layer_index(
+                cumulative, radius_a, radius_a + window
+            )
+            component = _ball(layers, cut_radius)
+            boundary = _ball(layers, cut_radius + 1) - component
+            ledger.bfs(cut_radius + 1, detail="lemma31 final component sweep")
+            return LargeComponent(component=component, boundary=boundary, radius=cut_radius)
+
+        # Split the seed set into two halves and keep the half whose n/3-ball
+        # radius is smaller.  Any split works for correctness; we use the
+        # deterministic identifier order (the distributed version sorts by an
+        # in-order traversal of a BFS tree, which costs O(D) rounds).
+        ordered = sorted(seed, key=lambda node: (graph.nodes[node].get("uid", node), str(node)))
+        half = len(ordered) // 2
+        first_half = set(ordered[:half])
+        second_half = set(ordered[half:])
+
+        layers_first = bfs_layers_within(graph, first_half, allowed=node_set)
+        layers_second = bfs_layers_within(graph, second_half, allowed=node_set)
+        ledger.bfs(max(len(layers_first), len(layers_second)), detail="lemma31 split probe")
+
+        radius_first = _radius_reaching(_cumulative_layers(layers_first), target_a)
+        radius_second = _radius_reaching(_cumulative_layers(layers_second), target_a)
+        seed = first_half if radius_first <= radius_second else second_half
+
+    raise RuntimeError(
+        "Lemma 3.1 procedure did not terminate within the expected number of "
+        "iterations; this indicates a bug in the seed-halving logic"
+    )

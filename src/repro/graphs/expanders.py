@@ -1,0 +1,168 @@
+"""Expander constructions and the Section-3 barrier graph.
+
+Section 3 of the paper ends with a barrier construction showing that the
+``O(log^2 n / eps)`` diameter bound is the limit of the Lemma 3.1 approach:
+
+    take any ``n'``-node expander ``G1`` of constant degree and constant
+    conductance, with ``n' = O(eps * n / log n)``, and subdivide every edge
+    into a path of length ``log n / eps`` to obtain an ``n``-node graph
+    ``G2``.  Then ``G2`` has conductance ``Theta(eps / log n)``, admits no
+    balanced sparse cut, and every subset of at least ``n/3`` nodes induces a
+    subgraph of diameter ``Omega(log^2 n / eps)``.
+
+This module provides:
+
+* :func:`random_regular_expander` — a constant-degree expander (random regular
+  graphs are expanders with high probability; we verify a spectral-gap lower
+  bound and retry with a fresh seed until it holds, so the returned graph is a
+  *certified* expander).
+* :func:`margulis_expander` — the explicit Margulis–Gabber–Galil expander on
+  ``m^2`` nodes, a deterministic alternative.
+* :func:`subdivide_edges` — the edge-subdivision operator.
+* :func:`barrier_graph` — the full Section-3 construction, parameterised by
+  the target size and ``eps``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.graphs.generators import assign_unique_identifiers
+
+
+def _second_smallest_laplacian_eigenvalue(graph: nx.Graph) -> float:
+    """The algebraic connectivity (Fiedler value) of the graph.
+
+    Computed densely; the expanders we certify are small (the barrier graph
+    blows them up by subdividing, so the base expander has
+    ``O(eps n / log n)`` nodes).
+    """
+    if graph.number_of_nodes() < 2:
+        return 0.0
+    laplacian = nx.laplacian_matrix(graph).toarray().astype(float)
+    eigenvalues = np.linalg.eigvalsh(laplacian)
+    return float(sorted(eigenvalues)[1])
+
+
+def random_regular_expander(
+    n: int,
+    degree: int = 4,
+    seed: Optional[int] = None,
+    min_algebraic_connectivity: float = 0.2,
+    max_attempts: int = 25,
+) -> nx.Graph:
+    """A certified constant-degree expander on ``n`` nodes.
+
+    Draws random ``degree``-regular graphs until one has algebraic
+    connectivity at least ``min_algebraic_connectivity`` (a spectral
+    certificate of constant conductance via Cheeger's inequality).  Raises
+    ``RuntimeError`` if no candidate passes within ``max_attempts`` draws,
+    which for ``degree >= 4`` essentially never happens.
+    """
+    if n <= degree:
+        raise ValueError("random_regular_expander requires n > degree")
+    size = n if (n * degree) % 2 == 0 else n + 1
+    base_seed = 0 if seed is None else seed
+    for attempt in range(max_attempts):
+        candidate = nx.random_regular_graph(degree, size, seed=base_seed + attempt)
+        if not nx.is_connected(candidate):
+            continue
+        if _second_smallest_laplacian_eigenvalue(candidate) >= min_algebraic_connectivity:
+            return assign_unique_identifiers(candidate, seed=base_seed)
+    raise RuntimeError(
+        "could not certify an expander after {} attempts (n={}, degree={})".format(
+            max_attempts, n, degree
+        )
+    )
+
+
+def margulis_expander(m: int, seed: Optional[int] = None) -> nx.Graph:
+    """The Margulis–Gabber–Galil expander on ``m^2`` nodes.
+
+    Nodes are pairs ``(x, y)`` in ``Z_m x Z_m``; each node is connected to
+    ``(x + y, y)``, ``(x + y + 1, y)``, ``(x, y + x)`` and ``(x, y + x + 1)``
+    (all mod ``m``).  The construction is deterministic, 8-regular (as a
+    multigraph; we keep it simple) and has constant conductance.
+    """
+    if m < 2:
+        raise ValueError("margulis_expander requires m >= 2")
+    graph = nx.Graph()
+    for x in range(m):
+        for y in range(m):
+            node = x * m + y
+            neighbours = (
+                ((x + y) % m, y),
+                ((x + y + 1) % m, y),
+                (x, (y + x) % m),
+                (x, (y + x + 1) % m),
+            )
+            for nx_coord, ny_coord in neighbours:
+                other = nx_coord * m + ny_coord
+                if other != node:
+                    graph.add_edge(node, other)
+    return assign_unique_identifiers(graph, seed=seed)
+
+
+def subdivide_edges(graph: nx.Graph, path_length: int) -> nx.Graph:
+    """Replace every edge of ``graph`` by a path with ``path_length`` edges.
+
+    ``path_length = 1`` returns an isomorphic copy.  The original nodes keep
+    their indices ``0..n-1``; the subdivision nodes are appended after them.
+    Node identifiers (``"uid"``) are reassigned over the whole new graph so
+    that they remain a permutation of ``0..n_new - 1``.
+    """
+    if path_length < 1:
+        raise ValueError("path_length must be at least 1")
+    new_graph = nx.Graph()
+    new_graph.add_nodes_from(range(graph.number_of_nodes()))
+    next_node = graph.number_of_nodes()
+    for u, v in sorted(graph.edges()):
+        previous = u
+        for _ in range(path_length - 1):
+            new_graph.add_edge(previous, next_node)
+            previous = next_node
+            next_node += 1
+        new_graph.add_edge(previous, v)
+    return assign_unique_identifiers(new_graph, seed=graph.number_of_nodes())
+
+
+def barrier_graph(
+    target_n: int,
+    eps: float,
+    degree: int = 4,
+    seed: Optional[int] = None,
+) -> Tuple[nx.Graph, dict]:
+    """The Section-3 barrier construction.
+
+    Builds an expander on ``n' ~ eps * target_n / log2(target_n)`` nodes and
+    subdivides every edge into a path of length ``ceil(log2(target_n) / eps)``.
+
+    Returns the subdivided graph together with a metadata dictionary recording
+    the base expander size, subdivision length, and the resulting node count
+    (which is close to, but in general not exactly, ``target_n``).
+    """
+    if target_n < 16:
+        raise ValueError("barrier_graph requires target_n >= 16")
+    if not 0.0 < eps < 1.0:
+        raise ValueError("eps must lie in (0, 1)")
+    log_n = max(1.0, math.log2(target_n))
+    subdivision = max(2, int(math.ceil(log_n / eps)))
+    # Each expander edge becomes `subdivision` edges contributing
+    # `subdivision - 1` new nodes; the expander has degree*n'/2 edges.
+    base_n = max(degree + 2, int(round(target_n / (1 + degree * (subdivision - 1) / 2.0))))
+    expander = random_regular_expander(base_n, degree=degree, seed=seed)
+    subdivided = subdivide_edges(expander, subdivision)
+    metadata = {
+        "base_expander_nodes": expander.number_of_nodes(),
+        "base_expander_edges": expander.number_of_edges(),
+        "subdivision_length": subdivision,
+        "result_nodes": subdivided.number_of_nodes(),
+        "result_edges": subdivided.number_of_edges(),
+        "eps": eps,
+        "target_n": target_n,
+    }
+    return subdivided, metadata

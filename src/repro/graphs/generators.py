@@ -1,0 +1,221 @@
+"""Graph generators used as workloads by the benchmark harness.
+
+The paper's algorithms are graph algorithms in the CONGEST model; they do not
+depend on any particular input distribution, but the empirical reproduction of
+Tables 1 and 2 needs concrete graph families whose structure stresses the
+algorithms in different ways:
+
+* **paths / cycles / grids / tori** — large diameter, small degree; the
+  ball-growing steps dominate.
+* **trees (binary trees, caterpillars, stars)** — highly asymmetric BFS
+  layers; stress the boundary-layer selection of Theorem 2.1 case (II).
+* **hypercubes / random regular graphs / expanders** — small diameter, high
+  expansion; stress the cluster-merging phases of the weak-diameter carving
+  and realize the Section 3 barrier behaviour.
+* **Erdős–Rényi graphs** — possibly disconnected inputs; the algorithms must
+  handle every connected component independently.
+
+Every generator returns a :class:`networkx.Graph` with integer nodes
+``0..n-1`` and a ``"uid"`` node attribute holding a unique identifier.  The
+identifiers are deliberately *not* equal to the node index for some families
+(they are a pseudo-random permutation) so that the deterministic algorithms,
+which break ties by identifier bits, are exercised on non-trivial identifier
+assignments.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+import networkx as nx
+
+
+def assign_unique_identifiers(
+    graph: nx.Graph,
+    seed: Optional[int] = None,
+    scramble: bool = True,
+) -> nx.Graph:
+    """Attach a unique ``O(log n)``-bit identifier to every node.
+
+    The identifier is stored in the node attribute ``"uid"``.  When
+    ``scramble`` is true the identifiers are a pseudo-random permutation of
+    ``0..n-1`` (seeded for reproducibility), which mimics the arbitrary
+    identifier assignment assumed by the CONGEST model.  When false, node
+    ``i`` simply receives identifier ``i``.
+
+    The graph is modified in place and also returned for convenience.
+    """
+    nodes = sorted(graph.nodes())
+    identifiers = list(range(len(nodes)))
+    if scramble:
+        rng = random.Random(seed if seed is not None else 0xC0FFEE)
+        rng.shuffle(identifiers)
+    for node, uid in zip(nodes, identifiers):
+        graph.nodes[node]["uid"] = uid
+    return graph
+
+
+def _relabel_to_integers(graph: nx.Graph) -> nx.Graph:
+    """Relabel arbitrary node labels to ``0..n-1`` preserving adjacency."""
+    mapping = {node: index for index, node in enumerate(sorted(graph.nodes(), key=str))}
+    return nx.relabel_nodes(graph, mapping, copy=True)
+
+
+def path_graph(n: int, seed: Optional[int] = None) -> nx.Graph:
+    """A path on ``n`` nodes: the extreme high-diameter workload."""
+    if n <= 0:
+        raise ValueError("path_graph requires n >= 1")
+    graph = nx.path_graph(n)
+    return assign_unique_identifiers(graph, seed=seed)
+
+
+def cycle_graph(n: int, seed: Optional[int] = None) -> nx.Graph:
+    """A cycle on ``n`` nodes."""
+    if n < 3:
+        raise ValueError("cycle_graph requires n >= 3")
+    graph = nx.cycle_graph(n)
+    return assign_unique_identifiers(graph, seed=seed)
+
+
+def star_graph(n: int, seed: Optional[int] = None) -> nx.Graph:
+    """A star with one hub and ``n - 1`` leaves (diameter 2)."""
+    if n < 2:
+        raise ValueError("star_graph requires n >= 2")
+    graph = nx.star_graph(n - 1)
+    return assign_unique_identifiers(graph, seed=seed)
+
+
+def grid_graph(rows: int, cols: int, seed: Optional[int] = None) -> nx.Graph:
+    """A ``rows x cols`` grid (no wraparound)."""
+    if rows <= 0 or cols <= 0:
+        raise ValueError("grid dimensions must be positive")
+    graph = _relabel_to_integers(nx.grid_2d_graph(rows, cols))
+    return assign_unique_identifiers(graph, seed=seed)
+
+
+def torus_graph(rows: int, cols: int, seed: Optional[int] = None) -> nx.Graph:
+    """A ``rows x cols`` torus (grid with wraparound edges)."""
+    if rows < 3 or cols < 3:
+        raise ValueError("torus dimensions must be at least 3")
+    graph = _relabel_to_integers(nx.grid_2d_graph(rows, cols, periodic=True))
+    return assign_unique_identifiers(graph, seed=seed)
+
+
+def binary_tree_graph(depth: int, seed: Optional[int] = None) -> nx.Graph:
+    """A complete binary tree of the given depth (``2^(depth+1) - 1`` nodes)."""
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
+    graph = nx.balanced_tree(2, depth)
+    return assign_unique_identifiers(graph, seed=seed)
+
+
+def caterpillar_graph(spine: int, legs_per_node: int, seed: Optional[int] = None) -> nx.Graph:
+    """A caterpillar: a path ("spine") with pendant leaves attached to it.
+
+    Caterpillars combine a high-diameter backbone with locally dense fringes
+    and are a classic stress test for layer-by-layer ball growing: most of the
+    mass sits one hop off the spine.
+    """
+    if spine <= 0 or legs_per_node < 0:
+        raise ValueError("spine must be positive and legs_per_node non-negative")
+    graph = nx.path_graph(spine)
+    next_node = spine
+    for spine_node in range(spine):
+        for _ in range(legs_per_node):
+            graph.add_edge(spine_node, next_node)
+            next_node += 1
+    return assign_unique_identifiers(graph, seed=seed)
+
+
+def hypercube_graph(dimension: int, seed: Optional[int] = None) -> nx.Graph:
+    """The ``dimension``-dimensional hypercube (``2^dimension`` nodes)."""
+    if dimension < 1:
+        raise ValueError("dimension must be at least 1")
+    graph = _relabel_to_integers(nx.hypercube_graph(dimension))
+    return assign_unique_identifiers(graph, seed=seed)
+
+
+def random_regular_graph(n: int, degree: int, seed: Optional[int] = None) -> nx.Graph:
+    """A uniformly random ``degree``-regular graph on ``n`` nodes.
+
+    Random regular graphs of constant degree are expanders with high
+    probability; they provide the low-diameter / high-conductance end of the
+    workload spectrum.
+    """
+    if n <= degree:
+        raise ValueError("random_regular_graph requires n > degree")
+    if (n * degree) % 2 != 0:
+        raise ValueError("n * degree must be even")
+    graph = nx.random_regular_graph(degree, n, seed=seed)
+    return assign_unique_identifiers(graph, seed=seed)
+
+
+def erdos_renyi_graph(n: int, probability: float, seed: Optional[int] = None) -> nx.Graph:
+    """A ``G(n, p)`` random graph.  May be disconnected; algorithms must cope."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError("probability must lie in [0, 1]")
+    graph = nx.gnp_random_graph(n, probability, seed=seed)
+    return assign_unique_identifiers(graph, seed=seed)
+
+
+@dataclasses.dataclass(frozen=True)
+class GraphFamily:
+    """A named graph family used by the benchmark harness.
+
+    Attributes:
+        name: Short human-readable family name (used as a table column).
+        builder: Callable mapping a target node count to a concrete graph.
+        description: One-line description of why the family is included.
+    """
+
+    name: str
+    builder: Callable[[int], nx.Graph]
+    description: str
+
+    def build(self, n: int) -> nx.Graph:
+        """Build an instance with roughly ``n`` nodes."""
+        return self.builder(n)
+
+
+def _square_torus(n: int) -> nx.Graph:
+    side = max(3, int(round(math.sqrt(n))))
+    return torus_graph(side, side, seed=7)
+
+
+def _square_grid(n: int) -> nx.Graph:
+    side = max(2, int(round(math.sqrt(n))))
+    return grid_graph(side, side, seed=7)
+
+
+def _tree(n: int) -> nx.Graph:
+    depth = max(1, int(math.floor(math.log2(max(2, n + 1)))) - 1)
+    return binary_tree_graph(depth, seed=7)
+
+
+def _regular(n: int) -> nx.Graph:
+    size = n if (n * 4) % 2 == 0 else n + 1
+    return random_regular_graph(size, 4, seed=7)
+
+
+def _cycle(n: int) -> nx.Graph:
+    return cycle_graph(max(3, n), seed=7)
+
+
+def workload_suite() -> List[GraphFamily]:
+    """The default workload suite used by the Table 1 / Table 2 benchmarks.
+
+    Returns a list of :class:`GraphFamily` covering the diameter/expansion
+    spectrum described in the module docstring.
+    """
+    return [
+        GraphFamily("torus", _square_torus, "2-D torus: moderate diameter, degree 4"),
+        GraphFamily("grid", _square_grid, "2-D grid: moderate diameter with boundary"),
+        GraphFamily("tree", _tree, "complete binary tree: hierarchical layers"),
+        GraphFamily("regular", _regular, "random 4-regular graph: expander-like"),
+        GraphFamily("cycle", _cycle, "cycle: maximal diameter per node"),
+    ]

@@ -1,0 +1,243 @@
+"""Structural graph properties used by the algorithms and the validators.
+
+The quantities here mirror the ones the paper reasons about:
+
+* **strong diameter** of a cluster = diameter of the subgraph induced by the
+  cluster (``subgraph_diameter``);
+* **weak diameter** of a cluster = maximum distance *in the original graph*
+  between two cluster nodes (``weak_diameter`` lives in
+  :mod:`repro.clustering.validation` because it needs the cluster type);
+* **conductance** of a cut, used by the Section-3 barrier experiment;
+* **balls** ``B_r(v)`` / ``B_r(S)`` — all nodes within distance ``r`` of a
+  node or a set, measured inside a designated subgraph.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+
+def induced_components(graph: nx.Graph, nodes: Iterable) -> List[Set]:
+    """Connected components of the subgraph induced by ``nodes``.
+
+    Returns a list of node sets.  The induced subgraph is *not* materialised;
+    we run BFS restricted to the node set, which is considerably faster for
+    the tight loops in the carving algorithms.
+    """
+    alive = set(nodes)
+    seen: Set = set()
+    components: List[Set] = []
+    for start in alive:
+        if start in seen:
+            continue
+        component = {start}
+        seen.add(start)
+        queue = deque([start])
+        while queue:
+            node = queue.popleft()
+            for neighbour in graph.neighbors(node):
+                if neighbour in alive and neighbour not in seen:
+                    seen.add(neighbour)
+                    component.add(neighbour)
+                    queue.append(neighbour)
+        components.append(component)
+    return components
+
+
+def connected_subgraphs(graph: nx.Graph) -> List[nx.Graph]:
+    """Materialised connected components of ``graph`` as subgraph views."""
+    return [graph.subgraph(component).copy() for component in nx.connected_components(graph)]
+
+
+def bfs_layers_within(
+    graph: nx.Graph,
+    sources: Iterable,
+    allowed: Optional[Set] = None,
+    max_radius: Optional[int] = None,
+) -> List[Set]:
+    """BFS layers from ``sources`` restricted to the ``allowed`` node set.
+
+    Layer ``0`` is the set of sources (intersected with ``allowed``); layer
+    ``r`` contains the nodes at distance exactly ``r`` from the source set in
+    the subgraph induced by ``allowed``.  Stops after ``max_radius`` layers if
+    given, otherwise when the frontier empties.
+    """
+    if allowed is None:
+        allowed = set(graph.nodes())
+    frontier = {node for node in sources if node in allowed}
+    visited = set(frontier)
+    layers: List[Set] = [set(frontier)]
+    radius = 0
+    while frontier and (max_radius is None or radius < max_radius):
+        next_frontier: Set = set()
+        for node in frontier:
+            for neighbour in graph.neighbors(node):
+                if neighbour in allowed and neighbour not in visited:
+                    visited.add(neighbour)
+                    next_frontier.add(neighbour)
+        if not next_frontier:
+            break
+        layers.append(next_frontier)
+        frontier = next_frontier
+        radius += 1
+    return layers
+
+
+def neighborhood_ball(
+    graph: nx.Graph,
+    sources: Iterable,
+    radius: int,
+    allowed: Optional[Set] = None,
+) -> Set:
+    """``B_radius(sources)``: nodes within the given distance of the sources.
+
+    Distances are measured in the subgraph induced by ``allowed`` (the whole
+    graph when ``allowed`` is ``None``).  The sources themselves are included
+    (distance zero).
+    """
+    layers = bfs_layers_within(graph, sources, allowed=allowed, max_radius=radius)
+    ball: Set = set()
+    for layer in layers[: radius + 1]:
+        ball |= layer
+    return ball
+
+
+def distances_from(
+    graph: nx.Graph,
+    source,
+    allowed: Optional[Set] = None,
+) -> Dict[object, int]:
+    """Single-source BFS distances restricted to ``allowed`` nodes."""
+    if allowed is None:
+        allowed = set(graph.nodes())
+    if source not in allowed:
+        raise ValueError("source must belong to the allowed node set")
+    distances = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbour in graph.neighbors(node):
+            if neighbour in allowed and neighbour not in distances:
+                distances[neighbour] = distances[node] + 1
+                queue.append(neighbour)
+    return distances
+
+
+def radius_from(graph: nx.Graph, source, allowed: Optional[Set] = None) -> int:
+    """Eccentricity of ``source`` within the induced subgraph of ``allowed``."""
+    distances = distances_from(graph, source, allowed=allowed)
+    return max(distances.values()) if distances else 0
+
+
+def subgraph_diameter(graph: nx.Graph, nodes: Iterable) -> int:
+    """Strong diameter: the diameter of the subgraph induced by ``nodes``.
+
+    Returns ``0`` for empty or singleton node sets and raises ``ValueError``
+    if the induced subgraph is disconnected (a disconnected cluster has
+    unbounded strong diameter — the validators treat that as a failure and
+    want a loud error, not a silent large number).
+    """
+    node_set = set(nodes)
+    if len(node_set) <= 1:
+        return 0
+    diameter = 0
+    remaining_check = True
+    for source in node_set:
+        distances = distances_from(graph, source, allowed=node_set)
+        if remaining_check and len(distances) != len(node_set):
+            raise ValueError("induced subgraph is disconnected; strong diameter undefined")
+        remaining_check = False
+        diameter = max(diameter, max(distances.values()))
+    return diameter
+
+
+def exact_diameter(graph: nx.Graph) -> int:
+    """Exact diameter of a connected graph via one BFS per node."""
+    if graph.number_of_nodes() == 0:
+        return 0
+    return subgraph_diameter(graph, graph.nodes())
+
+
+def approximate_diameter(graph: nx.Graph, probes: int = 4) -> int:
+    """A lower bound on the diameter via repeated double-sweep BFS probes.
+
+    Exact diameters require one BFS per node; for the larger benchmark graphs
+    the double-sweep heuristic (BFS from an arbitrary node, then BFS from the
+    farthest node found) is a standard, cheap, and usually tight lower bound.
+    """
+    nodes = list(graph.nodes())
+    if not nodes:
+        return 0
+    best = 0
+    source = nodes[0]
+    for _ in range(max(1, probes)):
+        distances = distances_from(graph, source)
+        farthest = max(distances, key=distances.get)
+        best = max(best, distances[farthest])
+        source = farthest
+    return best
+
+
+def conductance_of_cut(graph: nx.Graph, cut_side: Iterable) -> float:
+    """Conductance of the cut ``(S, V \\ S)``: ``|E(S, V\\S)| / min(vol S, vol V\\S)``.
+
+    Returns ``float('inf')`` when one side is empty (the cut is degenerate).
+    """
+    side = set(cut_side)
+    other = set(graph.nodes()) - side
+    if not side or not other:
+        return float("inf")
+    crossing = sum(1 for u, v in graph.edges() if (u in side) != (v in side))
+    volume_side = sum(graph.degree(node) for node in side)
+    volume_other = sum(graph.degree(node) for node in other)
+    denominator = min(volume_side, volume_other)
+    if denominator == 0:
+        return float("inf")
+    return crossing / denominator
+
+
+def graph_conductance_lower_bound(graph: nx.Graph, samples: int = 64, seed: int = 0) -> float:
+    """A cheap upper estimate of the graph conductance via sampled sweep cuts.
+
+    Exact conductance is NP-hard; the benchmark only needs to confirm that the
+    barrier graph's conductance is *small* (``Theta(eps / log n)``), so an
+    upper bound obtained from BFS sweep cuts is sufficient: for a few sampled
+    start nodes we sweep the BFS ordering and record the best conductance seen.
+    """
+    import random as _random
+
+    nodes = list(graph.nodes())
+    if len(nodes) < 4:
+        return float("inf")
+    rng = _random.Random(seed)
+    best = float("inf")
+    for _ in range(max(1, samples // 16)):
+        start = rng.choice(nodes)
+        order: List = []
+        for layer in bfs_layers_within(graph, [start]):
+            order.extend(sorted(layer))
+        prefix: Set = set()
+        for node in order[: len(order) - 1]:
+            prefix.add(node)
+            if len(prefix) < len(nodes) // 8:
+                continue
+            if len(prefix) > 7 * len(nodes) // 8:
+                break
+            best = min(best, conductance_of_cut(graph, prefix))
+    return best
+
+
+def is_partition(universe: Iterable, parts: Sequence[Iterable]) -> bool:
+    """True when ``parts`` are disjoint and cover exactly ``universe``."""
+    universe_set = set(universe)
+    combined: Set = set()
+    total = 0
+    for part in parts:
+        part_set = set(part)
+        total += len(part_set)
+        combined |= part_set
+    return combined == universe_set and total == len(universe_set)

@@ -1,0 +1,14 @@
+"""Deterministic weak-diameter ball carving (the paper's black-box substrate).
+
+The transformation of Theorem 2.1 consumes *any* weak-diameter ball carving
+algorithm ``A``; the paper instantiates it with the algorithm of Ghaffari,
+Grunau and Rozhoň [GGR21], which is an optimized variant of Rozhoň–Ghaffari
+[RG20].  This subpackage implements the RG20 mechanism — bit-by-bit cluster
+merging with accept/reject growth and Steiner-tree maintenance — which is the
+deterministic weak-diameter substrate every strong-diameter result in the
+paper is built on.
+"""
+
+from repro.weak.carving import WeakCarvingParameters, weak_diameter_carving
+
+__all__ = ["WeakCarvingParameters", "weak_diameter_carving"]

@@ -1,0 +1,215 @@
+"""Per-phase machinery of the deterministic weak-diameter carving.
+
+The Rozhoň–Ghaffari algorithm processes the ``b = O(log n)`` bits of the node
+identifiers one by one.  In the phase for bit ``i``, the alive nodes are
+partitioned (by the ``i``-th bit of their current cluster label) into *blue*
+(bit 0) and *red* (bit 1) nodes.  The phase repeatedly runs *steps*:
+
+1. every alive blue node adjacent to an alive red node proposes to join the
+   cluster of one such neighbour (deterministic tie-breaking by the smallest
+   ``(cluster label, neighbour identifier)`` pair);
+2. every red cluster with proposals either **accepts** them all — when the
+   number of proposers is at least ``threshold`` times its current size — or
+   **rejects** them, in which case the proposers are deleted (declared dead).
+
+A blue node that proposes is resolved within the step (it becomes red or
+dead), so a phase ends as soon as a step produces no proposals.  Accepting
+steps grow the proposing cluster by a ``(1 + threshold)`` factor, which bounds
+the number of steps; each acceptance also extends the cluster's Steiner tree
+by one hop (the edge through which each proposer joined).
+
+The key invariant (Lemma of [RG20], re-proved in the test suite as a property
+test): *at the end of the phase for bit ``i``, any two adjacent alive nodes
+have cluster labels that agree on bits ``0..i``*.  Consequently, after all
+``b`` phases, adjacent alive nodes share a label, i.e. the final clusters are
+pairwise non-adjacent.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+
+@dataclasses.dataclass
+class CarvingState:
+    """Mutable state shared by all phases of one weak-carving run.
+
+    Attributes:
+        graph: The host graph (never mutated).
+        alive: Nodes still participating (not dead, not finished elsewhere).
+        label: Current cluster label of every alive node.
+        tree_parent: For each cluster label, the parent map of its Steiner
+            tree (may include dead nodes and nodes now in other clusters —
+            those are Steiner, i.e. non-terminal, nodes).
+        tree_root: The root node of each cluster label's Steiner tree.
+        tree_depth: Cached depth of each node *within its join tree entry*,
+            used to charge the right number of rounds and to bound depth.
+        dead: Nodes deleted by rejections during this run.
+        steps_executed: Total number of proposal steps over all phases.
+        acceptance_events: Total number of cluster-acceptance events.
+        rejection_events: Total number of cluster-rejection events.
+    """
+
+    graph: nx.Graph
+    alive: Set[Any]
+    label: Dict[Any, int]
+    tree_parent: Dict[int, Dict[Any, Optional[Any]]]
+    tree_root: Dict[int, Any]
+    tree_depth: Dict[int, Dict[Any, int]]
+    dead: Set[Any] = dataclasses.field(default_factory=set)
+    steps_executed: int = 0
+    acceptance_events: int = 0
+    rejection_events: int = 0
+
+    @classmethod
+    def initial(cls, graph: nx.Graph, nodes: Set[Any], uid_of: Dict[Any, int]) -> "CarvingState":
+        """Every node starts as a singleton cluster labelled by its own uid."""
+        label = {node: uid_of[node] for node in nodes}
+        tree_parent = {uid_of[node]: {node: None} for node in nodes}
+        tree_root = {uid_of[node]: node for node in nodes}
+        tree_depth = {uid_of[node]: {node: 0} for node in nodes}
+        return cls(
+            graph=graph,
+            alive=set(nodes),
+            label=label,
+            tree_parent=tree_parent,
+            tree_root=tree_root,
+            tree_depth=tree_depth,
+        )
+
+    def max_tree_depth(self) -> int:
+        """The deepest Steiner tree currently maintained (for round costs)."""
+        best = 0
+        for depths in self.tree_depth.values():
+            if depths:
+                best = max(best, max(depths.values()))
+        return best
+
+    def record_join(self, node: Any, via: Any, new_label: int) -> None:
+        """Node ``node`` joins cluster ``new_label`` through neighbour ``via``."""
+        self.label[node] = new_label
+        parent_map = self.tree_parent.setdefault(new_label, {})
+        depth_map = self.tree_depth.setdefault(new_label, {})
+        if node not in parent_map:
+            parent_map[node] = via
+            depth_map[node] = depth_map.get(via, 0) + 1
+
+    def kill(self, node: Any) -> None:
+        """Delete ``node`` (it will not be clustered by this carving)."""
+        self.alive.discard(node)
+        self.dead.add(node)
+        self.label.pop(node, None)
+
+
+def _bit(value: int, position: int) -> int:
+    return (value >> position) & 1
+
+
+@dataclasses.dataclass
+class PhaseReport:
+    """What happened during one bit-phase (used for round accounting)."""
+
+    bit: int
+    steps: int
+    nodes_joined: int
+    nodes_killed: int
+    max_tree_depth: int
+
+
+def run_phase(
+    state: CarvingState,
+    bit: int,
+    threshold: float,
+    max_steps: int,
+) -> PhaseReport:
+    """Execute the phase for the given bit position on the shared state.
+
+    Args:
+        state: The carving state; mutated in place.
+        bit: Which bit of the cluster labels defines blue (0) vs red (1).
+        threshold: Acceptance threshold — a red cluster accepts a batch of
+            proposers when ``len(proposers) >= threshold * cluster_size``.
+        max_steps: Safety cap on the number of steps (the theory bounds the
+            step count by ``O(log_{1+threshold} n)``; exceeding the cap
+            indicates a bug and raises ``RuntimeError``).
+
+    Returns:
+        A :class:`PhaseReport` with the phase's statistics.
+    """
+    graph = state.graph
+    joined = 0
+    killed = 0
+    steps = 0
+
+    # Current cluster sizes (alive members only), maintained incrementally.
+    cluster_size: Dict[int, int] = {}
+    for node in state.alive:
+        cluster_size[state.label[node]] = cluster_size.get(state.label[node], 0) + 1
+
+    while True:
+        # Collect proposals: every alive blue node adjacent to an alive red
+        # node proposes to exactly one adjacent red cluster.
+        proposals: Dict[int, List[Tuple[Any, Any]]] = {}
+        for node in list(state.alive):
+            if _bit(state.label[node], bit) != 0:
+                continue
+            best_choice: Optional[Tuple[int, int, Any]] = None
+            for neighbour in graph.neighbors(node):
+                if neighbour not in state.alive:
+                    continue
+                neighbour_label = state.label[neighbour]
+                if _bit(neighbour_label, bit) != 1:
+                    continue
+                neighbour_uid = state.graph.nodes[neighbour].get("uid", neighbour)
+                choice = (neighbour_label, neighbour_uid, neighbour)
+                if best_choice is None or choice[:2] < best_choice[:2]:
+                    best_choice = choice
+            if best_choice is not None:
+                target_label, _, via = best_choice
+                proposals.setdefault(target_label, []).append((node, via))
+
+        if not proposals:
+            break
+
+        steps += 1
+        if steps > max_steps:
+            raise RuntimeError(
+                "weak carving phase for bit {} exceeded {} steps; "
+                "this indicates a bug in the growth accounting".format(bit, max_steps)
+            )
+
+        for target_label, proposers in sorted(proposals.items()):
+            size = cluster_size.get(target_label, 0)
+            if size == 0:
+                # The cluster lost all its alive members earlier in this very
+                # step batch; treat as rejection (nothing to join).
+                accept = False
+            else:
+                accept = len(proposers) >= threshold * size
+            if accept:
+                state.acceptance_events += 1
+                for node, via in proposers:
+                    old_label = state.label[node]
+                    cluster_size[old_label] = cluster_size.get(old_label, 1) - 1
+                    state.record_join(node, via, target_label)
+                    cluster_size[target_label] = cluster_size.get(target_label, 0) + 1
+                    joined += 1
+            else:
+                state.rejection_events += 1
+                for node, _ in proposers:
+                    old_label = state.label[node]
+                    cluster_size[old_label] = cluster_size.get(old_label, 1) - 1
+                    state.kill(node)
+                    killed += 1
+
+    state.steps_executed += steps
+    return PhaseReport(
+        bit=bit,
+        steps=steps,
+        nodes_joined=joined,
+        nodes_killed=killed,
+        max_tree_depth=state.max_tree_depth(),
+    )

@@ -1,0 +1,110 @@
+"""Unit tests for metrics extraction, polylog fitting, and table rendering."""
+
+import math
+
+import pytest
+
+import repro
+from repro.analysis.fitting import PolylogFit, fit_polylog, is_polylog_bounded
+from repro.analysis.metrics import (
+    CarvingMetrics,
+    DecompositionMetrics,
+    evaluate_carving,
+    evaluate_decomposition,
+)
+from repro.analysis.tables import format_table
+
+
+class TestMetrics:
+    def test_carving_metrics_fields(self, small_grid):
+        carving = repro.carve(small_grid, 0.5, method="sequential")
+        metrics = evaluate_carving(carving, "sequential")
+        assert isinstance(metrics, CarvingMetrics)
+        assert metrics.n == small_grid.number_of_nodes()
+        assert metrics.algorithm == "sequential"
+        assert 0.0 <= metrics.dead_fraction <= 1.0
+        assert metrics.rounds == carving.rounds
+
+    def test_carving_metrics_row(self, small_grid):
+        carving = repro.carve(small_grid, 0.25, method="sequential")
+        row = evaluate_carving(carving, "seq").as_row()
+        assert row["algorithm"] == "seq"
+        assert row["eps"] == 0.25
+        assert "diameter" in row and "rounds" in row
+
+    def test_decomposition_metrics_fields(self, small_grid):
+        decomposition = repro.decompose(small_grid, method="sequential")
+        metrics = evaluate_decomposition(decomposition, "sequential")
+        assert isinstance(metrics, DecompositionMetrics)
+        assert metrics.colors == decomposition.num_colors
+        assert metrics.clusters == len(decomposition.clusters)
+
+    def test_weak_carving_metrics_use_weak_diameter(self, small_torus):
+        carving = repro.carve(small_torus, 0.5, method="weak-rg20")
+        metrics = evaluate_carving(carving, "weak")
+        assert metrics.kind == "weak"
+        assert metrics.max_diameter >= 0
+
+
+class TestPolylogFit:
+    def test_fits_exact_polylog_data(self):
+        sizes = [2 ** k for k in range(4, 12)]
+        values = [3.0 * (math.log2(n) ** 2) for n in sizes]
+        fit = fit_polylog(sizes, values)
+        assert fit.exponent == pytest.approx(2.0, abs=0.05)
+        assert fit.coefficient == pytest.approx(3.0, rel=0.1)
+        assert fit.residual < 1e-6
+
+    def test_predict_matches_data(self):
+        sizes = [2 ** k for k in range(4, 10)]
+        values = [5.0 * math.log2(n) for n in sizes]
+        fit = fit_polylog(sizes, values)
+        assert fit.predict(1024) == pytest.approx(50.0, rel=0.1)
+
+    def test_polynomial_data_has_large_polynomial_exponent(self):
+        sizes = [2 ** k for k in range(4, 12)]
+        values = [0.5 * n for n in sizes]
+        fit = fit_polylog(sizes, values)
+        assert fit.polynomial_exponent == pytest.approx(1.0, abs=0.05)
+
+    def test_is_polylog_bounded_accepts_polylog(self):
+        sizes = [2 ** k for k in range(4, 12)]
+        values = [2.0 * (math.log2(n) ** 3) for n in sizes]
+        assert is_polylog_bounded(sizes, values)
+
+    def test_is_polylog_bounded_rejects_exponential_exponent(self):
+        sizes = [2 ** k for k in range(4, 12)]
+        values = [math.log2(n) ** 20 for n in sizes]
+        assert not is_polylog_bounded(sizes, values, max_exponent=12.0)
+
+    def test_rejects_degenerate_input(self):
+        with pytest.raises(ValueError):
+            fit_polylog([16], [3.0])
+        with pytest.raises(ValueError):
+            fit_polylog([16, 32], [0.0, 1.0])
+        with pytest.raises(ValueError):
+            fit_polylog([16, 32], [1.0])
+
+
+class TestTableRendering:
+    def test_renders_rows_and_header(self):
+        rows = [{"name": "a", "value": 1}, {"name": "bb", "value": 22}]
+        table = format_table(rows, title="demo")
+        lines = table.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert any("bb" in line for line in lines)
+
+    def test_column_selection_and_missing_cells(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3}]
+        table = format_table(rows, columns=["a", "b"])
+        assert "2" in table
+        assert table.count("|") >= 2
+
+    def test_empty_rows(self):
+        assert format_table([], title="nothing") == "nothing"
+        assert format_table([]) == "(no rows)"
+
+    def test_float_formatting(self):
+        table = format_table([{"x": 0.123456}])
+        assert "0.123" in table

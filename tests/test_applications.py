@@ -1,0 +1,105 @@
+"""Unit tests for the MIS / coloring applications of network decomposition."""
+
+import pytest
+
+import repro
+from repro.applications.coloring import delta_plus_one_coloring, verify_coloring
+from repro.applications.mis import maximal_independent_set, verify_mis
+from repro.applications.template import process_by_colors
+from repro.congest.rounds import RoundLedger
+
+
+class TestTemplate:
+    def test_handler_sees_only_previous_colors(self, small_grid):
+        decomposition = repro.decompose(small_grid, method="sequential")
+        seen_partial_nodes = []
+
+        def handler(graph, cluster, partial):
+            seen_partial_nodes.append(set(partial))
+            return {node: True for node in cluster.nodes}
+
+        process_by_colors(decomposition, handler)
+        # The first processed cluster must see an empty partial solution.
+        assert seen_partial_nodes[0] == set()
+        # Partial solutions only ever grow between colors.
+        assert all(
+            earlier <= later or not (earlier and later)
+            for earlier, later in zip(seen_partial_nodes, seen_partial_nodes[1:])
+            if earlier is not None
+        )
+
+    def test_missing_values_raise(self, small_grid):
+        decomposition = repro.decompose(small_grid, method="sequential")
+
+        def bad_handler(graph, cluster, partial):
+            return {}
+
+        with pytest.raises(ValueError):
+            process_by_colors(decomposition, bad_handler)
+
+    def test_solution_covers_every_node(self, small_grid):
+        decomposition = repro.decompose(small_grid, method="sequential")
+        solution = process_by_colors(
+            decomposition, lambda graph, cluster, partial: {node: 1 for node in cluster.nodes}
+        )
+        assert set(solution) == set(small_grid.nodes())
+
+    def test_round_cost_scales_with_colors_times_diameter(self, small_grid):
+        decomposition = repro.decompose(small_grid, method="sequential")
+        ledger = RoundLedger()
+        process_by_colors(
+            decomposition,
+            lambda graph, cluster, partial: {node: 0 for node in cluster.nodes},
+            ledger=ledger,
+        )
+        assert ledger.total_rounds >= decomposition.num_colors
+
+
+class TestMis:
+    @pytest.mark.parametrize("method", ["sequential", "strong-log3", "mpx"])
+    def test_mis_is_valid_on_torus(self, small_torus, method):
+        decomposition = repro.decompose(small_torus, method=method, seed=2)
+        independent_set = maximal_independent_set(decomposition)
+        assert verify_mis(small_torus, independent_set)
+
+    def test_mis_on_weak_decomposition(self, small_regular):
+        decomposition = repro.decompose(small_regular, method="ls93", seed=2)
+        independent_set = maximal_independent_set(decomposition)
+        assert verify_mis(small_regular, independent_set)
+
+    def test_mis_nonempty_on_nontrivial_graph(self, small_cycle):
+        decomposition = repro.decompose(small_cycle, method="sequential")
+        independent_set = maximal_independent_set(decomposition)
+        assert len(independent_set) >= small_cycle.number_of_nodes() // 3
+
+    def test_verify_mis_rejects_non_independent(self, small_cycle):
+        assert not verify_mis(small_cycle, {0, 1})
+
+    def test_verify_mis_rejects_non_maximal(self, small_cycle):
+        assert not verify_mis(small_cycle, set())
+
+
+class TestColoring:
+    @pytest.mark.parametrize("method", ["sequential", "strong-log3", "mpx"])
+    def test_coloring_is_proper(self, small_torus, method):
+        decomposition = repro.decompose(small_torus, method=method, seed=2)
+        coloring = delta_plus_one_coloring(decomposition)
+        assert verify_coloring(small_torus, coloring)
+
+    def test_coloring_on_tree(self, small_tree):
+        decomposition = repro.decompose(small_tree, method="sequential")
+        coloring = delta_plus_one_coloring(decomposition)
+        assert verify_coloring(small_tree, coloring)
+
+    def test_palette_within_max_degree_plus_one(self, small_regular):
+        decomposition = repro.decompose(small_regular, method="sequential")
+        coloring = delta_plus_one_coloring(decomposition)
+        max_degree = max(degree for _, degree in small_regular.degree())
+        assert max(coloring.values()) <= max_degree
+
+    def test_verify_coloring_rejects_conflicts(self, small_cycle):
+        coloring = {node: 0 for node in small_cycle.nodes()}
+        assert not verify_coloring(small_cycle, coloring)
+
+    def test_verify_coloring_rejects_partial_assignments(self, small_cycle):
+        assert not verify_coloring(small_cycle, {0: 0})

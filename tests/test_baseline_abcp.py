@@ -1,0 +1,72 @@
+"""Unit tests for the ABCP96 transformation baseline (message-size study)."""
+
+import math
+
+import pytest
+
+from repro.baselines.abcp import ABCPReport, abcp_strong_carving
+from repro.clustering.validation import check_ball_carving, strong_diameter
+from repro.congest.messages import default_bandwidth
+from repro.graphs.generators import cycle_graph, grid_graph, torus_graph
+
+
+class TestAbcpCarving:
+    def test_structural_invariants_on_grid(self):
+        graph = grid_graph(5, 5)
+        carving, report = abcp_strong_carving(graph)
+        check_ball_carving(carving)
+
+    def test_structural_invariants_on_torus(self):
+        graph = torus_graph(5, 5)
+        carving, report = abcp_strong_carving(graph)
+        check_ball_carving(carving)
+
+    def test_diameter_is_logarithmic(self):
+        graph = torus_graph(6, 6)
+        carving, _ = abcp_strong_carving(graph)
+        bound = 2 * math.ceil(math.log2(graph.number_of_nodes())) + 2
+        for cluster in carving.clusters:
+            assert strong_diameter(carving.graph, cluster.nodes) <= bound
+
+    def test_dead_fraction_at_most_half(self):
+        graph = cycle_graph(40)
+        carving, _ = abcp_strong_carving(graph)
+        assert carving.dead_fraction <= 0.5 + 1.0 / 40
+
+
+class TestAbcpMessageSizes:
+    def test_messages_exceed_congest_bandwidth(self):
+        graph = torus_graph(6, 6)
+        _, report = abcp_strong_carving(graph)
+        assert report.max_message_bits > report.congest_bandwidth_bits
+        assert report.blowup_factor > 1.0
+
+    def test_bandwidth_field_matches_default(self):
+        graph = grid_graph(4, 4)
+        _, report = abcp_strong_carving(graph)
+        assert report.congest_bandwidth_bits == default_bandwidth(16)
+
+    def test_blowup_grows_with_graph_size(self):
+        _, small = abcp_strong_carving(grid_graph(4, 4))
+        _, large = abcp_strong_carving(grid_graph(8, 8))
+        assert large.max_message_bits >= small.max_message_bits
+
+    def test_power_graph_edges_recorded(self):
+        graph = cycle_graph(20)
+        _, report = abcp_strong_carving(graph)
+        assert report.power_graph_edges >= graph.number_of_edges()
+
+    def test_gathered_regions_positive(self):
+        graph = grid_graph(4, 5)
+        _, report = abcp_strong_carving(graph)
+        assert report.gathered_regions >= 1
+
+
+class TestAbcpReport:
+    def test_blowup_with_zero_bandwidth(self):
+        report = ABCPReport(max_message_bits=100, congest_bandwidth_bits=0)
+        assert report.blowup_factor == float("inf")
+
+    def test_blowup_ratio(self):
+        report = ABCPReport(max_message_bits=100, congest_bandwidth_bits=25)
+        assert report.blowup_factor == pytest.approx(4.0)

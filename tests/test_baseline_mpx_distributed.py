@@ -1,0 +1,78 @@
+"""Unit tests for the fully simulated (message-level) MPX carving."""
+
+import random
+
+import pytest
+
+from repro.baselines.mpx_distributed import _geometric_shift, mpx_distributed_carving
+from repro.clustering.validation import (
+    check_ball_carving,
+    clusters_nonadjacent,
+    strong_diameter,
+)
+from repro.congest.rounds import RoundLedger
+from repro.graphs.generators import grid_graph, torus_graph
+
+
+class TestGeometricShift:
+    def test_respects_cap(self):
+        rng = random.Random(0)
+        assert all(_geometric_shift(rng, 0.05, cap=7) <= 7 for _ in range(200))
+
+    def test_eps_one_like_behaviour(self):
+        rng = random.Random(0)
+        # With eps close to 1 almost every shift is 0.
+        draws = [_geometric_shift(rng, 0.99, cap=10) for _ in range(100)]
+        assert sum(draws) <= 5
+
+
+class TestDistributedMpxCarving:
+    def test_structural_invariants(self, small_torus):
+        carving, report = mpx_distributed_carving(small_torus, 0.5, rng=random.Random(1))
+        check_ball_carving(carving, max_dead_fraction=0.97)
+        assert clusters_nonadjacent(carving.graph, carving.clusters)
+
+    def test_clusters_are_connected(self, small_grid):
+        carving, _ = mpx_distributed_carving(small_grid, 0.5, rng=random.Random(2))
+        for cluster in carving.clusters:
+            strong_diameter(carving.graph, cluster.nodes)  # raises if disconnected
+
+    def test_messages_fit_congest_bandwidth(self, small_grid):
+        _, report = mpx_distributed_carving(small_grid, 0.5, rng=random.Random(3))
+        assert report.within_bandwidth
+        assert report.max_message_bits <= report.bandwidth_bits
+
+    def test_rounds_are_measured_not_modelled(self, small_torus):
+        ledger = RoundLedger()
+        carving, report = mpx_distributed_carving(
+            small_torus, 0.5, rng=random.Random(4), ledger=ledger
+        )
+        assert report.rounds >= 1
+        assert carving.rounds >= report.rounds  # BFS rounds + comparison round
+
+    def test_reproducible_with_same_seed(self, small_grid):
+        first, _ = mpx_distributed_carving(small_grid, 0.5, rng=random.Random(9))
+        second, _ = mpx_distributed_carving(small_grid, 0.5, rng=random.Random(9))
+        assert first.cluster_of() == second.cluster_of()
+        assert first.dead == second.dead
+
+    def test_cluster_trees_stay_inside_clusters(self, small_torus):
+        carving, _ = mpx_distributed_carving(small_torus, 0.5, rng=random.Random(5))
+        for cluster in carving.clusters:
+            assert cluster.tree.nodes <= set(cluster.nodes)
+
+    def test_expected_dead_fraction_reasonable(self, small_torus):
+        runs = 8
+        total = 0.0
+        for seed in range(runs):
+            carving, _ = mpx_distributed_carving(small_torus, 0.25, rng=random.Random(seed))
+            total += carving.dead_fraction
+        assert total / runs <= 0.75
+
+    def test_rejects_bad_inputs(self, small_grid):
+        import networkx as nx
+
+        with pytest.raises(ValueError):
+            mpx_distributed_carving(small_grid, 0.0)
+        with pytest.raises(ValueError):
+            mpx_distributed_carving(nx.Graph(), 0.5)

@@ -1,0 +1,50 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.family == "torus"
+        assert args.method == "strong-log3"
+        assert args.mode == "decomposition"
+        assert args.n == 256
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--method", "bogus"])
+
+    def test_rejects_unknown_family(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--family", "hyperbolic"])
+
+
+class TestMain:
+    def test_decomposition_run(self, capsys):
+        exit_code = main(["--family", "grid", "--n", "36", "--method", "sequential"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "network decomposition" in output
+        assert "colors" in output
+
+    def test_carving_run(self, capsys):
+        exit_code = main(
+            ["--family", "cycle", "--n", "30", "--mode", "carving", "--method", "mpx", "--eps", "0.5"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "ball carving" in output
+
+    def test_deterministic_strong_method(self, capsys):
+        exit_code = main(["--family", "grid", "--n", "25", "--method", "strong-log3"])
+        assert exit_code == 0
+        assert "rounds" in capsys.readouterr().out
+
+    def test_skip_validation_flag(self, capsys):
+        exit_code = main(
+            ["--family", "tree", "--n", "31", "--method", "sequential", "--skip-validation"]
+        )
+        assert exit_code == 0

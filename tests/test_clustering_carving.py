@@ -1,0 +1,82 @@
+"""Unit tests for the BallCarving result type."""
+
+import pytest
+
+from repro.clustering.carving import BallCarving
+from repro.clustering.cluster import Cluster, SteinerTree
+from repro.congest.rounds import RoundLedger
+from repro.graphs.generators import path_graph
+
+
+def _carving_on_path():
+    graph = path_graph(10)
+    clusters = [
+        Cluster(nodes=frozenset({0, 1, 2}), label="a"),
+        Cluster(nodes=frozenset({4, 5, 6}), label="b"),
+        Cluster(nodes=frozenset({8, 9}), label="c"),
+    ]
+    dead = {3, 7}
+    ledger = RoundLedger()
+    ledger.charge("work", 17)
+    return graph, BallCarving(graph=graph, clusters=clusters, dead=dead, eps=0.25, ledger=ledger)
+
+
+class TestBallCarving:
+    def test_clustered_nodes(self):
+        _, carving = _carving_on_path()
+        assert carving.clustered_nodes == {0, 1, 2, 4, 5, 6, 8, 9}
+
+    def test_dead_fraction(self):
+        _, carving = _carving_on_path()
+        assert carving.dead_fraction == pytest.approx(0.2)
+
+    def test_rounds_come_from_ledger(self):
+        _, carving = _carving_on_path()
+        assert carving.rounds == 17
+
+    def test_cluster_of_mapping(self):
+        _, carving = _carving_on_path()
+        mapping = carving.cluster_of()
+        assert mapping[0] == "a"
+        assert mapping[5] == "b"
+        assert 3 not in mapping
+
+    def test_max_cluster_size(self):
+        _, carving = _carving_on_path()
+        assert carving.max_cluster_size() == 3
+
+    def test_congestion_zero_without_trees(self):
+        _, carving = _carving_on_path()
+        assert carving.congestion() == 0
+
+    def test_congestion_with_shared_tree_edges(self):
+        graph = path_graph(4)
+        tree = SteinerTree(root=0, parent={0: None, 1: 0, 2: 1})
+        clusters = [
+            Cluster(nodes=frozenset({0, 2}), label="a", tree=tree),
+            Cluster(nodes=frozenset({1}), label="b",
+                    tree=SteinerTree(root=1, parent={1: None, 0: 1})),
+        ]
+        carving = BallCarving(graph=graph, clusters=clusters, dead={3}, eps=0.5, kind="weak")
+        assert carving.congestion() == 2
+
+    def test_summary_fields(self):
+        _, carving = _carving_on_path()
+        summary = carving.summary()
+        assert summary["n"] == 10
+        assert summary["clusters"] == 3
+        assert summary["dead_nodes"] == 2
+        assert summary["rounds"] == 17
+        assert summary["kind"] == "strong"
+
+    def test_invalid_kind_rejected(self):
+        graph = path_graph(3)
+        with pytest.raises(ValueError):
+            BallCarving(graph=graph, clusters=[], dead=set(), eps=0.5, kind="medium")
+
+    def test_empty_carving(self):
+        graph = path_graph(3)
+        carving = BallCarving(graph=graph, clusters=[], dead=set(graph.nodes()), eps=1e-9)
+        assert carving.max_cluster_size() == 0
+        assert carving.dead_fraction == 1.0
+        assert carving.clustered_nodes == set()

@@ -1,0 +1,74 @@
+"""Unit tests for the NetworkDecomposition result type."""
+
+import pytest
+
+from repro.clustering.cluster import Cluster
+from repro.clustering.decomposition import NetworkDecomposition
+from repro.congest.rounds import RoundLedger
+from repro.graphs.generators import cycle_graph, path_graph
+
+
+def _decomposition_on_path():
+    graph = path_graph(6)
+    clusters = [
+        Cluster(nodes=frozenset({0, 1}), label="a", color=0),
+        Cluster(nodes=frozenset({3, 4}), label="b", color=0),
+        Cluster(nodes=frozenset({2}), label="c", color=1),
+        Cluster(nodes=frozenset({5}), label="d", color=1),
+    ]
+    ledger = RoundLedger()
+    ledger.charge("work", 9)
+    return graph, NetworkDecomposition(graph=graph, clusters=clusters, ledger=ledger)
+
+
+class TestNetworkDecomposition:
+    def test_requires_colors(self):
+        graph = path_graph(2)
+        with pytest.raises(ValueError):
+            NetworkDecomposition(
+                graph=graph, clusters=[Cluster(nodes=frozenset({0, 1}), label="x")]
+            )
+
+    def test_num_colors_and_colors(self):
+        _, decomposition = _decomposition_on_path()
+        assert decomposition.num_colors == 2
+        assert decomposition.colors == [0, 1]
+
+    def test_clusters_of_color(self):
+        _, decomposition = _decomposition_on_path()
+        labels = {cluster.label for cluster in decomposition.clusters_of_color(0)}
+        assert labels == {"a", "b"}
+
+    def test_color_of_mapping(self):
+        _, decomposition = _decomposition_on_path()
+        colors = decomposition.color_of()
+        assert colors[0] == 0
+        assert colors[2] == 1
+        assert len(colors) == 6
+
+    def test_cluster_of_mapping(self):
+        _, decomposition = _decomposition_on_path()
+        mapping = decomposition.cluster_of()
+        assert mapping[3] == "b"
+        assert mapping[5] == "d"
+
+    def test_covered_nodes(self):
+        _, decomposition = _decomposition_on_path()
+        assert decomposition.covered_nodes() == set(range(6))
+
+    def test_rounds_from_ledger(self):
+        _, decomposition = _decomposition_on_path()
+        assert decomposition.rounds == 9
+
+    def test_summary(self):
+        _, decomposition = _decomposition_on_path()
+        summary = decomposition.summary()
+        assert summary["colors"] == 2
+        assert summary["clusters"] == 4
+        assert summary["n"] == 6
+        assert summary["max_cluster_size"] == 2
+
+    def test_invalid_kind_rejected(self):
+        graph = cycle_graph(4)
+        with pytest.raises(ValueError):
+            NetworkDecomposition(graph=graph, clusters=[], kind="loose")

@@ -1,0 +1,74 @@
+"""Unit tests for message size accounting."""
+
+import pytest
+
+from repro.congest.messages import Message, default_bandwidth, message_bits
+
+
+class TestMessageBits:
+    def test_none_and_bool_cost_one_bit(self):
+        assert message_bits(None) == 1
+        assert message_bits(True) == 1
+        assert message_bits(False) == 1
+
+    def test_small_int_cost(self):
+        assert message_bits(0) == 2
+        assert message_bits(1) == 2
+        assert message_bits(-1) == 2
+
+    def test_int_cost_grows_with_magnitude(self):
+        assert message_bits(1023) == 1 + 10
+        assert message_bits(2 ** 40) < message_bits(2 ** 80)
+
+    def test_float_cost(self):
+        assert message_bits(3.14) == 64
+
+    def test_string_cost(self):
+        assert message_bits("abc") == 24
+        assert message_bits("") == 8
+
+    def test_tuple_cost_is_additive(self):
+        single = message_bits(7)
+        assert message_bits((7,)) == single + 2 + 2
+        assert message_bits((7, 7)) == 2 * (single + 2) + 2
+
+    def test_dict_cost(self):
+        assert message_bits({1: 2}) > message_bits(1) + message_bits(2)
+
+    def test_unsupported_type_raises(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(TypeError):
+            message_bits(Opaque())
+
+    def test_nested_structures(self):
+        nested = (1, (2, 3), "x")
+        assert message_bits(nested) > message_bits((1, 2, 3))
+
+
+class TestMessage:
+    def test_bits_property_matches_function(self):
+        message = Message(sender=0, payload=(1, 2, 3))
+        assert message.bits == message_bits((1, 2, 3))
+
+    def test_message_is_frozen(self):
+        message = Message(sender=0, payload=5)
+        with pytest.raises(Exception):
+            message.payload = 7
+
+
+class TestDefaultBandwidth:
+    def test_logarithmic_growth(self):
+        assert default_bandwidth(2) == 8
+        assert default_bandwidth(1024) == 8 * 10
+        assert default_bandwidth(1 << 20) == 8 * 20
+
+    def test_tiny_networks(self):
+        assert default_bandwidth(1) == 8
+
+    def test_fits_a_constant_number_of_identifiers(self):
+        n = 4096
+        bandwidth = default_bandwidth(n)
+        identifier_message = (1, n - 1, n // 2)
+        assert message_bits(identifier_message) <= bandwidth

@@ -1,0 +1,189 @@
+"""Unit tests for the distributed CONGEST primitives.
+
+Besides functional correctness, these tests cross-check the round counts the
+message-level simulator measures against the cost formulas charged by
+:class:`repro.congest.rounds.RoundLedger` — that calibration is what makes the
+ledger-based accounting of the composite algorithms meaningful.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.congest.primitives import (
+    bfs_tree,
+    broadcast_from_root,
+    convergecast_sum,
+    count_nodes_at_distances,
+    leader_election,
+    shifted_multisource_bfs,
+)
+from repro.congest.rounds import RoundLedger
+from repro.graphs.generators import (
+    binary_tree_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.properties import distances_from, exact_diameter
+
+
+class TestBfsTree:
+    def test_distances_match_reference(self):
+        graph = grid_graph(5, 5)
+        _, distances, _ = bfs_tree(graph, 7)
+        assert distances == distances_from(graph, 7)
+
+    def test_parents_form_a_tree_towards_root(self):
+        graph = binary_tree_graph(4)
+        parents, distances, _ = bfs_tree(graph, 0)
+        assert parents[0] is None
+        for node, parent in parents.items():
+            if parent is not None:
+                assert graph.has_edge(node, parent)
+                assert distances[node] == distances[parent] + 1
+
+    def test_every_node_reached_in_connected_graph(self):
+        graph = cycle_graph(15)
+        parents, distances, _ = bfs_tree(graph, 3)
+        assert set(distances) == set(graph.nodes())
+
+    def test_round_count_close_to_eccentricity(self):
+        graph = path_graph(12)
+        _, distances, report = bfs_tree(graph, 0)
+        eccentricity = max(distances.values())
+        assert eccentricity <= report.rounds <= eccentricity + 3
+
+    def test_messages_fit_bandwidth(self):
+        graph = grid_graph(6, 6)
+        _, _, report = bfs_tree(graph, 0)
+        assert report.within_bandwidth
+
+    def test_ledger_formula_upper_bounds_simulation(self):
+        graph = path_graph(15)
+        _, distances, report = bfs_tree(graph, 0)
+        ledger = RoundLedger()
+        ledger.bfs(max(distances.values()))
+        assert report.rounds <= ledger.total_rounds + 2
+
+
+class TestConvergecastAndBroadcast:
+    def test_sum_of_ones_counts_nodes(self):
+        graph = grid_graph(4, 4)
+        parents, _, _ = bfs_tree(graph, 0)
+        total, _ = convergecast_sum(graph, parents, {node: 1 for node in graph.nodes()})
+        assert total == 16
+
+    def test_weighted_sum(self):
+        graph = star_graph(8)
+        parents, _, _ = bfs_tree(graph, 0)
+        values = {node: node + 1 for node in graph.nodes()}
+        total, _ = convergecast_sum(graph, parents, values)
+        assert total == sum(values.values())
+
+    def test_convergecast_rounds_bounded_by_depth(self):
+        graph = path_graph(10)
+        parents, distances, _ = bfs_tree(graph, 0)
+        _, report = convergecast_sum(graph, parents, {node: 1 for node in graph.nodes()})
+        depth = max(distances.values())
+        assert report.rounds <= depth + 3
+
+    def test_broadcast_reaches_everyone(self):
+        graph = grid_graph(4, 5)
+        parents, _, _ = bfs_tree(graph, 2)
+        outputs, _ = broadcast_from_root(graph, parents, 99)
+        assert all(value == 99 for value in outputs.values())
+
+    def test_broadcast_requires_single_root(self):
+        graph = path_graph(4)
+        bad_parents = {0: None, 1: None, 2: 1, 3: 2}
+        with pytest.raises(ValueError):
+            broadcast_from_root(graph, bad_parents, 1)
+
+    def test_convergecast_requires_single_root(self):
+        graph = path_graph(4)
+        bad_parents = {0: None, 1: None, 2: 1, 3: 2}
+        with pytest.raises(ValueError):
+            convergecast_sum(graph, bad_parents, {})
+
+
+class TestLeaderElection:
+    def test_elects_minimum_uid(self):
+        graph = grid_graph(4, 4, seed=9)
+        leader, _ = leader_election(graph)
+        assert leader == min(graph.nodes[node]["uid"] for node in graph.nodes())
+
+    def test_all_nodes_agree(self):
+        graph = cycle_graph(11, seed=2)
+        leader, report = leader_election(graph)
+        assert set(report.outputs.values()) == {leader}
+
+    def test_insufficient_rounds_raise(self):
+        graph = path_graph(20, seed=1)
+        with pytest.raises(RuntimeError):
+            leader_election(graph, rounds=2)
+
+
+class TestShiftedBfs:
+    def test_zero_shifts_make_every_node_its_own_center(self):
+        graph = grid_graph(3, 3)
+        centers, parents, _ = shifted_multisource_bfs(graph, {node: 0 for node in graph.nodes()})
+        for node in graph.nodes():
+            assert centers[node] == graph.nodes[node]["uid"]
+            assert parents[node] is None
+
+    def test_single_large_shift_captures_everything(self):
+        graph = grid_graph(4, 4)
+        shifts = {node: 0 for node in graph.nodes()}
+        shifts[0] = 100
+        centers, parents, _ = shifted_multisource_bfs(graph, shifts)
+        assert set(centers.values()) == {graph.nodes[0]["uid"]}
+
+    def test_clusters_are_connected(self):
+        graph = grid_graph(5, 5)
+        shifts = {node: (node % 3) for node in graph.nodes()}
+        centers, parents, _ = shifted_multisource_bfs(graph, shifts)
+        for node, parent in parents.items():
+            if parent is not None:
+                assert centers[parent] == centers[node]
+                assert graph.has_edge(node, parent)
+
+    def test_rounds_bounded_by_shift_plus_diameter(self):
+        graph = grid_graph(4, 4)
+        shifts = {node: 2 for node in graph.nodes()}
+        _, _, report = shifted_multisource_bfs(graph, shifts)
+        assert report.rounds <= 2 + exact_diameter(graph) + 3
+
+
+class TestLayerCounts:
+    def test_counts_match_reference(self):
+        graph = grid_graph(5, 4)
+        counts, _ = count_nodes_at_distances(graph, 0, max_radius=10)
+        reference = {}
+        for node, distance in distances_from(graph, 0).items():
+            reference[distance] = reference.get(distance, 0) + 1
+        assert counts == reference
+
+    def test_total_equals_n(self):
+        graph = cycle_graph(13)
+        counts, _ = count_nodes_at_distances(graph, 5, max_radius=13)
+        assert sum(counts.values()) == 13
+
+    def test_respects_max_radius(self):
+        graph = path_graph(10)
+        counts, _ = count_nodes_at_distances(graph, 0, max_radius=4)
+        assert max(counts) <= 4
+
+    def test_messages_fit_bandwidth(self):
+        graph = grid_graph(5, 5)
+        _, report = count_nodes_at_distances(graph, 0, max_radius=9)
+        assert report.within_bandwidth
+
+    def test_ledger_layer_count_formula_upper_bounds_simulation(self):
+        graph = path_graph(12)
+        _, report = count_nodes_at_distances(graph, 0, max_radius=11)
+        ledger = RoundLedger()
+        ledger.layer_count(11)
+        # Pipelined counting costs O(depth); the ledger formula (2*depth + 4)
+        # must upper bound the simulator within a small additive slack.
+        assert report.rounds <= ledger.total_rounds + 12

@@ -1,0 +1,145 @@
+"""Unit tests for the CONGEST simulator."""
+
+from typing import Any, Dict, List
+
+import networkx as nx
+import pytest
+
+from repro.congest.algorithm import NodeAlgorithm, NodeContext
+from repro.congest.simulator import BandwidthExceeded, CongestSimulator
+from repro.graphs.generators import assign_unique_identifiers, path_graph
+
+
+class _PingOnce(NodeAlgorithm):
+    """Every node sends its uid to every neighbour once, then stops."""
+
+    def initialize(self) -> Dict[Any, Any]:
+        self.heard: List[int] = []
+        self.halted = True
+        return {neighbor: (1, self.context.uid) for neighbor in self.context.neighbors}
+
+    def step(self, round_number, inbox):
+        for message in inbox:
+            self.heard.append(int(message.payload[1]))
+        self.halted = True
+        return {}
+
+    def output(self):
+        return sorted(self.heard)
+
+
+class _BigTalker(NodeAlgorithm):
+    """Sends a message far larger than the bandwidth."""
+
+    def initialize(self):
+        self.halted = True
+        return {neighbor: tuple(range(200)) for neighbor in self.context.neighbors}
+
+    def step(self, round_number, inbox):
+        self.halted = True
+        return {}
+
+
+class _NonNeighborSender(NodeAlgorithm):
+    """Tries to message a node it is not adjacent to."""
+
+    def initialize(self):
+        self.halted = True
+        if self.context.uid == 0:
+            return {"not-a-neighbor": (1, 1)}
+        return {}
+
+    def step(self, round_number, inbox):
+        self.halted = True
+        return {}
+
+
+class _NeverHalts(NodeAlgorithm):
+    """Keeps chattering forever (used to exercise the round cap)."""
+
+    def initialize(self):
+        return {neighbor: (1, 0) for neighbor in self.context.neighbors}
+
+    def step(self, round_number, inbox):
+        return {neighbor: (1, round_number) for neighbor in self.context.neighbors}
+
+
+class TestSimulatorBasics:
+    def test_ping_exchange_delivers_uids(self):
+        graph = path_graph(4, seed=0)
+        simulator = CongestSimulator(graph)
+        report = simulator.run(_PingOnce)
+        for node in graph.nodes():
+            expected = sorted(graph.nodes[neigh]["uid"] for neigh in graph.neighbors(node))
+            assert report.outputs[node] == expected
+
+    def test_round_and_message_counts(self):
+        graph = path_graph(3, seed=0)
+        report = CongestSimulator(graph).run(_PingOnce)
+        # 4 directed messages (2 per edge), all in round 1.
+        assert report.messages_sent == 4
+        assert report.rounds == 1
+        assert report.within_bandwidth
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            CongestSimulator(nx.Graph())
+
+    def test_uid_defaults_to_node_label(self):
+        graph = nx.path_graph(3)  # no uid attributes
+        report = CongestSimulator(graph).run(_PingOnce)
+        assert report.outputs[1] == [0, 2]
+
+
+class TestBandwidthEnforcement:
+    def test_strict_mode_raises(self):
+        graph = path_graph(3, seed=0)
+        simulator = CongestSimulator(graph, strict=True)
+        with pytest.raises(BandwidthExceeded):
+            simulator.run(_BigTalker)
+
+    def test_permissive_mode_counts_violations(self):
+        graph = path_graph(3, seed=0)
+        simulator = CongestSimulator(graph, strict=False)
+        report = simulator.run(_BigTalker)
+        assert report.bandwidth_violations == 4
+        assert not report.within_bandwidth
+        assert report.max_message_bits > report.bandwidth_bits
+
+    def test_custom_bandwidth(self):
+        graph = path_graph(3, seed=0)
+        simulator = CongestSimulator(graph, bandwidth_bits=10_000, strict=True)
+        report = simulator.run(_BigTalker)
+        assert report.within_bandwidth
+
+
+class TestSimulatorErrors:
+    def test_messaging_non_neighbor_raises(self):
+        graph = assign_unique_identifiers(nx.path_graph(3), scramble=False)
+        simulator = CongestSimulator(graph)
+        with pytest.raises(ValueError):
+            simulator.run(_NonNeighborSender)
+
+    def test_round_cap_raises(self):
+        graph = path_graph(3, seed=0)
+        simulator = CongestSimulator(graph)
+        with pytest.raises(RuntimeError):
+            simulator.run(_NeverHalts, max_rounds=10)
+
+    def test_extra_inputs_reach_contexts(self):
+        captured = {}
+
+        class Probe(NodeAlgorithm):
+            def initialize(self):
+                captured[self.context.node] = self.context.extra.get("flag")
+                self.halted = True
+                return {}
+
+            def step(self, round_number, inbox):
+                self.halted = True
+                return {}
+
+        graph = path_graph(3, seed=0)
+        CongestSimulator(graph).run(Probe, extra_inputs={1: {"flag": "yes"}})
+        assert captured[1] == "yes"
+        assert captured[0] is None

@@ -1,0 +1,73 @@
+"""Unit tests for the high-level API (carve / decompose)."""
+
+import pytest
+
+import repro
+from repro.clustering.carving import BallCarving
+from repro.clustering.decomposition import NetworkDecomposition
+from repro.clustering.validation import check_ball_carving, check_network_decomposition
+from repro.congest.rounds import RoundLedger
+from tests.conftest import RANDOMIZED_DEAD_SLACK
+
+RANDOMIZED = {"ls93", "mpx"}
+
+
+class TestCarveApi:
+    @pytest.mark.parametrize("method", repro.CARVING_METHODS)
+    def test_every_method_produces_valid_carving(self, small_torus, method):
+        carving = repro.carve(small_torus, 0.5, method=method, seed=1)
+        assert isinstance(carving, BallCarving)
+        slack = RANDOMIZED_DEAD_SLACK if method in RANDOMIZED else None
+        check_ball_carving(carving, max_dead_fraction=slack)
+
+    def test_unknown_method_rejected(self, small_grid):
+        with pytest.raises(ValueError):
+            repro.carve(small_grid, 0.5, method="nonsense")
+
+    def test_ledger_passthrough(self, small_grid):
+        ledger = RoundLedger()
+        carving = repro.carve(small_grid, 0.5, method="strong-log3", ledger=ledger)
+        assert carving.rounds == ledger.total_rounds
+
+    def test_seed_controls_randomized_methods(self, small_torus):
+        first = repro.carve(small_torus, 0.5, method="mpx", seed=11)
+        second = repro.carve(small_torus, 0.5, method="mpx", seed=11)
+        third = repro.carve(small_torus, 0.5, method="mpx", seed=12)
+        assert first.cluster_of() == second.cluster_of()
+        assert first.cluster_of() != third.cluster_of() or first.dead != third.dead
+
+    def test_strong_methods_report_strong_kind(self, small_grid):
+        for method in ("strong-log3", "strong-log2", "mpx", "sequential"):
+            assert repro.carve(small_grid, 0.5, method=method, seed=0).kind == "strong"
+
+    def test_weak_methods_report_weak_kind(self, small_grid):
+        for method in ("weak-rg20", "ls93"):
+            assert repro.carve(small_grid, 0.5, method=method, seed=0).kind == "weak"
+
+
+class TestDecomposeApi:
+    @pytest.mark.parametrize("method", repro.DECOMPOSITION_METHODS)
+    def test_every_method_produces_valid_decomposition(self, small_torus, method):
+        decomposition = repro.decompose(small_torus, method=method, seed=1)
+        assert isinstance(decomposition, NetworkDecomposition)
+        check_network_decomposition(decomposition)
+
+    def test_unknown_method_rejected(self, small_grid):
+        with pytest.raises(ValueError):
+            repro.decompose(small_grid, method="nonsense")
+
+    def test_ledger_passthrough(self, small_grid):
+        ledger = RoundLedger()
+        decomposition = repro.decompose(small_grid, method="sequential", ledger=ledger)
+        assert decomposition.rounds == ledger.total_rounds
+
+    @pytest.mark.parametrize("method", sorted(RANDOMIZED))
+    def test_randomized_methods_are_seedable(self, small_torus, method):
+        first = repro.decompose(small_torus, method=method, seed=3)
+        second = repro.decompose(small_torus, method=method, seed=3)
+        assert first.color_of() == second.color_of()
+
+    def test_package_exports(self):
+        assert set(repro.CARVING_METHODS) == set(repro.DECOMPOSITION_METHODS)
+        assert "strong-log3" in repro.CARVING_METHODS
+        assert repro.__version__

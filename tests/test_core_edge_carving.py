@@ -1,0 +1,198 @@
+"""Unit tests for the edge-version ball carving (end of Section 1.3)."""
+
+import math
+import random
+
+import networkx as nx
+import pytest
+
+from repro.clustering.validation import ValidationError
+from repro.clustering.cluster import Cluster
+from repro.congest.rounds import RoundLedger
+from repro.core.edge_carving import (
+    EdgeCarving,
+    check_edge_carving,
+    edge_carving_from_node_carving,
+    mpx_edge_carving,
+    sequential_edge_carving,
+)
+from repro.graphs.generators import cycle_graph, grid_graph, path_graph, torus_graph
+from repro.graphs.properties import subgraph_diameter
+
+
+class TestEdgeCarvingType:
+    def _simple(self):
+        graph = path_graph(6)
+        clusters = [
+            Cluster(nodes=frozenset({0, 1, 2}), label="a"),
+            Cluster(nodes=frozenset({3, 4, 5}), label="b"),
+        ]
+        removed = {(2, 3)}
+        return EdgeCarving(graph=graph, clusters=clusters, removed_edges=removed, eps=0.25)
+
+    def test_removed_fraction(self):
+        carving = self._simple()
+        assert carving.removed_fraction == pytest.approx(1 / 5)
+
+    def test_surviving_graph(self):
+        carving = self._simple()
+        survivor = carving.surviving_graph()
+        assert not survivor.has_edge(2, 3)
+        assert survivor.has_edge(0, 1)
+        assert survivor.number_of_nodes() == 6
+
+    def test_summary(self):
+        summary = self._simple().summary()
+        assert summary["clusters"] == 2
+        assert summary["removed_edges"] == 1
+
+    def test_validator_accepts_simple(self):
+        check_edge_carving(self._simple())
+
+    def test_validator_rejects_uncovered_nodes(self):
+        graph = path_graph(4)
+        carving = EdgeCarving(
+            graph=graph,
+            clusters=[Cluster(nodes=frozenset({0, 1}), label="a")],
+            removed_edges={(1, 2)},
+            eps=0.5,
+        )
+        with pytest.raises(ValidationError):
+            check_edge_carving(carving)
+
+    def test_validator_rejects_surviving_cross_edges(self):
+        graph = path_graph(4)
+        carving = EdgeCarving(
+            graph=graph,
+            clusters=[
+                Cluster(nodes=frozenset({0, 1}), label="a"),
+                Cluster(nodes=frozenset({2, 3}), label="b"),
+            ],
+            removed_edges=set(),
+            eps=0.5,
+        )
+        with pytest.raises(ValidationError):
+            check_edge_carving(carving)
+
+    def test_validator_rejects_phantom_removed_edges(self):
+        graph = path_graph(3)
+        carving = EdgeCarving(
+            graph=graph,
+            clusters=[Cluster(nodes=frozenset({0, 1, 2}), label="a")],
+            removed_edges={(0, 2)},
+            eps=0.5,
+        )
+        with pytest.raises(ValidationError):
+            check_edge_carving(carving)
+
+    def test_validator_rejects_excess_removal(self):
+        graph = cycle_graph(12)
+        clusters = [Cluster(nodes=frozenset({node}), label=node) for node in graph.nodes()]
+        removed = {tuple(sorted(edge)) for edge in graph.edges()}
+        carving = EdgeCarving(graph=graph, clusters=clusters, removed_edges=removed, eps=0.1)
+        with pytest.raises(ValidationError):
+            check_edge_carving(carving)
+
+
+class TestSequentialEdgeCarving:
+    @pytest.mark.parametrize("eps", [0.5, 0.25])
+    def test_invariants_on_zoo(self, graph_zoo, eps):
+        for name, graph in graph_zoo.items():
+            carving = sequential_edge_carving(graph, eps)
+            check_edge_carving(carving)
+
+    def test_removed_fraction_within_eps(self, small_torus):
+        carving = sequential_edge_carving(small_torus, 0.5)
+        assert carving.removed_fraction <= 0.5 + 1.0 / small_torus.number_of_edges()
+
+    def test_diameter_is_log_over_eps(self, small_torus):
+        eps = 0.5
+        carving = sequential_edge_carving(small_torus, eps)
+        m = small_torus.number_of_edges()
+        bound = 4 * math.log(m) / eps + 4
+        survivor = carving.surviving_graph()
+        for cluster in carving.clusters:
+            assert subgraph_diameter(survivor, cluster.nodes) <= bound
+
+    def test_deterministic(self, small_regular):
+        first = sequential_edge_carving(small_regular, 0.4)
+        second = sequential_edge_carving(small_regular, 0.4)
+        assert first.removed_edges == second.removed_edges
+
+    def test_edgeless_graph(self):
+        graph = nx.Graph()
+        graph.add_nodes_from(range(4))
+        for node in graph.nodes():
+            graph.nodes[node]["uid"] = node
+        carving = sequential_edge_carving(graph, 0.5)
+        check_edge_carving(carving)
+        assert carving.removed_edges == set()
+
+    def test_rejects_bad_eps(self, small_grid):
+        with pytest.raises(ValueError):
+            sequential_edge_carving(small_grid, 1.5)
+
+
+class TestMpxEdgeCarving:
+    def test_invariants(self, small_torus):
+        carving = mpx_edge_carving(small_torus, 0.5, rng=random.Random(1))
+        # Removed fraction is an expectation-only guarantee; check structure
+        # with a lenient budget.
+        check_edge_carving(carving, max_removed_fraction=0.95)
+
+    def test_every_node_covered(self, small_regular):
+        carving = mpx_edge_carving(small_regular, 0.5, rng=random.Random(2))
+        covered = set()
+        for cluster in carving.clusters:
+            covered |= cluster.nodes
+        assert covered == set(small_regular.nodes())
+
+    def test_expected_removed_fraction(self, small_torus):
+        runs = 10
+        total = 0.0
+        for seed in range(runs):
+            carving = mpx_edge_carving(small_torus, 0.3, rng=random.Random(seed))
+            total += carving.removed_fraction
+        assert total / runs <= 0.6
+
+    def test_smaller_eps_cuts_fewer_edges_on_average(self, small_torus):
+        def average(eps):
+            return sum(
+                mpx_edge_carving(small_torus, eps, rng=random.Random(seed)).removed_fraction
+                for seed in range(8)
+            ) / 8
+
+        assert average(0.1) <= average(0.8) + 0.05
+
+    def test_rejects_bad_eps(self, small_grid):
+        with pytest.raises(ValueError):
+            mpx_edge_carving(small_grid, 0.0)
+
+
+class TestNodeToEdgeAdapter:
+    def test_invariants_with_default_carving(self, small_torus):
+        carving = edge_carving_from_node_carving(small_torus, 0.5)
+        check_edge_carving(carving, max_removed_fraction=0.95)
+
+    def test_measured_removed_fraction_on_regular_graph(self, small_torus):
+        # On a bounded-degree graph the degree-scaled parameter keeps the
+        # removed edge fraction within eps.
+        carving = edge_carving_from_node_carving(small_torus, 0.5)
+        assert carving.removed_fraction <= 0.5 + 1.0 / small_torus.number_of_edges()
+
+    def test_with_sequential_node_carving(self, small_grid):
+        from repro.baselines.sequential import greedy_sequential_carving
+
+        carving = edge_carving_from_node_carving(
+            small_grid, 0.5, node_carving=greedy_sequential_carving
+        )
+        check_edge_carving(carving, max_removed_fraction=0.95)
+
+    def test_ledger_accumulates(self, small_grid):
+        ledger = RoundLedger()
+        edge_carving_from_node_carving(small_grid, 0.5, ledger=ledger)
+        assert ledger.total_rounds > 0
+
+    def test_rejects_bad_eps(self, small_grid):
+        with pytest.raises(ValueError):
+            edge_carving_from_node_carving(small_grid, 0.0)

@@ -1,0 +1,149 @@
+"""Unit tests for Lemma 3.1 (balanced sparse cut or large small-diameter component)."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.congest.rounds import RoundLedger
+from repro.core.sparse_cut import (
+    LargeComponent,
+    SparseCut,
+    _layer_window,
+    sparse_cut_or_component,
+)
+from repro.graphs.expanders import barrier_graph
+from repro.graphs.generators import (
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+    torus_graph,
+)
+from repro.graphs.properties import subgraph_diameter
+
+
+def _check_lemma_guarantees(graph, nodes, eps, result):
+    """Assert the Lemma 3.1 guarantees for either outcome."""
+    n = len(set(nodes))
+    separator_budget = 4.0 * eps * n / math.log2(max(4, n)) + 2
+    if isinstance(result, SparseCut):
+        assert len(result.side_a) >= n / 3 - 1
+        assert len(result.side_b) >= n / 3 - 1
+        assert len(result.separator) <= separator_budget
+        # The two sides must be non-adjacent.
+        side_b = set(result.side_b)
+        for node in result.side_a:
+            for neighbour in graph.neighbors(node):
+                assert neighbour not in side_b
+        # The three parts partition the node set.
+        assert set(result.side_a) | set(result.side_b) | set(result.separator) == set(nodes)
+    else:
+        assert isinstance(result, LargeComponent)
+        assert len(result.component) >= n / 3 - 1
+        assert len(result.boundary) <= separator_budget
+        diameter_bound = 16 * (math.log2(max(4, n)) ** 2) / eps + 8
+        assert subgraph_diameter(graph, result.component) <= diameter_bound
+        # The boundary consists of outside nodes adjacent to the component.
+        for node in result.boundary:
+            assert node not in result.component
+
+
+class TestLayerWindow:
+    def test_window_grows_as_eps_shrinks(self):
+        assert _layer_window(256, 0.1) > _layer_window(256, 0.9)
+
+    def test_window_grows_with_n(self):
+        assert _layer_window(1 << 16, 0.5) > _layer_window(1 << 4, 0.5)
+
+    def test_window_at_least_two(self):
+        assert _layer_window(4, 0.99) >= 2
+
+
+class TestSmallDiameterInputs:
+    def test_torus_returns_large_component(self, small_torus):
+        result = sparse_cut_or_component(small_torus, small_torus.nodes(), 0.5)
+        assert isinstance(result, LargeComponent)
+        _check_lemma_guarantees(small_torus, small_torus.nodes(), 0.5, result)
+
+    def test_star_returns_large_component(self, small_star):
+        result = sparse_cut_or_component(small_star, small_star.nodes(), 0.5)
+        assert isinstance(result, LargeComponent)
+        _check_lemma_guarantees(small_star, small_star.nodes(), 0.5, result)
+
+    def test_grid_guarantees(self, small_grid):
+        result = sparse_cut_or_component(small_grid, small_grid.nodes(), 0.5)
+        _check_lemma_guarantees(small_grid, small_grid.nodes(), 0.5, result)
+
+
+class TestHighDiameterInputs:
+    def test_long_path_returns_balanced_cut(self):
+        graph = path_graph(400)
+        result = sparse_cut_or_component(graph, graph.nodes(), 0.5)
+        assert isinstance(result, SparseCut)
+        _check_lemma_guarantees(graph, graph.nodes(), 0.5, result)
+
+    def test_long_cycle_guarantees(self):
+        graph = cycle_graph(300)
+        result = sparse_cut_or_component(graph, graph.nodes(), 0.5)
+        _check_lemma_guarantees(graph, graph.nodes(), 0.5, result)
+
+    def test_cut_separator_is_light_on_path(self):
+        graph = path_graph(500)
+        result = sparse_cut_or_component(graph, graph.nodes(), 0.5)
+        assert isinstance(result, SparseCut)
+        # On a path every BFS layer from a contiguous seed has O(1) nodes.
+        assert len(result.separator) <= 4
+
+
+class TestSubsetsAndEdgeCases:
+    def test_subset_restriction(self, small_torus):
+        nodes = set(list(small_torus.nodes())[:40])
+        # Use the largest connected chunk of the subset.
+        from repro.graphs.properties import induced_components
+
+        component = max(induced_components(small_torus, nodes), key=len)
+        result = sparse_cut_or_component(small_torus, component, 0.5)
+        _check_lemma_guarantees(small_torus, component, 0.5, result)
+
+    def test_tiny_inputs_return_component(self, small_grid):
+        result = sparse_cut_or_component(small_grid, list(small_grid.nodes())[:3], 0.5)
+        assert isinstance(result, LargeComponent)
+        assert len(result.component) <= 3
+
+    def test_empty_input(self, small_grid):
+        result = sparse_cut_or_component(small_grid, [], 0.5)
+        assert isinstance(result, LargeComponent)
+        assert result.component == set()
+
+    def test_rejects_bad_eps(self, small_grid):
+        with pytest.raises(ValueError):
+            sparse_cut_or_component(small_grid, small_grid.nodes(), 0.0)
+
+    def test_rounds_charged(self, small_torus):
+        ledger = RoundLedger()
+        sparse_cut_or_component(small_torus, small_torus.nodes(), 0.5, ledger=ledger)
+        assert ledger.total_rounds > 0
+
+    def test_deterministic(self, small_regular):
+        first = sparse_cut_or_component(small_regular, small_regular.nodes(), 0.5)
+        second = sparse_cut_or_component(small_regular, small_regular.nodes(), 0.5)
+        assert first.kind == second.kind
+
+
+class TestBarrierBehaviour:
+    def test_barrier_graph_forces_large_diameter_component_or_heavy_cut(self):
+        # Section 3 barrier: the subdivided expander admits no balanced sparse
+        # cut with a light separator *and* no large component of small
+        # diameter.  Our Lemma 3.1 implementation must still return one of the
+        # two outcomes satisfying its guarantees (they are not contradictory:
+        # the barrier only shows the diameter bound cannot be improved below
+        # Theta(log^2 n / eps)), and for this graph the returned component's
+        # diameter should be comparatively large.
+        graph, meta = barrier_graph(400, 0.5, seed=1)
+        result = sparse_cut_or_component(graph, graph.nodes(), 0.5)
+        _check_lemma_guarantees(graph, graph.nodes(), 0.5, result)
+        if isinstance(result, LargeComponent):
+            # The subdivision length is a lower bound witness for the
+            # intrinsic diameter of any sizable subgraph.
+            assert subgraph_diameter(graph, result.component) >= meta["subdivision_length"] // 2

@@ -1,0 +1,162 @@
+"""Unit tests for the Theorem 2.1 transformation and Theorem 2.2 carving."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.clustering.validation import (
+    check_ball_carving,
+    clusters_nonadjacent,
+    strong_diameter,
+)
+from repro.congest.rounds import RoundLedger
+from repro.core.strong_carving import (
+    TransformationTrace,
+    _find_boundary_radius,
+    strong_carving_from_weak,
+    theorem22_carving,
+)
+from repro.baselines.mpx import mpx_carving
+from repro.graphs.generators import cycle_graph, grid_graph, path_graph, star_graph
+from repro.weak.carving import weak_diameter_carving
+
+
+class TestFindBoundaryRadius:
+    def test_ball_covers_start_radius(self):
+        graph = path_graph(30)
+        ball, boundary, radius = _find_boundary_radius(
+            graph, 0, allowed=set(graph.nodes()), start_radius=5, eps=0.5
+        )
+        assert radius >= 5
+        assert {node for node in range(6)} <= ball
+
+    def test_boundary_is_next_layer(self):
+        graph = path_graph(30)
+        ball, boundary, radius = _find_boundary_radius(
+            graph, 0, allowed=set(graph.nodes()), start_radius=3, eps=0.5
+        )
+        assert boundary == {radius + 1} or boundary == set()
+
+    def test_light_boundary_condition(self):
+        graph = grid_graph(8, 8)
+        allowed = set(graph.nodes())
+        ball, boundary, radius = _find_boundary_radius(graph, 0, allowed, 2, eps=0.5)
+        assert len(boundary) <= 0.5 * (len(ball) + len(boundary)) or len(ball | boundary) == len(allowed)
+
+    def test_exhausted_component_has_empty_boundary(self):
+        graph = path_graph(5)
+        ball, boundary, radius = _find_boundary_radius(
+            graph, 0, allowed=set(graph.nodes()), start_radius=10, eps=0.5
+        )
+        assert ball == set(graph.nodes())
+        assert boundary == set()
+
+    def test_isolated_root(self):
+        graph = nx.Graph()
+        graph.add_node(0)
+        graph.add_node(1)
+        ball, boundary, radius = _find_boundary_radius(graph, 0, {0, 1}, 0, eps=0.5)
+        assert ball == {0}
+        assert boundary == set()
+
+
+class TestTheorem21Transformation:
+    @pytest.mark.parametrize("eps", [0.5, 0.25])
+    def test_structural_invariants(self, graph_zoo, eps):
+        for name, graph in graph_zoo.items():
+            carving = strong_carving_from_weak(graph, eps)
+            check_ball_carving(carving)
+
+    def test_produces_strong_kind_with_connected_clusters(self, small_torus):
+        carving = strong_carving_from_weak(small_torus, 0.5)
+        assert carving.kind == "strong"
+        for cluster in carving.clusters:
+            strong_diameter(carving.graph, cluster.nodes)  # raises if disconnected
+
+    def test_dead_fraction_within_eps(self, graph_zoo):
+        for name, graph in graph_zoo.items():
+            carving = strong_carving_from_weak(graph, 0.5)
+            assert carving.dead_fraction <= 0.5 + 1.0 / graph.number_of_nodes(), name
+
+    def test_diameter_within_theorem_bound(self, small_torus):
+        eps = 0.5
+        trace = TransformationTrace()
+        carving = strong_carving_from_weak(small_torus, eps, trace=trace)
+        # Theorem 2.1: strong diameter <= 2 * R(n, eps / 2 log n) + O(log n / eps),
+        # where R is the *measured* Steiner depth of the inner weak carving.
+        n = small_torus.number_of_nodes()
+        slack = 4 * math.log2(n) / eps + 4
+        bound = 2 * max(trace.max_weak_tree_depth, trace.max_ball_radius) + slack
+        for cluster in carving.clusters:
+            assert strong_diameter(carving.graph, cluster.nodes) <= bound
+
+    def test_deterministic(self, small_regular):
+        first = strong_carving_from_weak(small_regular, 0.5)
+        second = strong_carving_from_weak(small_regular, 0.5)
+        assert first.cluster_of() == second.cluster_of()
+        assert first.dead == second.dead
+
+    def test_trace_records_iterations(self, small_torus):
+        trace = TransformationTrace()
+        strong_carving_from_weak(small_torus, 0.5, trace=trace)
+        assert trace.iterations >= 1
+        assert trace.eps_inner < 0.5
+
+    def test_works_with_randomized_weak_algorithm(self, small_torus):
+        import random
+
+        rng = random.Random(0)
+
+        def weak(graph, eps, nodes=None, ledger=None):
+            return mpx_carving(graph, eps, nodes=nodes, ledger=ledger, rng=rng)
+
+        carving = strong_carving_from_weak(small_torus, 0.5, weak_algorithm=weak)
+        assert clusters_nonadjacent(carving.graph, carving.clusters)
+
+    def test_subset_restriction(self, small_torus):
+        nodes = set(list(small_torus.nodes())[:40])
+        carving = strong_carving_from_weak(small_torus, 0.5, nodes=nodes)
+        assert carving.clustered_nodes | carving.dead == nodes
+
+    def test_disconnected_input(self, disconnected_graph):
+        carving = strong_carving_from_weak(disconnected_graph, 0.5)
+        check_ball_carving(carving)
+
+    def test_empty_input(self, small_grid):
+        carving = strong_carving_from_weak(small_grid, 0.5, nodes=[])
+        assert carving.clusters == []
+
+    def test_rejects_bad_eps(self, small_grid):
+        with pytest.raises(ValueError):
+            strong_carving_from_weak(small_grid, 0.0)
+
+    def test_rounds_charged_per_iteration(self, small_grid):
+        ledger = RoundLedger()
+        strong_carving_from_weak(small_grid, 0.5, ledger=ledger)
+        assert ledger.total_rounds > 0
+        assert "theorem21_iteration" in ledger.breakdown()
+
+
+class TestTheorem22:
+    def test_valid_carving_on_zoo(self, graph_zoo):
+        for name, graph in graph_zoo.items():
+            carving = theorem22_carving(graph, 0.5)
+            check_ball_carving(carving)
+
+    def test_diameter_within_asymptotic_bound(self, small_torus):
+        eps = 0.5
+        carving = theorem22_carving(small_torus, eps)
+        n = small_torus.number_of_nodes()
+        bound = 8 * (math.log2(n) ** 3) / eps + 8
+        for cluster in carving.clusters:
+            assert strong_diameter(carving.graph, cluster.nodes) <= bound
+
+    def test_star_graph_single_cluster(self, small_star):
+        carving = theorem22_carving(small_star, 0.5)
+        check_ball_carving(carving)
+        assert carving.max_cluster_size() >= small_star.number_of_nodes() // 2
+
+    def test_congestion_is_one(self, small_torus):
+        carving = theorem22_carving(small_torus, 0.5)
+        assert carving.congestion() <= 1

@@ -1,0 +1,109 @@
+"""Unit tests for expanders and the Section-3 barrier construction."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.graphs.expanders import (
+    barrier_graph,
+    margulis_expander,
+    random_regular_expander,
+    subdivide_edges,
+)
+from repro.graphs.generators import cycle_graph, path_graph
+from repro.graphs.properties import exact_diameter, graph_conductance_lower_bound
+
+
+class TestRandomRegularExpander:
+    def test_is_connected_and_regular(self):
+        graph = random_regular_expander(40, degree=4, seed=1)
+        assert nx.is_connected(graph)
+        assert all(degree == 4 for _, degree in graph.degree())
+
+    def test_rejects_small_n(self):
+        with pytest.raises(ValueError):
+            random_regular_expander(3, degree=4)
+
+    def test_has_small_diameter(self):
+        graph = random_regular_expander(64, degree=4, seed=2)
+        assert exact_diameter(graph) <= 3 * int(math.ceil(math.log2(64)))
+
+    def test_impossible_certificate_raises(self):
+        with pytest.raises(RuntimeError):
+            random_regular_expander(24, degree=4, seed=1,
+                                    min_algebraic_connectivity=100.0, max_attempts=2)
+
+
+class TestMargulisExpander:
+    def test_node_count(self):
+        graph = margulis_expander(5)
+        assert graph.number_of_nodes() == 25
+        assert nx.is_connected(graph)
+
+    def test_rejects_tiny_m(self):
+        with pytest.raises(ValueError):
+            margulis_expander(1)
+
+    def test_diameter_is_logarithmic(self):
+        graph = margulis_expander(8)
+        assert exact_diameter(graph) <= 12
+
+
+class TestSubdivision:
+    def test_identity_subdivision(self):
+        original = cycle_graph(10)
+        copy = subdivide_edges(original, 1)
+        assert copy.number_of_nodes() == 10
+        assert copy.number_of_edges() == 10
+
+    def test_node_and_edge_counts(self):
+        original = cycle_graph(6)
+        subdivided = subdivide_edges(original, 4)
+        # Each of the 6 edges becomes a path with 4 edges and 3 new nodes.
+        assert subdivided.number_of_edges() == 24
+        assert subdivided.number_of_nodes() == 6 + 6 * 3
+        assert nx.is_connected(subdivided)
+
+    def test_subdivision_scales_diameter(self):
+        original = cycle_graph(8)
+        subdivided = subdivide_edges(original, 5)
+        assert exact_diameter(subdivided) == 5 * exact_diameter(original)
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(ValueError):
+            subdivide_edges(path_graph(4), 0)
+
+    def test_uids_still_a_permutation(self):
+        subdivided = subdivide_edges(cycle_graph(6), 3)
+        uids = sorted(subdivided.nodes[node]["uid"] for node in subdivided.nodes())
+        assert uids == list(range(subdivided.number_of_nodes()))
+
+
+class TestBarrierGraph:
+    def test_metadata_consistency(self):
+        graph, meta = barrier_graph(400, 0.5, seed=3)
+        assert graph.number_of_nodes() == meta["result_nodes"]
+        assert graph.number_of_edges() == meta["result_edges"]
+        assert meta["subdivision_length"] >= 2
+        assert nx.is_connected(graph)
+
+    def test_size_is_near_target(self):
+        graph, meta = barrier_graph(500, 0.5, seed=1)
+        assert 0.3 * 500 <= graph.number_of_nodes() <= 3 * 500
+
+    def test_low_conductance(self):
+        graph, meta = barrier_graph(500, 0.25, seed=1)
+        # The subdivided expander has conductance Theta(eps / log n): tiny.
+        conductance = graph_conductance_lower_bound(graph, samples=32, seed=0)
+        assert conductance <= 0.2
+
+    def test_diameter_is_at_least_subdivision_length(self):
+        graph, meta = barrier_graph(300, 0.5, seed=5)
+        assert exact_diameter(graph) >= meta["subdivision_length"]
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            barrier_graph(10, 0.5)
+        with pytest.raises(ValueError):
+            barrier_graph(100, 1.5)

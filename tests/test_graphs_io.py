@@ -1,0 +1,94 @@
+"""Unit tests for graph / clustering I/O."""
+
+import json
+import os
+
+import networkx as nx
+import pytest
+
+import repro
+from repro.graphs.generators import grid_graph, torus_graph
+from repro.graphs.io import (
+    clustering_to_dict,
+    read_clustering,
+    read_edge_list,
+    write_clustering,
+    write_edge_list,
+)
+
+
+class TestEdgeListRoundtrip:
+    def test_roundtrip_preserves_structure_and_uids(self, tmp_path):
+        graph = torus_graph(4, 4, seed=3)
+        path = os.path.join(tmp_path, "torus.edges")
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path)
+        assert set(loaded.nodes()) == set(graph.nodes())
+        assert set(map(frozenset, loaded.edges())) == set(map(frozenset, graph.edges()))
+        for node in graph.nodes():
+            assert loaded.nodes[node]["uid"] == graph.nodes[node]["uid"]
+
+    def test_isolated_nodes_survive(self, tmp_path):
+        graph = nx.Graph()
+        graph.add_edge(0, 1)
+        graph.add_node(7)
+        graph.nodes[0]["uid"] = 2
+        graph.nodes[1]["uid"] = 0
+        graph.nodes[7]["uid"] = 1
+        path = os.path.join(tmp_path, "tiny.edges")
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path)
+        assert 7 in loaded.nodes()
+        assert loaded.nodes[7]["uid"] == 1
+
+    def test_missing_uids_are_assigned(self, tmp_path):
+        path = os.path.join(tmp_path, "raw.edges")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("0 1\n1 2\n2 3\n")
+        loaded = read_edge_list(path)
+        uids = [loaded.nodes[node]["uid"] for node in loaded.nodes()]
+        assert len(set(uids)) == len(uids)
+
+    def test_blank_lines_and_comments_ignored(self, tmp_path):
+        path = os.path.join(tmp_path, "messy.edges")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("# a comment that is not a uid line\n\n0 1\n\n1 2\n")
+        loaded = read_edge_list(path)
+        assert loaded.number_of_edges() == 2
+
+
+class TestClusteringSerialisation:
+    def test_carving_roundtrip(self, tmp_path, small_grid):
+        carving = repro.carve(small_grid, 0.5, method="sequential")
+        path = os.path.join(tmp_path, "carving.json")
+        write_clustering(carving, path)
+        payload = read_clustering(path)
+        assert payload["type"] == "ball_carving"
+        assert payload["n"] == small_grid.number_of_nodes()
+        total = sum(len(cluster["nodes"]) for cluster in payload["clusters"])
+        assert total + len(payload["dead"]) == small_grid.number_of_nodes()
+
+    def test_decomposition_roundtrip(self, tmp_path, small_grid):
+        decomposition = repro.decompose(small_grid, method="sequential")
+        path = os.path.join(tmp_path, "decomposition.json")
+        write_clustering(decomposition, path)
+        payload = read_clustering(path)
+        assert payload["type"] == "network_decomposition"
+        assert payload["colors"] == decomposition.num_colors
+        assert all("color" in cluster for cluster in payload["clusters"])
+
+    def test_dict_serialisation_is_json_compatible(self, small_grid):
+        decomposition = repro.decompose(small_grid, method="mpx", seed=1)
+        payload = clustering_to_dict(decomposition)
+        json.dumps(payload, default=str)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            clustering_to_dict("not a clustering")
+
+    def test_read_rejects_foreign_json(self, tmp_path):
+        path = os.path.join(tmp_path, "foreign.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"something": "else"}, handle)
+        with pytest.raises(ValueError):
+            read_clustering(path)

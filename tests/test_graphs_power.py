@@ -1,0 +1,62 @@
+"""Unit tests for the power-graph operator ``G^k``."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs.generators import cycle_graph, path_graph, star_graph
+from repro.graphs.power import power_graph
+
+
+class TestPowerGraph:
+    def test_power_one_is_isomorphic_copy(self):
+        graph = path_graph(8)
+        powered = power_graph(graph, 1)
+        assert set(powered.edges()) == set(graph.edges())
+
+    def test_path_squared_edges(self):
+        graph = path_graph(5)
+        powered = power_graph(graph, 2)
+        # Path 0-1-2-3-4: distance <= 2 pairs.
+        expected = {(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (2, 4), (3, 4)}
+        observed = {tuple(sorted(edge)) for edge in powered.edges()}
+        assert observed == expected
+
+    def test_large_power_gives_clique_per_component(self):
+        graph = path_graph(6)
+        powered = power_graph(graph, 10)
+        n = graph.number_of_nodes()
+        assert powered.number_of_edges() == n * (n - 1) // 2
+
+    def test_preserves_node_attributes(self):
+        graph = cycle_graph(7, seed=2)
+        powered = power_graph(graph, 3)
+        for node in graph.nodes():
+            assert powered.nodes[node]["uid"] == graph.nodes[node]["uid"]
+
+    def test_star_power_two_is_clique(self):
+        graph = star_graph(6)
+        powered = power_graph(graph, 2)
+        n = graph.number_of_nodes()
+        assert powered.number_of_edges() == n * (n - 1) // 2
+
+    def test_rejects_non_positive_k(self):
+        with pytest.raises(ValueError):
+            power_graph(path_graph(4), 0)
+
+    def test_disconnected_components_stay_disconnected(self):
+        graph = nx.Graph()
+        graph.add_edges_from([(0, 1), (2, 3)])
+        powered = power_graph(graph, 5)
+        assert not powered.has_edge(1, 2)
+        assert powered.has_edge(0, 1)
+        assert powered.has_edge(2, 3)
+
+    def test_distance_witness(self):
+        graph = cycle_graph(12)
+        powered = power_graph(graph, 3)
+        for u, v in powered.edges():
+            assert nx.shortest_path_length(graph, u, v) <= 3
+        for u in graph.nodes():
+            for v in graph.nodes():
+                if u < v and nx.shortest_path_length(graph, u, v) <= 3:
+                    assert powered.has_edge(u, v)

@@ -1,0 +1,141 @@
+"""Unit tests for structural graph property helpers."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs.generators import (
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+    torus_graph,
+)
+from repro.graphs.properties import (
+    approximate_diameter,
+    bfs_layers_within,
+    conductance_of_cut,
+    connected_subgraphs,
+    distances_from,
+    exact_diameter,
+    induced_components,
+    is_partition,
+    neighborhood_ball,
+    radius_from,
+    subgraph_diameter,
+)
+from tests.conftest import make_disconnected_graph
+
+
+class TestComponents:
+    def test_connected_graph_is_one_component(self):
+        graph = cycle_graph(10)
+        components = induced_components(graph, graph.nodes())
+        assert len(components) == 1
+        assert components[0] == set(graph.nodes())
+
+    def test_restriction_splits_components(self):
+        graph = path_graph(9)
+        components = induced_components(graph, set(graph.nodes()) - {4})
+        assert sorted(len(c) for c in components) == [4, 4]
+
+    def test_disconnected_graph_components(self):
+        graph = make_disconnected_graph()
+        components = induced_components(graph, graph.nodes())
+        assert sorted(len(c) for c in components) == [1, 4, 4]
+
+    def test_connected_subgraphs_materialised(self):
+        graph = make_disconnected_graph()
+        subgraphs = connected_subgraphs(graph)
+        assert sorted(g.number_of_nodes() for g in subgraphs) == [1, 4, 4]
+
+
+class TestBfsLayers:
+    def test_layers_of_path(self):
+        graph = path_graph(6)
+        layers = bfs_layers_within(graph, [0])
+        assert [sorted(layer) for layer in layers] == [[0], [1], [2], [3], [4], [5]]
+
+    def test_layers_respect_allowed_set(self):
+        graph = path_graph(6)
+        layers = bfs_layers_within(graph, [0], allowed={0, 1, 2})
+        assert [sorted(layer) for layer in layers] == [[0], [1], [2]]
+
+    def test_max_radius_truncates(self):
+        graph = path_graph(10)
+        layers = bfs_layers_within(graph, [0], max_radius=3)
+        assert len(layers) == 4
+
+    def test_multi_source_layers(self):
+        graph = path_graph(7)
+        layers = bfs_layers_within(graph, [0, 6])
+        assert sorted(layers[0]) == [0, 6]
+        assert sorted(layers[3]) == [3]
+
+    def test_ball_matches_distances(self):
+        graph = grid_graph(5, 5)
+        distances = distances_from(graph, 0)
+        for radius in range(0, 6):
+            ball = neighborhood_ball(graph, [0], radius)
+            expected = {node for node, dist in distances.items() if dist <= radius}
+            assert ball == expected
+
+
+class TestDistancesAndDiameter:
+    def test_distances_from_source(self):
+        graph = cycle_graph(8)
+        distances = distances_from(graph, 0)
+        assert distances[4] == 4
+        assert max(distances.values()) == 4
+
+    def test_distances_requires_allowed_source(self):
+        graph = path_graph(4)
+        with pytest.raises(ValueError):
+            distances_from(graph, 0, allowed={1, 2})
+
+    def test_radius_from(self):
+        graph = star_graph(10)
+        hub = max(graph.degree, key=lambda item: item[1])[0]
+        assert radius_from(graph, hub) == 1
+
+    def test_subgraph_diameter_of_path(self):
+        graph = path_graph(9)
+        assert subgraph_diameter(graph, graph.nodes()) == 8
+        assert subgraph_diameter(graph, [3]) == 0
+        assert subgraph_diameter(graph, []) == 0
+
+    def test_subgraph_diameter_detects_disconnection(self):
+        graph = path_graph(9)
+        with pytest.raises(ValueError):
+            subgraph_diameter(graph, {0, 1, 7, 8})
+
+    def test_exact_diameter_matches_networkx(self):
+        graph = torus_graph(4, 5)
+        assert exact_diameter(graph) == nx.diameter(graph)
+
+    def test_approximate_diameter_lower_bounds_exact(self):
+        graph = grid_graph(6, 6)
+        approx = approximate_diameter(graph)
+        assert approx <= exact_diameter(graph)
+        assert approx >= exact_diameter(graph) // 2
+
+
+class TestConductanceAndPartition:
+    def test_conductance_of_balanced_cycle_cut(self):
+        graph = cycle_graph(20)
+        side = set(range(10))
+        conductance = conductance_of_cut(graph, side)
+        assert conductance == pytest.approx(2 / 20)
+
+    def test_conductance_of_degenerate_cut(self):
+        graph = cycle_graph(10)
+        assert conductance_of_cut(graph, set()) == float("inf")
+        assert conductance_of_cut(graph, set(graph.nodes())) == float("inf")
+
+    def test_is_partition_accepts_valid(self):
+        assert is_partition({1, 2, 3, 4}, [{1, 2}, {3}, {4}])
+
+    def test_is_partition_rejects_overlap(self):
+        assert not is_partition({1, 2, 3}, [{1, 2}, {2, 3}])
+
+    def test_is_partition_rejects_missing(self):
+        assert not is_partition({1, 2, 3}, [{1, 2}])

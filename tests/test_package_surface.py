@@ -1,0 +1,84 @@
+"""Tests for the package surface: exports, node context defaults, examples.
+
+These guard the parts a downstream user touches first: the top-level
+re-exports, the ``python -m repro`` entry point, the node-program context
+defaults, and the runnable examples (imported and executed on scaled-down
+inputs so a broken example fails CI rather than the reader).
+"""
+
+import importlib
+import runpy
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.congest.algorithm import NodeContext
+
+
+class TestPackageSurface:
+    def test_top_level_exports_exist(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_exports_resolve(self):
+        for module_name in (
+            "repro.core",
+            "repro.graphs",
+            "repro.congest",
+            "repro.clustering",
+            "repro.baselines",
+            "repro.applications",
+            "repro.analysis",
+        ):
+            module = importlib.import_module(module_name)
+            for name in getattr(module, "__all__", []):
+                assert hasattr(module, name), "{}.{}".format(module_name, name)
+
+    def test_version_string(self):
+        major = int(repro.__version__.split(".")[0])
+        assert major >= 1
+
+    def test_main_module_runs_help(self):
+        process = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert process.returncode == 0
+        assert "repro-decompose" in process.stdout
+
+
+class TestNodeContext:
+    def test_defaults(self):
+        context = NodeContext(node=3, uid=7, neighbors=(1, 2), n=10)
+        assert context.extra == {}
+        assert context.uid == 7
+        assert tuple(context.neighbors) == (1, 2)
+
+    def test_extra_is_per_instance(self):
+        first = NodeContext(node=0, uid=0, neighbors=(), n=1)
+        second = NodeContext(node=1, uid=1, neighbors=(), n=1)
+        first.extra["flag"] = True
+        assert "flag" not in second.extra
+
+
+class TestExamplesRun:
+    @pytest.mark.parametrize(
+        "example",
+        ["quickstart", "compare_algorithms", "congest_simulation"],
+    )
+    def test_example_scripts_execute(self, example, monkeypatch, capsys):
+        # Run the example modules in-process (import machinery, not a shell)
+        # so failures surface with proper tracebacks; compare_algorithms takes
+        # an optional size argument which we shrink for test speed.
+        import os
+
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        script = os.path.join(repo_root, "examples", "{}.py".format(example))
+        monkeypatch.setattr(sys, "argv", ["example", "64"])
+        runpy.run_path(script, run_name="__main__")
+        output = capsys.readouterr().out
+        assert output.strip()
