@@ -58,17 +58,28 @@ def benchmark_regular(n: int, seed: int = 7) -> nx.Graph:
     return random_regular_graph(size, 4, seed=seed)
 
 
-def decomposition_row(graph: nx.Graph, label: str, method: str, seed: int = 0) -> Dict[str, Any]:
-    """Run one decomposition algorithm and return its Table 1 row."""
-    decomposition = repro.decompose(graph, method=method, seed=seed)
+def decomposition_row(
+    graph: nx.Graph, label: str, method: str, seed: int = 0, backend: Optional[str] = None
+) -> Dict[str, Any]:
+    """Run one decomposition algorithm and return its Table 1 row.
+
+    ``backend`` selects the graph backend (``"csr"`` flat arrays by default,
+    ``"nx"`` for the original walks — see :mod:`repro.graphs.backend`).
+    """
+    decomposition = repro.decompose(graph, method=method, seed=seed, backend=backend)
     return evaluate_decomposition(decomposition, label).as_row()
 
 
 def carving_row(
-    graph: nx.Graph, label: str, method: str, eps: float, seed: int = 0
+    graph: nx.Graph,
+    label: str,
+    method: str,
+    eps: float,
+    seed: int = 0,
+    backend: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run one ball carving algorithm and return its Table 2 row."""
-    carving = repro.carve(graph, eps, method=method, seed=seed)
+    carving = repro.carve(graph, eps, method=method, seed=seed, backend=backend)
     return evaluate_carving(carving, label).as_row()
 
 

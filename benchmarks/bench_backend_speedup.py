@@ -1,0 +1,124 @@
+"""Backend speedup experiment: flat-array CSR core vs. networkx walks.
+
+Measures wall-clock time of the paper's decompositions under the two graph
+backends (see :mod:`repro.graphs.backend`) on the torus workload.  The CSR
+refactor exists purely for throughput — both backends produce identical
+cluster assignments (asserted here on the measured instances and, more
+broadly, by ``tests/test_backend_differential.py``) — so the whole result of
+this experiment is the speedup column.
+
+Acceptance target (ISSUE 1): ``strong-log3`` decomposition at n≈2000 on the
+torus family must run at least 3x faster under ``backend="csr"`` than under
+``backend="nx"``.
+
+Run with ``pytest benchmarks/bench_backend_speedup.py -s`` or directly with
+``python benchmarks/bench_backend_speedup.py``.
+"""
+
+import sys
+import time
+
+import pytest
+
+import repro
+from _harness import benchmark_torus, emit_table
+
+SIZES = (256, 1024, 2025)
+TARGET_N = 2025
+TARGET_SPEEDUP = 3.0
+REPEATS = 3
+
+
+def _time_decomposition(graph, method, backend, repeats=REPEATS):
+    """Best-of-N wall time plus the produced decomposition (for the check)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = repro.decompose(graph, method=method, seed=1, backend=backend)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _signature(decomposition):
+    return frozenset(
+        (cluster.color, frozenset(cluster.nodes)) for cluster in decomposition.clusters
+    )
+
+
+def backend_speedup_rows(method="strong-log3", sizes=SIZES):
+    """One table row per size: nx time, csr time, speedup, equivalence."""
+    rows = []
+    for n in sizes:
+        graph = benchmark_torus(n)
+        nx_time, nx_result = _time_decomposition(graph, method, "nx")
+        csr_time, csr_result = _time_decomposition(graph, method, "csr")
+        rows.append(
+            {
+                "method": method,
+                "n": graph.number_of_nodes(),
+                "nx seconds": round(nx_time, 4),
+                "csr seconds": round(csr_time, 4),
+                "speedup": round(nx_time / csr_time, 2),
+                "identical": _signature(nx_result) == _signature(csr_result),
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="backend-speedup")
+def test_backend_speedup_strong_log3():
+    rows = backend_speedup_rows("strong-log3")
+    emit_table(
+        "backend_speedup_strong_log3",
+        rows,
+        "Backend speedup — Theorem 2.3 decomposition, torus workload",
+    )
+    for row in rows:
+        assert row["identical"], "backends diverged at n={}".format(row["n"])
+    target_row = max(rows, key=lambda row: row["n"])
+    assert target_row["n"] >= 0.9 * TARGET_N
+    assert target_row["speedup"] >= TARGET_SPEEDUP, (
+        "CSR backend only {}x faster at n={} (target {}x)".format(
+            target_row["speedup"], target_row["n"], TARGET_SPEEDUP
+        )
+    )
+
+
+@pytest.mark.benchmark(group="backend-speedup")
+def test_backend_speedup_other_methods():
+    """The CSR core must never be slower than the walks it replaced."""
+    rows = []
+    for method in ("strong-log2", "weak-rg20"):
+        rows.extend(backend_speedup_rows(method, sizes=(1024,)))
+    emit_table(
+        "backend_speedup_other_methods",
+        rows,
+        "Backend speedup — other deterministic methods, torus n=1024",
+    )
+    for row in rows:
+        assert row["identical"]
+        # 0.9 rather than 1.0: wall-clock ties on a loaded machine can round
+        # either way; the guard is against real regressions, not noise.
+        assert row["speedup"] >= 0.9, "{} regressed: {}".format(row["method"], row)
+
+
+def main() -> int:
+    rows = backend_speedup_rows("strong-log3")
+    emit_table(
+        "backend_speedup_strong_log3",
+        rows,
+        "Backend speedup — Theorem 2.3 decomposition, torus workload",
+    )
+    worst = max(rows, key=lambda row: row["n"])
+    ok = worst["speedup"] >= TARGET_SPEEDUP and all(row["identical"] for row in rows)
+    print(
+        "target: >= {}x at n≈{} -> measured {}x ({})".format(
+            TARGET_SPEEDUP, TARGET_N, worst["speedup"], "PASS" if ok else "FAIL"
+        )
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

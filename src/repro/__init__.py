@@ -16,6 +16,12 @@ Quickstart::
     graph = torus_graph(16, 16)
     decomposition = repro.decompose(graph, method="strong-log3")
     print(decomposition.summary())
+
+The hot ball-growing loops run over the flat-array CSR graph core
+(:mod:`repro.graphs.csr`) by default; pass ``backend="nx"`` to
+:func:`~repro.core.api.carve` / :func:`~repro.core.api.decompose` (or use
+:func:`repro.graphs.use_backend`) to run the original networkx walks, which
+are kept as a differential-testing oracle.
 """
 
 from repro.core.api import CARVING_METHODS, DECOMPOSITION_METHODS, carve, decompose

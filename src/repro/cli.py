@@ -62,6 +62,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--eps", type=float, default=0.5, help="carving boundary parameter")
     parser.add_argument("--seed", type=int, default=0, help="seed for randomized baselines")
     parser.add_argument(
+        "--backend",
+        choices=("csr", "nx"),
+        default="csr",
+        help=(
+            "graph backend: 'csr' runs the flat-array fast path (default), "
+            "'nx' the original networkx walks (differential-testing oracle)"
+        ),
+    )
+    parser.add_argument(
         "--skip-validation",
         action="store_true",
         help="skip the invariant validators (faster on large graphs)",
@@ -105,24 +114,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     )
 
-    if args.mode == "carving":
-        carving = carve(graph, args.eps, method=args.method, seed=args.seed)
-        if not args.skip_validation:
-            # The randomized baselines guarantee their dead fraction only in
-            # expectation, so structural invariants are checked but the
-            # per-run dead fraction gets slack.
-            lenient = args.method in ("ls93", "mpx")
-            check_ball_carving(carving, max_dead_fraction=0.99 if lenient else None)
-        metrics = evaluate_carving(carving, args.method)
-        print(format_table([metrics.as_row()], title="ball carving"))
-        result = carving
-    else:
-        decomposition = decompose(graph, method=args.method, seed=args.seed)
-        if not args.skip_validation:
-            check_network_decomposition(decomposition)
-        metrics = evaluate_decomposition(decomposition, args.method)
-        print(format_table([metrics.as_row()], title="network decomposition"))
-        result = decomposition
+    from repro.graphs.backend import use_backend
+
+    # Scope the backend switch over validation and metrics too: selecting
+    # the nx oracle must keep *all* graph walks off the CSR code paths.
+    with use_backend(args.backend):
+        if args.mode == "carving":
+            carving = carve(graph, args.eps, method=args.method, seed=args.seed)
+            if not args.skip_validation:
+                # The randomized baselines guarantee their dead fraction only
+                # in expectation, so structural invariants are checked but
+                # the per-run dead fraction gets slack.
+                lenient = args.method in ("ls93", "mpx")
+                check_ball_carving(carving, max_dead_fraction=0.99 if lenient else None)
+            metrics = evaluate_carving(carving, args.method)
+            print(format_table([metrics.as_row()], title="ball carving"))
+            result = carving
+        else:
+            decomposition = decompose(graph, method=args.method, seed=args.seed)
+            if not args.skip_validation:
+                check_network_decomposition(decomposition)
+            metrics = evaluate_decomposition(decomposition, args.method)
+            print(format_table([metrics.as_row()], title="network decomposition"))
+            result = decomposition
 
     if args.save is not None:
         from repro.graphs.io import write_clustering

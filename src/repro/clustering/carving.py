@@ -83,8 +83,60 @@ class BallCarving:
         usage = edge_congestion(self.clusters)
         return max(usage.values(), default=0)
 
+    # ------------------------------------------------------------------ #
+    # Backend-accelerated helpers (one restricted BFS per cluster over the
+    # active graph backend — the CSR flat arrays by default)
+    # ------------------------------------------------------------------ #
+    def cluster_radii(self) -> Dict[Any, int]:
+        """Mapping cluster label -> centre eccentricity inside the cluster.
+
+        Twice the radius upper-bounds each cluster's strong diameter, which
+        is what :meth:`summary` reports without paying the all-pairs BFS of
+        the exact validators.  Raises ``ValueError`` on a cluster whose
+        induced subgraph is disconnected (only legal for weak carvings).
+        """
+        from repro.graphs.csr import refresh_csr_cache
+
+        # One staleness check up front keeps the per-cluster BFS calls off a
+        # stale flat index if the host graph was mutated in place.
+        refresh_csr_cache(self.graph)
+        return {cluster.label: cluster.radius(self.graph) for cluster in self.clusters}
+
+    def max_cluster_radius(self) -> int:
+        """The largest cluster radius (0 when there are no clusters)."""
+        return max(self.cluster_radii().values(), default=0)
+
+    def check_clusters_connected(self, assume_fresh_index: bool = False) -> bool:
+        """Cheap validation: every strong-diameter cluster is connected.
+
+        One restricted BFS per cluster, via :meth:`Cluster.radius` (which
+        raises exactly when the induced subgraph is disconnected) — a single
+        source of truth for the connectivity test.  Weak-diameter carvings
+        vacuously pass; their connectivity lives in the Steiner trees.
+        ``assume_fresh_index`` skips the staleness check for callers (the
+        whole-object validators) that just refreshed the CSR cache.
+        """
+        if self.kind != "strong":
+            return True
+        if not assume_fresh_index:
+            from repro.graphs.csr import refresh_csr_cache
+
+            refresh_csr_cache(self.graph)
+        for cluster in self.clusters:
+            try:
+                cluster.radius(self.graph)
+            except ValueError:
+                return False
+        return True
+
     def summary(self) -> Dict[str, Any]:
-        """A compact dictionary of the quantities the benchmarks report."""
+        """A compact dictionary of the quantities the benchmarks report.
+
+        ``max_cluster_radius`` (strong carvings only; ``None`` for weak ones,
+        whose clusters may induce disconnected subgraphs) is the cheap
+        one-BFS-per-cluster diameter proxy: twice the radius upper-bounds the
+        strong diameter.
+        """
         return {
             "kind": self.kind,
             "eps": self.eps,
@@ -94,6 +146,7 @@ class BallCarving:
             "dead_nodes": len(self.dead),
             "dead_fraction": self.dead_fraction,
             "max_cluster_size": self.max_cluster_size(),
+            "max_cluster_radius": self.max_cluster_radius() if self.kind == "strong" else None,
             "congestion": self.congestion(),
             "rounds": self.rounds,
         }

@@ -17,6 +17,18 @@ from typing import Any, Dict, FrozenSet, Iterable, Optional, Set, Tuple
 import networkx as nx
 
 
+def _uid_order_key(graph: nx.Graph, node: Any) -> Tuple[int, Any, str]:
+    """Total order on nodes by uid, robust to mixed uid/label types.
+
+    Delegates the uid ordering rule to :func:`repro.graphs.csr.uid_order_key`
+    (shared with the CONGEST simulator's neighbour sorting) and appends the
+    node's string form as the final tie-break.
+    """
+    from repro.graphs.csr import uid_order_key
+
+    return uid_order_key(graph.nodes[node].get("uid", node)) + (str(node),)
+
+
 @dataclasses.dataclass
 class SteinerTree:
     """A rooted tree in the host graph supporting a cluster's communication.
@@ -151,13 +163,54 @@ class Cluster:
         return Cluster(nodes=self.nodes, label=self.label, color=color, tree=self.tree)
 
     def is_adjacent_to(self, other: "Cluster", graph: nx.Graph) -> bool:
-        """Whether some edge of ``graph`` connects this cluster to ``other``."""
+        """Whether some edge of ``graph`` connects this cluster to ``other``.
+
+        Like the low-level primitives in :mod:`repro.graphs.properties`,
+        this reads the cached flat index without a staleness check; after an
+        in-place mutation of ``graph``, call
+        :func:`repro.graphs.invalidate_csr_cache` first (the carving-level
+        helpers and validators do this for you).
+        """
+        from repro.graphs.properties import neighbors_resolver
+
+        neighbours_of = neighbors_resolver(graph)
         smaller, larger = (self, other) if len(self) <= len(other) else (other, self)
         for node in smaller.nodes:
-            for neighbour in graph.neighbors(node):
+            for neighbour in neighbours_of(node):
                 if neighbour in larger.nodes:
                     return True
         return False
+
+    def radius(self, graph: nx.Graph) -> int:
+        """Eccentricity of the cluster centre inside the induced subgraph.
+
+        The centre is the Steiner-tree root when the tree root belongs to the
+        cluster, otherwise the smallest-uid member.  Runs one restricted BFS
+        over the active backend (the CSR flat arrays by default), so it is
+        cheap enough for per-cluster reporting; twice the radius upper-bounds
+        the cluster's strong diameter.
+
+        Raises ``ValueError`` when the induced subgraph is disconnected (its
+        strong radius is unbounded — weak-diameter clusters may legitimately
+        be in that state; measure those through their Steiner trees instead).
+        """
+        from repro.graphs.properties import bfs_layers_within
+
+        if len(self.nodes) <= 1:
+            return 0
+        if self.tree is not None and self.tree.root in self.nodes:
+            centre = self.tree.root
+        else:
+            centre = min(self.nodes, key=lambda node: _uid_order_key(graph, node))
+        layers = bfs_layers_within(graph, [centre], allowed=set(self.nodes))
+        reached = sum(len(layer) for layer in layers)
+        if reached != len(self.nodes):
+            raise ValueError(
+                "cluster {!r} induces a disconnected subgraph; strong radius undefined".format(
+                    self.label
+                )
+            )
+        return len(layers) - 1
 
 
 def edge_congestion(clusters: Iterable[Cluster]) -> Dict[Tuple[Any, Any], int]:

@@ -23,6 +23,42 @@ class ValidationError(AssertionError):
     """Raised when a clustering violates one of its claimed invariants."""
 
 
+def _validation_csr_index(graph: nx.Graph, refresh: bool = True):
+    """The CSR index for a validator's boundary walks, or ``None``.
+
+    ``None`` when the ``"nx"`` backend is active, the graph is an
+    *edge-filtered* view (a hidden edge would falsely report adjacency), or
+    the graph cannot be CSR-frozen.  Node-induced views — what every ball
+    carving stores — resolve to their root's index: a cluster-boundary
+    neighbour outside the view is simply never owned by a cluster, so the
+    root's rows give the right answer.  Unlike the hot-path dispatch,
+    validators first pay the O(m) :func:`~repro.graphs.csr.refresh_csr_cache`
+    — a validator must never certify a clustering against a stale index,
+    and O(m) is what the validators cost anyway.
+    """
+    from repro.graphs.csr import csr_index_or_none
+
+    return csr_index_or_none(graph, refresh=refresh)
+
+
+def _csr_row_neighbours(csr, owner: Dict[Any, Any]):
+    """Yield ``(neighbour label, owner value of the source node)`` for every
+    adjacency-row entry of every owned node.
+
+    One flat pass over the CSR rows of the clustered nodes — O(vol(owner))
+    total, no per-cluster mask allocations.  Nodes absent from the index
+    (possible only for malformed inputs) are skipped, mirroring how an edge
+    scan simply never reaches them.
+    """
+    indptr, indices, nodes, index_of = csr.indptr, csr.indices, csr.nodes, csr.index
+    for node, value in owner.items():
+        i = index_of.get(node)
+        if i is None:
+            continue
+        for j in indices[indptr[i] : indptr[i + 1]]:
+            yield nodes[j], value
+
+
 # ---------------------------------------------------------------------- #
 # Diameter notions
 # ---------------------------------------------------------------------- #
@@ -78,24 +114,55 @@ def clusters_are_disjoint(clusters: Sequence[Cluster]) -> bool:
     return True
 
 
-def clusters_nonadjacent(graph: nx.Graph, clusters: Sequence[Cluster]) -> bool:
-    """True when no edge of the graph connects two distinct clusters."""
+def clusters_nonadjacent(
+    graph: nx.Graph, clusters: Sequence[Cluster], assume_fresh_index: bool = False
+) -> bool:
+    """True when no edge of the graph connects two distinct clusters.
+
+    Under the ``"csr"`` backend this walks the flat adjacency rows of the
+    clustered nodes only — O(vol(clusters)) after the one-time staleness
+    check, instead of a scan over every graph edge, which matters when
+    validating many small carvings of a large graph.  Callers that already
+    refreshed the CSR cache this call (the whole-object validators) pass
+    ``assume_fresh_index=True`` to skip the redundant O(n + m) fingerprint.
+    """
     owner: Dict[Any, int] = {}
     for index, cluster in enumerate(clusters):
         for node in cluster.nodes:
             owner[node] = index
+    csr = _validation_csr_index(graph, refresh=not assume_fresh_index)
+    if csr is not None:
+        for node, owner_index in _csr_row_neighbours(csr, owner):
+            if owner.get(node, owner_index) != owner_index:
+                return False
+        return True
     for u, v in graph.edges():
         if u in owner and v in owner and owner[u] != owner[v]:
             return False
     return True
 
 
-def same_color_clusters_nonadjacent(graph: nx.Graph, clusters: Sequence[Cluster]) -> bool:
-    """True when no edge connects two distinct clusters of the same color."""
+def same_color_clusters_nonadjacent(
+    graph: nx.Graph, clusters: Sequence[Cluster], assume_fresh_index: bool = False
+) -> bool:
+    """True when no edge connects two distinct clusters of the same color.
+
+    Like :func:`clusters_nonadjacent`, walks the clustered nodes' flat
+    adjacency rows when the backend allows it, instead of scanning every
+    edge; ``assume_fresh_index`` skips the staleness check for callers that
+    just refreshed.
+    """
     owner: Dict[Any, Tuple[int, Any]] = {}
     for index, cluster in enumerate(clusters):
         for node in cluster.nodes:
             owner[node] = (index, cluster.color)
+    csr = _validation_csr_index(graph, refresh=not assume_fresh_index)
+    if csr is not None:
+        for neighbour, (source_index, source_color) in _csr_row_neighbours(csr, owner):
+            entry = owner.get(neighbour)
+            if entry is not None and entry[0] != source_index and entry[1] == source_color:
+                return False
+        return True
     for u, v in graph.edges():
         if u in owner and v in owner:
             index_u, color_u = owner[u]
@@ -167,7 +234,12 @@ def check_ball_carving(
       when a bound is given;
     * Steiner trees are present and valid for weak-diameter carvings.
     """
+    from repro.graphs.csr import refresh_csr_cache
+
     graph = carving.graph
+    # A validator must never certify against a stale flat index; one O(n+m)
+    # staleness check up front covers every BFS this function triggers.
+    refresh_csr_cache(graph)
     all_nodes = set(graph.nodes())
 
     if not clusters_are_disjoint(carving.clusters):
@@ -184,7 +256,7 @@ def check_ball_carving(
             )
         )
 
-    if not clusters_nonadjacent(graph, carving.clusters):
+    if not clusters_nonadjacent(graph, carving.clusters, assume_fresh_index=True):
         raise ValidationError("two distinct clusters of the carving are adjacent")
 
     allowed_dead = carving.eps if max_dead_fraction is None else max_dead_fraction
@@ -208,9 +280,10 @@ def check_ball_carving(
             )
     elif carving.kind == "strong":
         # Even without an explicit bound, a strong carving's clusters must at
-        # least induce connected subgraphs.
-        for cluster in carving.clusters:
-            strong_diameter(graph, cluster.nodes)
+        # least induce connected subgraphs.  One restricted BFS per cluster
+        # (over the active graph backend) instead of the all-pairs diameter.
+        if not carving.check_clusters_connected(assume_fresh_index=True):
+            raise ValidationError("a strong-diameter cluster induces a disconnected subgraph")
 
     if carving.kind == "weak":
         check_steiner_trees(
@@ -233,7 +306,10 @@ def check_network_decomposition(
     * every cluster's (strong or weak) diameter is within ``max_diameter``;
     * at most ``max_colors`` colors are used.
     """
+    from repro.graphs.csr import refresh_csr_cache
+
     graph = decomposition.graph
+    refresh_csr_cache(graph)
     all_nodes = set(graph.nodes())
 
     if not clusters_are_disjoint(decomposition.clusters):
@@ -246,7 +322,7 @@ def check_network_decomposition(
                 len(missing), sorted(missing, key=str)[:5]
             )
         )
-    if not same_color_clusters_nonadjacent(graph, decomposition.clusters):
+    if not same_color_clusters_nonadjacent(graph, decomposition.clusters, assume_fresh_index=True):
         raise ValidationError("two adjacent clusters share a color")
 
     if max_colors is not None and decomposition.num_colors > max_colors:

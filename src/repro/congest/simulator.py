@@ -12,12 +12,19 @@ instance per node and records, per run:
   bandwidth);
 * the number of bandwidth violations (only possible in ``permissive`` mode —
   in strict mode a violation raises :class:`BandwidthExceeded`).
+
+The simulator freezes the network into the flat-array CSR index of
+:mod:`repro.graphs.csr` at construction time: per-node neighbour tuples
+(sorted by *uid*, the only ordering a CONGEST node can actually compute) are
+precomputed once instead of being re-derived from the dict-of-dicts adjacency
+per context, and the per-round delivery buffers are reused across rounds
+instead of rebuilding an n-entry dict of lists every round.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Callable, Dict, List, Mapping, Optional, Type
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Type
 
 import networkx as nx
 
@@ -75,14 +82,46 @@ class CongestSimulator:
             bandwidth_bits if bandwidth_bits is not None else default_bandwidth(self.n)
         )
         self.strict = strict
+        # Freeze the adjacency once: per-node neighbour tuples sorted by uid
+        # (integer uids order numerically — sorting by str(label) would order
+        # node 10 before node 2, a determinism hazard for tie-breaking
+        # algorithms).  Falls back to the networkx walk for graphs the CSR
+        # index cannot represent.  (Imported lazily: repro.graphs pulls in
+        # repro.clustering for its IO helpers, which in turn reaches this
+        # module through repro.congest — a module-level import would close
+        # that cycle.)
+        from repro.graphs.csr import _graph_fingerprint, csr_index_or_none, uid_order_key
+
+        # views="reject": a view's neighbour tables must cover exactly the
+        # view's nodes, which the root's CSR rows cannot; respect_backend is
+        # off because the simulator freezes the network regardless of the
+        # algorithm backend switch.
+        csr = csr_index_or_none(graph, refresh=True, views="reject", respect_backend=False)
+        if csr is not None:
+            # Fresh by construction: refresh_csr_cache fingerprints the uid
+            # attributes, so the frozen uid array matches the live graph.
+            self._uid_of: Dict[Any, Any] = dict(zip(csr.nodes, csr.uids))
+        else:
+            self._uid_of = {node: graph.nodes[node].get("uid", node) for node in graph.nodes()}
+        self._neighbors: Dict[Any, Tuple[Any, ...]] = {}
+        for node in graph.nodes():
+            adjacent = csr.neighbors(node) if csr is not None else graph.neighbors(node)
+            self._neighbors[node] = tuple(
+                sorted(adjacent, key=lambda v: uid_order_key(self._uid_of[v]))
+            )
+        # The network is frozen now; remember its fingerprint so run() can
+        # reject a mutated graph loudly instead of crashing on stale state.
+        # On the csr branch the just-refreshed index already carries it.
+        self._frozen_fingerprint = (
+            csr.fingerprint if csr is not None else _graph_fingerprint(graph)
+        )
 
     def _make_context(self, node: Any, extra: Optional[Mapping[str, Any]]) -> NodeContext:
-        uid = self.graph.nodes[node].get("uid", node)
         per_node_extra = dict(extra.get(node, {})) if extra else {}
         return NodeContext(
             node=node,
-            uid=uid,
-            neighbors=tuple(sorted(self.graph.neighbors(node), key=str)),
+            uid=self._uid_of[node],
+            neighbors=self._neighbors[node],
             n=self.n,
             extra=per_node_extra,
         )
@@ -108,6 +147,15 @@ class CongestSimulator:
             A :class:`SimulationReport` with round and message statistics and
             the per-node outputs.
         """
+        from repro.graphs.csr import _graph_fingerprint
+
+        if _graph_fingerprint(self.graph) != self._frozen_fingerprint:
+            raise ValueError(
+                "the graph was mutated after simulator construction; "
+                "the simulator freezes the network at __init__ — build a "
+                "new CongestSimulator for the modified graph"
+            )
+
         programs: Dict[Any, NodeAlgorithm] = {}
         for node in self.graph.nodes():
             context = self._make_context(node, extra_inputs)
@@ -119,15 +167,23 @@ class CongestSimulator:
         violations = 0
 
         # Round 1 output: initialize() produces the first batch of messages.
-        pending: Dict[Any, List[Message]] = {node: [] for node in self.graph.nodes()}
         outgoing: Dict[Any, Dict[Any, Any]] = {}
         for node, program in programs.items():
             outgoing[node] = program.initialize() or {}
 
+        # Delivery buffers, allocated once and reused across rounds.  Only
+        # entries that actually received messages last round are re-bound to
+        # a fresh list (programs may legitimately keep a reference to their
+        # inbox, so the delivered lists themselves are never mutated).
+        deliveries: Dict[Any, List[Message]] = {node: [] for node in self.graph.nodes()}
+        touched: List[Any] = []
+
         rounds = 0
         for round_number in range(1, max_rounds + 1):
             # Deliver the messages produced in the previous step.
-            deliveries: Dict[Any, List[Message]] = {node: [] for node in self.graph.nodes()}
+            for node in touched:
+                deliveries[node] = []
+            touched = []
             any_message = False
             for sender, per_neighbor in outgoing.items():
                 for neighbor, payload in per_neighbor.items():
@@ -149,7 +205,10 @@ class CongestSimulator:
                     messages_sent += 1
                     total_bits += bits
                     max_message_bits = max(max_message_bits, bits)
-                    deliveries[neighbor].append(Message(sender=sender, payload=payload))
+                    inbox = deliveries[neighbor]
+                    if not inbox:
+                        touched.append(neighbor)
+                    inbox.append(Message(sender=sender, payload=payload))
                     any_message = True
 
             rounds = round_number
@@ -164,10 +223,16 @@ class CongestSimulator:
                 # whenever a message arrives (event-driven semantics).  This
                 # lets programs like the BFS wave go quiet while waiting for
                 # the frontier to reach them without stalling the simulation.
-                if program.finished() and not deliveries[node]:
+                inbox = deliveries[node]
+                if program.finished() and not inbox:
                     outgoing[node] = {}
                     continue
-                outgoing[node] = program.step(round_number, deliveries[node]) or {}
+                # Never hand out the reusable accumulation buffer while it is
+                # empty: it would stay in `deliveries` (the node was not
+                # "touched") and a later round's delivery would append to a
+                # list the program may have kept.  Non-empty inboxes are safe
+                # — they are re-bound to fresh lists at the next round.
+                outgoing[node] = program.step(round_number, inbox if inbox else []) or {}
         else:
             raise RuntimeError("simulation did not terminate within {} rounds".format(max_rounds))
 

@@ -16,6 +16,13 @@ method               algorithm
 ``"mpx"``            randomized strong-diameter baseline [MPX13, EN16]
 ``"sequential"``     centralized existential construction [LS93]
 ===================  ==========================================================
+
+Both entry points additionally accept ``backend="csr" | "nx"`` (default:
+the ambient backend, which is ``"csr"``): ``"csr"`` routes all ball growing
+through the flat-array graph core of :mod:`repro.graphs.csr`, ``"nx"`` runs
+the original dict-of-dicts networkx walks.  The two backends produce
+identical cluster assignments — ``"nx"`` is kept as a differential-testing
+oracle and for graphs the CSR index cannot represent.
 """
 
 from __future__ import annotations
@@ -41,6 +48,8 @@ from repro.core.decomposition import (
 )
 from repro.core.improved_carving import theorem33_carving
 from repro.core.strong_carving import theorem22_carving
+from repro.graphs.backend import use_backend
+from repro.graphs.csr import refresh_csr_cache
 from repro.weak.carving import weak_diameter_carving
 
 CARVING_METHODS = ("strong-log3", "strong-log2", "weak-rg20", "ls93", "mpx", "sequential")
@@ -54,6 +63,7 @@ def carve(
     nodes: Optional[Iterable[Any]] = None,
     ledger: Optional[RoundLedger] = None,
     seed: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> BallCarving:
     """Compute a ball carving of ``graph`` with the chosen algorithm.
 
@@ -66,23 +76,30 @@ def carve(
         ledger: Optional round ledger to charge into.
         seed: Seed for the randomized baselines (ignored by deterministic
             methods).
+        backend: ``"csr"`` (flat-array graph core), ``"nx"`` (original
+            networkx walks, the differential-testing oracle) or ``None`` to
+            keep the ambient backend (default ``"csr"``).
 
     Returns:
         A :class:`~repro.clustering.carving.BallCarving`.
     """
     rng = random.Random(seed if seed is not None else 0)
-    if method == "strong-log3":
-        return theorem22_carving(graph, eps, nodes=nodes, ledger=ledger)
-    if method == "strong-log2":
-        return theorem33_carving(graph, eps, nodes=nodes, ledger=ledger)
-    if method == "weak-rg20":
-        return weak_diameter_carving(graph, eps, nodes=nodes, ledger=ledger)
-    if method == "ls93":
-        return linial_saks_carving(graph, eps, nodes=nodes, ledger=ledger, rng=rng)
-    if method == "mpx":
-        return mpx_carving(graph, eps, nodes=nodes, ledger=ledger, rng=rng)
-    if method == "sequential":
-        return greedy_sequential_carving(graph, eps, nodes=nodes, ledger=ledger)
+    # One full (n, m) staleness check per API call: callers who mutated the
+    # graph's edges in place since the last call get a fresh CSR index.
+    refresh_csr_cache(graph)
+    with use_backend(backend):
+        if method == "strong-log3":
+            return theorem22_carving(graph, eps, nodes=nodes, ledger=ledger)
+        if method == "strong-log2":
+            return theorem33_carving(graph, eps, nodes=nodes, ledger=ledger)
+        if method == "weak-rg20":
+            return weak_diameter_carving(graph, eps, nodes=nodes, ledger=ledger)
+        if method == "ls93":
+            return linial_saks_carving(graph, eps, nodes=nodes, ledger=ledger, rng=rng)
+        if method == "mpx":
+            return mpx_carving(graph, eps, nodes=nodes, ledger=ledger, rng=rng)
+        if method == "sequential":
+            return greedy_sequential_carving(graph, eps, nodes=nodes, ledger=ledger)
     raise ValueError("unknown carving method {!r}; choose from {}".format(method, CARVING_METHODS))
 
 
@@ -91,6 +108,7 @@ def decompose(
     method: str = "strong-log3",
     ledger: Optional[RoundLedger] = None,
     seed: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> NetworkDecomposition:
     """Compute a network decomposition of ``graph`` with the chosen algorithm.
 
@@ -99,24 +117,28 @@ def decompose(
         method: One of :data:`DECOMPOSITION_METHODS`.
         ledger: Optional round ledger to charge into.
         seed: Seed for the randomized baselines.
+        backend: ``"csr"``, ``"nx"`` or ``None`` (ambient default, ``"csr"``)
+            — see :func:`carve`.
 
     Returns:
         A :class:`~repro.clustering.decomposition.NetworkDecomposition`
         covering every node.
     """
     rng = random.Random(seed if seed is not None else 0)
-    if method == "strong-log3":
-        return theorem23_decomposition(graph, ledger=ledger)
-    if method == "strong-log2":
-        return theorem34_decomposition(graph, ledger=ledger)
-    if method == "weak-rg20":
-        return weak_decomposition_rg20(graph, ledger=ledger)
-    if method == "ls93":
-        return linial_saks_decomposition(graph, ledger=ledger, rng=rng)
-    if method == "mpx":
-        return mpx_decomposition(graph, ledger=ledger, rng=rng)
-    if method == "sequential":
-        return greedy_sequential_decomposition(graph, ledger=ledger)
+    refresh_csr_cache(graph)
+    with use_backend(backend):
+        if method == "strong-log3":
+            return theorem23_decomposition(graph, ledger=ledger)
+        if method == "strong-log2":
+            return theorem34_decomposition(graph, ledger=ledger)
+        if method == "weak-rg20":
+            return weak_decomposition_rg20(graph, ledger=ledger)
+        if method == "ls93":
+            return linial_saks_decomposition(graph, ledger=ledger, rng=rng)
+        if method == "mpx":
+            return mpx_decomposition(graph, ledger=ledger, rng=rng)
+        if method == "sequential":
+            return greedy_sequential_decomposition(graph, ledger=ledger)
     raise ValueError(
         "unknown decomposition method {!r}; choose from {}".format(method, DECOMPOSITION_METHODS)
     )

@@ -41,7 +41,7 @@ from repro.clustering.carving import BallCarving
 from repro.clustering.cluster import Cluster
 from repro.clustering.validation import ValidationError, strong_diameter
 from repro.congest.rounds import RoundLedger
-from repro.graphs.properties import bfs_layers_within, induced_components
+from repro.graphs.properties import bfs_layers_within, induced_components, neighbors_resolver
 
 
 def _normalise_edge(u: Any, v: Any) -> Tuple[Any, Any]:
@@ -160,8 +160,9 @@ def _internal_and_boundary_edges(
     """Count surviving edges inside ``ball`` and list those leaving it."""
     internal = 0
     boundary: List[Tuple[Any, Any]] = []
+    neighbours_of = neighbors_resolver(graph)
     for node in ball:
-        for neighbour in graph.neighbors(node):
+        for neighbour in neighbours_of(node):
             edge = _normalise_edge(node, neighbour)
             if edge not in allowed_edges:
                 continue
@@ -316,8 +317,9 @@ def edge_carving_from_node_carving(
 
     carving = node_carving(graph, node_eps, ledger=ledger)
     removed: Set[Tuple[Any, Any]] = set()
+    neighbours_of = neighbors_resolver(graph)
     for node in carving.dead:
-        for neighbour in graph.neighbors(node):
+        for neighbour in neighbours_of(node):
             removed.add(_normalise_edge(node, neighbour))
 
     clusters: List[Cluster] = [

@@ -117,7 +117,7 @@ def improved_strong_carving(
                 # within the piece trivially true for connected outputs).
                 from repro.graphs.properties import induced_components
 
-                for component in induced_components(working_graph, piece):
+                for component in induced_components(graph, piece):
                     final_clusters.append(component)
                 continue
             if level >= max_level:
@@ -135,14 +135,14 @@ def improved_strong_carving(
                 # Accept clusters that already meet the diameter target
                 # (certified by twice the eccentricity of one BFS, which costs
                 # O(diameter) rounds).
-                eccentricity = _cluster_eccentricity(working_graph, cluster.nodes)
+                eccentricity = _cluster_eccentricity(graph, cluster.nodes)
                 piece_ledger.bfs(eccentricity, detail="diameter certificate")
                 if 2 * eccentricity <= target_diameter:
                     trace.accepted_clusters += 1
                     final_clusters.append(set(cluster.nodes))
                     continue
                 result = sparse_cut_or_component(
-                    working_graph, cluster.nodes, eps, ledger=piece_ledger
+                    graph, cluster.nodes, eps, ledger=piece_ledger
                 )
                 if isinstance(result, SparseCut):
                     trace.sparse_cut_events += 1
@@ -168,7 +168,7 @@ def improved_strong_carving(
                 detail="recursion level {}".format(current_level),
             )
 
-    clusters = _materialise_clusters(working_graph, final_clusters)
+    clusters = _materialise_clusters(graph, final_clusters)
     return BallCarving(
         graph=working_graph,
         clusters=clusters,

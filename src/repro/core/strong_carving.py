@@ -37,7 +37,7 @@ import networkx as nx
 from repro.clustering.carving import BallCarving
 from repro.clustering.cluster import Cluster, SteinerTree
 from repro.congest.rounds import RoundLedger
-from repro.graphs.properties import bfs_layers_within, induced_components
+from repro.graphs.properties import bfs_layers_within, induced_components, neighbors_resolver
 from repro.weak.carving import WeakCarvingParameters, weak_diameter_carving
 
 # Type of the black-box weak carving algorithm "A" of Theorem 2.1: it receives
@@ -161,7 +161,11 @@ def strong_carving_from_weak(
 
     dead: Set[Any] = set()
     final_clusters: List[Set[Any]] = []
-    components: List[Set[Any]] = induced_components(working_graph, participating)
+    # The BFS-shaped primitives take explicit `allowed` sets (all subsets of
+    # `participating`), so they run on the host graph directly — under the
+    # CSR backend this hits the cached flat-array index instead of paying the
+    # subgraph view's per-edge filter calls.
+    components: List[Set[Any]] = induced_components(graph, participating)
 
     iteration = 0
     max_iterations = 2 * log_n + 4  # Safety margin over the proved log n bound.
@@ -202,7 +206,7 @@ def strong_carving_from_weak(
                     congestion=max(1, weak.congestion()),
                     detail="giant-cluster check",
                 )
-                next_components.extend(induced_components(working_graph, survivors))
+                next_components.extend(induced_components(graph, survivors))
             else:
                 # Case (II): a giant cluster exists.  Ball-carve around the
                 # root of its Steiner tree inside the whole component G[S].
@@ -217,7 +221,7 @@ def strong_carving_from_weak(
                     detail="giant-cluster check",
                 )
                 ball, boundary, radius = _find_boundary_radius(
-                    working_graph,
+                    graph,
                     root,
                     allowed=component,
                     start_radius=tree_depth,
@@ -229,7 +233,7 @@ def strong_carving_from_weak(
                 final_clusters.append(ball)
                 dead |= boundary
                 remaining = component - ball - boundary
-                next_components.extend(induced_components(working_graph, remaining))
+                next_components.extend(induced_components(graph, remaining))
 
             per_component_rounds.append(component_ledger.total_rounds)
 
@@ -249,7 +253,7 @@ def strong_carving_from_weak(
         final_clusters.append(set(component))
 
     trace.iterations = iteration
-    clusters = _materialise_clusters(working_graph, final_clusters)
+    clusters = _materialise_clusters(graph, final_clusters)
     return BallCarving(
         graph=working_graph,
         clusters=clusters,
@@ -277,6 +281,7 @@ def _materialise_clusters(graph: nx.Graph, node_sets: List[Set[Any]]) -> List[Cl
     (e.g. the application template) have a communication backbone.
     """
     clusters: List[Cluster] = []
+    neighbours_of = neighbors_resolver(graph)
     for index, node_set in enumerate(node_sets):
         if not node_set:
             continue
@@ -285,7 +290,7 @@ def _materialise_clusters(graph: nx.Graph, node_sets: List[Set[Any]]) -> List[Cl
         layers = bfs_layers_within(graph, [root], allowed=node_set)
         for depth in range(1, len(layers)):
             for node in layers[depth]:
-                for neighbour in graph.neighbors(node):
+                for neighbour in neighbours_of(node):
                     if neighbour in layers[depth - 1] and neighbour in parent:
                         parent[node] = neighbour
                         break

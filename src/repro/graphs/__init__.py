@@ -10,8 +10,15 @@ All generators return :class:`networkx.Graph` instances whose nodes are
 consecutive integers ``0..n-1``; every node additionally carries a unique
 ``O(log n)``-bit identifier in the node attribute ``"uid"`` because the
 deterministic algorithms of the paper operate on node identifiers.
+
+The subpackage also hosts the flat-array graph core (:mod:`repro.graphs.csr`)
+and the backend switch (:mod:`repro.graphs.backend`) that routes the hot BFS
+primitives either through the frozen CSR index (default) or through the
+original networkx walks.
 """
 
+from repro.graphs.backend import BACKENDS, get_backend, set_backend, use_backend
+from repro.graphs.csr import CSRGraph, CSRUnsupported, invalidate_csr_cache
 from repro.graphs.generators import (
     GraphFamily,
     assign_unique_identifiers,
@@ -49,12 +56,23 @@ from repro.graphs.properties import (
     graph_conductance_lower_bound,
     induced_components,
     is_partition,
+    iter_neighbors,
     neighborhood_ball,
+    neighbors_resolver,
     radius_from,
     subgraph_diameter,
 )
 
 __all__ = [
+    "BACKENDS",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+    "CSRGraph",
+    "CSRUnsupported",
+    "invalidate_csr_cache",
+    "iter_neighbors",
+    "neighbors_resolver",
     "GraphFamily",
     "assign_unique_identifiers",
     "binary_tree_graph",

@@ -1,0 +1,60 @@
+"""The graph-backend switch: flat-array CSR kernels vs. networkx walks.
+
+Every hot primitive of the reproduction (BFS layer growing, restricted
+connected components, ball extraction) exists in two implementations:
+
+* ``"csr"`` — flat-array frontier expansion over the frozen
+  :class:`repro.graphs.csr.CSRGraph` index (the default; this is what makes
+  the larger Table 1/2 workloads reachable);
+* ``"nx"`` — the original dict-of-dicts :mod:`networkx` walks of the seed
+  implementation, kept verbatim as a differential-testing oracle.
+
+The active backend is an ambient, process-wide setting.  The high-level API
+(:func:`repro.core.api.carve` / :func:`repro.core.api.decompose`), the CLI and
+the benchmark harness all accept a ``backend=`` argument which scopes the
+switch to one call via :func:`use_backend`.  Both backends produce identical
+cluster assignments (asserted by ``tests/test_backend_differential.py``); only
+the wall-clock cost differs.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Optional
+
+BACKENDS = ("csr", "nx")
+
+_DEFAULT_BACKEND = "csr"
+_current_backend = _DEFAULT_BACKEND
+
+
+def get_backend() -> str:
+    """The currently active graph backend (``"csr"`` or ``"nx"``)."""
+    return _current_backend
+
+
+def set_backend(name: str) -> str:
+    """Set the ambient backend; returns the previously active one."""
+    global _current_backend
+    if name not in BACKENDS:
+        raise ValueError("unknown backend {!r}; choose from {}".format(name, BACKENDS))
+    previous = _current_backend
+    _current_backend = name
+    return previous
+
+
+@contextlib.contextmanager
+def use_backend(name: Optional[str]) -> Iterator[str]:
+    """Scope the backend switch to a ``with`` block.
+
+    ``None`` keeps the ambient backend (useful for plumbing an optional
+    ``backend=`` keyword through API layers without forcing a choice).
+    """
+    if name is None:
+        yield _current_backend
+        return
+    previous = set_backend(name)
+    try:
+        yield name
+    finally:
+        set_backend(previous)

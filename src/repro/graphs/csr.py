@@ -1,0 +1,574 @@
+"""Flat-array (CSR) graph core for the hot ball-growing loops.
+
+The paper's algorithms are dominated by repeated BFS/ball growing over the
+host graph.  Walking :mod:`networkx`'s dict-of-dicts adjacency (worse: walking
+it through layered ``subgraph`` filter views) costs several Python calls per
+scanned edge.  :class:`CSRGraph` freezes a graph once into compressed sparse
+row form — two int32 arrays ``indptr``/``indices`` plus a ``uids`` array and
+node↔index maps — and implements the primitives the algorithms need as flat
+loops over those arrays with ``bytearray`` visit masks:
+
+* :meth:`CSRGraph.bfs_layers` — restricted BFS layers (the workhorse of the
+  Theorem 2.1/3.2 carving loops);
+* :meth:`CSRGraph.ball` — ``B_r(S)`` inside an allowed set;
+* :meth:`CSRGraph.boundary` — the outside neighbourhood of a cluster;
+* :meth:`CSRGraph.induced_degrees` — degrees inside an induced subgraph;
+* :meth:`CSRGraph.connected_components` — restricted components;
+* :meth:`CSRGraph.subset_adjacency` — per-node neighbour lists restricted to
+  a participating set (consumed by the weak-carving phase loop and the
+  CONGEST simulator).
+
+Everything is pure Python over :mod:`array` buffers — no new dependency.  The
+index is value-identical to the networkx walk, so the ``"nx"`` backend (see
+:mod:`repro.graphs.backend`) remains a drop-in differential-testing oracle.
+
+Construction is cached per *root* graph object in a
+:class:`weakref.WeakKeyDictionary` keyed by the graph itself:
+:func:`CSRGraph.from_networkx` transparently resolves ``G.subgraph(...)``
+views to their root so the carving recursion, which spawns fresh views per
+component, reuses one frozen index for the whole run.  Cache *hits* are
+guarded by the node count only (an O(1) check; recomputing the edge count is
+O(n) in networkx and the carving loops hit the cache once per recursion
+piece).  The public entry points (:func:`repro.core.api.carve` /
+``decompose``, the CONGEST simulator) additionally call
+:func:`refresh_csr_cache` once per invocation, which compares the node
+count, the edge count *and* an order-insensitive O(n + m) fingerprint of the
+node labels, uid attributes and edge set — so in-place mutations between API
+calls, including count-preserving rewires, node replacements and uid
+reassignments, are picked up automatically.  Only code that drives the
+primitives in :mod:`repro.graphs.properties` directly across an in-place
+mutation needs to call :func:`invalidate_csr_cache` itself.
+"""
+
+from __future__ import annotations
+
+import weakref
+from array import array
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+
+class CSRUnsupported(TypeError):
+    """Raised when a graph cannot be frozen into CSR form (directed/multi)."""
+
+
+# Cache: root graph object -> (node_count, CSRGraph).  Weak keys so dropped
+# graphs free their index; the O(1) node-count signature guards against the
+# common in-place mutations (see the module docstring for the edge-only case).
+_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def resolve_root(graph: nx.Graph) -> nx.Graph:
+    """Follow ``subgraph``-view links to the underlying root graph."""
+    root = graph
+    hops = 0
+    while hasattr(root, "_graph"):
+        root = root._graph
+        hops += 1
+        if hops > 64:  # pragma: no cover - defensive against exotic view cycles
+            break
+    return root
+
+
+def has_plain_adjacency(graph: nx.Graph) -> bool:
+    """True for root graphs and purely node-induced subgraph views.
+
+    Edge-filtered views (``nx.edge_subgraph``, or ``subgraph_view`` with an
+    edge filter) hide edges that the root's CSR rows still contain, so the
+    flat index must never be used to walk them — an ``allowed`` node set
+    cannot express an edge restriction.  Node-induced views are recognised
+    by their pass-through edge filter.
+    """
+    if not hasattr(graph, "_graph"):
+        return True
+    edge_ok = getattr(getattr(graph, "_adj", None), "EDGE_OK", None)
+    if edge_ok is None:
+        return False
+    try:
+        from networkx.classes.filters import no_filter
+    except ImportError:  # pragma: no cover - very old networkx layouts
+        return False
+    return edge_ok is no_filter
+
+
+def invalidate_csr_cache(graph: nx.Graph) -> None:
+    """Drop the cached CSR index of ``graph`` (after an in-place mutation)."""
+    _CACHE.pop(resolve_root(graph), None)
+
+
+def uid_order_key(uid: Any) -> Tuple[int, Any]:
+    """Total order on identifiers, robust to mixed uid types.
+
+    Integer uids order numerically before everything else; any other type
+    orders by its string form.  Shared by every consumer that sorts by uid
+    (CONGEST neighbour lists, cluster-centre selection) so the ordering rule
+    cannot drift between layers.
+    """
+    if isinstance(uid, int) and not isinstance(uid, bool):
+        return (0, uid)
+    return (1, str(uid))
+
+
+def _graph_fingerprint(root: nx.Graph) -> int:
+    """Order-insensitive fingerprint of the node set, uids, and edge set.
+
+    XOR of per-node ``(label, uid)`` hashes and symmetric per-edge hashes:
+    O(n + m), insensitive to iteration and endpoint order, and — unlike an
+    ``(n, m)`` count — it changes under count-preserving rewires, node
+    replacements, and in-place ``"uid"`` reassignments, all of which a
+    frozen index must notice.
+    """
+    fingerprint = 0
+    for node, data in root.nodes(data=True):
+        fingerprint ^= hash((node, data.get("uid", node)))
+    for u, v in root.edges():
+        if u == v:
+            # hash((u, v)) ^ hash((v, u)) would cancel to 0 for a loop,
+            # making loop additions/removals invisible to the guard.
+            fingerprint ^= hash(("self-loop", u))
+        else:
+            fingerprint ^= hash((u, v)) ^ hash((v, u))
+    return fingerprint
+
+
+def csr_index_or_none(
+    graph: nx.Graph,
+    refresh: bool = False,
+    views: str = "resolve",
+    respect_backend: bool = True,
+) -> Optional["CSRGraph"]:
+    """The single gate every CSR consumer goes through.
+
+    Returns the (cached) index of ``graph``'s root, or ``None`` when the
+    flat arrays must not be used:
+
+    * the ``"nx"`` backend is active (unless ``respect_backend=False`` —
+      the CONGEST simulator freezes regardless of the algorithm backend);
+    * ``graph`` is an edge-filtered view (its hidden edges cannot be
+      expressed as a node restriction), or any view at all when
+      ``views="reject"`` (for consumers whose output must cover exactly the
+      view's nodes, like the simulator's neighbour tables);
+    * the graph cannot be CSR-frozen (directed / multigraph / self-loops).
+
+    ``refresh=True`` first pays the O(n + m) staleness fingerprint — used by
+    entry points that must never act on a mutated graph's stale index.
+    Centralising this policy keeps every call site's eligibility rule in
+    sync; do not re-implement the gate inline.
+    """
+    if respect_backend:
+        from repro.graphs.backend import get_backend
+
+        if get_backend() != "csr":
+            return None
+    if views == "reject" and hasattr(graph, "_graph"):
+        return None
+    if not has_plain_adjacency(graph):
+        return None
+    if refresh:
+        refresh_csr_cache(graph)
+    try:
+        return CSRGraph.from_networkx(graph)
+    except CSRUnsupported:
+        return None
+
+
+def refresh_csr_cache(graph: nx.Graph) -> None:
+    """Drop the cached index unless it still matches ``graph``.
+
+    Compares node count, edge count *and* an O(n + m) node/uid/edge-set
+    fingerprint, so count-preserving in-place rewires, node replacements and
+    uid reassignments are caught too.  The fingerprint walk is not done on
+    every cache hit (the carving recursion hits the cache once per piece);
+    the public API entry points call this once per invocation, where
+    O(n + m) is negligible against the algorithms' own cost.
+    """
+    root = resolve_root(graph)
+    entry = _CACHE.get(root)
+    if entry is None:
+        return
+    csr = entry[1]
+    if (
+        csr.n != root.number_of_nodes()
+        or csr.built_edges != root.number_of_edges()
+        or csr.fingerprint != _graph_fingerprint(root)
+    ):
+        del _CACHE[root]
+
+
+class CSRGraph:
+    """A frozen flat-array index of an undirected :class:`networkx.Graph`.
+
+    Attributes:
+        n: Number of nodes.
+        m: Number of undirected edges.
+        indptr: int32 array of length ``n + 1``; row ``i``'s neighbours live
+            in ``indices[indptr[i]:indptr[i+1]]``.
+        indices: int32 array of length ``2 m`` holding neighbour indices,
+            sorted ascending within each row (deterministic iteration order).
+        nodes: Node labels by index (index → label).
+        index: Mapping label → index.
+        uids: Per-index unique identifiers (``"uid"`` node attribute, falling
+            back to the node label — mirroring every consumer in the repo).
+    """
+
+    __slots__ = (
+        "n",
+        "m",
+        "indptr",
+        "indices",
+        "nodes",
+        "index",
+        "uids",
+        "built_edges",
+        "fingerprint",
+        "_ones_scratch",
+        "_zeros_scratch",
+        "_ones_busy",
+        "_zeros_busy",
+        "__weakref__",
+    )
+
+    def __init__(
+        self,
+        nodes: Sequence[Any],
+        uids: Sequence[Any],
+        indptr: "array[int]",
+        indices: "array[int]",
+    ) -> None:
+        self.nodes: List[Any] = list(nodes)
+        self.n = len(self.nodes)
+        self.index: Dict[Any, int] = {node: i for i, node in enumerate(self.nodes)}
+        self.uids: List[Any] = list(uids)
+        self.indptr = indptr
+        self.indices = indices
+        self.m = len(indices) // 2
+        # networkx's own edge count and graph fingerprint, recorded at
+        # freeze time for the staleness comparison of refresh_csr_cache (the
+        # count can differ from self.m in the presence of self-loops, which
+        # CSR rows store once).
+        self.built_edges = self.m
+        self.fingerprint = 0
+        self._ones_scratch = bytearray(b"\x01") * self.n
+        self._zeros_scratch = bytearray(self.n)
+        self._ones_busy = False
+        self._zeros_busy = False
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_networkx(cls, graph: nx.Graph, cache: bool = True) -> "CSRGraph":
+        """Freeze ``graph`` (or the root of a subgraph view) into CSR form.
+
+        The result is cached on the root graph object (weakly, with an O(1)
+        node-count mutation guard), so repeated calls during one algorithm
+        run — e.g. once per carving recursion piece — cost a dict lookup.
+        """
+        root = resolve_root(graph)
+        if root.is_directed() or root.is_multigraph():
+            raise CSRUnsupported("CSRGraph supports undirected simple graphs only")
+        signature = root.number_of_nodes()
+        if cache:
+            entry = _CACHE.get(root)
+            if entry is not None and entry[0] == signature:
+                return entry[1]
+        if nx.number_of_selfloops(root):
+            # A self-loop occupies one CSR row entry but counts 2 towards a
+            # networkx degree; rather than maintain two degree conventions,
+            # loop-carrying graphs stay on the networkx backend.
+            raise CSRUnsupported("CSRGraph does not support graphs with self-loops")
+        csr = cls._build(root)
+        csr.built_edges = root.number_of_edges()
+        csr.fingerprint = _graph_fingerprint(root)
+        if cache:
+            try:
+                _CACHE[root] = (signature, csr)
+            except TypeError:  # pragma: no cover - unhashable graph subclass
+                pass
+        return csr
+
+    @classmethod
+    def _build(cls, root: nx.Graph) -> "CSRGraph":
+        nodes = list(root.nodes())
+        index = {node: i for i, node in enumerate(nodes)}
+        node_data = root.nodes
+        uids = [node_data[node].get("uid", node) for node in nodes]
+        indptr = array("i", [0])
+        indices = array("i")
+        adjacency = root.adj
+        for node in nodes:
+            row = sorted(index[neighbour] for neighbour in adjacency[node])
+            indices.extend(row)
+            indptr.append(len(indices))
+        return cls(nodes, uids, indptr, indices)
+
+    # ------------------------------------------------------------------ #
+    # Masks (index space)
+    #
+    # Restricted calls reuse two parked scratch buffers instead of paying an
+    # O(n) bytearray memset per call: the carving recursion issues one
+    # restricted BFS per component, and fresh masks would make a run over
+    # Θ(n) small components cost Θ(n²).  The ones-parked buffer serves the
+    # "blocked unless allowed" masks (only the allowed entries are cleared
+    # and later restored — everything a BFS marks visited lies inside
+    # them); the zeros-parked buffer serves membership marking.  A busy flag
+    # falls back to a fresh allocation under reentrancy.
+    # ------------------------------------------------------------------ #
+    def _acquire_blocked(
+        self, allowed: Optional[Iterable[Any]]
+    ) -> Tuple[bytearray, Optional[List[int]], bool]:
+        """A mask where 1 marks *blocked or already visited* indices.
+
+        Returns ``(mask, cleared_indices, owned)``; pass all three to
+        :meth:`_release_blocked` when done.  ``allowed=None`` means every
+        node is allowed (fresh zero mask, nothing to restore).  Labels in
+        ``allowed`` that are not part of the graph are ignored (mirroring
+        how the networkx walks simply never reach them).
+        """
+        if allowed is None:
+            return bytearray(self.n), None, False
+        if self._ones_busy:
+            mask = bytearray(b"\x01") * self.n
+            owned = False
+        else:
+            mask = self._ones_scratch
+            self._ones_busy = True
+            owned = True
+        index_get = self.index.get
+        cleared: List[int] = []
+        for node in allowed:
+            i = index_get(node)
+            if i is not None:
+                mask[i] = 0
+                cleared.append(i)
+        return mask, cleared, owned
+
+    def _release_blocked(
+        self, mask: bytearray, cleared: Optional[List[int]], owned: bool
+    ) -> None:
+        if owned and cleared is not None:
+            for i in cleared:
+                mask[i] = 1
+            self._ones_busy = False
+
+    def _acquire_members(self, cluster: Iterable[Any]) -> Tuple[bytearray, List[int], bool]:
+        """A zeros-based mask with 1 at every cluster index.
+
+        Returns ``(members, member_indices, owned)``; pass all three to
+        :meth:`_release_members` when done.
+        """
+        if self._zeros_busy:
+            members = bytearray(self.n)
+            owned = False
+        else:
+            members = self._zeros_scratch
+            self._zeros_busy = True
+            owned = True
+        index_get = self.index.get
+        member_indices: List[int] = []
+        for node in cluster:
+            i = index_get(node)
+            if i is not None:
+                members[i] = 1
+                member_indices.append(i)
+        return members, member_indices, owned
+
+    def _release_members(
+        self, members: bytearray, member_indices: List[int], owned: bool
+    ) -> None:
+        if owned:
+            for i in member_indices:
+                members[i] = 0
+            self._zeros_busy = False
+
+    # ------------------------------------------------------------------ #
+    # Primitives (label space in, label space out)
+    # ------------------------------------------------------------------ #
+    def neighbors(self, node: Any) -> Tuple[Any, ...]:
+        """The neighbour labels of ``node``, sorted by index."""
+        i = self.index[node]
+        nodes = self.nodes
+        return tuple(nodes[j] for j in self.indices[self.indptr[i] : self.indptr[i + 1]])
+
+    def degree(self, node: Any) -> int:
+        i = self.index[node]
+        return self.indptr[i + 1] - self.indptr[i]
+
+    def _bfs_layer_indices(
+        self,
+        sources: Iterable[Any],
+        blocked: bytearray,
+        max_radius: Optional[int] = None,
+    ) -> List[List[int]]:
+        """Flat-array BFS; returns layers of node *indices*.
+
+        ``blocked`` doubles as the visited mask and is consumed (mutated).
+        """
+        indptr, indices = self.indptr, self.indices
+        index_get = self.index.get
+        frontier: List[int] = []
+        for node in sources:
+            i = index_get(node)
+            if i is not None and not blocked[i]:
+                blocked[i] = 1
+                frontier.append(i)
+        layers: List[List[int]] = [frontier]
+        radius = 0
+        while frontier and (max_radius is None or radius < max_radius):
+            next_frontier: List[int] = []
+            for u in frontier:
+                for v in indices[indptr[u] : indptr[u + 1]]:
+                    if not blocked[v]:
+                        blocked[v] = 1
+                        next_frontier.append(v)
+            if not next_frontier:
+                break
+            layers.append(next_frontier)
+            frontier = next_frontier
+            radius += 1
+        return layers
+
+    def bfs_layers(
+        self,
+        sources: Iterable[Any],
+        allowed: Optional[Iterable[Any]] = None,
+        max_radius: Optional[int] = None,
+    ) -> List[Set[Any]]:
+        """BFS layers from ``sources`` restricted to ``allowed``.
+
+        Layer 0 is ``sources ∩ allowed``; layer ``r`` holds the nodes at
+        distance exactly ``r`` inside the induced subgraph.  Matches the
+        contract of :func:`repro.graphs.properties.bfs_layers_within`.
+        """
+        blocked, cleared, owned = self._acquire_blocked(allowed)
+        try:
+            nodes = self.nodes
+            return [
+                {nodes[i] for i in layer}
+                for layer in self._bfs_layer_indices(sources, blocked, max_radius=max_radius)
+            ]
+        finally:
+            self._release_blocked(blocked, cleared, owned)
+
+    def ball(
+        self,
+        sources: Iterable[Any],
+        radius: int,
+        allowed: Optional[Iterable[Any]] = None,
+    ) -> Set[Any]:
+        """``B_radius(sources)`` inside the allowed set (sources included)."""
+        if radius < 0:
+            return set()
+        blocked, cleared, owned = self._acquire_blocked(allowed)
+        try:
+            nodes = self.nodes
+            result: Set[Any] = set()
+            for layer in self._bfs_layer_indices(sources, blocked, max_radius=radius):
+                result.update(nodes[i] for i in layer)
+            return result
+        finally:
+            self._release_blocked(blocked, cleared, owned)
+
+    def distances(self, source: Any, allowed: Optional[Iterable[Any]] = None) -> Dict[Any, int]:
+        """Single-source BFS distances restricted to ``allowed``."""
+        blocked, cleared, owned = self._acquire_blocked(allowed)
+        try:
+            nodes = self.nodes
+            distances: Dict[Any, int] = {}
+            for depth, layer in enumerate(self._bfs_layer_indices([source], blocked)):
+                for i in layer:
+                    distances[nodes[i]] = depth
+            return distances
+        finally:
+            self._release_blocked(blocked, cleared, owned)
+
+    def boundary(
+        self,
+        cluster: Iterable[Any],
+        allowed: Optional[Iterable[Any]] = None,
+    ) -> Set[Any]:
+        """Nodes *outside* ``cluster`` adjacent to it (within ``allowed``)."""
+        indptr, indices, nodes = self.indptr, self.indices, self.nodes
+        members, member_indices, owned = self._acquire_members(cluster)
+        permitted, cleared, permitted_owned = (
+            (None, None, False) if allowed is None else self._acquire_blocked(allowed)
+        )
+        try:
+            result: Set[Any] = set()
+            for i in member_indices:
+                for v in indices[indptr[i] : indptr[i + 1]]:
+                    if not members[v] and (permitted is None or not permitted[v]):
+                        result.add(nodes[v])
+            return result
+        finally:
+            if permitted is not None:
+                self._release_blocked(permitted, cleared, permitted_owned)
+            self._release_members(members, member_indices, owned)
+
+    def induced_degrees(self, cluster: Iterable[Any]) -> Dict[Any, int]:
+        """Degree of every cluster node inside the induced subgraph."""
+        indptr, indices, nodes = self.indptr, self.indices, self.nodes
+        members, member_indices, owned = self._acquire_members(cluster)
+        try:
+            degrees: Dict[Any, int] = {}
+            for i in member_indices:
+                count = 0
+                for v in indices[indptr[i] : indptr[i + 1]]:
+                    if members[v]:
+                        count += 1
+                degrees[nodes[i]] = count
+            return degrees
+        finally:
+            self._release_members(members, member_indices, owned)
+
+    def connected_components(
+        self, allowed: Optional[Iterable[Any]] = None
+    ) -> List[Set[Any]]:
+        """Connected components of the induced subgraph, as label sets.
+
+        Components are emitted in ascending order of their smallest node
+        index, which makes the output deterministic for a given graph.
+        """
+        indptr, indices, nodes = self.indptr, self.indices, self.nodes
+        blocked, cleared, owned = self._acquire_blocked(allowed)
+        try:
+            starts = range(self.n) if cleared is None else sorted(cleared)
+            components: List[Set[Any]] = []
+            for start in starts:
+                if blocked[start]:
+                    continue
+                blocked[start] = 1
+                stack = [start]
+                component = {nodes[start]}
+                while stack:
+                    u = stack.pop()
+                    for v in indices[indptr[u] : indptr[u + 1]]:
+                        if not blocked[v]:
+                            blocked[v] = 1
+                            component.add(nodes[v])
+                            stack.append(v)
+                components.append(component)
+            return components
+        finally:
+            self._release_blocked(blocked, cleared, owned)
+
+    def subset_adjacency(self, allowed: Iterable[Any]) -> Dict[Any, List[Any]]:
+        """Per-node neighbour lists restricted to ``allowed``.
+
+        This is the flat replacement for iterating
+        ``graph.subgraph(allowed).neighbors(v)`` in tight loops (each such
+        iteration pays several filter-closure calls per edge): one pass over
+        the CSR rows yields plain Python lists of labels.
+        """
+        indptr, indices, nodes = self.indptr, self.indices, self.nodes
+        members, member_indices, owned = self._acquire_members(allowed)
+        try:
+            adjacency: Dict[Any, List[Any]] = {}
+            for i in member_indices:
+                adjacency[nodes[i]] = [
+                    nodes[v] for v in indices[indptr[i] : indptr[i + 1]] if members[v]
+                ]
+            return adjacency
+        finally:
+            self._release_members(members, member_indices, owned)

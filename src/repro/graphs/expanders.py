@@ -31,7 +31,7 @@ from typing import Optional, Tuple
 import networkx as nx
 import numpy as np
 
-from repro.graphs.generators import assign_unique_identifiers
+from repro.graphs.generators import _uid_seed, assign_unique_identifiers
 
 
 def _second_smallest_laplacian_eigenvalue(graph: nx.Graph) -> float:
@@ -72,7 +72,7 @@ def random_regular_expander(
         if not nx.is_connected(candidate):
             continue
         if _second_smallest_laplacian_eigenvalue(candidate) >= min_algebraic_connectivity:
-            return assign_unique_identifiers(candidate, seed=base_seed)
+            return assign_unique_identifiers(candidate, seed=_uid_seed(base_seed))
     raise RuntimeError(
         "could not certify an expander after {} attempts (n={}, degree={})".format(
             max_attempts, n, degree

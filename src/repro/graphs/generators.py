@@ -64,6 +64,21 @@ def _relabel_to_integers(graph: nx.Graph) -> nx.Graph:
     return nx.relabel_nodes(graph, mapping, copy=True)
 
 
+def _uid_seed(seed: Optional[int]) -> Optional[int]:
+    """Derive the identifier-scrambling seed from the topology seed.
+
+    The randomized generators must not feed the *same* seed to both the
+    topology sampler and :func:`assign_unique_identifiers`: identifier
+    scrambling would then be correlated with the sampled edges, and sweeping
+    seeds would never vary one independently of the other.  A fixed odd
+    multiplier plus offset (a splitmix-style derivation) keeps the uid stream
+    deterministic per seed while decoupling it from the topology stream.
+    """
+    if seed is None:
+        return None
+    return (int(seed) * 0x9E3779B1 + 0x7F4A7C15) & 0xFFFFFFFF
+
+
 def path_graph(n: int, seed: Optional[int] = None) -> nx.Graph:
     """A path on ``n`` nodes: the extreme high-diameter workload."""
     if n <= 0:
@@ -150,7 +165,7 @@ def random_regular_graph(n: int, degree: int, seed: Optional[int] = None) -> nx.
     if (n * degree) % 2 != 0:
         raise ValueError("n * degree must be even")
     graph = nx.random_regular_graph(degree, n, seed=seed)
-    return assign_unique_identifiers(graph, seed=seed)
+    return assign_unique_identifiers(graph, seed=_uid_seed(seed))
 
 
 def erdos_renyi_graph(n: int, probability: float, seed: Optional[int] = None) -> nx.Graph:
@@ -160,7 +175,7 @@ def erdos_renyi_graph(n: int, probability: float, seed: Optional[int] = None) ->
     if not 0.0 <= probability <= 1.0:
         raise ValueError("probability must lie in [0, 1]")
     graph = nx.gnp_random_graph(n, probability, seed=seed)
-    return assign_unique_identifiers(graph, seed=seed)
+    return assign_unique_identifiers(graph, seed=_uid_seed(seed))
 
 
 @dataclasses.dataclass(frozen=True)

@@ -10,6 +10,14 @@ The quantities here mirror the ones the paper reasons about:
 * **conductance** of a cut, used by the Section-3 barrier experiment;
 * **balls** ``B_r(v)`` / ``B_r(S)`` — all nodes within distance ``r`` of a
   node or a set, measured inside a designated subgraph.
+
+The BFS-shaped primitives (:func:`bfs_layers_within`,
+:func:`induced_components`, :func:`neighborhood_ball`, :func:`distances_from`,
+:func:`iter_neighbors`) are backend-dispatched: under the default ``"csr"``
+backend (see :mod:`repro.graphs.backend`) they run over the frozen flat-array
+index of :mod:`repro.graphs.csr`; under ``"nx"`` they fall back to the
+original dict-of-dicts walks below, which are kept verbatim as the
+differential-testing oracle.  Both paths return identical sets.
 """
 
 from __future__ import annotations
@@ -20,6 +28,58 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 
+from repro.graphs.csr import csr_index_or_none
+
+
+def _csr_restriction(graph: nx.Graph, allowed: Optional[Iterable]) -> Optional[Tuple]:
+    """Resolve the CSR fast path for a (graph, allowed) pair, if active.
+
+    Returns ``(csr, effective_allowed)`` or ``None`` when the networkx walk
+    must be used (see :func:`repro.graphs.csr.csr_index_or_none` for the
+    eligibility rules).  When ``graph`` is a node-induced subgraph view the
+    CSR index belongs to the *root* graph, so the restriction set is
+    intersected with the view's nodes (the filter test is O(1) per node);
+    this keeps the semantics of the view-based walks exact.
+    """
+    csr = csr_index_or_none(graph)
+    if csr is None:
+        return None
+    if hasattr(graph, "_graph"):  # node-induced subgraph view
+        if allowed is None:
+            effective: Optional[Iterable] = set(graph.nodes())
+        else:
+            effective = [node for node in allowed if node in graph]
+    else:
+        effective = allowed
+    return csr, effective
+
+
+def neighbors_resolver(graph: nx.Graph):
+    """A callable ``node -> neighbours`` with the backend gate paid once.
+
+    Per-node loops should call this once outside the loop and reuse the
+    returned callable: the eligibility gate (backend check, view detection,
+    cache probe) costs more than a low-degree row read, so paying it per
+    node erases the flat-array win.  Under the ``"csr"`` backend the
+    resolver reads the cached flat adjacency rows; subgraph views and
+    ineligible graphs get ``graph.neighbors`` (a view's adjacency is a
+    filtered subset of the root's rows).
+    """
+    csr = csr_index_or_none(graph, views="reject")
+    if csr is not None:
+        return csr.neighbors
+    return graph.neighbors
+
+
+def iter_neighbors(graph: nx.Graph, node) -> Iterable:
+    """Neighbours of ``node`` under the active backend (one-off lookups).
+
+    Convenience wrapper over :func:`neighbors_resolver` that re-resolves the
+    gate per call — fine for occasional queries; hot loops should hoist the
+    resolver instead.
+    """
+    return neighbors_resolver(graph)(node)
+
 
 def induced_components(graph: nx.Graph, nodes: Iterable) -> List[Set]:
     """Connected components of the subgraph induced by ``nodes``.
@@ -28,6 +88,10 @@ def induced_components(graph: nx.Graph, nodes: Iterable) -> List[Set]:
     we run BFS restricted to the node set, which is considerably faster for
     the tight loops in the carving algorithms.
     """
+    fast = _csr_restriction(graph, nodes)
+    if fast is not None:
+        csr, effective = fast
+        return csr.connected_components(allowed=effective)
     alive = set(nodes)
     seen: Set = set()
     components: List[Set] = []
@@ -66,6 +130,10 @@ def bfs_layers_within(
     the subgraph induced by ``allowed``.  Stops after ``max_radius`` layers if
     given, otherwise when the frontier empties.
     """
+    fast = _csr_restriction(graph, allowed)
+    if fast is not None:
+        csr, effective = fast
+        return csr.bfs_layers(sources, allowed=effective, max_radius=max_radius)
     if allowed is None:
         allowed = set(graph.nodes())
     frontier = {node for node in sources if node in allowed}
@@ -99,6 +167,10 @@ def neighborhood_ball(
     graph when ``allowed`` is ``None``).  The sources themselves are included
     (distance zero).
     """
+    fast = _csr_restriction(graph, allowed)
+    if fast is not None:
+        csr, effective = fast
+        return csr.ball(sources, radius, allowed=effective)
     layers = bfs_layers_within(graph, sources, allowed=allowed, max_radius=radius)
     ball: Set = set()
     for layer in layers[: radius + 1]:
@@ -112,6 +184,13 @@ def distances_from(
     allowed: Optional[Set] = None,
 ) -> Dict[object, int]:
     """Single-source BFS distances restricted to ``allowed`` nodes."""
+    fast = _csr_restriction(graph, allowed)
+    if fast is not None:
+        csr, effective = fast
+        result = csr.distances(source, allowed=effective)
+        if source not in result:
+            raise ValueError("source must belong to the allowed node set")
+        return result
     if allowed is None:
         allowed = set(graph.nodes())
     if source not in allowed:
@@ -186,14 +265,29 @@ def conductance_of_cut(graph: nx.Graph, cut_side: Iterable) -> float:
     """Conductance of the cut ``(S, V \\ S)``: ``|E(S, V\\S)| / min(vol S, vol V\\S)``.
 
     Returns ``float('inf')`` when one side is empty (the cut is degenerate).
+    Under the ``"csr"`` backend the crossing count comes from the flat
+    induced-degree primitive (``crossing = vol(S) - 2 |E(S)|``) instead of a
+    full scan over the edge list — this is the inner loop of the sweep-cut
+    search in :func:`graph_conductance_lower_bound`.
     """
     side = set(cut_side)
-    other = set(graph.nodes()) - side
-    if not side or not other:
+    if not side:
         return float("inf")
-    crossing = sum(1 for u, v in graph.edges() if (u in side) != (v in side))
-    volume_side = sum(graph.degree(node) for node in side)
-    volume_other = sum(graph.degree(node) for node in other)
+    fast = None if hasattr(graph, "_graph") else _csr_restriction(graph, None)
+    if fast is not None:
+        csr = fast[0]
+        if len(side) >= csr.n:
+            return float("inf")  # the other side is empty
+        volume_side = sum(csr.degree(node) for node in side)
+        volume_other = 2 * csr.m - volume_side
+        crossing = volume_side - sum(csr.induced_degrees(side).values())
+    else:
+        other = set(graph.nodes()) - side
+        if not other:
+            return float("inf")
+        crossing = sum(1 for u, v in graph.edges() if (u in side) != (v in side))
+        volume_side = sum(graph.degree(node) for node in side)
+        volume_other = sum(graph.degree(node) for node in other)
     denominator = min(volume_side, volume_other)
     if denominator == 0:
         return float("inf")
@@ -215,19 +309,34 @@ def graph_conductance_lower_bound(graph: nx.Graph, samples: int = 64, seed: int 
         return float("inf")
     rng = _random.Random(seed)
     best = float("inf")
+    total_volume = 2 * graph.number_of_edges()
     for _ in range(max(1, samples // 16)):
         start = rng.choice(nodes)
         order: List = []
         for layer in bfs_layers_within(graph, [start]):
             order.extend(sorted(layer))
+        # Incremental sweep: adding `node` to the prefix converts its edges
+        # into the prefix from crossing to internal and its remaining edges
+        # to new crossing edges, so volume and crossing update in O(deg)
+        # and the whole sweep costs O(m) instead of one O(n + vol) cut
+        # evaluation per prefix.
+        neighbours_of = neighbors_resolver(graph)
         prefix: Set = set()
+        volume = 0
+        crossing = 0
         for node in order[: len(order) - 1]:
             prefix.add(node)
+            degree = graph.degree(node)
+            internal = sum(1 for nb in neighbours_of(node) if nb in prefix)
+            volume += degree
+            crossing += degree - 2 * internal
             if len(prefix) < len(nodes) // 8:
                 continue
             if len(prefix) > 7 * len(nodes) // 8:
                 break
-            best = min(best, conductance_of_cut(graph, prefix))
+            denominator = min(volume, total_volume - volume)
+            if denominator > 0:
+                best = min(best, crossing / denominator)
     return best
 
 

@@ -21,6 +21,12 @@ empirically produces ``O(log^2 n / eps)``-shaped tree depths, mirroring the
 improved parameters of Ghaffari–Grunau–Rozhoň; its deletion fraction is
 measured (and validated) per run rather than carried by a worst-case proof —
 see DESIGN.md §3 for the substitution note.
+
+Under the default ``"csr"`` graph backend (:mod:`repro.graphs.backend`) the
+phase loop consumes flat neighbour lists built once from the
+:class:`repro.graphs.csr.CSRGraph` index; the ``"nx"`` backend walks the
+subgraph view exactly as the seed implementation did.  Both produce
+identical carvings.
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ import networkx as nx
 from repro.clustering.carving import BallCarving
 from repro.clustering.cluster import Cluster, SteinerTree
 from repro.congest.rounds import RoundLedger
+from repro.graphs.csr import csr_index_or_none
 from repro.weak.phases import CarvingState, run_phase
 
 
@@ -124,7 +131,15 @@ def weak_diameter_carving(
     # is what Theorem 2.1 requires ("Steiner trees in graph G[S]").
     working_graph = graph.subgraph(participating)
 
-    state = CarvingState.initial(working_graph, participating, uid_of)
+    # Under the CSR backend the phase loop consumes flat neighbour lists
+    # restricted to the participating set (built once per carving from the
+    # cached index) instead of walking the subgraph view edge by edge.  The
+    # shared gate rejects edge-filtered views, whose hidden edges the node
+    # restriction cannot express.
+    csr = csr_index_or_none(graph)
+    adjacency = csr.subset_adjacency(participating) if csr is not None else None
+
+    state = CarvingState.initial(working_graph, participating, uid_of, adjacency=adjacency)
 
     # One round for every node to learn its neighbours' identifiers/labels.
     ledger.local_step(1, detail="exchange identifiers")

@@ -23,6 +23,18 @@ test): *at the end of the phase for bit ``i``, any two adjacent alive nodes
 have cluster labels that agree on bits ``0..i``*.  Consequently, after all
 ``b`` phases, adjacent alive nodes share a label, i.e. the final clusters are
 pairwise non-adjacent.
+
+Backends.  The proposal loop is the single hottest piece of the whole
+reproduction.  Under the default ``"csr"`` backend the carving driver hands
+:class:`CarvingState` a flat per-node ``adjacency`` map (built once from the
+:class:`repro.graphs.csr.CSRGraph` index, restricted to the participating
+set) and :func:`run_phase` runs a blue-frontier loop over it; with
+``adjacency=None`` (the ``"nx"`` oracle backend) the phase walks
+``graph.neighbors`` through the subgraph view exactly as the seed
+implementation did.  Both paths compute identical proposals: the proposal a
+blue node makes is the minimum over its red neighbours of the pair
+``(cluster label, neighbour uid)``, which does not depend on iteration
+order.
 """
 
 from __future__ import annotations
@@ -51,6 +63,12 @@ class CarvingState:
         steps_executed: Total number of proposal steps over all phases.
         acceptance_events: Total number of cluster-acceptance events.
         rejection_events: Total number of cluster-rejection events.
+        uid_of: Identifier of every participating node (``"uid"`` attribute,
+            falling back to the label) — avoids per-edge attribute lookups in
+            the proposal loop.
+        adjacency: Optional flat per-node neighbour lists restricted to the
+            participating set (the CSR fast path); ``None`` walks
+            ``graph.neighbors`` instead (the networkx oracle path).
     """
 
     graph: nx.Graph
@@ -63,9 +81,21 @@ class CarvingState:
     steps_executed: int = 0
     acceptance_events: int = 0
     rejection_events: int = 0
+    uid_of: Optional[Dict[Any, int]] = None
+    adjacency: Optional[Dict[Any, List[Any]]] = None
+    # Running maximum over all tree_depth entries.  Join trees only ever grow
+    # during the phases (pruning happens after extraction), so the maximum is
+    # maintained incrementally by record_join instead of being rescanned.
+    _max_depth: int = 0
 
     @classmethod
-    def initial(cls, graph: nx.Graph, nodes: Set[Any], uid_of: Dict[Any, int]) -> "CarvingState":
+    def initial(
+        cls,
+        graph: nx.Graph,
+        nodes: Set[Any],
+        uid_of: Dict[Any, int],
+        adjacency: Optional[Dict[Any, List[Any]]] = None,
+    ) -> "CarvingState":
         """Every node starts as a singleton cluster labelled by its own uid."""
         label = {node: uid_of[node] for node in nodes}
         tree_parent = {uid_of[node]: {node: None} for node in nodes}
@@ -78,15 +108,13 @@ class CarvingState:
             tree_parent=tree_parent,
             tree_root=tree_root,
             tree_depth=tree_depth,
+            uid_of=dict(uid_of),
+            adjacency=adjacency,
         )
 
     def max_tree_depth(self) -> int:
         """The deepest Steiner tree currently maintained (for round costs)."""
-        best = 0
-        for depths in self.tree_depth.values():
-            if depths:
-                best = max(best, max(depths.values()))
-        return best
+        return self._max_depth
 
     def record_join(self, node: Any, via: Any, new_label: int) -> None:
         """Node ``node`` joins cluster ``new_label`` through neighbour ``via``."""
@@ -95,7 +123,10 @@ class CarvingState:
         depth_map = self.tree_depth.setdefault(new_label, {})
         if node not in parent_map:
             parent_map[node] = via
-            depth_map[node] = depth_map.get(via, 0) + 1
+            depth = depth_map.get(via, 0) + 1
+            depth_map[node] = depth
+            if depth > self._max_depth:
+                self._max_depth = depth
 
     def kill(self, node: Any) -> None:
         """Delete ``node`` (it will not be clustered by this carving)."""
@@ -140,39 +171,87 @@ def run_phase(
         A :class:`PhaseReport` with the phase's statistics.
     """
     graph = state.graph
+    adjacency = state.adjacency
+    uid_of = state.uid_of
+    alive = state.alive
+    label = state.label
     joined = 0
     killed = 0
     steps = 0
 
     # Current cluster sizes (alive members only), maintained incrementally.
     cluster_size: Dict[int, int] = {}
-    for node in state.alive:
-        cluster_size[state.label[node]] = cluster_size.get(state.label[node], 0) + 1
+    for node in alive:
+        cluster_size[label[node]] = cluster_size.get(label[node], 0) + 1
+
+    # CSR fast path bookkeeping: within one phase, blue nodes (bit 0) can
+    # only *leave* the blue set — a proposer either joins a red cluster or
+    # dies, and non-proposers keep their label — so the scan list shrinks
+    # monotonically instead of being re-derived from all alive nodes.
+    blue: Optional[List[Any]] = None
+    if adjacency is not None:
+        blue = [node for node in alive if not (label[node] >> bit) & 1]
 
     while True:
         # Collect proposals: every alive blue node adjacent to an alive red
-        # node proposes to exactly one adjacent red cluster.
+        # node proposes to exactly one adjacent red cluster.  The chosen
+        # target minimises (cluster label, neighbour uid), which makes the
+        # proposal set independent of neighbour iteration order (and hence
+        # identical under both backends).
         proposals: Dict[int, List[Tuple[Any, Any]]] = {}
-        for node in list(state.alive):
-            if _bit(state.label[node], bit) != 0:
-                continue
-            best_choice: Optional[Tuple[int, int, Any]] = None
-            for neighbour in graph.neighbors(node):
-                if neighbour not in state.alive:
+        if blue is not None:
+            # Flat-array path: plain list adjacency + cached uids.  `label`
+            # holds exactly the alive nodes (kills pop their entry), so one
+            # dict probe doubles as the aliveness test.
+            label_get = label.get
+            for node in blue:
+                best_label = -1
+                best_uid = -1
+                via = None
+                for neighbour in adjacency[node]:
+                    neighbour_label = label_get(neighbour)
+                    if neighbour_label is None or not (neighbour_label >> bit) & 1:
+                        continue
+                    if via is None or neighbour_label < best_label:
+                        best_label = neighbour_label
+                        best_uid = uid_of[neighbour]
+                        via = neighbour
+                    elif neighbour_label == best_label:
+                        neighbour_uid = uid_of[neighbour]
+                        if neighbour_uid < best_uid:
+                            best_uid = neighbour_uid
+                            via = neighbour
+                if via is not None:
+                    proposals.setdefault(best_label, []).append((node, via))
+        else:
+            # Oracle path: the seed implementation's dict-of-dicts walk.
+            for node in list(alive):
+                if _bit(label[node], bit) != 0:
                     continue
-                neighbour_label = state.label[neighbour]
-                if _bit(neighbour_label, bit) != 1:
-                    continue
-                neighbour_uid = state.graph.nodes[neighbour].get("uid", neighbour)
-                choice = (neighbour_label, neighbour_uid, neighbour)
-                if best_choice is None or choice[:2] < best_choice[:2]:
-                    best_choice = choice
-            if best_choice is not None:
-                target_label, _, via = best_choice
-                proposals.setdefault(target_label, []).append((node, via))
+                best_choice: Optional[Tuple[int, int, Any]] = None
+                for neighbour in graph.neighbors(node):
+                    if neighbour not in alive:
+                        continue
+                    neighbour_label = label[neighbour]
+                    if _bit(neighbour_label, bit) != 1:
+                        continue
+                    neighbour_uid = state.graph.nodes[neighbour].get("uid", neighbour)
+                    choice = (neighbour_label, neighbour_uid, neighbour)
+                    if best_choice is None or choice[:2] < best_choice[:2]:
+                        best_choice = choice
+                if best_choice is not None:
+                    target_label, _, via = best_choice
+                    proposals.setdefault(target_label, []).append((node, via))
 
         if not proposals:
             break
+
+        if blue is not None:
+            resolved = set()
+            for proposers in proposals.values():
+                for node, _ in proposers:
+                    resolved.add(node)
+            blue = [node for node in blue if node not in resolved]
 
         steps += 1
         if steps > max_steps:

@@ -1,0 +1,84 @@
+"""Differential tests: the ``"csr"`` and ``"nx"`` backends are equivalent.
+
+The flat-array backend must be a pure performance change: for every carving
+and decomposition method, both backends — run with the same seeds on the same
+workload graphs — must produce *identical cluster assignments* (the same
+partition into clusters, the same dead set, the same node colors).  Cluster
+labels and Steiner-tree shapes may legitimately differ (they encode the
+backend's component traversal order), so the comparison canonicalises
+clusters to their node sets.
+"""
+
+import pytest
+
+import repro
+from repro.graphs.generators import erdos_renyi_graph, workload_suite
+
+METHODS = repro.CARVING_METHODS
+SUITE_N = 64
+
+
+def _workload_graphs():
+    graphs = [(family.name, family.build(SUITE_N)) for family in workload_suite()]
+    graphs.append(("erdos-renyi", erdos_renyi_graph(48, 0.05, seed=9)))
+    return graphs
+
+
+def carving_signature(carving):
+    """Backend-independent canonical form of a ball carving."""
+    return (
+        frozenset(frozenset(cluster.nodes) for cluster in carving.clusters),
+        frozenset(carving.dead),
+    )
+
+
+def decomposition_signature(decomposition):
+    """Backend-independent canonical form of a network decomposition."""
+    return frozenset(
+        (cluster.color, frozenset(cluster.nodes)) for cluster in decomposition.clusters
+    )
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_carving_identical_across_backends(method):
+    for name, graph in _workload_graphs():
+        via_nx = repro.carve(graph, 0.5, method=method, seed=7, backend="nx")
+        via_csr = repro.carve(graph, 0.5, method=method, seed=7, backend="csr")
+        assert carving_signature(via_nx) == carving_signature(via_csr), (
+            "backend divergence for method {!r} on workload {!r}".format(method, name)
+        )
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_decomposition_identical_across_backends(method):
+    for name, graph in _workload_graphs():
+        via_nx = repro.decompose(graph, method=method, seed=7, backend="nx")
+        via_csr = repro.decompose(graph, method=method, seed=7, backend="csr")
+        assert decomposition_signature(via_nx) == decomposition_signature(via_csr), (
+            "backend divergence for method {!r} on workload {!r}".format(method, name)
+        )
+
+
+@pytest.mark.parametrize("method", ("strong-log3", "weak-rg20"))
+def test_repeated_runs_deterministic_per_backend(method, small_torus):
+    """Each backend is individually deterministic run-to-run."""
+    for backend in ("csr", "nx"):
+        first = repro.decompose(small_torus, method=method, backend=backend)
+        second = repro.decompose(small_torus, method=method, backend=backend)
+        assert decomposition_signature(first) == decomposition_signature(second)
+
+
+def test_backend_argument_rejected_when_unknown(small_grid):
+    with pytest.raises(ValueError):
+        repro.decompose(small_grid, method="strong-log3", backend="gpu")
+
+
+def test_carving_on_edge_filtered_view_identical(small_torus):
+    """Regression: edge-filtered views hide edges the root CSR rows contain;
+    the carving must not walk them under the default backend."""
+    import networkx as nx
+
+    view = nx.edge_subgraph(small_torus, list(small_torus.edges())[::3])
+    via_nx = repro.carve(view, 0.5, method="weak-rg20", backend="nx")
+    via_csr = repro.carve(view, 0.5, method="weak-rg20", backend="csr")
+    assert carving_signature(via_nx) == carving_signature(via_csr)

@@ -69,6 +69,47 @@ class TestBallCarving:
         assert summary["rounds"] == 17
         assert summary["kind"] == "strong"
 
+    def test_cluster_radii_and_summary_radius(self):
+        _, carving = _carving_on_path()
+        radii = carving.cluster_radii()
+        assert set(radii) == {"a", "b", "c"}
+        # Path segments of 3, 3 and 2 nodes: centre eccentricity at most 2.
+        assert all(0 <= radius <= 2 for radius in radii.values())
+        assert carving.max_cluster_radius() == max(radii.values())
+        assert carving.summary()["max_cluster_radius"] == carving.max_cluster_radius()
+
+    def test_weak_carving_summary_has_no_radius(self):
+        graph = path_graph(4)
+        tree = SteinerTree(root=0, parent={0: None, 1: 0, 2: 1, 3: 2})
+        cluster = Cluster(nodes=frozenset({0, 3}), label="w", tree=tree)
+        carving = BallCarving(
+            graph=graph, clusters=[cluster], dead={1, 2}, eps=0.5, kind="weak"
+        )
+        assert carving.summary()["max_cluster_radius"] is None
+
+    def test_disconnected_strong_cluster_radius_raises(self):
+        graph = path_graph(5)
+        cluster = Cluster(nodes=frozenset({0, 4}), label="bad")
+        carving = BallCarving(graph=graph, clusters=[cluster], dead={1, 2, 3}, eps=0.9)
+        with pytest.raises(ValueError):
+            carving.cluster_radii()
+        assert not carving.check_clusters_connected()
+
+    def test_check_clusters_connected(self):
+        _, carving = _carving_on_path()
+        assert carving.check_clusters_connected()
+
+    def test_radius_on_mixed_node_label_types(self):
+        """Graphs without uids fall back to node labels, which may mix types;
+        centre selection must still have a total order."""
+        import networkx as nx
+
+        graph = nx.Graph([("a", 3), (3, "b")])
+        cluster = Cluster(nodes=frozenset({"a", 3, "b"}), label="mixed")
+        carving = BallCarving(graph=graph, clusters=[cluster], dead=set(), eps=0.5)
+        assert cluster.radius(graph) in (1, 2)
+        assert carving.summary()["max_cluster_radius"] in (1, 2)
+
     def test_invalid_kind_rejected(self):
         graph = path_graph(3)
         with pytest.raises(ValueError):

@@ -98,6 +98,25 @@ class TestStructuralChecks:
             check_steiner_trees(graph, [bare])
 
 
+class TestValidatorCacheFreshness:
+    def test_nonadjacency_checks_see_in_place_edge_mutations(self):
+        """Regression: the validators' CSR boundary walk must never certify
+        a clustering against a stale cached index."""
+        graph = path_graph(10, seed=0)
+        clusters = [
+            Cluster(nodes=frozenset({0, 1}), label="a"),
+            Cluster(nodes=frozenset({8, 9}), label="b"),
+        ]
+        assert clusters_nonadjacent(graph, clusters)  # warms the CSR cache
+        graph.add_edge(1, 8)  # same node count: the O(1) cache guard misses it
+        assert not clusters_nonadjacent(graph, clusters)
+        colored = [c.with_color(0) for c in clusters]
+        assert not same_color_clusters_nonadjacent(graph, colored)
+        graph.remove_edge(1, 8)
+        assert clusters_nonadjacent(graph, clusters)
+        assert same_color_clusters_nonadjacent(graph, colored)
+
+
 class TestBallCarvingValidator:
     def _valid_carving(self):
         graph = path_graph(8)

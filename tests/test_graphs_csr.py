@@ -1,0 +1,405 @@
+"""Unit tests for the flat-array graph core (repro.graphs.csr) and the
+backend switch (repro.graphs.backend)."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs.backend import BACKENDS, get_backend, set_backend, use_backend
+from repro.graphs.csr import CSRGraph, CSRUnsupported, invalidate_csr_cache, resolve_root
+from repro.graphs.generators import (
+    assign_unique_identifiers,
+    erdos_renyi_graph,
+    torus_graph,
+)
+from repro.graphs.properties import bfs_layers_within, induced_components
+from tests.conftest import make_disconnected_graph
+
+
+def _reference_layers(graph, sources, allowed=None, max_radius=None):
+    """The seed implementation's BFS, kept inline as a reference oracle."""
+    if allowed is None:
+        allowed = set(graph.nodes())
+    frontier = {node for node in sources if node in allowed}
+    visited = set(frontier)
+    layers = [set(frontier)]
+    radius = 0
+    while frontier and (max_radius is None or radius < max_radius):
+        next_frontier = set()
+        for node in frontier:
+            for neighbour in graph.neighbors(node):
+                if neighbour in allowed and neighbour not in visited:
+                    visited.add(neighbour)
+                    next_frontier.add(neighbour)
+        if not next_frontier:
+            break
+        layers.append(next_frontier)
+        frontier = next_frontier
+        radius += 1
+    return layers
+
+
+class TestConstruction:
+    def test_shape_and_maps(self, small_torus):
+        csr = CSRGraph.from_networkx(small_torus)
+        assert csr.n == small_torus.number_of_nodes()
+        assert csr.m == small_torus.number_of_edges()
+        assert len(csr.indptr) == csr.n + 1
+        assert len(csr.indices) == 2 * csr.m
+        for node in small_torus.nodes():
+            index = csr.index[node]
+            assert csr.nodes[index] == node
+            assert csr.uids[index] == small_torus.nodes[node]["uid"]
+            assert set(csr.neighbors(node)) == set(small_torus.neighbors(node))
+            assert csr.degree(node) == small_torus.degree(node)
+
+    def test_rows_sorted_by_index(self, small_regular):
+        csr = CSRGraph.from_networkx(small_regular)
+        for i in range(csr.n):
+            row = list(csr.indices[csr.indptr[i] : csr.indptr[i + 1]])
+            assert row == sorted(row)
+
+    def test_cache_returns_same_object(self, small_grid):
+        assert CSRGraph.from_networkx(small_grid) is CSRGraph.from_networkx(small_grid)
+
+    def test_subgraph_view_resolves_to_root_index(self, small_grid):
+        csr = CSRGraph.from_networkx(small_grid)
+        view = small_grid.subgraph(list(small_grid.nodes())[:10])
+        assert CSRGraph.from_networkx(view) is csr
+        assert resolve_root(view) is small_grid
+
+    def test_node_count_change_rebuilds(self):
+        graph = assign_unique_identifiers(nx.path_graph(5), seed=0)
+        first = CSRGraph.from_networkx(graph)
+        graph.add_edge(5, 0)
+        graph.nodes[5]["uid"] = 5
+        second = CSRGraph.from_networkx(graph)
+        assert second is not first
+        assert second.n == 6
+
+    def test_invalidate_drops_cache(self, small_grid):
+        first = CSRGraph.from_networkx(small_grid)
+        invalidate_csr_cache(small_grid)
+        assert CSRGraph.from_networkx(small_grid) is not first
+
+    def test_refresh_detects_edge_only_mutation(self):
+        from repro.graphs.csr import refresh_csr_cache
+
+        graph = assign_unique_identifiers(nx.path_graph(6), seed=0)
+        stale = CSRGraph.from_networkx(graph)
+        graph.add_edge(0, 5)  # path -> cycle: same node count
+        assert CSRGraph.from_networkx(graph) is stale  # O(1) hit guard misses it
+        refresh_csr_cache(graph)
+        fresh = CSRGraph.from_networkx(graph)
+        assert fresh is not stale
+        assert fresh.m == graph.number_of_edges()
+
+    def test_api_entry_points_refresh_automatically(self):
+        """decompose()/carve() must not serve stale clusters after an
+        in-place edge mutation at constant node count."""
+        import repro
+        from repro.graphs.properties import induced_components
+
+        graph = assign_unique_identifiers(nx.path_graph(6), seed=0)
+        before = repro.decompose(graph, method="strong-log3")
+        assert before.covered_nodes() == set(graph.nodes())
+        graph.remove_edge(2, 3)  # splits the path; node count unchanged
+        after = repro.decompose(graph, method="strong-log3")
+        components = {frozenset(c) for c in induced_components(graph, set(graph.nodes()))}
+        assert components == {frozenset({0, 1, 2}), frozenset({3, 4, 5})}
+        # No cluster of the fresh run may straddle the removed edge.
+        for cluster in after.clusters:
+            assert frozenset(cluster.nodes) <= frozenset({0, 1, 2}) or frozenset(
+                cluster.nodes
+            ) <= frozenset({3, 4, 5})
+
+    def test_api_refresh_catches_node_replacement_and_uid_change(self):
+        """Swapping one isolated node for another (or reassigning uids)
+        preserves n, m and the edge set — the fingerprint must still notice."""
+        import repro
+
+        graph = assign_unique_identifiers(nx.path_graph(4), seed=0)
+        graph.add_node(4)
+        graph.nodes[4]["uid"] = 4
+        repro.decompose(graph, method="strong-log3")  # warms the cache
+        graph.remove_node(4)
+        graph.add_node(9)
+        graph.nodes[9]["uid"] = 9
+        after = repro.decompose(graph, method="strong-log3")
+        covered = after.covered_nodes()
+        assert 9 in covered and 4 not in covered
+        # uid-only mutation: the simulator's frozen uid array must refresh.
+        from repro.congest.simulator import CongestSimulator
+
+        first = CongestSimulator(graph)
+        graph.nodes[9]["uid"] = 77
+        second = CongestSimulator(graph)
+        assert first._uid_of[9] == 9
+        assert second._uid_of[9] == 77
+
+    def test_api_refresh_catches_count_preserving_rewire(self):
+        """A remove-one-add-one rewire keeps (n, m) constant; the edge-set
+        fingerprint must still catch it so the backends never diverge."""
+        import repro
+
+        graph = assign_unique_identifiers(nx.path_graph(6), seed=0)
+        repro.decompose(graph, method="strong-log3")  # warms the cache
+        graph.remove_edge(2, 3)
+        graph.add_edge(0, 2)  # same node count, same edge count
+        via_nx = repro.decompose(graph, method="strong-log3", backend="nx")
+        via_csr = repro.decompose(graph, method="strong-log3", backend="csr")
+        signature = lambda d: frozenset(
+            (c.color, frozenset(c.nodes)) for c in d.clusters
+        )
+        assert signature(via_nx) == signature(via_csr)
+        # {3,4,5} is now a separate component; no cluster may straddle it.
+        for cluster in via_csr.clusters:
+            nodes = frozenset(cluster.nodes)
+            assert nodes <= frozenset({0, 1, 2}) or nodes <= frozenset({3, 4, 5})
+
+    def test_directed_and_multigraph_rejected(self):
+        with pytest.raises(CSRUnsupported):
+            CSRGraph.from_networkx(nx.DiGraph([(0, 1)]))
+        with pytest.raises(CSRUnsupported):
+            CSRGraph.from_networkx(nx.MultiGraph([(0, 1), (0, 1)]))
+
+
+class TestPrimitives:
+    def test_bfs_layers_match_reference(self, graph_zoo):
+        for graph in graph_zoo.values():
+            csr = CSRGraph.from_networkx(graph)
+            nodes = sorted(graph.nodes())
+            start = nodes[0]
+            assert csr.bfs_layers([start]) == _reference_layers(graph, [start])
+            allowed = set(nodes[: len(nodes) // 2 + 1])
+            assert csr.bfs_layers([start], allowed=allowed) == _reference_layers(
+                graph, [start], allowed=allowed
+            )
+            assert csr.bfs_layers([start], max_radius=2) == _reference_layers(
+                graph, [start], max_radius=2
+            )
+
+    def test_multi_source_layers(self, small_torus):
+        csr = CSRGraph.from_networkx(small_torus)
+        sources = [0, 5, 17]
+        assert csr.bfs_layers(sources) == _reference_layers(small_torus, sources)
+
+    def test_sources_outside_allowed_are_dropped(self, small_grid):
+        csr = CSRGraph.from_networkx(small_grid)
+        layers = csr.bfs_layers([0], allowed={1, 2})
+        assert layers == [set()]
+
+    def test_unknown_source_labels_ignored(self, small_grid):
+        csr = CSRGraph.from_networkx(small_grid)
+        assert csr.bfs_layers(["not-a-node"]) == [set()]
+
+    def test_ball(self, small_torus):
+        csr = CSRGraph.from_networkx(small_torus)
+        reference = set()
+        for layer in _reference_layers(small_torus, [3], max_radius=2)[:3]:
+            reference |= layer
+        assert csr.ball([3], 2) == reference
+        assert csr.ball([3], -1) == set()
+        assert csr.ball([3], 0) == {3}
+
+    def test_distances(self, small_tree):
+        csr = CSRGraph.from_networkx(small_tree)
+        expected = nx.single_source_shortest_path_length(small_tree, 0)
+        assert csr.distances(0) == dict(expected)
+
+    def test_boundary(self, small_grid):
+        csr = CSRGraph.from_networkx(small_grid)
+        cluster = {0, 1, 6, 7}
+        expected = {
+            neighbour
+            for node in cluster
+            for neighbour in small_grid.neighbors(node)
+            if neighbour not in cluster
+        }
+        assert csr.boundary(cluster) == expected
+        allowed = cluster | {2}
+        expected_restricted = {node for node in expected if node in allowed}
+        assert csr.boundary(cluster, allowed=allowed) == expected_restricted
+
+    def test_induced_degrees(self, small_torus):
+        csr = CSRGraph.from_networkx(small_torus)
+        cluster = set(list(small_torus.nodes())[:12])
+        subgraph = small_torus.subgraph(cluster)
+        assert csr.induced_degrees(cluster) == {
+            node: subgraph.degree(node) for node in cluster
+        }
+
+    def test_connected_components(self, disconnected_graph):
+        csr = CSRGraph.from_networkx(disconnected_graph)
+        expected = [set(c) for c in nx.connected_components(disconnected_graph)]
+        produced = csr.connected_components()
+        assert sorted(map(sorted, produced)) == sorted(map(sorted, expected))
+
+    def test_connected_components_restricted(self, small_cycle):
+        csr = CSRGraph.from_networkx(small_cycle)
+        allowed = {0, 1, 2, 10, 11, 30}
+        produced = csr.connected_components(allowed=allowed)
+        assert sorted(map(sorted, produced)) == [[0, 1, 2], [10, 11], [30]]
+
+    def test_subset_adjacency(self, small_regular):
+        csr = CSRGraph.from_networkx(small_regular)
+        allowed = set(list(small_regular.nodes())[:30])
+        adjacency = csr.subset_adjacency(allowed)
+        assert set(adjacency) == allowed
+        for node, neighbours in adjacency.items():
+            expected = {v for v in small_regular.neighbors(node) if v in allowed}
+            assert set(neighbours) == expected
+
+
+class TestBackendSwitch:
+    def test_default_is_csr(self):
+        assert get_backend() == "csr"
+        assert get_backend() in BACKENDS
+
+    def test_use_backend_scopes_and_restores(self):
+        with use_backend("nx"):
+            assert get_backend() == "nx"
+            with use_backend("csr"):
+                assert get_backend() == "csr"
+            assert get_backend() == "nx"
+        assert get_backend() == "csr"
+
+    def test_use_backend_none_keeps_ambient(self):
+        with use_backend(None):
+            assert get_backend() == "csr"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            set_backend("gpu")
+
+    def test_restored_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with use_backend("nx"):
+                raise RuntimeError("boom")
+        assert get_backend() == "csr"
+
+
+class TestDispatchedProperties:
+    """The properties-layer helpers return identical sets on both backends."""
+
+    def test_bfs_layers_within_both_backends(self, graph_zoo):
+        for graph in graph_zoo.values():
+            start = sorted(graph.nodes())[0]
+            allowed = set(sorted(graph.nodes())[::2]) | {start}
+            with use_backend("nx"):
+                expected = bfs_layers_within(graph, [start], allowed=allowed)
+            with use_backend("csr"):
+                produced = bfs_layers_within(graph, [start], allowed=allowed)
+            assert produced == expected
+
+    def test_bfs_layers_on_subgraph_view(self, small_torus):
+        participating = set(list(small_torus.nodes())[:40])
+        view = small_torus.subgraph(participating)
+        component = set(list(participating)[:20])
+        with use_backend("nx"):
+            expected = bfs_layers_within(view, [next(iter(component))], allowed=component)
+        with use_backend("csr"):
+            produced = bfs_layers_within(view, [next(iter(component))], allowed=component)
+        assert produced == expected
+
+    def test_view_without_allowed_restricts_to_view(self, small_grid):
+        participating = set(list(small_grid.nodes())[:12])
+        view = small_grid.subgraph(participating)
+        start = next(iter(participating))
+        with use_backend("csr"):
+            layers = bfs_layers_within(view, [start])
+        reached = set().union(*layers)
+        assert reached <= participating
+
+    def test_induced_components_both_backends(self, disconnected_graph):
+        nodes = set(disconnected_graph.nodes())
+        with use_backend("nx"):
+            expected = induced_components(disconnected_graph, nodes)
+        with use_backend("csr"):
+            produced = induced_components(disconnected_graph, nodes)
+        assert sorted(map(sorted, produced)) == sorted(map(sorted, expected))
+
+    def test_edge_filtered_views_fall_back_to_nx_walk(self):
+        """An edge_subgraph view hides edges the root's CSR rows contain; the
+        dispatch must not hand those edges back."""
+        graph = nx.path_graph(4)
+        view = graph.edge_subgraph([(0, 1), (2, 3)])
+        with use_backend("nx"):
+            expected = induced_components(view, [0, 1, 2, 3])
+        with use_backend("csr"):
+            produced = induced_components(view, [0, 1, 2, 3])
+        assert sorted(map(sorted, produced)) == sorted(map(sorted, expected)) == [
+            [0, 1],
+            [2, 3],
+        ]
+        with use_backend("csr"):
+            layers = bfs_layers_within(view, [0])
+        assert layers == [{0}, {1}]  # edge (1, 2) is filtered out
+
+    def test_self_loop_graphs_rejected_and_consistent(self):
+        graph = nx.cycle_graph(4)
+        graph.add_edge(0, 0)
+        with pytest.raises(CSRUnsupported):
+            CSRGraph.from_networkx(graph)
+        from repro.graphs.properties import conductance_of_cut
+
+        with use_backend("nx"):
+            expected = conductance_of_cut(graph, {0, 1})
+        with use_backend("csr"):  # falls back to the nx walk internally
+            produced = conductance_of_cut(graph, {0, 1})
+        assert produced == expected
+
+    def test_conductance_identical_across_backends(self, small_torus):
+        from repro.graphs.properties import (
+            conductance_of_cut,
+            graph_conductance_lower_bound,
+        )
+
+        side = set(list(small_torus.nodes())[:25])
+        with use_backend("nx"):
+            cut_nx = conductance_of_cut(small_torus, side)
+            sweep_nx = graph_conductance_lower_bound(small_torus, seed=3)
+        with use_backend("csr"):
+            cut_csr = conductance_of_cut(small_torus, side)
+            sweep_csr = graph_conductance_lower_bound(small_torus, seed=3)
+        assert cut_csr == cut_nx
+        assert sweep_csr == sweep_nx
+
+    def test_incremental_sweep_matches_per_prefix_cuts(self, small_regular):
+        """The incremental sweep must reproduce exactly the per-prefix
+        conductance_of_cut evaluations of the original implementation."""
+        import random
+
+        from repro.graphs.properties import (
+            conductance_of_cut,
+            graph_conductance_lower_bound,
+        )
+
+        nodes = list(small_regular.nodes())
+        rng = random.Random(5)
+        best = float("inf")
+        for _ in range(max(1, 64 // 16)):
+            start = rng.choice(nodes)
+            order = []
+            for layer in bfs_layers_within(small_regular, [start]):
+                order.extend(sorted(layer))
+            prefix = set()
+            for node in order[: len(order) - 1]:
+                prefix.add(node)
+                if len(prefix) < len(nodes) // 8:
+                    continue
+                if len(prefix) > 7 * len(nodes) // 8:
+                    break
+                best = min(best, conductance_of_cut(small_regular, prefix))
+        assert graph_conductance_lower_bound(small_regular, samples=64, seed=5) == best
+
+    def test_er_graph_components(self):
+        graph = erdos_renyi_graph(60, 0.03, seed=11)
+        with use_backend("csr"):
+            produced = induced_components(graph, set(graph.nodes()))
+        expected = [set(c) for c in nx.connected_components(graph)]
+        assert sorted(map(sorted, produced)) == sorted(map(sorted, expected))
+
+    def test_torus_layer_sizes(self):
+        graph = torus_graph(6, 6, seed=2)
+        layers = bfs_layers_within(graph, [0])
+        assert sum(len(layer) for layer in layers) == 36

@@ -131,6 +131,49 @@ class TestBasicFamilies:
         assert set(first.edges()) == set(second.edges())
 
 
+class TestUidSeedDecoupling:
+    """Regression: the random generators used to feed the *same* seed to both
+    the topology sampler and the identifier scrambler, so identifiers were
+    correlated with the sampled edges."""
+
+    def test_random_regular_uids_decoupled_from_topology(self):
+        produced = random_regular_graph(24, 4, seed=7)
+        raw = nx.random_regular_graph(4, 24, seed=7)
+        # Topology is still driven by the topology seed...
+        assert set(produced.edges()) == set(raw.edges())
+        # ...but the identifier permutation differs from a same-seed scramble.
+        same_seed = assign_unique_identifiers(raw, seed=7)
+        produced_uids = [produced.nodes[node]["uid"] for node in sorted(produced.nodes())]
+        same_seed_uids = [same_seed.nodes[node]["uid"] for node in sorted(same_seed.nodes())]
+        assert produced_uids != same_seed_uids
+
+    def test_random_regular_still_reproducible(self):
+        first = random_regular_graph(24, 4, seed=7)
+        second = random_regular_graph(24, 4, seed=7)
+        assert set(first.edges()) == set(second.edges())
+        assert all(
+            first.nodes[node]["uid"] == second.nodes[node]["uid"] for node in first.nodes()
+        )
+
+    def test_erdos_renyi_uids_decoupled_from_topology(self):
+        produced = erdos_renyi_graph(30, 0.2, seed=13)
+        raw = nx.gnp_random_graph(30, 0.2, seed=13)
+        assert set(produced.edges()) == set(raw.edges())
+        same_seed = assign_unique_identifiers(raw, seed=13)
+        produced_uids = [produced.nodes[node]["uid"] for node in sorted(produced.nodes())]
+        same_seed_uids = [same_seed.nodes[node]["uid"] for node in sorted(same_seed.nodes())]
+        assert produced_uids != same_seed_uids
+
+    def test_uid_seed_derivation_is_injective_on_small_range(self):
+        from repro.graphs.generators import _uid_seed
+
+        derived = {_uid_seed(seed) for seed in range(1000)}
+        assert len(derived) == 1000
+        assert _uid_seed(None) is None
+        for seed in range(100):
+            assert _uid_seed(seed) != seed
+
+
 class TestWorkloadSuite:
     def test_suite_contains_multiple_families(self):
         suite = workload_suite()
