@@ -45,6 +45,27 @@ CARVING_ROWS = (
     ("Greedy ball growing (centralized)", "sequential"),
 )
 
+# method string -> display label, for labelling suite-pipeline rows.
+DECOMPOSITION_LABELS = {method: label for label, method in DECOMPOSITION_ROWS}
+CARVING_LABELS = {method: label for label, method in CARVING_ROWS}
+
+# The Table 1 / Table 2 method axis in the paper's row order.
+TABLE_METHODS = tuple(method for _, method in DECOMPOSITION_ROWS)
+
+
+def suite_rows(spec, labels=None, store=None, workers=1):
+    """Run a suite spec through the pipeline and return labelled table rows.
+
+    The batched replacement for hand-rolled ``decomposition_row`` /
+    ``carving_row`` loops: one :func:`repro.run_suite` call per table, with
+    rows flattened by :func:`repro.analysis.tables.rows_from_records` and
+    method strings mapped to the paper's row labels.
+    """
+    from repro.analysis.tables import rows_from_records
+
+    result = repro.run_suite(spec, store=store, workers=workers)
+    return rows_from_records(result.records, labels=labels)
+
 
 def benchmark_torus(n: int, seed: int = 7) -> nx.Graph:
     """The default benchmark workload: a roughly square torus with ~n nodes."""

@@ -2,37 +2,43 @@
 
 The paper's claim is qualitative — the deterministic strong-diameter
 decomposition runs in poly(log n) rounds.  This benchmark sweeps ``n`` over a
-geometric range on the torus workload, measures the charged rounds and the
-cluster diameters, fits a ``c * (log2 n)^k`` curve, and checks that the data
-are consistent with a polylogarithmic bound (and inconsistent with linear
-growth), which is the "figure" a systems reader would want to see.
+geometric range on the torus workload with one suite-pipeline grid
+(methods x sizes, shared topologies per size), measures the charged rounds
+and the cluster diameters, fits a ``c * (log2 n)^k`` curve, and checks that
+the data are consistent with a polylogarithmic bound (and inconsistent with
+linear growth), which is the "figure" a systems reader would want to see.
 """
 
 import math
 
 import pytest
 
-from _harness import benchmark_torus, emit_table, run_once
+from _harness import emit_table, run_once, suite_rows
 from repro.analysis.fitting import fit_polylog, is_polylog_bounded
-from repro.analysis.metrics import evaluate_decomposition
-import repro
+from repro.pipeline import SuiteSpec
 
 _SIZES = (64, 144, 256, 400, 576)
 
 
-def _sweep(method, seed=1):
-    rows = []
-    for n in _SIZES:
-        graph = benchmark_torus(n)
-        decomposition = repro.decompose(graph, method=method, seed=seed)
-        row = evaluate_decomposition(decomposition, method).as_row()
-        rows.append(row)
-    return rows
+def _sweep(methods, seed=1):
+    spec = SuiteSpec(
+        name="scaling-torus",
+        scenarios=("torus",),
+        sizes=_SIZES,
+        methods=tuple(methods),
+        mode="decomposition",
+        seeds=(seed,),
+    )
+    return suite_rows(spec)
+
+
+def _method_rows(rows, method):
+    return [row for row in rows if row["method"] == method]
 
 
 @pytest.mark.benchmark(group="scaling")
 def test_scaling_deterministic_strong(benchmark):
-    rows = run_once(benchmark, lambda: _sweep("strong-log3"))
+    rows = run_once(benchmark, lambda: _sweep(("strong-log3",)))
     emit_table("scaling_strong_log3", rows, "Scaling — Theorem 2.3 rounds/diameter vs n (torus)")
 
     sizes = [row["n"] for row in rows]
@@ -49,20 +55,23 @@ def test_scaling_deterministic_strong(benchmark):
 
 @pytest.mark.benchmark(group="scaling")
 def test_scaling_randomized_baseline_cheaper(benchmark):
-    deterministic = _sweep("strong-log3")
+    """One grid, two method columns on identical per-size topologies."""
 
-    def randomized():
-        return _sweep("mpx", seed=3)
+    def sweep():
+        return _sweep(("strong-log3", "mpx"))
 
-    rows = run_once(benchmark, randomized)
-    emit_table("scaling_mpx", rows, "Scaling — MPX/EN16 rounds vs n (torus)")
-    for det_row, rand_row in zip(deterministic, rows):
+    rows = run_once(benchmark, sweep)
+    randomized = _method_rows(rows, "mpx")
+    deterministic = _method_rows(rows, "strong-log3")
+    emit_table("scaling_mpx", randomized, "Scaling — MPX/EN16 rounds vs n (torus)")
+    for det_row, rand_row in zip(deterministic, randomized):
+        assert rand_row["n"] == det_row["n"]
         assert rand_row["rounds"] <= det_row["rounds"]
 
 
 @pytest.mark.benchmark(group="scaling")
 def test_scaling_diameters_stay_polylog(benchmark):
-    rows = run_once(benchmark, lambda: _sweep("strong-log2"))
+    rows = run_once(benchmark, lambda: _sweep(("strong-log2",)))
     emit_table("scaling_strong_log2", rows, "Scaling — Theorem 3.4 diameter vs n (torus)")
     for row in rows:
         bound = 16 * math.log2(row["n"]) ** 2 / 0.5 + 8

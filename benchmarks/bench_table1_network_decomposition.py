@@ -1,11 +1,11 @@
 """Experiment "Table 1": network decomposition in the CONGEST model.
 
 The paper's Table 1 compares network-decomposition algorithms by their number
-of colors, cluster diameter, and round complexity.  This benchmark
-instantiates every row we implement on two workload graphs (a torus and a
-random 4-regular expander-like graph) and reports the *measured* colors,
-maximal cluster diameter (strong or weak as appropriate), and charged CONGEST
-rounds.
+of colors, cluster diameter, and round complexity.  This benchmark drives the
+suite pipeline (:func:`repro.run_suite`) over a one-column grid per workload
+— every implemented algorithm on a torus and on a random 4-regular
+expander-like graph — and reports the *measured* colors, maximal cluster
+diameter (strong or weak as appropriate), and charged CONGEST rounds.
 
 Expected shape (what the paper's table predicts qualitatively):
 
@@ -22,35 +22,29 @@ import math
 
 import pytest
 
-from _harness import (
-    DECOMPOSITION_ROWS,
-    benchmark_regular,
-    benchmark_torus,
-    decomposition_row,
-    emit_table,
-    run_once,
-)
+from _harness import DECOMPOSITION_LABELS, TABLE_METHODS, emit_table, run_once, suite_rows
+from repro.pipeline import SuiteSpec
 
 _N = 256
 
 
-def _rows_for(graph, graph_name):
-    rows = []
-    for label, method in DECOMPOSITION_ROWS:
-        row = decomposition_row(graph, label, method, seed=1)
-        row["graph"] = graph_name
-        rows.append(row)
-    return rows
+def _spec(scenario):
+    return SuiteSpec(
+        name="table1-{}".format(scenario),
+        scenarios=(scenario,),
+        sizes=(_N,),
+        methods=TABLE_METHODS,
+        mode="decomposition",
+        seeds=(1,),
+    )
 
 
 @pytest.mark.benchmark(group="table1")
 def test_table1_torus(benchmark):
-    graph = benchmark_torus(_N)
-    rows = run_once(benchmark, lambda: _rows_for(graph, "torus"))
-    emit_table("table1_torus", rows, "Table 1 (reproduced) — torus, n={}".format(
-        graph.number_of_nodes()))
+    rows = run_once(benchmark, lambda: suite_rows(_spec("torus"), labels=DECOMPOSITION_LABELS))
+    n = rows[0]["n"]
+    emit_table("table1_torus", rows, "Table 1 (reproduced) — torus, n={}".format(n))
 
-    n = graph.number_of_nodes()
     log_n = math.ceil(math.log2(n))
     by_label = {row["algorithm"]: row for row in rows}
     for row in rows:
@@ -64,12 +58,12 @@ def test_table1_torus(benchmark):
 
 @pytest.mark.benchmark(group="table1")
 def test_table1_random_regular(benchmark):
-    graph = benchmark_regular(_N)
-    rows = run_once(benchmark, lambda: _rows_for(graph, "regular"))
-    emit_table("table1_regular", rows, "Table 1 (reproduced) — random 4-regular, n={}".format(
-        graph.number_of_nodes()))
+    rows = run_once(
+        benchmark, lambda: suite_rows(_spec("regular"), labels=DECOMPOSITION_LABELS)
+    )
+    n = rows[0]["n"]
+    emit_table("table1_regular", rows, "Table 1 (reproduced) — random 4-regular, n={}".format(n))
 
-    n = graph.number_of_nodes()
     log_n = math.ceil(math.log2(n))
     for row in rows:
         assert row["colors"] <= 4 * log_n + 8

@@ -2,8 +2,9 @@
 
 The paper's Table 2 compares ball-carving algorithms by cluster diameter and
 round complexity, both as functions of ``n`` and of the boundary parameter
-``eps``.  This benchmark reproduces the rows on a torus workload for several
-values of ``eps`` and checks the qualitative shape:
+``eps``.  This benchmark runs one suite-pipeline grid — every carving method
+x every ``eps`` on the torus workload (:func:`repro.run_suite` expands and
+caches the cells) — and checks the qualitative shape:
 
 * all algorithms remove at most (roughly) an ``eps`` fraction of nodes
   (exactly for the deterministic ones, in expectation for the randomized
@@ -17,33 +18,37 @@ import math
 
 import pytest
 
-from _harness import CARVING_ROWS, benchmark_torus, carving_row, emit_table, run_once
+from _harness import CARVING_LABELS, TABLE_METHODS, emit_table, run_once, suite_rows
+from repro.pipeline import SuiteSpec
 
 _N = 256
 _EPSILONS = (0.5, 0.25, 0.125)
 
 
-def _rows_for(graph, eps):
-    rows = []
-    for label, method in CARVING_ROWS:
-        row = carving_row(graph, label, method, eps, seed=1)
-        row["eps"] = eps
-        rows.append(row)
-    return rows
+def _spec(eps=_EPSILONS, methods=TABLE_METHODS):
+    return SuiteSpec(
+        name="table2-torus",
+        scenarios=("torus",),
+        sizes=(_N,),
+        methods=methods,
+        mode="carving",
+        eps=tuple(eps) if isinstance(eps, (tuple, list)) else (eps,),
+        seeds=(1,),
+    )
 
 
 @pytest.mark.benchmark(group="table2")
 @pytest.mark.parametrize("eps", _EPSILONS)
 def test_table2_torus(benchmark, eps):
-    graph = benchmark_torus(_N)
-    rows = run_once(benchmark, lambda: _rows_for(graph, eps))
+    all_rows = run_once(benchmark, lambda: suite_rows(_spec(eps), labels=CARVING_LABELS))
+    rows = [row for row in all_rows if row["eps"] == eps]
+    n = rows[0]["n"]
     emit_table(
         "table2_torus_eps{}".format(str(eps).replace(".", "_")),
         rows,
-        "Table 2 (reproduced) — torus, n={}, eps={}".format(graph.number_of_nodes(), eps),
+        "Table 2 (reproduced) — torus, n={}, eps={}".format(n, eps),
     )
 
-    n = graph.number_of_nodes()
     log_n = math.ceil(math.log2(n))
     by_label = {row["algorithm"]: row for row in rows}
 
@@ -73,18 +78,17 @@ def test_table2_eps_sweep_diameter_trend(benchmark):
     """The 1/eps dependence: smaller eps may only increase the deterministic
     strong-diameter carving's certified diameter bound, never shrink the
     measured rounds."""
-    graph = benchmark_torus(_N)
 
     def sweep():
-        return {
-            eps: carving_row(graph, "Theorem 2.2", "strong-log3", eps, seed=1)
-            for eps in _EPSILONS
-        }
+        rows = suite_rows(
+            _spec(_EPSILONS, methods=("strong-log3",)), labels=CARVING_LABELS
+        )
+        return {row["eps"]: row for row in rows}
 
     rows = run_once(benchmark, sweep)
     emit_table(
         "table2_eps_sweep",
-        [dict(row, eps=eps) for eps, row in rows.items()],
+        [rows[eps] for eps in _EPSILONS],
         "Table 2 (reproduced) — eps sweep of Theorem 2.2 on the torus",
     )
     assert rows[0.125]["rounds"] >= rows[0.5]["rounds"]

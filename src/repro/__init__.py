@@ -17,6 +17,12 @@ Quickstart::
     decomposition = repro.decompose(graph, method="strong-log3")
     print(decomposition.summary())
 
+Whole experiment grids run through :func:`repro.run_suite` (see
+:mod:`repro.pipeline` and ``docs/pipeline.md``): a declarative
+``(scenario x n x method x eps x seed)`` suite spec is expanded into cells,
+fanned out over a ``multiprocessing`` pool, and streamed into a persistent,
+resumable run store.
+
 The hot ball-growing loops run over the flat-array CSR graph core
 (:mod:`repro.graphs.csr`) by default; pass ``backend="nx"`` to
 :func:`~repro.core.api.carve` / :func:`~repro.core.api.decompose` (or use
@@ -24,7 +30,13 @@ The hot ball-growing loops run over the flat-array CSR graph core
 are kept as a differential-testing oracle.
 """
 
-from repro.core.api import CARVING_METHODS, DECOMPOSITION_METHODS, carve, decompose
+from repro.core.api import (
+    CARVING_METHODS,
+    DECOMPOSITION_METHODS,
+    carve,
+    decompose,
+    run_suite,
+)
 from repro.clustering import (
     BallCarving,
     Cluster,
@@ -42,6 +54,7 @@ __all__ = [
     "DECOMPOSITION_METHODS",
     "carve",
     "decompose",
+    "run_suite",
     "BallCarving",
     "Cluster",
     "NetworkDecomposition",

@@ -2,12 +2,18 @@
 
 The benchmarks print the reproduced Table 1 / Table 2 rows to stdout (and the
 same strings are pasted into EXPERIMENTS.md), so a small dependency-free
-renderer is all that is needed.
+renderer is all that is needed.  :func:`rows_from_records` flattens the
+result records of a :class:`repro.pipeline.store.RunStore` into row
+dictionaries for :func:`format_table`, so suite output feeds the same
+renderer as the hand-built tables.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+# Grid parameters promoted into every flattened suite row, in column order.
+_RECORD_PARAMS = ("scenario", "method", "mode", "eps", "seed")
 
 
 def format_table(
@@ -55,3 +61,41 @@ def format_table(
             " | ".join(cell.ljust(widths[column]) for column, cell in zip(columns, cells))
         )
     return "\n".join(lines)
+
+
+def rows_from_records(
+    records: Iterable[Dict[str, Any]],
+    labels: Optional[Dict[str, str]] = None,
+) -> List[Dict[str, Any]]:
+    """Flatten suite result records into table rows.
+
+    Each record produced by :func:`repro.pipeline.run_suite` carries the
+    grid parameters next to a nested ``"metrics"`` dictionary.  This merges
+    the two (grid parameters first, measured metrics after, per-cell wall
+    time last) so the result renders directly with :func:`format_table`.
+
+    Args:
+        records: Result records (e.g. ``RunStore.results()`` or
+            ``SuiteResult.records``).
+        labels: Optional mapping of method string → display label; when
+            given, a leading ``"algorithm"`` column is added.
+
+    Returns:
+        One flat row dictionary per record.
+    """
+    rows: List[Dict[str, Any]] = []
+    for record in records:
+        row: Dict[str, Any] = {}
+        if labels is not None:
+            row["algorithm"] = labels.get(record.get("method"), record.get("method"))
+        for key in _RECORD_PARAMS:
+            value = record.get(key)
+            if value is not None:
+                row[key] = value
+        for key, value in dict(record.get("metrics", {})).items():
+            # Grid parameters win on clashes (metrics repeat method/eps).
+            row.setdefault(key, value)
+        if "seconds" in record:
+            row["seconds"] = record["seconds"]
+        rows.append(row)
+    return rows

@@ -3,6 +3,13 @@
 Builds a workload graph, runs the chosen decomposition or carving algorithm,
 validates the result, and prints the measured parameters — a quick way to see
 the reproduction's headline numbers without writing any code.
+
+``--mode suite`` switches to the batched pipeline: a whole
+``(scenario x n x method x eps x seed)`` grid is run through
+:func:`repro.run_suite`, either from a JSON spec file (``--spec``, format in
+``docs/pipeline.md``) or from the single-run flags (``--suite-mode`` picks
+decomposition or carving for the flag-built grid), optionally fanned out
+over ``--workers`` processes and resumed from / persisted to ``--store``.
 """
 
 from __future__ import annotations
@@ -15,23 +22,7 @@ from repro.analysis.metrics import evaluate_carving, evaluate_decomposition
 from repro.analysis.tables import format_table
 from repro.clustering.validation import check_ball_carving, check_network_decomposition
 from repro.core.api import CARVING_METHODS, DECOMPOSITION_METHODS, carve, decompose
-from repro.graphs.generators import (
-    binary_tree_graph,
-    cycle_graph,
-    grid_graph,
-    hypercube_graph,
-    random_regular_graph,
-    torus_graph,
-)
-
-_FAMILIES = {
-    "torus": lambda n: torus_graph(max(3, int(round(n ** 0.5))), max(3, int(round(n ** 0.5)))),
-    "grid": lambda n: grid_graph(max(2, int(round(n ** 0.5))), max(2, int(round(n ** 0.5)))),
-    "cycle": lambda n: cycle_graph(max(3, n)),
-    "tree": lambda n: binary_tree_graph(max(1, n.bit_length() - 1)),
-    "hypercube": lambda n: hypercube_graph(max(1, n.bit_length() - 1)),
-    "regular": lambda n: random_regular_graph(n if n % 2 == 0 else n + 1, 4, seed=1),
-}
+from repro.pipeline.scenarios import build_workload, list_scenarios
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,7 +35,10 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
-        "--family", choices=sorted(_FAMILIES), default="torus", help="workload graph family"
+        "--family",
+        choices=list_scenarios(),
+        default="torus",
+        help="workload graph family (a scenario registry name; see --list-scenarios)",
     )
     parser.add_argument("--n", type=int, default=256, help="approximate number of nodes")
     parser.add_argument(
@@ -55,12 +49,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--mode",
-        choices=("decomposition", "carving"),
+        choices=("decomposition", "carving", "suite"),
         default="decomposition",
-        help="compute a full network decomposition or a single ball carving",
+        help=(
+            "compute a full network decomposition, a single ball carving, "
+            "or run a whole suite grid through the batch pipeline"
+        ),
     )
     parser.add_argument("--eps", type=float, default=0.5, help="carving boundary parameter")
-    parser.add_argument("--seed", type=int, default=0, help="seed for randomized baselines")
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for the workload generator and the randomized baselines",
+    )
     parser.add_argument(
         "--backend",
         choices=("csr", "nx"),
@@ -90,13 +92,99 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the computed clustering as JSON to PATH",
     )
+    parser.add_argument(
+        "--spec",
+        metavar="PATH",
+        default=None,
+        help=(
+            "suite mode: JSON suite spec file to run (see docs/pipeline.md); "
+            "without it a one-scenario grid is built from the other flags"
+        ),
+    )
+    parser.add_argument(
+        "--suite-mode",
+        choices=("decomposition", "carving"),
+        default="decomposition",
+        help=(
+            "suite mode without --spec: task type of the flag-built grid "
+            "(carving expands the --eps value as a grid axis)"
+        ),
+    )
+    parser.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help=(
+            "suite mode: JSON-lines run store to resume from and stream "
+            "results into (created if missing; completed cells are skipped)"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="suite mode: process-pool size (1 = serial, 0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        help="print the registered workload scenarios and exit",
+    )
     return parser
+
+
+def _run_suite_mode(args) -> int:
+    """``--mode suite``: run a grid through the pipeline and print its rows."""
+    import repro
+    from repro.analysis.tables import rows_from_records
+    from repro.pipeline.runner import SuiteSpec, load_spec
+
+    if args.spec is not None:
+        spec = load_spec(args.spec)
+    else:
+        spec = SuiteSpec(
+            name="cli-{}".format(args.family),
+            scenarios=(args.family,),
+            sizes=(args.n,),
+            methods=(args.method,),
+            mode=args.suite_mode,
+            eps=(args.eps,),
+            seeds=(args.seed,),
+            backend=args.backend,
+            validate=not args.skip_validation,
+        )
+    result = repro.run_suite(spec, store=args.store, workers=args.workers)
+    print(
+        format_table(
+            rows_from_records(result.records),
+            title="suite {!r} — {} cells".format(spec.name, len(result.records)),
+        )
+    )
+    print(
+        "executed {} cell(s), {} store hit(s), {:.2f}s{}".format(
+            result.executed,
+            result.skipped,
+            result.seconds,
+            " — store: {}".format(args.store) if args.store else "",
+        )
+    )
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    if args.list_scenarios:
+        from repro.pipeline.scenarios import get_scenario
+
+        for name in list_scenarios():
+            print("{:14s} {}".format(name, get_scenario(name).description))
+        return 0
+
+    if args.mode == "suite":
+        return _run_suite_mode(args)
 
     if args.report is not None:
         from repro.analysis.report import generate_report
@@ -107,7 +195,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("wrote experiment report to {}".format(args.report))
         return 0
 
-    graph = _FAMILIES[args.family](args.n)
+    graph = build_workload(args.family, args.n, seed=args.seed)
     print(
         "graph: family={} nodes={} edges={}".format(
             args.family, graph.number_of_nodes(), graph.number_of_edges()

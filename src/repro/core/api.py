@@ -1,4 +1,4 @@
-"""High-level one-call API: :func:`decompose` and :func:`carve`.
+"""High-level one-call API: :func:`decompose`, :func:`carve`, :func:`run_suite`.
 
 These are the entry points a downstream user (and the examples, CLI and
 benchmarks) interact with.  Every algorithm of the reproduction is reachable
@@ -17,12 +17,26 @@ method               algorithm
 ``"sequential"``     centralized existential construction [LS93]
 ===================  ==========================================================
 
-Both entry points additionally accept ``backend="csr" | "nx"`` (default:
-the ambient backend, which is ``"csr"``): ``"csr"`` routes all ball growing
-through the flat-array graph core of :mod:`repro.graphs.csr`, ``"nx"`` runs
-the original dict-of-dicts networkx walks.  The two backends produce
-identical cluster assignments — ``"nx"`` is kept as a differential-testing
-oracle and for graphs the CSR index cannot represent.
+The deterministic methods (``strong-log3``, ``strong-log2``, ``weak-rg20``,
+``sequential``) ignore ``seed``; the randomized baselines (``ls93``, ``mpx``)
+use it to seed their private random stream (``seed=None`` behaves like
+``seed=0``, so every call is reproducible by default).  ``eps`` is the
+carving boundary parameter: at most an ``eps`` fraction of the (sub)graph's
+nodes ends up dead — exactly for the deterministic methods, in expectation
+for the randomized ones.  Decompositions have no ``eps`` parameter; they fix
+their own per-color budgets internally.
+
+Both single-shot entry points additionally accept ``backend="csr" | "nx"``
+(default: the ambient backend, which is ``"csr"``): ``"csr"`` routes all
+ball growing through the flat-array graph core of :mod:`repro.graphs.csr`,
+``"nx"`` runs the original dict-of-dicts networkx walks.  The two backends
+produce identical cluster assignments — ``"nx"`` is kept as a
+differential-testing oracle and for graphs the CSR index cannot represent.
+
+:func:`run_suite` is the batched form: it expands a declarative
+``(scenario x n x method x eps x seed)`` grid into cells and runs them with
+resume support and optional multiprocessing fan-out — see
+:mod:`repro.pipeline` and ``docs/pipeline.md``.
 """
 
 from __future__ import annotations
@@ -70,15 +84,22 @@ def carve(
     Args:
         graph: Host graph (nodes should carry ``"uid"`` attributes; see
             :func:`repro.graphs.assign_unique_identifiers`).
-        eps: Boundary parameter — at most this fraction of nodes is removed.
-        method: One of :data:`CARVING_METHODS`.
-        nodes: Optional node subset to carve.
-        ledger: Optional round ledger to charge into.
-        seed: Seed for the randomized baselines (ignored by deterministic
-            methods).
+        eps: Boundary parameter in ``(0, 1)`` — at most an ``eps`` fraction
+            of nodes is removed ("dead"): exactly for the deterministic
+            methods, in expectation for ``ls93`` / ``mpx``.  Smaller ``eps``
+            means fewer dead nodes but larger cluster diameters (every bound
+            carries a ``1/eps`` factor).
+        method: One of :data:`CARVING_METHODS` (see the module docstring for
+            the algorithm behind each string).
+        nodes: Optional node subset to carve (default: every node).
+        ledger: Optional round ledger to charge CONGEST rounds into.
+        seed: Seed for the randomized baselines' private random stream;
+            ignored by the deterministic methods.  ``None`` behaves like
+            ``0``, so repeated calls are reproducible by default.
         backend: ``"csr"`` (flat-array graph core), ``"nx"`` (original
             networkx walks, the differential-testing oracle) or ``None`` to
-            keep the ambient backend (default ``"csr"``).
+            keep the ambient backend (default ``"csr"``).  Both produce
+            identical cluster assignments.
 
     Returns:
         A :class:`~repro.clustering.carving.BallCarving`.
@@ -113,10 +134,16 @@ def decompose(
     """Compute a network decomposition of ``graph`` with the chosen algorithm.
 
     Args:
-        graph: Host graph.
-        method: One of :data:`DECOMPOSITION_METHODS`.
-        ledger: Optional round ledger to charge into.
-        seed: Seed for the randomized baselines.
+        graph: Host graph (nodes should carry ``"uid"`` attributes; see
+            :func:`repro.graphs.assign_unique_identifiers`).
+        method: One of :data:`DECOMPOSITION_METHODS` (see the module
+            docstring for the algorithm behind each string).  There is no
+            ``eps`` parameter: decompositions fix their per-color budgets
+            internally.
+        ledger: Optional round ledger to charge CONGEST rounds into.
+        seed: Seed for the randomized baselines' private random stream;
+            ignored by the deterministic methods.  ``None`` behaves like
+            ``0``, so repeated calls are reproducible by default.
         backend: ``"csr"``, ``"nx"`` or ``None`` (ambient default, ``"csr"``)
             — see :func:`carve`.
 
@@ -142,3 +169,37 @@ def decompose(
     raise ValueError(
         "unknown decomposition method {!r}; choose from {}".format(method, DECOMPOSITION_METHODS)
     )
+
+
+def run_suite(spec, store=None, workers: int = 1):
+    """Run a whole experiment grid (the batched form of carve/decompose).
+
+    Expands ``spec`` — a ``(scenario x n x method x eps x seed)`` grid — into
+    cells, skips every cell already present in ``store`` (resume), and runs
+    the rest serially or over a ``multiprocessing`` pool.  Each cell builds
+    its workload graph from the scenario registry, runs :func:`carve` or
+    :func:`decompose` on the spec's ``backend``, and streams a result record
+    (grid parameters + measured metrics + wall time) into the store.
+
+    Seeds are derived per cell from ``spec.master_seed``: the *graph* seed
+    depends only on ``(scenario, n, seed index)`` so method columns compare
+    on identical topologies, while the *algorithm* seed depends on the full
+    cell id — see :func:`repro.pipeline.runner.derive_cell_seed`.
+
+    Args:
+        spec: A :class:`repro.pipeline.SuiteSpec`, a spec dictionary, or the
+            path of a JSON spec file (format: ``docs/pipeline.md``).
+        store: A :class:`repro.pipeline.RunStore`, the path of a JSON-lines
+            store file (created, or resumed if it exists), or ``None`` for a
+            fresh in-memory store.
+        workers: Fan-out pool size; ``1`` is serial, ``0``/``None``
+            autodetects the CPU count.
+
+    Returns:
+        A :class:`repro.pipeline.SuiteResult` (records, executed/skipped
+        counts, wall time, the store).
+    """
+    # Imported lazily so `import repro` does not pay for multiprocessing.
+    from repro.pipeline.runner import run_suite as _run_suite
+
+    return _run_suite(spec, store=store, workers=workers)

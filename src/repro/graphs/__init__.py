@@ -26,12 +26,14 @@ from repro.graphs.generators import (
     caterpillar_graph,
     cycle_graph,
     erdos_renyi_graph,
+    expander_mix_graph,
     grid_graph,
     hypercube_graph,
     path_graph,
     random_regular_graph,
     star_graph,
     torus_graph,
+    watts_strogatz_graph,
     workload_suite,
 )
 from repro.graphs.expanders import (
@@ -79,12 +81,14 @@ __all__ = [
     "caterpillar_graph",
     "cycle_graph",
     "erdos_renyi_graph",
+    "expander_mix_graph",
     "grid_graph",
     "hypercube_graph",
     "path_graph",
     "random_regular_graph",
     "star_graph",
     "torus_graph",
+    "watts_strogatz_graph",
     "workload_suite",
     "barrier_graph",
     "margulis_expander",

@@ -168,6 +168,69 @@ def random_regular_graph(n: int, degree: int, seed: Optional[int] = None) -> nx.
     return assign_unique_identifiers(graph, seed=_uid_seed(seed))
 
 
+def watts_strogatz_graph(
+    n: int,
+    k: int = 4,
+    rewire_probability: float = 0.1,
+    seed: Optional[int] = None,
+) -> nx.Graph:
+    """A connected Watts–Strogatz small-world graph on ``n`` nodes.
+
+    Starts from a ring lattice where every node is joined to its ``k``
+    nearest neighbours and rewires each edge with probability
+    ``rewire_probability``.  Small-world graphs sit *between* the workload
+    extremes: locally they look like the high-diameter ring, but the few
+    rewired long-range edges collapse the global diameter to ``O(log n)`` —
+    ball growing sees dense local layers punctured by shortcuts.
+    """
+    if n <= k:
+        raise ValueError("watts_strogatz_graph requires n > k")
+    if not 0.0 <= rewire_probability <= 1.0:
+        raise ValueError("rewire_probability must lie in [0, 1]")
+    graph = nx.connected_watts_strogatz_graph(
+        n, k, rewire_probability, tries=200, seed=seed
+    )
+    return assign_unique_identifiers(graph, seed=_uid_seed(seed))
+
+
+def expander_mix_graph(
+    n: int,
+    degree: int = 4,
+    block_size: int = 48,
+    seed: Optional[int] = None,
+) -> nx.Graph:
+    """Bounded-degree mix of expander blocks bridged into a ring.
+
+    Partitions roughly ``n`` nodes into random ``degree``-regular blocks of
+    ``block_size`` nodes each and joins consecutive blocks by a single bridge
+    edge (blocks form a cycle, so the graph stays connected and 2-edge-
+    connected).  Maximum degree is ``degree + 2``, so the CONGEST bandwidth
+    assumptions hold, yet the workload combines low-diameter high-conductance
+    regions (inside blocks) with sparse cuts between them — the regime where
+    the weak-diameter merging phases and the strong-diameter carving disagree
+    the most.
+    """
+    if degree < 3:
+        raise ValueError("expander_mix_graph requires degree >= 3")
+    if block_size <= degree:
+        raise ValueError("expander_mix_graph requires block_size > degree")
+    if (block_size * degree) % 2 != 0:
+        block_size += 1
+    blocks = max(2, int(round(n / float(block_size))))
+    base_seed = 0 if seed is None else int(seed)
+    graph = nx.Graph()
+    offsets = []
+    for block in range(blocks):
+        block_graph = nx.random_regular_graph(degree, block_size, seed=base_seed + block)
+        offset = block * block_size
+        offsets.append(offset)
+        for u, v in block_graph.edges():
+            graph.add_edge(offset + u, offset + v)
+    for block in range(blocks):
+        graph.add_edge(offsets[block], offsets[(block + 1) % blocks] + 1)
+    return assign_unique_identifiers(graph, seed=_uid_seed(seed))
+
+
 def erdos_renyi_graph(n: int, probability: float, seed: Optional[int] = None) -> nx.Graph:
     """A ``G(n, p)`` random graph.  May be disconnected; algorithms must cope."""
     if n <= 0:

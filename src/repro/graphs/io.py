@@ -6,7 +6,9 @@ interchange format:
 
 * **edge lists with identifiers** — plain text, one ``u v`` pair per line,
   preceded by optional ``# uid u id`` lines assigning identifiers (graphs
-  without such lines get identifiers assigned on load);
+  without such lines get identifiers assigned on load).  Integer labels are
+  written bare; string labels that would otherwise be misread as integers
+  (``"5"``) are JSON-quoted so the round trip preserves the label *type*;
 * **clustering JSON** — a decomposition or carving serialised as JSON with
   the cluster node lists, colors, dead nodes and summary metadata, so results
   can be archived and compared across runs.
@@ -24,30 +26,63 @@ from repro.clustering.decomposition import NetworkDecomposition
 from repro.graphs.generators import assign_unique_identifiers
 
 
+def _render_label(node: Any) -> str:
+    """Render a node label as a whitespace-free edge-list token.
+
+    Integers are written bare.  String labels are written bare too unless
+    they would be misparsed on load — all-digit strings (``"5"`` vs ``5``),
+    strings opening with a double quote or ``#`` (which would read back as a
+    comment line), or empty strings — in which case they are JSON-quoted so
+    :func:`_parse_label` can restore the exact value and type.  Labels
+    containing whitespace cannot be represented in the line-oriented format
+    and are rejected rather than silently corrupting the file.
+    """
+    if isinstance(node, str):
+        if any(ch.isspace() for ch in node):
+            raise ValueError(
+                "edge-list labels may not contain whitespace: {!r}".format(node)
+            )
+        needs_quoting = node == "" or node.startswith(('"', "#"))
+        if not needs_quoting:
+            try:
+                int(node)
+                needs_quoting = True
+            except ValueError:
+                pass
+        return json.dumps(node) if needs_quoting else node
+    return str(node)
+
+
+def _parse_label(token: str) -> Any:
+    """Invert :func:`_render_label`: JSON-quoted → str, digits → int, else str."""
+    if token.startswith('"'):
+        return json.loads(token)
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
 def write_edge_list(graph: nx.Graph, path: str) -> None:
     """Write ``graph`` as a text edge list with ``# uid`` header lines."""
     with open(path, "w", encoding="utf-8") as handle:
         for node in sorted(graph.nodes(), key=str):
             uid = graph.nodes[node].get("uid")
             if uid is not None:
-                handle.write("# uid {} {}\n".format(node, uid))
+                handle.write("# uid {} {}\n".format(_render_label(node), uid))
         for u, v in sorted(graph.edges(), key=lambda edge: (str(edge[0]), str(edge[1]))):
-            handle.write("{} {}\n".format(u, v))
+            handle.write("{} {}\n".format(_render_label(u), _render_label(v)))
 
 
 def read_edge_list(path: str) -> nx.Graph:
     """Read a graph written by :func:`write_edge_list`.
 
-    Node labels are parsed as integers when possible (falling back to
-    strings); nodes that did not receive a ``# uid`` line get identifiers
-    assigned deterministically after loading.
+    Bare tokens are parsed as integers when possible (falling back to
+    strings) and JSON-quoted tokens always as strings, so label types
+    survive the round trip; nodes that did not receive a ``# uid`` line get
+    identifiers assigned deterministically after loading.
     """
-
-    def parse(token: str) -> Any:
-        try:
-            return int(token)
-        except ValueError:
-            return token
+    parse = _parse_label
 
     graph = nx.Graph()
     uids: Dict[Any, int] = {}

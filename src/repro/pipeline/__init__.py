@@ -1,0 +1,49 @@
+"""Batched experiment pipeline: scenario registry, suite runner, run store.
+
+This subpackage turns the reproduction's experiments into data:
+
+* :mod:`repro.pipeline.scenarios` — named workload families
+  (:func:`register_scenario`, :func:`get_scenario`, :func:`list_scenarios`);
+* :mod:`repro.pipeline.runner` — :class:`SuiteSpec` grids expanded into
+  cells and fanned out over a ``multiprocessing`` pool
+  (:func:`run_suite`), with deterministic per-cell seed derivation;
+* :mod:`repro.pipeline.store` — the persistent JSON-lines
+  :class:`RunStore` with schema versioning and resume-after-partial-run.
+
+See ``docs/pipeline.md`` for the suite spec format and a worked example.
+"""
+
+from repro.pipeline.runner import (
+    Cell,
+    SuiteResult,
+    SuiteSpec,
+    derive_cell_seed,
+    load_spec,
+    run_suite,
+)
+from repro.pipeline.scenarios import (
+    Scenario,
+    build_workload,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+)
+from repro.pipeline.store import SCHEMA_VERSION, RunStore, StoreSchemaError, read_records
+
+__all__ = [
+    "Cell",
+    "SuiteResult",
+    "SuiteSpec",
+    "derive_cell_seed",
+    "load_spec",
+    "run_suite",
+    "Scenario",
+    "build_workload",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
+    "SCHEMA_VERSION",
+    "RunStore",
+    "StoreSchemaError",
+    "read_records",
+]

@@ -1,0 +1,374 @@
+"""Suite runner: expand a grid spec into cells and fan them out.
+
+A :class:`SuiteSpec` is the declarative form of one experiment — exactly the
+shape of the paper's tables: a grid of ``scenario x n x method`` cells, with
+an ``eps`` axis in carving mode and a ``seed`` axis for repetitions.
+:func:`run_suite` expands the grid, skips every cell already present in the
+:class:`~repro.pipeline.store.RunStore` (resume!), and executes the remaining
+cells either serially or over a ``multiprocessing`` pool, streaming each
+finished record into the store as it arrives.
+
+Determinism is grid-positional, not order-dependent:
+
+* the **graph seed** of a cell is derived from ``(master_seed, scenario, n,
+  seed index)`` only — every method/eps cell on the same grid column sees the
+  *same* topology, which is what makes method columns comparable;
+* the **algorithm seed** is derived from the full cell id, so randomized
+  baselines are independent across cells but reproducible per cell;
+* both derivations hash with SHA-256, so they are stable across processes,
+  platforms and Python versions (no ``hash()`` randomization).
+
+Workers re-derive everything from the cell payload.  Under the spawn start
+method (macOS/Windows defaults) each worker re-imports the scenario
+registry, so custom scenarios must be registered at import time of a module
+the workers also import — registration inside ``__main__`` only works with
+the fork start method (the standard multiprocessing constraint).  Built-in
+scenarios and ``edgelist:`` paths work everywhere.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import multiprocessing
+import os
+import time
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+MODES = ("decomposition", "carving")
+
+
+def derive_cell_seed(master_seed: int, key: str) -> int:
+    """Deterministically derive a 32-bit seed from a master seed and a key.
+
+    SHA-256 based: stable across processes and platforms, and statistically
+    decoupled between different keys and between different master seeds.
+    """
+    digest = hashlib.sha256(
+        "{}:{}".format(int(master_seed), key).encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+def _format_eps(eps: float) -> str:
+    return format(float(eps), "g")
+
+
+@dataclasses.dataclass(frozen=True)
+class Cell:
+    """One grid point of a suite: a single algorithm run."""
+
+    scenario: str
+    n: int
+    method: str
+    seed: int
+    mode: str
+    eps: Optional[float] = None
+
+    @property
+    def cell_id(self) -> str:
+        """Stable store key; the resume logic matches cells by this string."""
+        parts = [self.scenario, "n{}".format(self.n), self.method]
+        if self.eps is not None:
+            parts.append("eps{}".format(_format_eps(self.eps)))
+        parts.append("s{}".format(self.seed))
+        return "/".join(parts)
+
+    @property
+    def column_key(self) -> str:
+        """The graph-identity key: cells sharing it see the same topology."""
+        return "{}/n{}/s{}".format(self.scenario, self.n, self.seed)
+
+
+@dataclasses.dataclass(frozen=True)
+class SuiteSpec:
+    """Declarative description of one experiment grid.
+
+    Attributes:
+        name: Suite name (recorded in the store header).
+        scenarios: Scenario names (see :mod:`repro.pipeline.scenarios`;
+            ``"edgelist:<path>"`` loads a user graph).
+        sizes: Target node counts.
+        methods: Algorithm method strings (subset of
+            :data:`repro.core.api.CARVING_METHODS`).
+        mode: ``"decomposition"`` or ``"carving"``.
+        eps: Boundary parameters — expanded as a grid axis in carving mode,
+            ignored in decomposition mode.
+        seeds: Repetition indices; each index yields an independent
+            (graph seed, algorithm seed) pair via :func:`derive_cell_seed`.
+        backend: Graph backend for every cell (``"csr"`` or ``"nx"``).
+        master_seed: Root of all per-cell seed derivations.
+        validate: Run the clustering validators on every cell result
+            (slower; randomized methods get the usual dead-fraction slack).
+    """
+
+    name: str
+    scenarios: Tuple[str, ...]
+    sizes: Tuple[int, ...]
+    methods: Tuple[str, ...]
+    mode: str = "decomposition"
+    eps: Tuple[float, ...] = (0.5,)
+    seeds: Tuple[int, ...] = (0,)
+    backend: str = "csr"
+    master_seed: int = 0
+    validate: bool = False
+
+    def __post_init__(self) -> None:
+        from repro.core.api import CARVING_METHODS
+
+        if self.mode not in MODES:
+            raise ValueError("mode must be one of {}, got {!r}".format(MODES, self.mode))
+        for method in self.methods:
+            if method not in CARVING_METHODS:
+                raise ValueError(
+                    "unknown method {!r}; choose from {}".format(method, CARVING_METHODS)
+                )
+        if self.backend not in ("csr", "nx"):
+            raise ValueError("backend must be 'csr' or 'nx', got {!r}".format(self.backend))
+        if not (self.scenarios and self.sizes and self.methods and self.seeds):
+            raise ValueError("scenarios, sizes, methods and seeds must all be non-empty")
+        if self.mode == "carving" and not self.eps:
+            raise ValueError("carving suites need at least one eps value")
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SuiteSpec":
+        """Build a spec from a plain dictionary (e.g. a parsed JSON file)."""
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError("unknown suite spec keys: {}".format(", ".join(unknown)))
+        data = dict(payload)
+        for key in ("scenarios", "methods"):
+            if key in data:
+                data[key] = tuple(str(value) for value in data[key])
+        if "sizes" in data:
+            data["sizes"] = tuple(int(value) for value in data["sizes"])
+        if "seeds" in data:
+            data["seeds"] = tuple(int(value) for value in data["seeds"])
+        if "eps" in data:
+            data["eps"] = tuple(float(value) for value in data["eps"])
+        return cls(**data)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON-serialisable form (inverse of :meth:`from_dict`)."""
+        return dataclasses.asdict(self)
+
+    def expand(self) -> List[Cell]:
+        """Expand the grid into its cells, in deterministic order."""
+        eps_axis: Tuple[Optional[float], ...]
+        eps_axis = tuple(self.eps) if self.mode == "carving" else (None,)
+        cells = []
+        for scenario in self.scenarios:
+            for n in self.sizes:
+                for method in self.methods:
+                    for eps in eps_axis:
+                        for seed in self.seeds:
+                            cells.append(
+                                Cell(
+                                    scenario=scenario,
+                                    n=n,
+                                    method=method,
+                                    seed=seed,
+                                    mode=self.mode,
+                                    eps=eps,
+                                )
+                            )
+        return cells
+
+
+def load_spec(path: str) -> SuiteSpec:
+    """Load a :class:`SuiteSpec` from a JSON file (see docs/pipeline.md)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict):
+        raise ValueError("suite spec file must contain a JSON object")
+    return SuiteSpec.from_dict(payload)
+
+
+def _execute_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one cell; top-level so multiprocessing can pickle it.
+
+    The payload is ``{"cell": Cell fields, "backend", "master_seed",
+    "validate"}``; everything else (graph, algorithm, metrics) is re-derived
+    inside the worker.
+    """
+    import repro
+    from repro.analysis.metrics import evaluate_carving, evaluate_decomposition
+    from repro.clustering.validation import check_ball_carving, check_network_decomposition
+    from repro.pipeline.scenarios import build_workload
+
+    cell = Cell(**payload["cell"])
+    master_seed = payload["master_seed"]
+    backend = payload["backend"]
+    graph_seed = derive_cell_seed(master_seed, "graph:" + cell.column_key)
+    algo_seed = derive_cell_seed(master_seed, "algo:" + cell.cell_id)
+
+    start = time.perf_counter()
+    graph = build_workload(cell.scenario, cell.n, seed=graph_seed)
+    if cell.mode == "carving":
+        result = repro.carve(
+            graph, cell.eps, method=cell.method, seed=algo_seed, backend=backend
+        )
+        if payload["validate"]:
+            lenient = cell.method in ("ls93", "mpx")
+            check_ball_carving(result, max_dead_fraction=0.99 if lenient else None)
+        metrics = evaluate_carving(result, cell.method).as_row()
+    else:
+        result = repro.decompose(graph, method=cell.method, seed=algo_seed, backend=backend)
+        if payload["validate"]:
+            check_network_decomposition(result)
+        metrics = evaluate_decomposition(result, cell.method).as_row()
+    seconds = time.perf_counter() - start
+
+    return {
+        "cell": cell.cell_id,
+        "scenario": cell.scenario,
+        "n": cell.n,
+        "method": cell.method,
+        "mode": cell.mode,
+        "eps": cell.eps,
+        "seed": cell.seed,
+        "graph_seed": graph_seed,
+        "algo_seed": algo_seed,
+        "backend": backend,
+        "metrics": metrics,
+        "seconds": round(seconds, 6),
+    }
+
+
+@dataclasses.dataclass
+class SuiteResult:
+    """Outcome of one :func:`run_suite` call.
+
+    Attributes:
+        spec: The spec that was run.
+        records: One result record per grid cell, in grid order —
+            previously stored records and newly computed ones alike.
+        executed: Number of cells actually computed by this call.
+        skipped: Number of cells satisfied from the store (resume hits).
+        seconds: Wall-clock time of this call.
+        store: The store the records live in (in-memory if no path given).
+    """
+
+    spec: SuiteSpec
+    records: List[Dict[str, Any]]
+    executed: int
+    skipped: int
+    seconds: float
+    store: Any
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """Flat table rows (grid parameters + measured metrics) per cell."""
+        from repro.analysis.tables import rows_from_records
+
+        return rows_from_records(self.records)
+
+
+def _check_record_matches(record: Dict[str, Any], cell: Cell, spec: SuiteSpec) -> None:
+    """Refuse to serve a store hit computed under different run conditions.
+
+    Cell ids only encode the grid position; the backend and the seed
+    derivation root live in the spec.  Resuming a store with a different
+    ``backend`` or ``master_seed`` would silently present stale records as
+    results of the new configuration, so it is an error — use a fresh store
+    file (or delete the old one) when those change.
+    """
+    expected = {
+        "backend": spec.backend,
+        "graph_seed": derive_cell_seed(spec.master_seed, "graph:" + cell.column_key),
+        "algo_seed": derive_cell_seed(spec.master_seed, "algo:" + cell.cell_id),
+    }
+    for key, value in expected.items():
+        if key in record and record[key] != value:
+            raise ValueError(
+                "store record for cell {!r} was computed with {}={!r}, but this "
+                "suite expects {!r}; resume with the original spec or use a "
+                "fresh store file".format(cell.cell_id, key, record[key], value)
+            )
+
+
+def _resolve_workers(workers: Optional[int]) -> int:
+    if workers is None or workers <= 0:
+        return max(1, os.cpu_count() or 1)
+    return workers
+
+
+def run_suite(
+    spec: Union[SuiteSpec, Dict[str, Any], str],
+    store: Union[None, str, "RunStore"] = None,
+    workers: int = 1,
+) -> SuiteResult:
+    """Run every cell of a suite, resuming from ``store`` when possible.
+
+    Args:
+        spec: A :class:`SuiteSpec`, a spec dictionary, or the path of a JSON
+            spec file.
+        store: A :class:`~repro.pipeline.store.RunStore`, the path of a
+            JSON-lines store file (created or resumed), or ``None`` for a
+            fresh in-memory store.
+        workers: Pool size for the fan-out.  ``1`` runs serially in-process;
+            ``0`` or ``None`` autodetects ``os.cpu_count()``.  Cells already
+            in the store are never re-executed, whatever the pool size —
+            but a store whose records were computed under a different
+            ``backend`` or ``master_seed`` is rejected rather than served
+            stale.
+
+    Returns:
+        A :class:`SuiteResult`; ``result.records`` has one record per grid
+        cell and ``result.store`` is the (updated) store.
+    """
+    from repro.pipeline.store import RunStore
+
+    if isinstance(spec, str):
+        spec = load_spec(spec)
+    elif isinstance(spec, dict):
+        spec = SuiteSpec.from_dict(spec)
+
+    if store is None or isinstance(store, str):
+        store = RunStore(store, suite=spec.name, metadata={"spec": spec.to_dict()})
+
+    cells = spec.expand()
+    completed_before = store.completed_cells()
+    pending = []
+    for cell in cells:
+        record = completed_before.get(cell.cell_id)
+        if record is None:
+            pending.append(cell)
+        else:
+            _check_record_matches(record, cell, spec)
+    skipped = len(cells) - len(pending)
+    workers = min(_resolve_workers(workers), max(1, len(pending)))
+
+    payloads = [
+        {
+            "cell": dataclasses.asdict(cell),
+            "backend": spec.backend,
+            "master_seed": spec.master_seed,
+            "validate": spec.validate,
+        }
+        for cell in pending
+    ]
+
+    start = time.perf_counter()
+    if payloads:
+        if workers == 1:
+            for payload in payloads:
+                store.add(_execute_cell(payload))
+        else:
+            context = multiprocessing.get_context()
+            with context.Pool(processes=workers) as pool:
+                for record in pool.imap_unordered(_execute_cell, payloads):
+                    store.add(record)
+    seconds = time.perf_counter() - start
+
+    completed = store.completed_cells()
+    records = [completed[cell.cell_id] for cell in cells]
+    return SuiteResult(
+        spec=spec,
+        records=records,
+        executed=len(payloads),
+        skipped=skipped,
+        seconds=seconds,
+        store=store,
+    )

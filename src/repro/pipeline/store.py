@@ -1,0 +1,157 @@
+"""Persistent run store for suite results (append-only JSON lines).
+
+A suite run produces one **result record** per grid cell.  The store keeps
+those records in a plain JSON-lines file so that
+
+* a crashed or interrupted sweep can be **resumed** — already-completed cells
+  are skipped on the next run (the runner consults
+  :meth:`RunStore.completed_cells` before executing anything);
+* results are **archivable and diffable** — the analysis layer
+  (:func:`repro.analysis.tables.rows_from_records`,
+  :func:`repro.analysis.report.generate_report`) consumes the same records
+  that the runner streams out, instead of ad-hoc in-process dictionaries;
+* the format can **evolve** — the first line of every store is a header
+  record carrying ``schema``; opening a store written by an incompatible
+  schema version raises :class:`StoreSchemaError` instead of silently
+  misreading old data.
+
+File format (one JSON object per line)::
+
+    {"kind": "header", "schema": 1, "suite": "table1", "metadata": {...}}
+    {"kind": "result", "cell": "torus/n256/strong-log3/s0", ...}
+    {"kind": "result", "cell": "torus/n256/mpx/s0", ...}
+
+Passing ``path=None`` gives an in-memory store with the same interface —
+useful for tests and for benchmarks that do not want to touch disk.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterator, List, Optional
+
+SCHEMA_VERSION = 1
+
+
+class StoreSchemaError(ValueError):
+    """Raised when a store file's schema version is not the supported one."""
+
+
+class RunStore:
+    """Append-only store of suite result records with resume support.
+
+    Args:
+        path: JSON-lines file backing the store, or ``None`` for a purely
+            in-memory store.  An existing file is loaded (and its schema
+            validated); a missing file is created together with its header
+            on the first :meth:`add`.
+        suite: Suite name recorded in the header of a newly created store.
+        metadata: Extra header metadata for a newly created store (spec
+            parameters, hostname, ... — anything JSON-serialisable).
+    """
+
+    def __init__(
+        self,
+        path: Optional[str],
+        suite: str = "",
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.path = path
+        self.suite = suite
+        self.metadata: Dict[str, Any] = dict(metadata or {})
+        self._records: List[Dict[str, Any]] = []
+        self._completed: Dict[str, Dict[str, Any]] = {}
+        self._header_written = False
+        if path is not None and os.path.exists(path):
+            self._load(path)
+
+    def _load(self, path: str) -> None:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                kind = record.get("kind")
+                if line_number == 1 or not self._header_written:
+                    if kind != "header":
+                        raise StoreSchemaError(
+                            "store {!r} does not start with a header record".format(path)
+                        )
+                    if record.get("schema") != SCHEMA_VERSION:
+                        raise StoreSchemaError(
+                            "store {!r} has schema {!r}; this build supports {!r}".format(
+                                path, record.get("schema"), SCHEMA_VERSION
+                            )
+                        )
+                    self.suite = record.get("suite", self.suite)
+                    self.metadata = dict(record.get("metadata", {}))
+                    self._header_written = True
+                    continue
+                if kind == "result":
+                    self._remember(record)
+
+    def _remember(self, record: Dict[str, Any]) -> None:
+        self._records.append(record)
+        cell = record.get("cell")
+        if cell is not None:
+            self._completed[str(cell)] = record
+
+    def _write_line(self, record: Dict[str, Any]) -> None:
+        if self.path is None:
+            return
+        with open(self.path, "a", encoding="utf-8") as handle:
+            # Keep insertion order (no sort_keys): reloaded records then
+            # render with the same column order as freshly computed ones.
+            handle.write(json.dumps(record) + "\n")
+
+    def _ensure_header(self) -> None:
+        if self._header_written:
+            return
+        self._write_line(
+            {
+                "kind": "header",
+                "schema": SCHEMA_VERSION,
+                "suite": self.suite,
+                "metadata": self.metadata,
+            }
+        )
+        self._header_written = True
+
+    def add(self, record: Dict[str, Any]) -> Dict[str, Any]:
+        """Append one result record (a dict with at least a ``"cell"`` key).
+
+        The record is tagged ``kind="result"``, persisted immediately (so a
+        crash loses at most the in-flight cell), and indexed for
+        :meth:`completed_cells`.  Returns the stored record.
+        """
+        record = dict(record, kind="result")
+        if "cell" not in record:
+            raise ValueError("result records must carry a 'cell' id")
+        self._ensure_header()
+        self._write_line(record)
+        self._remember(record)
+        return record
+
+    def completed_cells(self) -> Dict[str, Dict[str, Any]]:
+        """Map of cell id → stored record for every completed cell."""
+        return dict(self._completed)
+
+    def __contains__(self, cell_id: str) -> bool:
+        return str(cell_id) in self._completed
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return iter(list(self._records))
+
+    def results(self) -> List[Dict[str, Any]]:
+        """All result records, in insertion (= completion) order."""
+        return list(self._records)
+
+
+def read_records(path: str) -> List[Dict[str, Any]]:
+    """Load all result records from a store file (validating the schema)."""
+    return RunStore(path).results()

@@ -58,6 +58,29 @@ class TestGenerateReport:
         assert "Live summary" in report
         assert "strong-log3" in report
 
+    def test_report_embeds_suite_run_stores(self, tmp_path):
+        import repro
+        from repro.pipeline import SuiteSpec
+
+        store_path = os.path.join(tmp_path, "suite.jsonl")
+        repro.run_suite(
+            SuiteSpec(
+                name="report-suite",
+                scenarios=("torus",),
+                sizes=(36,),
+                methods=("sequential",),
+            ),
+            store=store_path,
+        )
+        report = generate_report(
+            results_dir=str(tmp_path),
+            include_live_summary=False,
+            store_paths=[store_path],
+        )
+        assert "Suite runs" in report
+        assert "report-suite" in report
+        assert "sequential" in report
+
 
 class TestCliIntegration:
     def test_cli_report_flag(self, tmp_path, capsys):

@@ -48,3 +48,58 @@ class TestMain:
             ["--family", "tree", "--n", "31", "--method", "sequential", "--skip-validation"]
         )
         assert exit_code == 0
+
+
+class TestSuiteMode:
+    def test_suite_from_flags(self, capsys):
+        exit_code = main(
+            ["--mode", "suite", "--family", "grid", "--n", "36", "--method", "sequential"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "suite 'cli-grid'" in output
+        assert "executed 1 cell(s), 0 store hit(s)" in output
+
+    def test_suite_from_spec_file_with_store_resume(self, tmp_path, capsys):
+        import json
+        import os
+
+        spec_path = os.path.join(tmp_path, "spec.json")
+        store_path = os.path.join(tmp_path, "store.jsonl")
+        with open(spec_path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "name": "cli-spec",
+                    "scenarios": ["torus", "cycle"],
+                    "sizes": [36],
+                    "methods": ["sequential", "mpx"],
+                    "mode": "carving",
+                    "eps": [0.5],
+                },
+                handle,
+            )
+        argv = ["--mode", "suite", "--spec", spec_path, "--store", store_path]
+        assert main(argv) == 0
+        assert "executed 4 cell(s), 0 store hit(s)" in capsys.readouterr().out
+        # Second invocation resumes entirely from the store.
+        assert main(argv) == 0
+        assert "executed 0 cell(s), 4 store hit(s)" in capsys.readouterr().out
+
+    def test_suite_mode_carving_from_flags(self, capsys):
+        exit_code = main(
+            [
+                "--mode", "suite", "--suite-mode", "carving",
+                "--family", "torus", "--n", "64",
+                "--method", "sequential", "--eps", "0.25",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "carving" in output
+        assert "0.25" in output
+
+    def test_list_scenarios(self, capsys):
+        assert main(["--list-scenarios"]) == 0
+        output = capsys.readouterr().out
+        for name in ("torus", "small-world", "expander-mix"):
+            assert name in output

@@ -1,0 +1,94 @@
+"""Docs ↔ code consistency checks.
+
+The README and the docs/ tree document the public surface (method strings,
+CLI flags, file layout).  These tests pin the documentation to the code so
+the two cannot drift apart:
+
+* the README "Methods" table must list exactly ``CARVING_METHODS``;
+* every ``--flag`` mentioned in README.md / docs/*.md must exist on the CLI
+  parser built by ``build_parser()``;
+* every relative Markdown link in README.md / docs/*.md must resolve to a
+  file in the repository (this doubles as the CI docs link check).
+"""
+
+import os
+import re
+
+import pytest
+
+from repro.cli import build_parser
+from repro.core.api import CARVING_METHODS
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _doc_paths():
+    paths = [os.path.join(REPO_ROOT, "README.md")]
+    docs_dir = os.path.join(REPO_ROOT, "docs")
+    for name in sorted(os.listdir(docs_dir)):
+        if name.endswith(".md"):
+            paths.append(os.path.join(docs_dir, name))
+    return paths
+
+
+def _read(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+class TestMethodTable:
+    def test_readme_method_table_matches_carving_methods(self):
+        readme = _read(os.path.join(REPO_ROOT, "README.md"))
+        # Rows of the "## Methods" table: "| `method` | description |".
+        documented = re.findall(r"^\|\s*`([a-z0-9-]+)`\s*\|", readme, flags=re.MULTILINE)
+        assert documented, "README has no method table rows"
+        assert sorted(documented) == sorted(set(documented)), "duplicate method rows"
+        assert set(documented) == set(CARVING_METHODS), (
+            "README method table ({}) out of sync with CARVING_METHODS ({})".format(
+                sorted(documented), sorted(CARVING_METHODS)
+            )
+        )
+
+
+class TestCliFlags:
+    def test_every_documented_flag_exists_on_the_parser(self):
+        parser_flags = set()
+        for action in build_parser()._actions:
+            parser_flags.update(action.option_strings)
+
+        flag_pattern = re.compile(r"(?<![\w-])(--[a-z][a-z0-9-]+)")
+        for path in _doc_paths():
+            for flag in flag_pattern.findall(_read(path)):
+                assert flag in parser_flags, (
+                    "{} documents {!r}, which build_parser() does not define".format(
+                        os.path.relpath(path, REPO_ROOT), flag
+                    )
+                )
+
+    def test_suite_mode_is_documented_and_real(self):
+        # The pipeline docs must describe the CLI surface they ship with.
+        pipeline_md = _read(os.path.join(REPO_ROOT, "docs", "pipeline.md"))
+        for flag in ("--mode suite", "--spec", "--store", "--workers"):
+            assert flag in pipeline_md
+        args = build_parser().parse_args(["--mode", "suite"])
+        assert args.mode == "suite"
+
+
+class TestLinks:
+    def test_relative_markdown_links_resolve(self):
+        link_pattern = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+        for path in _doc_paths():
+            base = os.path.dirname(path)
+            for target in link_pattern.findall(_read(path)):
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                resolved = os.path.normpath(os.path.join(base, target.split("#")[0]))
+                assert os.path.exists(resolved), (
+                    "{} links to missing file {}".format(
+                        os.path.relpath(path, REPO_ROOT), target
+                    )
+                )
+
+    def test_docs_tree_exists(self):
+        for name in ("architecture.md", "pipeline.md"):
+            assert os.path.exists(os.path.join(REPO_ROOT, "docs", name))

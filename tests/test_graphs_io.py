@@ -57,6 +57,63 @@ class TestEdgeListRoundtrip:
         assert loaded.number_of_edges() == 2
 
 
+class TestLabelTypePreservation:
+    """Regression: int-looking *string* labels must stay strings.
+
+    Before the fix, ``write_edge_list`` wrote the string node ``"5"`` and the
+    integer node ``5`` identically, so the loader collapsed both to the
+    integer — corrupting graphs whose labels are numeric strings (common in
+    external edge-list datasets) and breaking uid association.
+    """
+
+    def test_numeric_string_labels_round_trip_as_strings(self, tmp_path):
+        graph = nx.Graph()
+        graph.add_edge("5", "alpha")
+        graph.add_edge("alpha", 7)
+        graph.nodes["5"]["uid"] = 0
+        graph.nodes["alpha"]["uid"] = 1
+        graph.nodes[7]["uid"] = 2
+        path = os.path.join(tmp_path, "typed.edges")
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path)
+        assert set(loaded.nodes()) == {"5", "alpha", 7}
+        assert loaded.nodes["5"]["uid"] == 0
+        assert loaded.nodes[7]["uid"] == 2
+
+    def test_mixed_int_and_string_twin_labels_stay_distinct(self, tmp_path):
+        graph = nx.Graph()
+        graph.add_edge(5, "5")  # int 5 and string "5" are different nodes
+        path = os.path.join(tmp_path, "twins.edges")
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path)
+        assert loaded.number_of_nodes() == 2
+        assert loaded.has_edge(5, "5")
+
+    def test_plain_string_labels_stay_unquoted_and_readable(self, tmp_path):
+        graph = nx.Graph()
+        graph.add_edge("a", "b")
+        path = os.path.join(tmp_path, "plain.edges")
+        write_edge_list(graph, path)
+        with open(path, "r", encoding="utf-8") as handle:
+            assert "a b" in handle.read()
+        assert set(read_edge_list(path).nodes()) == {"a", "b"}
+
+    def test_whitespace_labels_rejected_instead_of_corrupting(self, tmp_path):
+        graph = nx.Graph()
+        graph.add_edge("two words", "b")
+        with pytest.raises(ValueError):
+            write_edge_list(graph, os.path.join(tmp_path, "bad.edges"))
+
+    def test_hash_prefixed_labels_round_trip_instead_of_parsing_as_comments(self, tmp_path):
+        graph = nx.Graph()
+        graph.add_edge("#v1", "b")
+        path = os.path.join(tmp_path, "hash.edges")
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path)
+        assert set(loaded.nodes()) == {"#v1", "b"}
+        assert loaded.has_edge("#v1", "b")
+
+
 class TestClusteringSerialisation:
     def test_carving_roundtrip(self, tmp_path, small_grid):
         carving = repro.carve(small_grid, 0.5, method="sequential")

@@ -31,6 +31,7 @@ class TestPackageSurface:
             "repro.baselines",
             "repro.applications",
             "repro.analysis",
+            "repro.pipeline",
         ):
             module = importlib.import_module(module_name)
             for name in getattr(module, "__all__", []):

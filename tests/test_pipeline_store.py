@@ -1,0 +1,121 @@
+"""Unit tests for the persistent run store (repro.pipeline.store)."""
+
+import json
+import os
+
+import pytest
+
+import repro
+from repro.pipeline import SCHEMA_VERSION, RunStore, StoreSchemaError, SuiteSpec, read_records
+
+
+def _record(cell_id, rounds=1):
+    return {"cell": cell_id, "metrics": {"rounds": rounds}}
+
+
+class TestRunStore:
+    def test_records_persist_and_reload(self, tmp_path):
+        path = os.path.join(tmp_path, "store.jsonl")
+        store = RunStore(path, suite="demo", metadata={"host": "test"})
+        store.add(_record("a", rounds=3))
+        store.add(_record("b", rounds=5))
+
+        reloaded = RunStore(path)
+        assert reloaded.suite == "demo"
+        assert reloaded.metadata == {"host": "test"}
+        assert len(reloaded) == 2
+        assert "a" in reloaded and "b" in reloaded
+        assert reloaded.completed_cells()["a"]["metrics"]["rounds"] == 3
+
+    def test_file_is_json_lines_with_header_first(self, tmp_path):
+        path = os.path.join(tmp_path, "store.jsonl")
+        store = RunStore(path, suite="demo")
+        store.add(_record("a"))
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = [json.loads(line) for line in handle if line.strip()]
+        assert lines[0]["kind"] == "header"
+        assert lines[0]["schema"] == SCHEMA_VERSION
+        assert lines[1]["kind"] == "result"
+
+    def test_schema_version_rejection(self, tmp_path):
+        path = os.path.join(tmp_path, "old.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"kind": "header", "schema": SCHEMA_VERSION + 1}) + "\n")
+            handle.write(json.dumps({"kind": "result", "cell": "a"}) + "\n")
+        with pytest.raises(StoreSchemaError):
+            RunStore(path)
+        with pytest.raises(StoreSchemaError):
+            read_records(path)
+
+    def test_headerless_file_rejected(self, tmp_path):
+        path = os.path.join(tmp_path, "bare.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"kind": "result", "cell": "a"}) + "\n")
+        with pytest.raises(StoreSchemaError):
+            RunStore(path)
+
+    def test_record_without_cell_rejected(self):
+        with pytest.raises(ValueError):
+            RunStore(None).add({"metrics": {}})
+
+    def test_in_memory_store(self):
+        store = RunStore(None, suite="mem")
+        store.add(_record("x"))
+        assert store.path is None
+        assert "x" in store and len(store.results()) == 1
+
+
+class TestResume:
+    _SPEC = dict(
+        name="resume-test",
+        scenarios=("torus",),
+        sizes=(64,),
+        methods=("sequential", "mpx"),
+        mode="decomposition",
+        seeds=(0, 1),
+    )
+
+    def test_resume_after_partial_run_skips_completed_cells(self, tmp_path):
+        spec = SuiteSpec(**self._SPEC)
+        path = os.path.join(tmp_path, "partial.jsonl")
+
+        # Simulate an interrupted sweep: run everything, then truncate the
+        # store file down to the header + the first two result lines.
+        repro.run_suite(spec, store=path)
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        assert len(lines) == 1 + 4
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.writelines(lines[:3])
+
+        partial = RunStore(path)
+        assert len(partial) == 2
+
+        result = repro.run_suite(spec, store=path)
+        assert result.skipped == 2
+        assert result.executed == 2
+        assert len(result.records) == 4
+        # The store now holds the full grid again.
+        assert len(RunStore(path)) == 4
+
+    def test_resume_rejects_stale_records_from_other_configurations(self, tmp_path):
+        """A store hit must match backend and master_seed, not just cell id."""
+        path = os.path.join(tmp_path, "cfg.jsonl")
+        repro.run_suite(SuiteSpec(**self._SPEC), store=path)
+        with pytest.raises(ValueError, match="backend"):
+            repro.run_suite(SuiteSpec(backend="nx", **self._SPEC), store=path)
+        with pytest.raises(ValueError, match="seed"):
+            repro.run_suite(SuiteSpec(master_seed=99, **self._SPEC), store=path)
+
+    def test_completed_suite_reruns_with_zero_recomputation(self, tmp_path):
+        spec = SuiteSpec(**self._SPEC)
+        path = os.path.join(tmp_path, "full.jsonl")
+        first = repro.run_suite(spec, store=path)
+        assert first.executed == 4
+
+        rerun = repro.run_suite(spec, store=path)
+        assert rerun.executed == 0
+        assert rerun.skipped == 4
+        # Records are byte-identical to the first run's (served from disk).
+        key = lambda record: record["cell"]
+        assert sorted(first.records, key=key) == sorted(rerun.records, key=key)
