@@ -3,11 +3,14 @@
 Measures the batched experiment pipeline (:func:`repro.run_suite`) on a
 24-cell ``scenario x n x method`` grid:
 
-1. **serial** — ``workers=1``, fresh store: the baseline one-cell-at-a-time
-   sweep every hand-rolled benchmark script used to be;
-2. **parallel** — ``workers=min(4, cpu_count)``, fresh store: the
-   ``multiprocessing`` fan-out;
-3. **rerun** — same store as the parallel run: every cell must be a store
+1. **serial** — ``workers=1``, per-cell rebuilds, fresh store: the baseline
+   one-cell-at-a-time sweep every hand-rolled benchmark script used to be;
+2. **parallel** — ``workers=min(4, cpu_count)``, per-cell rebuilds, fresh
+   store: the plain ``multiprocessing`` fan-out;
+3. **parallel+arena** — same pool with ``shared_graphs=on``: one topology
+   build per grid column, published through the zero-copy shared-memory
+   arena (see ``bench_arena_speedup.py`` for the dedicated experiment);
+4. **rerun** — same store as the parallel run: every cell must be a store
    hit, i.e. a completed suite re-runs with **zero recomputation**.
 
 Acceptance targets (ISSUE 2): parallel fan-out >= 2x faster than serial on a
@@ -15,7 +18,8 @@ Acceptance targets (ISSUE 2): parallel fan-out >= 2x faster than serial on a
 actual cores — process pools cannot beat serial on a single-CPU box — so the
 parallel assertion scales with the CPUs the runner actually has (asserted at
 >= 2x with 4+ CPUs, >= 1.2x with 2–3, recorded but not asserted on 1); the
-store-hit target is asserted unconditionally.
+store-hit target is asserted unconditionally, as is the arena leg's
+one-build-per-column accounting (ISSUE 3).
 
 Run with ``pytest benchmarks/bench_pipeline_throughput.py -s`` or directly
 with ``python benchmarks/bench_pipeline_throughput.py``.
@@ -45,19 +49,24 @@ GRID = SuiteSpec(
 )  # 3 scenarios x 2 sizes x 4 methods = 24 cells
 
 
-def _timed_run(workers, store_path):
+def _timed_run(workers, store_path, shared_graphs="off"):
     start = time.perf_counter()
-    result = repro.run_suite(GRID, store=store_path, workers=workers)
+    result = repro.run_suite(
+        GRID, store=store_path, workers=workers, shared_graphs=shared_graphs
+    )
     return time.perf_counter() - start, result
 
 
 def throughput_rows():
-    """Serial / parallel / rerun timings of the 24-cell grid, as table rows."""
+    """Serial / parallel / arena / rerun timings of the 24-cell grid."""
     cells = len(GRID.expand())
     with tempfile.TemporaryDirectory() as tmp:
         serial_seconds, serial = _timed_run(1, os.path.join(tmp, "serial.jsonl"))
         store_path = os.path.join(tmp, "parallel.jsonl")
         parallel_seconds, parallel = _timed_run(PARALLEL_WORKERS, store_path)
+        arena_seconds, arena = _timed_run(
+            PARALLEL_WORKERS, os.path.join(tmp, "arena.jsonl"), shared_graphs="on"
+        )
         rerun_seconds, rerun = _timed_run(PARALLEL_WORKERS, store_path)
 
     def row(label, workers, seconds, result):
@@ -67,6 +76,7 @@ def throughput_rows():
             "cells": cells,
             "executed": result.executed,
             "store hits": result.skipped,
+            "graph builds": result.arena.get("graph_builds", result.executed),
             "seconds": round(seconds, 3),
             "speedup": round(serial_seconds / seconds, 2) if seconds > 0 else float("inf"),
         }
@@ -74,6 +84,7 @@ def throughput_rows():
     return [
         row("serial", 1, serial_seconds, serial),
         row("parallel", PARALLEL_WORKERS, parallel_seconds, parallel),
+        row("parallel+arena", PARALLEL_WORKERS, arena_seconds, arena),
         row("rerun (warm store)", PARALLEL_WORKERS, rerun_seconds, rerun),
     ]
 
@@ -83,6 +94,7 @@ def _check(rows):
     by_run = {row["run"]: row for row in rows}
     serial, parallel = by_run["serial"], by_run["parallel"]
     rerun = by_run["rerun (warm store)"]
+    arena = by_run["parallel+arena"]
 
     assert serial["cells"] >= 24
     assert serial["executed"] == serial["cells"]
@@ -91,6 +103,10 @@ def _check(rows):
     assert rerun["executed"] == 0
     assert rerun["store hits"] == rerun["cells"]
     assert rerun["seconds"] < serial["seconds"]
+    # The arena leg executes everything too, but builds each of the grid's
+    # topologies exactly once (24 cells over 6 scenario x size columns).
+    assert arena["executed"] == arena["cells"]
+    assert arena["graph builds"] == 6
 
     cpus = os.cpu_count() or 1
     if cpus >= 4:
@@ -113,7 +129,7 @@ def test_pipeline_throughput():
     emit_table(
         "pipeline_throughput",
         rows,
-        "Pipeline throughput — 24-cell grid, serial vs parallel vs warm rerun "
+        "Pipeline throughput — 24-cell grid, serial vs parallel vs arena vs warm rerun "
         "(cpus={})".format(os.cpu_count() or 1),
     )
     ok, message = _check(rows)
@@ -126,7 +142,7 @@ def main() -> int:
     emit_table(
         "pipeline_throughput",
         rows,
-        "Pipeline throughput — 24-cell grid, serial vs parallel vs warm rerun "
+        "Pipeline throughput — 24-cell grid, serial vs parallel vs arena vs warm rerun "
         "(cpus={})".format(os.cpu_count() or 1),
     )
     ok, message = _check(rows)

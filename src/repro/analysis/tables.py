@@ -81,7 +81,11 @@ def rows_from_records(
             given, a leading ``"algorithm"`` column is added.
 
     Returns:
-        One flat row dictionary per record.
+        One flat row dictionary per record.  Schema-2 records additionally
+        get ``build_s`` (generator/attach + CSR freeze) and ``algo_s``
+        columns from their ``timings`` breakdown, so build-vs-algorithm
+        attribution renders next to the metrics (older records simply lack
+        the columns).
     """
     rows: List[Dict[str, Any]] = []
     for record in records:
@@ -97,5 +101,11 @@ def rows_from_records(
             row.setdefault(key, value)
         if "seconds" in record:
             row["seconds"] = record["seconds"]
+        timings = record.get("timings")
+        if isinstance(timings, dict):
+            row["build_s"] = round(
+                timings.get("graph_build_s", 0.0) + timings.get("freeze_s", 0.0), 6
+            )
+            row["algo_s"] = timings.get("algo_s", 0.0)
         rows.append(row)
     return rows

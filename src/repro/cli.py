@@ -10,6 +10,9 @@ the reproduction's headline numbers without writing any code.
 ``docs/pipeline.md``) or from the single-run flags (``--suite-mode`` picks
 decomposition or carving for the flag-built grid), optionally fanned out
 over ``--workers`` processes and resumed from / persisted to ``--store``.
+``--shared-graphs`` controls the column-batched shared-graph arena (one
+topology build per grid column, zero-copy shared-memory segments in pool
+runs) and ``--arena-mb`` bounds the live segment budget.
 """
 
 from __future__ import annotations
@@ -126,6 +129,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="suite mode: process-pool size (1 = serial, 0 = one per CPU)",
     )
     parser.add_argument(
+        "--shared-graphs",
+        choices=("on", "off", "auto"),
+        default="auto",
+        help=(
+            "suite mode: share one topology build per grid column — "
+            "in-process when serial, via zero-copy shared-memory CSR "
+            "segments when pooled ('auto' falls back to per-cell rebuilds "
+            "where shared memory is unavailable; results are identical "
+            "either way)"
+        ),
+    )
+    parser.add_argument(
+        "--arena-mb",
+        type=int,
+        default=256,
+        help=(
+            "suite mode: budget in MiB for live shared-memory graph "
+            "segments (columns beyond it wait for earlier ones to finish)"
+        ),
+    )
+    parser.add_argument(
         "--list-scenarios",
         action="store_true",
         help="print the registered workload scenarios and exit",
@@ -153,18 +177,31 @@ def _run_suite_mode(args) -> int:
             backend=args.backend,
             validate=not args.skip_validation,
         )
-    result = repro.run_suite(spec, store=args.store, workers=args.workers)
+    result = repro.run_suite(
+        spec,
+        store=args.store,
+        workers=args.workers,
+        shared_graphs=args.shared_graphs,
+        arena_mb=args.arena_mb,
+    )
     print(
         format_table(
             rows_from_records(result.records),
             title="suite {!r} — {} cells".format(spec.name, len(result.records)),
         )
     )
+    arena = result.arena or {}
+    sharing = ""
+    if arena.get("shared_graphs"):
+        sharing = ", {} column(s) / {} build(s) [{}]".format(
+            arena.get("columns", 0), arena.get("graph_builds", 0), arena.get("mode")
+        )
     print(
-        "executed {} cell(s), {} store hit(s), {:.2f}s{}".format(
+        "executed {} cell(s), {} store hit(s), {:.2f}s{}{}".format(
             result.executed,
             result.skipped,
             result.seconds,
+            sharing,
             " — store: {}".format(args.store) if args.store else "",
         )
     )

@@ -105,8 +105,11 @@ def carve(
         A :class:`~repro.clustering.carving.BallCarving`.
     """
     rng = random.Random(seed if seed is not None else 0)
-    # One full (n, m) staleness check per API call: callers who mutated the
-    # graph's edges in place since the last call get a fresh CSR index.
+    # One staleness check per API call: callers who mutated the graph in
+    # place since the last call get a fresh CSR index.  Exception: hosts
+    # rebuilt by CSRGraph.to_networkx carry a frozen index whose check is
+    # O(1) counts only — they are immutable by contract (mutating one
+    # requires invalidate_csr_cache first; see CSRGraph.to_networkx).
     refresh_csr_cache(graph)
     with use_backend(backend):
         if method == "strong-log3":
@@ -171,15 +174,29 @@ def decompose(
     )
 
 
-def run_suite(spec, store=None, workers: int = 1):
+def run_suite(
+    spec,
+    store=None,
+    workers: int = 1,
+    shared_graphs="auto",
+    arena_mb: int = 256,
+    start_method: Optional[str] = None,
+):
     """Run a whole experiment grid (the batched form of carve/decompose).
 
     Expands ``spec`` — a ``(scenario x n x method x eps x seed)`` grid — into
     cells, skips every cell already present in ``store`` (resume), and runs
-    the rest serially or over a ``multiprocessing`` pool.  Each cell builds
-    its workload graph from the scenario registry, runs :func:`carve` or
-    :func:`decompose` on the spec's ``backend``, and streams a result record
-    (grid parameters + measured metrics + wall time) into the store.
+    the rest serially or over a ``multiprocessing`` pool.  Each cell runs
+    :func:`carve` or :func:`decompose` on the spec's ``backend`` and streams
+    a result record (grid parameters + measured metrics + a
+    ``timings`` wall-time breakdown) into the store.
+
+    Scheduling is **column-batched**: cells sharing a topology column are
+    executed against one graph build.  With ``shared_graphs`` enabled (the
+    default) the build happens exactly once per column — in-process for
+    serial runs, published as a zero-copy shared-memory segment
+    (:mod:`repro.pipeline.arena`) for pool runs — instead of once per cell.
+    Records are identical either way; only the timings move.
 
     Seeds are derived per cell from ``spec.master_seed``: the *graph* seed
     depends only on ``(scenario, n, seed index)`` so method columns compare
@@ -194,12 +211,25 @@ def run_suite(spec, store=None, workers: int = 1):
             fresh in-memory store.
         workers: Fan-out pool size; ``1`` is serial, ``0``/``None``
             autodetects the CPU count.
+        shared_graphs: ``"auto"`` (default) / ``"on"`` / ``"off"`` — share
+            one topology build per grid column; ``"auto"`` falls back to
+            per-cell rebuilds where ``multiprocessing.shared_memory`` is
+            unusable, ``"on"`` raises there instead.
+        arena_mb: Budget (MiB) for live shared-memory segments in pool mode.
+        start_method: Optional multiprocessing start method for the pool.
 
     Returns:
         A :class:`repro.pipeline.SuiteResult` (records, executed/skipped
-        counts, wall time, the store).
+        counts, wall time, the store, and the ``arena`` scheduling summary).
     """
     # Imported lazily so `import repro` does not pay for multiprocessing.
     from repro.pipeline.runner import run_suite as _run_suite
 
-    return _run_suite(spec, store=store, workers=workers)
+    return _run_suite(
+        spec,
+        store=store,
+        workers=workers,
+        shared_graphs=shared_graphs,
+        arena_mb=arena_mb,
+        start_method=start_method,
+    )

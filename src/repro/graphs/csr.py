@@ -42,6 +42,7 @@ mutation needs to call :func:`invalidate_csr_cache` itself.
 
 from __future__ import annotations
 
+import json
 import weakref
 from array import array
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
@@ -182,17 +183,30 @@ def refresh_csr_cache(graph: nx.Graph) -> None:
     every cache hit (the carving recursion hits the cache once per piece);
     the public API entry points call this once per invocation, where
     O(n + m) is negligible against the algorithms' own cost.
+
+    Exception: a ``frozen`` index (arena reattach via
+    :meth:`CSRGraph.from_buffers` → :meth:`CSRGraph.to_networkx`) keeps the
+    count guards but skips the fingerprint — its host graph is owned by the
+    suite worker and treated as immutable; see the contract on
+    :meth:`CSRGraph.to_networkx`.
     """
     root = resolve_root(graph)
     entry = _CACHE.get(root)
     if entry is None:
         return
     csr = entry[1]
-    if (
-        csr.n != root.number_of_nodes()
-        or csr.built_edges != root.number_of_edges()
-        or csr.fingerprint != _graph_fingerprint(root)
-    ):
+    if csr.n != root.number_of_nodes() or csr.built_edges != root.number_of_edges():
+        del _CACHE[root]
+        return
+    if csr.frozen:
+        # Arena-reattached indexes (CSRGraph.from_buffers → to_networkx) are
+        # treated as immutable: skipping the O(n + m) fingerprint here is
+        # what makes a shared column's per-cell refresh O(1) instead of a
+        # full graph walk.  The count guards above still apply; a caller
+        # that rewires such a host graph count-preservingly must call
+        # invalidate_csr_cache first (see CSRGraph.to_networkx).
+        return
+    if csr.fingerprint != _graph_fingerprint(root):
         del _CACHE[root]
 
 
@@ -222,6 +236,7 @@ class CSRGraph:
         "uids",
         "built_edges",
         "fingerprint",
+        "frozen",
         "_ones_scratch",
         "_zeros_scratch",
         "_ones_busy",
@@ -249,6 +264,10 @@ class CSRGraph:
         # CSR rows store once).
         self.built_edges = self.m
         self.fingerprint = 0
+        # Arena graphs (CSRGraph.from_buffers) are immutable by construction:
+        # their host graph is rebuilt from the frozen arrays, so the O(n + m)
+        # staleness fingerprint of refresh_csr_cache can be skipped for them.
+        self.frozen = False
         self._ones_scratch = bytearray(b"\x01") * self.n
         self._zeros_scratch = bytearray(self.n)
         self._ones_busy = False
@@ -302,6 +321,100 @@ class CSRGraph:
             indices.extend(row)
             indptr.append(len(indices))
         return cls(nodes, uids, indptr, indices)
+
+    # ------------------------------------------------------------------ #
+    # Flat-buffer (de)serialisation — the shared-memory arena transport
+    # ------------------------------------------------------------------ #
+    def to_buffers(self) -> Dict[str, bytes]:
+        """Serialise the frozen index into three raw byte buffers.
+
+        Returns ``{"indptr": ..., "indices": ..., "meta": ...}``: the two
+        int32 adjacency arrays as native-endian bytes, plus a compact JSON
+        label table (node labels, uids, the recorded networkx edge count).
+        The buffers are what :class:`repro.pipeline.arena.CSRArena` copies
+        into a ``multiprocessing.shared_memory`` segment; workers reattach
+        them zero-copy with :meth:`from_buffers`.
+
+        Labels and uids must survive a JSON round trip with their types
+        intact, so only ``int`` and ``str`` are accepted (every generator in
+        the scenario registry uses integer labels and uids).  Anything else
+        raises :class:`CSRUnsupported` and the caller falls back to
+        per-worker rebuilds.
+        """
+        for label in self.nodes:
+            if not isinstance(label, (int, str)) or isinstance(label, bool):
+                raise CSRUnsupported(
+                    "node label {!r} is not arena-serialisable (int/str only)".format(label)
+                )
+        for uid in self.uids:
+            if not isinstance(uid, (int, str)) or isinstance(uid, bool):
+                raise CSRUnsupported(
+                    "uid {!r} is not arena-serialisable (int/str only)".format(uid)
+                )
+        meta = {"nodes": self.nodes, "uids": self.uids, "built_edges": self.built_edges}
+        indptr = self.indptr
+        indices = self.indices
+        return {
+            "indptr": indptr.tobytes(),
+            "indices": indices.tobytes(),
+            "meta": json.dumps(meta, separators=(",", ":")).encode("utf-8"),
+        }
+
+    @classmethod
+    def from_buffers(cls, indptr_buf: Any, indices_buf: Any, meta_buf: Any) -> "CSRGraph":
+        """Reattach an index serialised by :meth:`to_buffers` — zero-copy.
+
+        ``indptr_buf`` / ``indices_buf`` are wrapped as int32 memoryviews of
+        the underlying buffer (no copy: handing in slices of a shared-memory
+        segment makes the adjacency arrays point straight into the segment);
+        only the O(n) label table is materialised as Python objects.  The
+        result carries ``frozen=True`` so :func:`refresh_csr_cache` skips the
+        O(n + m) staleness fingerprint for it.
+        """
+        meta = json.loads(bytes(meta_buf).decode("utf-8"))
+        indptr = memoryview(indptr_buf).cast("i")
+        indices = memoryview(indices_buf).cast("i")
+        csr = cls(meta["nodes"], meta["uids"], indptr, indices)
+        csr.built_edges = int(meta["built_edges"])
+        csr.frozen = True
+        return csr
+
+    def to_networkx(self, register_cache: bool = True) -> nx.Graph:
+        """Materialise the host :class:`networkx.Graph` this index describes.
+
+        Rebuilds nodes (with their ``"uid"`` attributes) and edges from the
+        flat arrays — no generator run, no row sorting, no fingerprint.  With
+        ``register_cache=True`` the new graph is entered into the CSR cache
+        pointing at *this* index, so the first ``carve``/``decompose`` on it
+        finds a ready-frozen index instead of paying a fresh freeze.
+
+        **Immutability contract:** when this index is ``frozen`` (arena
+        reattach) and the cache is seeded, :func:`refresh_csr_cache` skips
+        its O(n + m) staleness fingerprint for the returned graph — the
+        cheap node/edge-*count* guards remain, but a count-preserving
+        in-place rewire would go unnoticed.  The suite workers (the intended
+        consumers) never mutate the host; code that does must call
+        :func:`invalidate_csr_cache` on the graph first, or pass
+        ``register_cache=False`` and pay the ordinary freeze.
+        """
+        graph = nx.Graph()
+        nodes = self.nodes
+        graph.add_nodes_from(
+            (node, {"uid": uid}) for node, uid in zip(nodes, self.uids)
+        )
+        indptr, indices = self.indptr, self.indices
+        graph.add_edges_from(
+            (nodes[i], nodes[j])
+            for i in range(self.n)
+            for j in indices[indptr[i] : indptr[i + 1]]
+            if i < j
+        )
+        if register_cache:
+            try:
+                _CACHE[graph] = (self.n, self)
+            except TypeError:  # pragma: no cover - unhashable graph subclass
+                pass
+        return graph
 
     # ------------------------------------------------------------------ #
     # Masks (index space)

@@ -5,14 +5,20 @@ This subpackage turns the reproduction's experiments into data:
 * :mod:`repro.pipeline.scenarios` — named workload families
   (:func:`register_scenario`, :func:`get_scenario`, :func:`list_scenarios`);
 * :mod:`repro.pipeline.runner` — :class:`SuiteSpec` grids expanded into
-  cells and fanned out over a ``multiprocessing`` pool
-  (:func:`run_suite`), with deterministic per-cell seed derivation;
+  cells, scheduled **column-batched** (one topology build per grid column)
+  and fanned out over a ``multiprocessing`` pool (:func:`run_suite`), with
+  deterministic per-cell seed derivation;
+* :mod:`repro.pipeline.arena` — the zero-copy shared-memory
+  :class:`CSRArena` that publishes each column's frozen CSR graph once and
+  lets pool workers reattach it without rebuilds or pickled adjacency;
 * :mod:`repro.pipeline.store` — the persistent JSON-lines
-  :class:`RunStore` with schema versioning and resume-after-partial-run.
+  :class:`RunStore` with schema versioning, fsynced appends and
+  resume-after-partial-run.
 
 See ``docs/pipeline.md`` for the suite spec format and a worked example.
 """
 
+from repro.pipeline.arena import CSRArena, SegmentDescriptor, shared_memory_available
 from repro.pipeline.runner import (
     Cell,
     SuiteResult,
@@ -32,6 +38,9 @@ from repro.pipeline.store import SCHEMA_VERSION, RunStore, StoreSchemaError, rea
 
 __all__ = [
     "Cell",
+    "CSRArena",
+    "SegmentDescriptor",
+    "shared_memory_available",
     "SuiteResult",
     "SuiteSpec",
     "derive_cell_seed",

@@ -1,0 +1,304 @@
+"""Zero-copy shared-memory arena for frozen CSR graphs.
+
+The suite runner's grid deliberately reuses one topology across every
+method/eps cell of a *column* (that is what makes the paper's table columns
+comparable), yet a naive ``multiprocessing`` fan-out makes every worker
+re-derive the graph per cell: generator + CSR freeze dominate wall time for
+cheap methods.  The arena removes that redundancy:
+
+* the parent builds and freezes each column's topology **exactly once**,
+  serialises the :class:`~repro.graphs.csr.CSRGraph` with
+  :meth:`~repro.graphs.csr.CSRGraph.to_buffers`, and publishes the three raw
+  buffers (int32 ``indptr``/``indices`` + JSON label table) into **one**
+  ``multiprocessing.shared_memory`` segment per column;
+* workers *reattach* the segment by name —
+  :meth:`~repro.graphs.csr.CSRGraph.from_buffers` wraps the adjacency arrays
+  as memoryviews pointing straight into the segment (zero-copy, no pickled
+  adjacency), materialises the small host ``networkx`` graph from them, and
+  seeds the CSR cache so no per-worker freeze (row sorting, fingerprint)
+  ever happens;
+* the parent bounds live segments with an LRU byte budget
+  (``arena_mb``) and guarantees ``close``/``unlink`` of every segment on
+  success, failure and ``KeyboardInterrupt``.
+
+Segment layout (one per column)::
+
+    [ indptr bytes | indices bytes | meta JSON bytes ]
+
+with the three lengths carried out-of-band in the picklable
+:class:`SegmentDescriptor` that rides along in each cell payload.
+
+Platform notes: POSIX shared memory (``/dev/shm``) and Windows named maps
+are both supported by :mod:`multiprocessing.shared_memory`; the runner
+probes availability once (:func:`shared_memory_available`) and falls back to
+per-cell rebuilds where the module is missing or the mount is unusable.
+Pool workers share the parent's ``resource_tracker`` process, so attaching
+by name inside a worker is lifetime-neutral: only the parent's
+:class:`CSRArena` ever unlinks a segment (and the shared tracker still
+reclaims everything if the whole family dies).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.graphs.csr import CSRGraph
+
+try:  # pragma: no cover - import guard exercised only on exotic platforms
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+DEFAULT_ARENA_MB = 256
+
+# How many attached columns a worker keeps open: enough for the common case
+# of a worker draining one column while the next is already being dispatched.
+_WORKER_CACHE_COLUMNS = 2
+
+
+class ArenaUnavailable(RuntimeError):
+    """Raised when shared-memory segments cannot be used on this platform."""
+
+
+@dataclasses.dataclass(frozen=True)
+class SegmentDescriptor:
+    """Picklable handle to one published column segment.
+
+    Attributes:
+        name: Kernel-level segment name (attach with
+            ``SharedMemory(name=...)``).
+        column_key: The grid column the segment holds (diagnostics only).
+        indptr_len: Byte length of the indptr section.
+        indices_len: Byte length of the indices section.
+        meta_len: Byte length of the JSON label-table section.
+    """
+
+    name: str
+    column_key: str
+    indptr_len: int
+    indices_len: int
+    meta_len: int
+
+    @property
+    def total_len(self) -> int:
+        return self.indptr_len + self.indices_len + self.meta_len
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SegmentDescriptor":
+        return cls(**payload)
+
+
+def shared_memory_available() -> bool:
+    """Probe whether shared-memory segments actually work here.
+
+    Creates (and immediately unlinks) a tiny segment: catches missing
+    modules, unwritable ``/dev/shm`` mounts and seccomp-style denials in one
+    place.  The runner's ``shared_graphs="auto"`` resolves through this.
+    """
+    if _shared_memory is None:
+        return False
+    try:
+        probe = _shared_memory.SharedMemory(create=True, size=16)
+    except (OSError, ValueError):
+        return False
+    try:
+        probe.close()
+        probe.unlink()
+    except OSError:  # pragma: no cover - cleanup best-effort
+        pass
+    return True
+
+
+def _attach_existing(name: str):
+    """Attach an existing segment by name (worker side).
+
+    Pool workers — fork and spawn alike — inherit the parent's
+    ``resource_tracker`` process, so the attach-side ``register`` that
+    Python < 3.13 performs is an idempotent set-add on the *shared* tracker:
+    it neither double-unlinks nor leaks.  Explicitly unregistering here (the
+    workaround needed for *unrelated* attaching processes, bpo-39959) would
+    be wrong in a pool: it strips the parent's crash protection for the
+    segment.  Attach plainly and leave lifetime to the parent's
+    :class:`CSRArena`.
+    """
+    return _shared_memory.SharedMemory(name=name)
+
+
+class CSRArena:
+    """Parent-side registry of published column segments with a byte budget.
+
+    The budget is a *scheduling window*, not a hard allocator limit: the
+    runner asks :meth:`fits` before publishing the next column and defers
+    dispatch until enough earlier columns have been released — but a single
+    column larger than the whole budget is still published (otherwise it
+    could never run).  Segments are unlinked eagerly on :meth:`release`
+    (a completed column is never reattached) and unconditionally on
+    :meth:`close`, which the runner calls in a ``finally`` block so success,
+    failure and ``KeyboardInterrupt`` all clean up.
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_ARENA_MB * 1024 * 1024) -> None:
+        if _shared_memory is None:
+            raise ArenaUnavailable("multiprocessing.shared_memory is not importable")
+        self.max_bytes = max(1, int(max_bytes))
+        self._segments: "OrderedDict[str, Any]" = OrderedDict()
+        self._descriptors: Dict[str, SegmentDescriptor] = {}
+        self.live_bytes = 0
+        self.published_count = 0
+        self.published_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def fits(self, extra_bytes: int) -> bool:
+        """Whether another ``extra_bytes`` segment fits the budget window.
+
+        Always true when the arena is empty: a column larger than the whole
+        budget must still be runnable, just with no neighbours.
+        """
+        if not self._segments:
+            return True
+        return self.live_bytes + int(extra_bytes) <= self.max_bytes
+
+    def publish(self, column_key: str, source) -> SegmentDescriptor:
+        """Copy a frozen index into a fresh segment; returns its descriptor.
+
+        ``source`` is a :class:`~repro.graphs.csr.CSRGraph` or the buffer
+        dict its ``to_buffers()`` returns — the runner serialises up front
+        so its budget check sees the real byte size (label tables included).
+        Raises :class:`repro.graphs.csr.CSRUnsupported` when the graph's
+        labels cannot ride the arena (the caller falls back to per-cell
+        rebuilds for that column) and :class:`ArenaUnavailable` when the
+        kernel refuses the allocation.
+        """
+        if column_key in self._segments:
+            raise ValueError("column {!r} is already published".format(column_key))
+        buffers = source.to_buffers() if isinstance(source, CSRGraph) else source
+        lengths = (len(buffers["indptr"]), len(buffers["indices"]), len(buffers["meta"]))
+        total = sum(lengths) or 1
+        try:
+            segment = _shared_memory.SharedMemory(create=True, size=total)
+        except OSError as error:
+            raise ArenaUnavailable(
+                "cannot allocate a {} byte shared-memory segment: {}".format(total, error)
+            ) from error
+        offset = 0
+        for section in ("indptr", "indices", "meta"):
+            data = buffers[section]
+            segment.buf[offset : offset + len(data)] = data
+            offset += len(data)
+        descriptor = SegmentDescriptor(
+            name=segment.name,
+            column_key=column_key,
+            indptr_len=lengths[0],
+            indices_len=lengths[1],
+            meta_len=lengths[2],
+        )
+        self._segments[column_key] = segment
+        self._descriptors[column_key] = descriptor
+        self.live_bytes += total
+        self.published_count += 1
+        self.published_bytes += total
+        return descriptor
+
+    def release(self, column_key: str) -> None:
+        """Close and unlink one column's segment (idempotent)."""
+        segment = self._segments.pop(column_key, None)
+        descriptor = self._descriptors.pop(column_key, None)
+        if segment is None:
+            return
+        self.live_bytes -= descriptor.total_len if descriptor else 0
+        for operation in (segment.close, segment.unlink):
+            try:
+                operation()
+            except (OSError, FileNotFoundError):  # pragma: no cover - best effort
+                pass
+
+    def close(self) -> None:
+        """Release every remaining segment (safe to call repeatedly)."""
+        for column_key in list(self._segments):
+            self.release(column_key)
+
+    def __enter__(self) -> "CSRArena":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class AttachedColumn:
+    """Worker-side view of one published column: segment + graph + index.
+
+    Owns the attached :class:`SharedMemory` handle and every memoryview
+    carved out of it; :meth:`close` releases the views *before* closing the
+    segment (closing with exported views raises ``BufferError``).  The CSR
+    adjacency arrays point straight into the segment — only the O(n) label
+    table and the host ``networkx`` graph are worker-local objects.
+    """
+
+    def __init__(self, descriptor: SegmentDescriptor) -> None:
+        self.descriptor = descriptor
+        self.segment = _attach_existing(descriptor.name)
+        self._views: List[Any] = []
+        buf = self.segment.buf
+        a = descriptor.indptr_len
+        b = a + descriptor.indices_len
+        c = b + descriptor.meta_len
+        indptr_view = buf[0:a]
+        indices_view = buf[a:b]
+        self._views.extend((indptr_view, indices_view))
+        self.csr = CSRGraph.from_buffers(indptr_view, indices_view, bytes(buf[b:c]))
+        # Keep the cast int32 views so close() can release them explicitly.
+        self._views.extend((self.csr.indptr, self.csr.indices))
+        self.graph = self.csr.to_networkx(register_cache=True)
+
+    def close(self) -> None:
+        """Drop the graph/index and detach from the segment (no unlink)."""
+        self.graph = None
+        self.csr = None
+        for view in self._views:
+            try:
+                view.release()
+            except (AttributeError, ValueError):  # pragma: no cover
+                pass
+        self._views = []
+        try:
+            self.segment.close()
+        except (OSError, BufferError):  # pragma: no cover - best effort
+            pass
+
+
+# Per-worker attach cache: segment name -> AttachedColumn.  A worker executes
+# a column's cells back to back, so one attach (and one host-graph rebuild)
+# serves every cell the worker receives for that column.
+_ATTACHED: "OrderedDict[str, AttachedColumn]" = OrderedDict()
+
+
+def attach_column(descriptor: SegmentDescriptor) -> Tuple[AttachedColumn, bool]:
+    """Attach (or reuse) a column segment in this worker.
+
+    Returns ``(column, cache_hit)``.  The cache keeps the two most recent
+    columns; older attachments are closed as they fall out.
+    """
+    cached = _ATTACHED.get(descriptor.name)
+    if cached is not None:
+        _ATTACHED.move_to_end(descriptor.name)
+        return cached, True
+    column = AttachedColumn(descriptor)
+    _ATTACHED[descriptor.name] = column
+    while len(_ATTACHED) > _WORKER_CACHE_COLUMNS:
+        _, evicted = _ATTACHED.popitem(last=False)
+        evicted.close()
+    return column, False
+
+
+def detach_all() -> None:
+    """Close every cached attachment (test hook / worker shutdown)."""
+    while _ATTACHED:
+        _, column = _ATTACHED.popitem(last=False)
+        column.close()

@@ -18,12 +18,33 @@ Determinism is grid-positional, not order-dependent:
 * both derivations hash with SHA-256, so they are stable across processes,
   platforms and Python versions (no ``hash()`` randomization).
 
-Workers re-derive everything from the cell payload.  Under the spawn start
-method (macOS/Windows defaults) each worker re-imports the scenario
+Scheduling is **column-batched**: cells are grouped by
+:attr:`Cell.column_key` (the graph-identity key) and, with
+``shared_graphs`` enabled (the default), each column's topology is built and
+CSR-frozen exactly once —
+
+* serially (``workers=1``), the column's cells simply run back to back
+  against the one in-process graph object;
+* in pool mode, the frozen index is published into a
+  ``multiprocessing.shared_memory`` segment through
+  :class:`repro.pipeline.arena.CSRArena` and the column's cells are fanned
+  out against it: workers reattach the adjacency arrays zero-copy
+  (:meth:`~repro.graphs.csr.CSRGraph.from_buffers`), so no worker ever
+  re-runs a generator or re-freezes an index.  Live segments are bounded by
+  an LRU byte budget (``arena_mb``) and are closed + unlinked on success,
+  failure and ``KeyboardInterrupt`` alike.
+
+The arena is a pure transport optimisation: records (assignments, metrics,
+seeds) are identical with ``shared_graphs`` on or off — only the per-record
+``timings`` breakdown shows where the time went.
+
+Workers re-derive everything else from the cell payload.  Under the spawn
+start method (macOS/Windows defaults) each worker re-imports the scenario
 registry, so custom scenarios must be registered at import time of a module
 the workers also import — registration inside ``__main__`` only works with
 the fork start method (the standard multiprocessing constraint).  Built-in
-scenarios and ``edgelist:`` paths work everywhere.
+scenarios and ``edgelist:`` paths work everywhere, as do shared-memory
+segments (they attach by name, not by inheritance).
 """
 
 from __future__ import annotations
@@ -34,9 +55,12 @@ import json
 import multiprocessing
 import os
 import time
+import warnings
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 MODES = ("decomposition", "carving")
+
+SHARED_GRAPH_CHOICES = ("on", "off", "auto")
 
 
 def derive_cell_seed(master_seed: int, key: str) -> int:
@@ -186,40 +210,73 @@ def load_spec(path: str) -> SuiteSpec:
     return SuiteSpec.from_dict(payload)
 
 
-def _execute_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Run one cell; top-level so multiprocessing can pickle it.
+# --------------------------------------------------------------------- #
+# Cell execution
+# --------------------------------------------------------------------- #
+def _freeze_index(graph, backend: str, mark_frozen: bool = False):
+    """Pre-freeze ``graph``'s CSR index so freeze time is attributable.
 
-    The payload is ``{"cell": Cell fields, "backend", "master_seed",
-    "validate"}``; everything else (graph, algorithm, metrics) is re-derived
-    inside the worker.
+    Returns ``(csr_or_None, freeze_seconds)``.  ``mark_frozen=True`` tags the
+    index as immutable-by-construction (column-batched builds own their
+    graph exclusively), which lets :func:`repro.graphs.csr.refresh_csr_cache`
+    skip its O(n + m) staleness fingerprint on every subsequent cell.
+    """
+    from repro.graphs.csr import CSRGraph, CSRUnsupported
+
+    if backend != "csr":
+        return None, 0.0
+    start = time.perf_counter()
+    try:
+        csr = CSRGraph.from_networkx(graph)
+    except CSRUnsupported:
+        return None, time.perf_counter() - start
+    if mark_frozen:
+        csr.frozen = True
+    return csr, time.perf_counter() - start
+
+
+def _compute_cell_record(
+    cell: Cell,
+    graph,
+    backend: str,
+    validate: bool,
+    master_seed: int,
+    graph_build_s: float,
+    freeze_s: float,
+    source: str,
+) -> Dict[str, Any]:
+    """Run one cell's algorithm on an already-built graph; returns its record.
+
+    ``timings`` attributes the cell's wall time: ``graph_build_s`` is the
+    generator run (or the arena attach) that produced ``graph``, ``freeze_s``
+    the CSR freeze, ``algo_s`` the algorithm + validation + metrics, and
+    ``source`` says where the topology came from (``"build"`` — built here;
+    ``"column"`` — reused in-process from the column's first cell;
+    ``"arena"`` / ``"arena-cached"`` — reattached from a shared-memory
+    segment).  ``seconds`` stays the cell total for backward compatibility.
     """
     import repro
     from repro.analysis.metrics import evaluate_carving, evaluate_decomposition
     from repro.clustering.validation import check_ball_carving, check_network_decomposition
-    from repro.pipeline.scenarios import build_workload
 
-    cell = Cell(**payload["cell"])
-    master_seed = payload["master_seed"]
-    backend = payload["backend"]
     graph_seed = derive_cell_seed(master_seed, "graph:" + cell.column_key)
     algo_seed = derive_cell_seed(master_seed, "algo:" + cell.cell_id)
 
     start = time.perf_counter()
-    graph = build_workload(cell.scenario, cell.n, seed=graph_seed)
     if cell.mode == "carving":
         result = repro.carve(
             graph, cell.eps, method=cell.method, seed=algo_seed, backend=backend
         )
-        if payload["validate"]:
+        if validate:
             lenient = cell.method in ("ls93", "mpx")
             check_ball_carving(result, max_dead_fraction=0.99 if lenient else None)
         metrics = evaluate_carving(result, cell.method).as_row()
     else:
         result = repro.decompose(graph, method=cell.method, seed=algo_seed, backend=backend)
-        if payload["validate"]:
+        if validate:
             check_network_decomposition(result)
         metrics = evaluate_decomposition(result, cell.method).as_row()
-    seconds = time.perf_counter() - start
+    algo_s = time.perf_counter() - start
 
     return {
         "cell": cell.cell_id,
@@ -233,8 +290,73 @@ def _execute_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
         "algo_seed": algo_seed,
         "backend": backend,
         "metrics": metrics,
-        "seconds": round(seconds, 6),
+        "seconds": round(graph_build_s + freeze_s + algo_s, 6),
+        "timings": {
+            "graph_build_s": round(graph_build_s, 6),
+            "freeze_s": round(freeze_s, 6),
+            "algo_s": round(algo_s, 6),
+            "source": source,
+        },
     }
+
+
+def _execute_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one cell from scratch; top-level so multiprocessing can pickle it.
+
+    The per-cell-rebuild path (``shared_graphs`` off, and the fallback for
+    graphs the arena cannot serialise): the worker re-derives the topology
+    from the scenario registry and freezes its own CSR index.
+    """
+    from repro.pipeline.scenarios import build_workload
+
+    cell = Cell(**payload["cell"])
+    backend = payload["backend"]
+    graph_seed = derive_cell_seed(payload["master_seed"], "graph:" + cell.column_key)
+
+    start = time.perf_counter()
+    graph = build_workload(cell.scenario, cell.n, seed=graph_seed)
+    graph_build_s = time.perf_counter() - start
+    _, freeze_s = _freeze_index(graph, backend)
+
+    return _compute_cell_record(
+        cell,
+        graph,
+        backend,
+        payload["validate"],
+        payload["master_seed"],
+        graph_build_s,
+        freeze_s,
+        source="build",
+    )
+
+
+def _execute_arena_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one cell against a published column segment (pool workers).
+
+    Attaches the column's shared-memory segment (cached per worker, so a
+    worker draining a column pays one attach), reuses the zero-copy CSR
+    index and its rebuilt host graph, and never runs a generator or a
+    freeze.
+    """
+    from repro.pipeline.arena import SegmentDescriptor, attach_column
+
+    cell = Cell(**payload["cell"])
+    descriptor = SegmentDescriptor.from_dict(payload["segment"])
+
+    start = time.perf_counter()
+    column, cache_hit = attach_column(descriptor)
+    attach_s = time.perf_counter() - start
+
+    return _compute_cell_record(
+        cell,
+        column.graph,
+        payload["backend"],
+        payload["validate"],
+        payload["master_seed"],
+        attach_s,
+        0.0,
+        source="arena-cached" if cache_hit else "arena",
+    )
 
 
 @dataclasses.dataclass
@@ -249,6 +371,12 @@ class SuiteResult:
         skipped: Number of cells satisfied from the store (resume hits).
         seconds: Wall-clock time of this call.
         store: The store the records live in (in-memory if no path given).
+        arena: Scheduling summary: ``mode`` (``"off"`` per-cell rebuilds,
+            ``"column"`` in-process column batching, ``"arena"``
+            shared-memory segments), ``columns``/``graph_builds`` counts
+            (``graph_builds == columns`` is the zero-redundant-builds
+            guarantee), parent-side ``build_s``/``freeze_s`` totals, and
+            segment accounting in arena mode.
     """
 
     spec: SuiteSpec
@@ -257,6 +385,7 @@ class SuiteResult:
     skipped: int
     seconds: float
     store: Any
+    arena: Dict[str, Any] = dataclasses.field(default_factory=dict)
 
     def rows(self) -> List[Dict[str, Any]]:
         """Flat table rows (grid parameters + measured metrics) per cell."""
@@ -294,10 +423,262 @@ def _resolve_workers(workers: Optional[int]) -> int:
     return workers
 
 
+def _resolve_shared_graphs(shared_graphs: Union[str, bool], workers: int) -> bool:
+    """Normalise the ``shared_graphs`` switch against this platform.
+
+    ``"auto"`` (the default) turns sharing on whenever it can work: always
+    for serial runs (in-process column batching needs no shared memory), and
+    for pool runs — fork and spawn alike — whenever
+    ``multiprocessing.shared_memory`` is usable.  ``"on"`` insists (raising
+    where segments are unavailable); ``"off"`` forces per-cell rebuilds.
+    """
+    if isinstance(shared_graphs, bool):
+        value = "on" if shared_graphs else "off"
+    else:
+        value = str(shared_graphs).lower()
+    if value not in SHARED_GRAPH_CHOICES:
+        raise ValueError(
+            "shared_graphs must be one of {}, got {!r}".format(
+                SHARED_GRAPH_CHOICES, shared_graphs
+            )
+        )
+    if value == "off":
+        return False
+    if workers == 1:
+        return True
+    from repro.pipeline.arena import shared_memory_available
+
+    available = shared_memory_available()
+    if value == "on" and not available:
+        raise RuntimeError(
+            "shared_graphs='on' requested but multiprocessing.shared_memory is "
+            "not usable on this platform; use shared_graphs='auto' or 'off'"
+        )
+    return available
+
+
+def _group_columns(pending: Sequence[Cell]) -> List[Tuple[str, List[Cell]]]:
+    """Group pending cells by topology column, preserving grid order."""
+    columns: Dict[str, List[Cell]] = {}
+    order: List[str] = []
+    for cell in pending:
+        key = cell.column_key
+        if key not in columns:
+            columns[key] = []
+            order.append(key)
+        columns[key].append(cell)
+    return [(key, columns[key]) for key in order]
+
+
+def _build_column_graph(
+    spec: SuiteSpec, cell: Cell, mark_frozen: bool, force_freeze: bool = False
+):
+    """Build (and time) one column's topology + CSR index in this process.
+
+    ``force_freeze=True`` freezes even under the ``"nx"`` backend — the
+    arena uses the CSR arrays as its *transport* format regardless of which
+    backend the algorithms will walk.
+    """
+    from repro.pipeline.scenarios import build_workload
+
+    graph_seed = derive_cell_seed(spec.master_seed, "graph:" + cell.column_key)
+    start = time.perf_counter()
+    graph = build_workload(cell.scenario, cell.n, seed=graph_seed)
+    build_s = time.perf_counter() - start
+    freeze_backend = "csr" if force_freeze else spec.backend
+    csr, freeze_s = _freeze_index(graph, freeze_backend, mark_frozen=mark_frozen)
+    return graph, csr, build_s, freeze_s
+
+
+def _cell_payload(cell: Cell, spec: SuiteSpec) -> Dict[str, Any]:
+    return {
+        "cell": dataclasses.asdict(cell),
+        "backend": spec.backend,
+        "master_seed": spec.master_seed,
+        "validate": spec.validate,
+    }
+
+
+def _run_serial_batched(
+    spec: SuiteSpec, groups: List[Tuple[str, List[Cell]]], store
+) -> Dict[str, Any]:
+    """Serial column-batched execution: one build per column, cells reuse it."""
+    stats = {
+        "mode": "column",
+        "columns": len(groups),
+        "graph_builds": 0,
+        "build_s": 0.0,
+        "freeze_s": 0.0,
+    }
+    for _, cells in groups:
+        graph, _, build_s, freeze_s = _build_column_graph(spec, cells[0], mark_frozen=True)
+        stats["graph_builds"] += 1
+        stats["build_s"] += build_s
+        stats["freeze_s"] += freeze_s
+        for position, cell in enumerate(cells):
+            record = _compute_cell_record(
+                cell,
+                graph,
+                spec.backend,
+                spec.validate,
+                spec.master_seed,
+                build_s if position == 0 else 0.0,
+                freeze_s if position == 0 else 0.0,
+                source="build" if position == 0 else "column",
+            )
+            store.add(record)
+    stats["build_s"] = round(stats["build_s"], 6)
+    stats["freeze_s"] = round(stats["freeze_s"], 6)
+    return stats
+
+
+def _run_pool_arena(
+    spec: SuiteSpec,
+    groups: List[Tuple[str, List[Cell]]],
+    store,
+    workers: int,
+    arena_mb: int,
+    context,
+) -> Dict[str, Any]:
+    """Pool execution against shared-memory column segments.
+
+    Publishes columns into the :class:`~repro.pipeline.arena.CSRArena` as
+    long as the byte budget allows (always at least one), fans each column's
+    cells out as executor futures, and releases a column's segment the
+    moment its last cell completes — so the live-segment window slides over
+    the grid instead of growing with it.  Columns whose graphs the arena
+    cannot serialise fall back to per-cell rebuilds transparently.
+
+    The pool is a :class:`concurrent.futures.ProcessPoolExecutor` rather
+    than ``multiprocessing.Pool``: when a worker process dies abruptly
+    (OOM kill, segfault), ``apply_async`` would simply never complete the
+    lost task and the parent would block forever with its segments mapped —
+    the executor raises ``BrokenProcessPool`` instead, so the ``finally``
+    close still unlinks every segment on success, failure, worker death and
+    ``KeyboardInterrupt`` alike.
+    """
+    from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+
+    from repro.graphs.csr import CSRUnsupported
+    from repro.pipeline.arena import ArenaUnavailable, CSRArena
+
+    total = sum(len(cells) for _, cells in groups)
+    stats = {
+        "mode": "arena",
+        "columns": len(groups),
+        "graph_builds": 0,
+        "build_s": 0.0,
+        "freeze_s": 0.0,
+        "published_segments": 0,
+        "published_bytes": 0,
+        "fallback_cells": 0,
+        "arena_mb": arena_mb,
+    }
+
+    arena = CSRArena(max_bytes=arena_mb * 1024 * 1024)
+    staged = None  # (key, cells, buffers) serialised but deferred by the budget
+    next_group = 0
+    futures: Dict[Any, Optional[str]] = {}  # future -> column key (None: fallback)
+    outstanding: Dict[str, int] = {}
+    completed = 0
+    arena_broken = False
+
+    try:
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+            def _dispatch_fallback(cells) -> None:
+                """Per-worker rebuilds — exactly the shared_graphs=off path."""
+                stats["fallback_cells"] += len(cells)
+                for cell in cells:
+                    futures[pool.submit(_execute_cell, _cell_payload(cell, spec))] = None
+
+            while completed < total:
+                while next_group < len(groups) or staged is not None:
+                    if staged is None:
+                        key, cells = groups[next_group]
+                        next_group += 1
+                        if arena_broken:
+                            # The kernel refused segment allocations: don't
+                            # waste parent time building graphs that could
+                            # only ride the arena.
+                            _dispatch_fallback(cells)
+                            continue
+                        _, csr, build_s, freeze_s = _build_column_graph(
+                            spec, cells[0], mark_frozen=True, force_freeze=True
+                        )
+                        if csr is None:
+                            _dispatch_fallback(cells)
+                            continue
+                        try:
+                            buffers = csr.to_buffers()
+                        except CSRUnsupported:
+                            # Labels that don't survive the typed JSON round
+                            # trip cannot ride the arena.
+                            _dispatch_fallback(cells)
+                            continue
+                        staged = (key, cells, buffers, build_s, freeze_s)
+                    key, cells, buffers, build_s, freeze_s = staged
+                    if not arena.fits(sum(len(part) for part in buffers.values())):
+                        break  # wait for a column to complete and release
+                    try:
+                        descriptor = arena.publish(key, buffers)
+                    except ArenaUnavailable as error:
+                        warnings.warn(
+                            "shared-memory arena degraded ({}); remaining columns "
+                            "fall back to per-cell rebuilds".format(error),
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+                        # The staged build is wasted (rare: the kernel
+                        # refused the allocation); it is deliberately NOT
+                        # counted into graph_builds/build_s, which account
+                        # only for builds that serve shared columns.
+                        arena_broken = True
+                        _dispatch_fallback(cells)
+                        staged = None
+                        continue
+                    stats["graph_builds"] += 1
+                    stats["build_s"] += build_s
+                    stats["freeze_s"] += freeze_s
+                    stats["published_segments"] += 1
+                    stats["published_bytes"] += descriptor.total_len
+                    outstanding[key] = len(cells)
+                    for cell in cells:
+                        payload = _cell_payload(cell, spec)
+                        payload["segment"] = descriptor.to_dict()
+                        futures[pool.submit(_execute_arena_cell, payload)] = key
+                    staged = None
+
+                done, _ = wait(set(futures), return_when=FIRST_COMPLETED)
+                for future in done:
+                    key = futures.pop(future)
+                    # Re-raises the cell's own exception, or BrokenProcessPool
+                    # when the worker running it died.
+                    try:
+                        store.add(future.result())
+                    except BaseException:
+                        # Don't sit out the queued cells during unwind.
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        raise
+                    completed += 1
+                    if key is not None and key in outstanding:
+                        outstanding[key] -= 1
+                        if outstanding[key] == 0:
+                            del outstanding[key]
+                            arena.release(key)
+    finally:
+        arena.close()
+    stats["build_s"] = round(stats["build_s"], 6)
+    stats["freeze_s"] = round(stats["freeze_s"], 6)
+    return stats
+
+
 def run_suite(
     spec: Union[SuiteSpec, Dict[str, Any], str],
     store: Union[None, str, "RunStore"] = None,
     workers: int = 1,
+    shared_graphs: Union[str, bool] = "auto",
+    arena_mb: int = 256,
+    start_method: Optional[str] = None,
 ) -> SuiteResult:
     """Run every cell of a suite, resuming from ``store`` when possible.
 
@@ -313,10 +694,26 @@ def run_suite(
             but a store whose records were computed under a different
             ``backend`` or ``master_seed`` is rejected rather than served
             stale.
+        shared_graphs: ``"auto"`` (default), ``"on"``, ``"off"`` (bools work
+            too).  When enabled, cells are scheduled column-batched: each
+            topology is built + frozen once and shared — in-process for
+            serial runs, through zero-copy shared-memory segments
+            (:mod:`repro.pipeline.arena`) for pool runs.  ``"auto"`` enables
+            sharing wherever it works and silently falls back to per-cell
+            rebuilds where ``multiprocessing.shared_memory`` is unusable.
+            Pure transport optimisation: records are identical either way.
+        arena_mb: Byte budget (in MiB) for live shared-memory segments in
+            pool mode; columns beyond the budget wait until earlier columns
+            complete and are unlinked.
+        start_method: Optional ``multiprocessing`` start method for the pool
+            (``"fork"``, ``"spawn"``, ``"forkserver"``); ``None`` uses the
+            platform default.
 
     Returns:
         A :class:`SuiteResult`; ``result.records`` has one record per grid
-        cell and ``result.store`` is the (updated) store.
+        cell, ``result.store`` is the (updated) store, and ``result.arena``
+        summarises the scheduling (``graph_builds == columns`` whenever
+        sharing was active).
     """
     from repro.pipeline.store import RunStore
 
@@ -339,27 +736,47 @@ def run_suite(
             _check_record_matches(record, cell, spec)
     skipped = len(cells) - len(pending)
     workers = min(_resolve_workers(workers), max(1, len(pending)))
-
-    payloads = [
-        {
-            "cell": dataclasses.asdict(cell),
-            "backend": spec.backend,
-            "master_seed": spec.master_seed,
-            "validate": spec.validate,
-        }
-        for cell in pending
-    ]
+    shared = _resolve_shared_graphs(shared_graphs, workers)
 
     start = time.perf_counter()
-    if payloads:
+    # The mode reflects what this call would run (even when every cell is a
+    # store hit and nothing executes): per-cell rebuilds ("off"), in-process
+    # column batching ("column"), or shared-memory segments ("arena").  The
+    # executors below overwrite the accounting with what actually happened.
+    if not shared:
+        initial_mode = "off"
+    elif workers == 1:
+        initial_mode = "column"
+    else:
+        initial_mode = "arena"
+    groups = _group_columns(pending)
+    arena_stats: Dict[str, Any] = {
+        "shared_graphs": shared,
+        "mode": initial_mode,
+        "columns": len(groups),
+        "graph_builds": len(pending),
+    }
+    if pending:
         if workers == 1:
-            for payload in payloads:
-                store.add(_execute_cell(payload))
+            if shared:
+                arena_stats.update(_run_serial_batched(spec, groups, store))
+            else:
+                for cell in pending:
+                    store.add(_execute_cell(_cell_payload(cell, spec)))
         else:
-            context = multiprocessing.get_context()
-            with context.Pool(processes=workers) as pool:
-                for record in pool.imap_unordered(_execute_cell, payloads):
-                    store.add(record)
+            if shared:
+                context = multiprocessing.get_context(start_method)
+                arena_stats.update(
+                    _run_pool_arena(spec, groups, store, workers, arena_mb, context)
+                )
+            else:
+                context = multiprocessing.get_context(start_method)
+                payloads = [_cell_payload(cell, spec) for cell in pending]
+                with context.Pool(processes=workers) as pool:
+                    for record in pool.imap_unordered(_execute_cell, payloads):
+                        store.add(record)
+    else:
+        arena_stats["graph_builds"] = 0
     seconds = time.perf_counter() - start
 
     completed = store.completed_cells()
@@ -367,8 +784,9 @@ def run_suite(
     return SuiteResult(
         spec=spec,
         records=records,
-        executed=len(payloads),
+        executed=len(pending),
         skipped=skipped,
         seconds=seconds,
         store=store,
+        arena=arena_stats,
     )

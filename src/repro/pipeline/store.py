@@ -17,9 +17,21 @@ those records in a plain JSON-lines file so that
 
 File format (one JSON object per line)::
 
-    {"kind": "header", "schema": 1, "suite": "table1", "metadata": {...}}
-    {"kind": "result", "cell": "torus/n256/strong-log3/s0", ...}
+    {"kind": "header", "schema": 2, "suite": "table1", "metadata": {...}}
+    {"kind": "result", "cell": "torus/n256/strong-log3/s0", ...,
+     "timings": {"graph_build_s": ..., "freeze_s": ..., "algo_s": ..., "source": "build"}}
     {"kind": "result", "cell": "torus/n256/mpx/s0", ...}
+
+Schema history: version 2 added the per-record ``timings`` wall-time
+breakdown (schema-1 stores load fine — their records simply have no
+``timings`` key; the analysis layer treats the breakdown as optional).
+
+Durability: every appended line is flushed *and fsynced*, so a killed
+worker loses at most the line it was writing.  A store whose **final** line
+is truncated mid-write (the classic crash artefact) loads with a warning,
+skipping just that line — resume then recomputes exactly the one lost cell
+instead of refusing the whole store.  A corrupt line anywhere *before* the
+end is still an error: that is damage, not an interrupted append.
 
 Passing ``path=None`` gives an in-memory store with the same interface —
 useful for tests and for benchmarks that do not want to touch disk.
@@ -29,9 +41,14 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from typing import Any, Dict, Iterator, List, Optional
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Schema versions this build can safely read.  Version 1 records lack the
+#: ``timings`` breakdown, which every consumer treats as optional.
+COMPATIBLE_SCHEMAS = (1, 2)
 
 
 class StoreSchemaError(ValueError):
@@ -63,34 +80,74 @@ class RunStore:
         self._records: List[Dict[str, Any]] = []
         self._completed: Dict[str, Dict[str, Any]] = {}
         self._header_written = False
+        # Crash-repair state discovered by _load, applied lazily by the
+        # first append (loading never writes, so read-only consumers and
+        # read-only mounts still get the warn-and-skip behaviour):
+        # _repair_truncate_to drops a half-written final line;
+        # _repair_newline terminates a final line whose trailing newline
+        # was lost (the record itself parsed fine), so the next append
+        # cannot glue onto it.
+        self._repair_truncate_to: Optional[int] = None
+        self._repair_newline = False
         if path is not None and os.path.exists(path):
             self._load(path)
 
     def _load(self, path: str) -> None:
-        with open(path, "r", encoding="utf-8") as handle:
-            for line_number, line in enumerate(handle, start=1):
-                line = line.strip()
-                if not line:
-                    continue
+        with open(path, "rb") as handle:
+            lines = handle.read().splitlines(keepends=True)
+        content_numbers = [
+            number for number, line in enumerate(lines, start=1) if line.strip()
+        ]
+        last_content = content_numbers[-1] if content_numbers else 0
+        if lines and not lines[-1].endswith(b"\n"):
+            self._repair_newline = True
+        offset = 0
+        for line_number, raw in enumerate(lines, start=1):
+            line = raw.strip()
+            if not line:
+                offset += len(raw)
+                continue
+            try:
                 record = json.loads(line)
-                kind = record.get("kind")
-                if line_number == 1 or not self._header_written:
-                    if kind != "header":
-                        raise StoreSchemaError(
-                            "store {!r} does not start with a header record".format(path)
+            except ValueError:
+                if line_number == last_content and self._header_written:
+                    # An interrupted append (killed worker, power loss)
+                    # leaves a truncated final line.  Dropping it loses
+                    # exactly the in-flight cell — resume recomputes it —
+                    # whereas refusing the store would throw away every
+                    # completed record with it.  The first append truncates
+                    # the file back to the last good byte so it starts on a
+                    # fresh line instead of gluing onto the fragment.
+                    warnings.warn(
+                        "store {!r}: dropping truncated final line {} "
+                        "(interrupted append); the affected cell will be "
+                        "recomputed on resume".format(path, line_number),
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+                    self._repair_truncate_to = offset
+                    self._repair_newline = False  # the fragment is dropped
+                    return
+                raise
+            offset += len(raw)
+            kind = record.get("kind")
+            if line_number == 1 or not self._header_written:
+                if kind != "header":
+                    raise StoreSchemaError(
+                        "store {!r} does not start with a header record".format(path)
+                    )
+                if record.get("schema") not in COMPATIBLE_SCHEMAS:
+                    raise StoreSchemaError(
+                        "store {!r} has schema {!r}; this build supports {!r}".format(
+                            path, record.get("schema"), COMPATIBLE_SCHEMAS
                         )
-                    if record.get("schema") != SCHEMA_VERSION:
-                        raise StoreSchemaError(
-                            "store {!r} has schema {!r}; this build supports {!r}".format(
-                                path, record.get("schema"), SCHEMA_VERSION
-                            )
-                        )
-                    self.suite = record.get("suite", self.suite)
-                    self.metadata = dict(record.get("metadata", {}))
-                    self._header_written = True
-                    continue
-                if kind == "result":
-                    self._remember(record)
+                    )
+                self.suite = record.get("suite", self.suite)
+                self.metadata = dict(record.get("metadata", {}))
+                self._header_written = True
+                continue
+            if kind == "result":
+                self._remember(record)
 
     def _remember(self, record: Dict[str, Any]) -> None:
         self._records.append(record)
@@ -98,13 +155,30 @@ class RunStore:
         if cell is not None:
             self._completed[str(cell)] = record
 
+    def _apply_pending_repairs(self) -> None:
+        if self._repair_truncate_to is not None:
+            with open(self.path, "rb+") as handle:
+                handle.truncate(self._repair_truncate_to)
+            self._repair_truncate_to = None
+
     def _write_line(self, record: Dict[str, Any]) -> None:
         if self.path is None:
             return
+        self._apply_pending_repairs()
         with open(self.path, "a", encoding="utf-8") as handle:
+            if self._repair_newline:
+                # The previous final line parsed but lost its newline in a
+                # crash; terminate it so this append starts a fresh line.
+                handle.write("\n")
+                self._repair_newline = False
             # Keep insertion order (no sort_keys): reloaded records then
             # render with the same column order as freshly computed ones.
             handle.write(json.dumps(record) + "\n")
+            # Crash resilience: flush + fsync per line, so a killed worker
+            # loses at most the (truncated) line it was writing — which
+            # _load tolerates — never previously completed records.
+            handle.flush()
+            os.fsync(handle.fileno())
 
     def _ensure_header(self) -> None:
         if self._header_written:

@@ -24,6 +24,16 @@ from repro.graphs.generators import (
 # use, individual runs routinely exceed it).
 RANDOMIZED_DEAD_SLACK = 0.97
 
+# Per-record keys that legitimately differ between identical suite runs.
+# Every record-identity assertion strips exactly this set — extend it here
+# (not inline) when a schema bump adds another volatile key.
+VOLATILE_RECORD_KEYS = ("seconds", "timings")
+
+
+def strip_volatile(record):
+    """A suite result record without its wall-time fields, for equality."""
+    return {k: v for k, v in record.items() if k not in VOLATILE_RECORD_KEYS}
+
 
 @pytest.fixture
 def small_torus() -> nx.Graph:

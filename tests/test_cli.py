@@ -85,6 +85,18 @@ class TestSuiteMode:
         assert main(argv) == 0
         assert "executed 0 cell(s), 4 store hit(s)" in capsys.readouterr().out
 
+    def test_suite_shared_graphs_flags(self, capsys):
+        base = [
+            "--mode", "suite", "--family", "torus", "--n", "36",
+            "--method", "sequential",
+        ]
+        assert main(base + ["--shared-graphs", "on", "--arena-mb", "8"]) == 0
+        on_output = capsys.readouterr().out
+        assert "1 column(s) / 1 build(s) [column]" in on_output
+        assert main(base + ["--shared-graphs", "off"]) == 0
+        off_output = capsys.readouterr().out
+        assert "column(s)" not in off_output
+
     def test_suite_mode_carving_from_flags(self, capsys):
         exit_code = main(
             [

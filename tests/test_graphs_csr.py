@@ -403,3 +403,82 @@ class TestDispatchedProperties:
         graph = torus_graph(6, 6, seed=2)
         layers = bfs_layers_within(graph, [0])
         assert sum(len(layer) for layer in layers) == 36
+
+
+class TestBufferRoundTrip:
+    """to_buffers/from_buffers — the shared-memory arena transport format."""
+
+    def test_round_trip_is_value_identical_to_from_networkx(self):
+        graph = torus_graph(6, 6, seed=4)
+        csr = CSRGraph.from_networkx(graph)
+        buffers = csr.to_buffers()
+        clone = CSRGraph.from_buffers(
+            buffers["indptr"], buffers["indices"], buffers["meta"]
+        )
+        assert list(clone.indptr) == list(csr.indptr)
+        assert list(clone.indices) == list(csr.indices)
+        assert clone.nodes == csr.nodes
+        assert clone.uids == csr.uids
+        assert clone.index == csr.index
+        assert (clone.n, clone.m, clone.built_edges) == (csr.n, csr.m, csr.built_edges)
+        # Primitive outputs agree exactly with the directly frozen index.
+        assert clone.bfs_layers([0]) == csr.bfs_layers([0])
+        assert clone.connected_components() == csr.connected_components()
+        some = list(graph.nodes())[:10]
+        assert clone.boundary(some) == csr.boundary(some)
+        assert clone.subset_adjacency(some) == csr.subset_adjacency(some)
+
+    def test_reattached_index_is_frozen_and_refresh_skips_it(self):
+        from repro.graphs.csr import _CACHE, refresh_csr_cache
+
+        graph = torus_graph(5, 5, seed=1)
+        csr = CSRGraph.from_networkx(graph)
+        assert not csr.frozen
+        buffers = csr.to_buffers()
+        clone = CSRGraph.from_buffers(
+            buffers["indptr"], buffers["indices"], buffers["meta"]
+        )
+        assert clone.frozen
+        host = clone.to_networkx()
+        # The rebuilt host hits the cache without a fresh freeze...
+        assert CSRGraph.from_networkx(host) is clone
+        # ...and the refresh entry point keeps it without walking the graph
+        # (frozen short-circuits the O(n + m) fingerprint).
+        refresh_csr_cache(host)
+        assert _CACHE.get(host) is not None
+        # The O(1) count guard still protects against node-count mutations.
+        host.add_node("intruder", uid=10**6)
+        refresh_csr_cache(host)
+        assert _CACHE.get(host) is None
+
+    def test_to_networkx_reproduces_graph_and_uids(self):
+        graph = assign_unique_identifiers(nx.path_graph(7), seed=2)
+        csr = CSRGraph.from_networkx(graph)
+        host = csr.to_networkx(register_cache=False)
+        assert sorted(host.nodes()) == sorted(graph.nodes())
+        assert sorted(map(sorted, host.edges())) == sorted(map(sorted, graph.edges()))
+        for node in graph.nodes():
+            assert host.nodes[node]["uid"] == graph.nodes[node]["uid"]
+
+    def test_non_serialisable_labels_are_rejected(self):
+        graph = nx.Graph()
+        graph.add_edge((0, 0), (0, 1))  # tuple labels survive CSR, not JSON
+        csr = CSRGraph.from_networkx(graph)
+        with pytest.raises(CSRUnsupported):
+            csr.to_buffers()
+        bad_uid = nx.path_graph(3)
+        bad_uid.nodes[0]["uid"] = (1, 2)
+        with pytest.raises(CSRUnsupported):
+            CSRGraph.from_networkx(bad_uid).to_buffers()
+
+    def test_string_labels_round_trip_with_types(self):
+        graph = nx.Graph()
+        graph.add_edge("a", "7")
+        graph.add_edge("7", 7)  # int 7 and string "7" are distinct nodes
+        csr = CSRGraph.from_networkx(graph)
+        buffers = csr.to_buffers()
+        clone = CSRGraph.from_buffers(
+            buffers["indptr"], buffers["indices"], buffers["meta"]
+        )
+        assert clone.nodes == csr.nodes
+        assert {type(node) for node in clone.nodes} == {int, str}

@@ -1,0 +1,299 @@
+"""Tests for the shared-memory CSR arena and column-batched scheduling
+(repro.pipeline.arena + the shared_graphs paths of repro.pipeline.runner)."""
+
+import multiprocessing
+import os
+
+import networkx as nx
+import pytest
+
+import repro
+from repro.graphs.csr import CSRGraph
+from repro.pipeline import SuiteSpec, RunStore
+from repro.pipeline.arena import (
+    CSRArena,
+    SegmentDescriptor,
+    attach_column,
+    detach_all,
+    shared_memory_available,
+)
+from repro.pipeline.runner import run_suite
+from repro.pipeline.scenarios import register_scenario
+from tests.conftest import strip_volatile as _strip
+
+requires_shm = pytest.mark.skipif(
+    not shared_memory_available(), reason="multiprocessing.shared_memory unusable"
+)
+requires_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method unavailable",
+)
+
+
+def _tuple_labelled(n, seed):
+    """A graph the arena cannot serialise (tuple labels) — fallback probe."""
+    graph = nx.Graph()
+    for i in range(max(2, n) - 1):
+        graph.add_edge((0, i), (0, i + 1))
+    for i, node in enumerate(sorted(graph.nodes())):
+        graph.nodes[node]["uid"] = i
+    return graph
+
+
+# Registered at import time so fork-started pool workers inherit it.
+register_scenario(
+    "tuple-labels-test", _tuple_labelled, "arena-unserialisable workload", overwrite=True
+)
+
+
+def _spec(**overrides):
+    base = dict(
+        name="arena-test",
+        scenarios=("torus", "regular"),
+        sizes=(36,),
+        methods=("sequential", "mpx"),
+        mode="carving",
+        eps=(0.5,),
+        seeds=(0,),
+    )
+    base.update(overrides)
+    return SuiteSpec(**base)
+
+
+@requires_shm
+class TestArenaSegments:
+    def _csr(self):
+        from repro.graphs.generators import torus_graph
+
+        return CSRGraph.from_networkx(torus_graph(6, 6, seed=2))
+
+    def test_publish_attach_release_lifecycle(self):
+        csr = self._csr()
+        arena = CSRArena(max_bytes=1 << 20)
+        descriptor = arena.publish("col", csr)
+        assert len(arena) == 1 and arena.live_bytes == descriptor.total_len
+        # Descriptors survive a pickle-shaped dict round trip (cell payloads).
+        column, hit = attach_column(SegmentDescriptor.from_dict(descriptor.to_dict()))
+        assert not hit
+        assert list(column.csr.indices) == list(csr.indices)
+        assert sorted(column.graph.nodes()) == sorted(csr.nodes)
+        _, hit = attach_column(descriptor)
+        assert hit  # worker-side cache
+        detach_all()
+        arena.release("col")
+        assert len(arena) == 0 and arena.live_bytes == 0
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=descriptor.name)
+        arena.release("col")  # idempotent
+        arena.close()
+
+    def test_budget_window(self):
+        csr = self._csr()
+        arena = CSRArena(max_bytes=1)
+        try:
+            # An empty arena always accepts one column, however large.
+            assert arena.fits(10**9)
+            descriptor = arena.publish("a", csr)
+            assert not arena.fits(1)  # budget exhausted while "a" lives
+            arena.release("a")
+            assert arena.fits(10**9)
+        finally:
+            arena.close()
+        with pytest.raises(FileNotFoundError):
+            from multiprocessing import shared_memory
+
+            shared_memory.SharedMemory(name=descriptor.name)
+
+    def test_close_releases_everything(self):
+        csr = self._csr()
+        arena = CSRArena()
+        names = [arena.publish(str(i), csr).name for i in range(3)]
+        arena.close()
+        from multiprocessing import shared_memory
+
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+        arena.close()  # idempotent
+
+
+class TestColumnBatchedSerial:
+    def test_records_identical_to_per_cell_rebuild(self):
+        spec = _spec()
+        off = run_suite(spec, shared_graphs="off")
+        on = run_suite(spec, shared_graphs="on")
+        assert [_strip(r) for r in off.records] == [_strip(r) for r in on.records]
+        assert on.arena["mode"] == "column"
+        assert on.arena["graph_builds"] == on.arena["columns"] == 2
+
+    def test_post_first_cells_pay_zero_build_time(self):
+        result = run_suite(_spec(), shared_graphs="on")
+        by_column = {}
+        for record in result.records:
+            by_column.setdefault(record["scenario"], []).append(record["timings"])
+        for timings in by_column.values():
+            assert timings[0]["source"] == "build"
+            for later in timings[1:]:
+                assert later["source"] == "column"
+                assert later["graph_build_s"] == 0.0
+                assert later["freeze_s"] == 0.0
+
+    def test_resume_executes_nothing_on_warm_store(self, tmp_path):
+        spec = _spec()
+        path = os.path.join(tmp_path, "warm.jsonl")
+        first = run_suite(spec, store=path, shared_graphs="on")
+        assert first.executed == 4
+        rerun = run_suite(spec, store=path, shared_graphs="on")
+        assert rerun.executed == 0 and rerun.skipped == 4
+        assert rerun.arena["graph_builds"] == 0
+
+    def test_resume_after_partial_store_only_runs_missing_cells(self, tmp_path):
+        spec = _spec()
+        path = os.path.join(tmp_path, "partial.jsonl")
+        run_suite(spec, store=path, shared_graphs="on")
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.writelines(lines[:2])  # header + first result
+        resumed = run_suite(spec, store=path, shared_graphs="on")
+        assert resumed.executed == 3 and resumed.skipped == 1
+        assert [_strip(r) for r in resumed.records] == [
+            _strip(r) for r in run_suite(spec, shared_graphs="off").records
+        ]
+
+    def test_invalid_shared_graphs_value_rejected(self):
+        with pytest.raises(ValueError, match="shared_graphs"):
+            run_suite(_spec(), shared_graphs="sometimes")
+
+
+@requires_shm
+class TestArenaPool:
+    def test_pool_records_identical_and_one_build_per_column(self):
+        spec = _spec()
+        serial = run_suite(spec, shared_graphs="off")
+        pooled = run_suite(spec, workers=2, shared_graphs="on")
+        assert [_strip(r) for r in serial.records] == [_strip(r) for r in pooled.records]
+        assert pooled.arena["mode"] == "arena"
+        assert pooled.arena["graph_builds"] == pooled.arena["columns"]
+        assert pooled.arena["fallback_cells"] == 0
+        assert pooled.arena["published_segments"] == pooled.arena["columns"]
+        sources = {r["timings"]["source"] for r in pooled.records}
+        assert sources <= {"arena", "arena-cached"}
+
+    def test_tiny_arena_budget_still_completes(self):
+        spec = _spec()
+        serial = run_suite(spec, shared_graphs="off")
+        pooled = run_suite(spec, workers=2, shared_graphs="on", arena_mb=0)
+        # arena_mb=0 clamps to a 1-byte window: columns are published one at
+        # a time (the empty-arena exception), and the run still finishes
+        # with identical records.
+        assert [_strip(r) for r in serial.records] == [_strip(r) for r in pooled.records]
+
+    @pytest.mark.skipif(
+        "spawn" not in multiprocessing.get_all_start_methods(),
+        reason="spawn start method unavailable",
+    )
+    def test_spawn_start_method(self):
+        spec = _spec(scenarios=("torus",), methods=("sequential", "mpx"))
+        serial = run_suite(spec, shared_graphs="off")
+        spawned = run_suite(spec, workers=2, shared_graphs="on", start_method="spawn")
+        assert [_strip(r) for r in serial.records] == [_strip(r) for r in spawned.records]
+        assert spawned.arena["mode"] == "arena"
+
+    @requires_fork
+    def test_unserialisable_column_falls_back_to_rebuilds(self):
+        spec = _spec(scenarios=("tuple-labels-test", "torus"))
+        serial = run_suite(spec, shared_graphs="off")
+        pooled = run_suite(spec, workers=2, shared_graphs="on", start_method="fork")
+        assert [_strip(r) for r in serial.records] == [_strip(r) for r in pooled.records]
+        assert pooled.arena["fallback_cells"] == 2  # the tuple-labelled column
+        assert pooled.arena["published_segments"] == 1  # the torus column
+
+    @staticmethod
+    def _record_published_segments(monkeypatch):
+        """Patch CSRArena so every published segment name is captured."""
+        import repro.pipeline.arena as arena_module
+
+        published = []
+        real_arena = arena_module.CSRArena
+
+        class RecordingArena(real_arena):
+            def publish(self, column_key, source):
+                descriptor = real_arena.publish(self, column_key, source)
+                published.append(descriptor.name)
+                return descriptor
+
+        monkeypatch.setattr(arena_module, "CSRArena", RecordingArena)
+        return published
+
+    @staticmethod
+    def _assert_all_unlinked(published):
+        from multiprocessing import shared_memory
+
+        assert published  # the arena path actually ran
+        for name in published:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    @requires_fork
+    def test_segments_cleaned_up_after_worker_crash(self, monkeypatch):
+        """A cell failing inside a worker must not leak any segment."""
+        published = self._record_published_segments(monkeypatch)
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("injected cell failure")
+
+        monkeypatch.setattr(repro, "carve", boom)  # fork workers inherit this
+
+        with pytest.raises(RuntimeError, match="injected cell failure"):
+            run_suite(_spec(), workers=2, shared_graphs="on", start_method="fork")
+        self._assert_all_unlinked(published)
+
+    @requires_fork
+    def test_worker_death_raises_instead_of_hanging(self, monkeypatch):
+        """A worker dying abruptly (OOM kill, segfault) must surface as
+        BrokenProcessPool — not leave run_suite blocked forever with its
+        segments mapped (the multiprocessing.Pool.apply_async failure mode
+        this scheduler deliberately avoids)."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        published = self._record_published_segments(monkeypatch)
+
+        def die(*args, **kwargs):
+            os._exit(13)  # simulate an abrupt worker death, no cleanup
+
+        monkeypatch.setattr(repro, "carve", die)  # fork workers inherit this
+
+        with pytest.raises(BrokenProcessPool):
+            run_suite(_spec(), workers=2, shared_graphs="on", start_method="fork")
+        self._assert_all_unlinked(published)
+
+    def test_segments_cleaned_up_when_store_append_fails(self, monkeypatch):
+        published = self._record_published_segments(monkeypatch)
+
+        class ExplodingStore(RunStore):
+            def add(self, record):
+                raise OSError("disk full (injected)")
+
+        with pytest.raises(OSError, match="disk full"):
+            run_suite(_spec(), store=ExplodingStore(None), workers=2, shared_graphs="on")
+        self._assert_all_unlinked(published)
+
+
+class TestApiSurface:
+    def test_exports_reachable_from_pipeline_package(self):
+        from repro.pipeline import CSRArena as exported_arena
+        from repro.pipeline import shared_memory_available as exported_probe
+
+        assert exported_arena is CSRArena
+        assert exported_probe is shared_memory_available
+
+    def test_run_suite_wrapper_passes_arena_knobs(self):
+        result = repro.run_suite(
+            _spec(scenarios=("torus",), methods=("sequential",)),
+            shared_graphs="on",
+            arena_mb=8,
+        )
+        assert result.arena["graph_builds"] == result.arena["columns"] == 1

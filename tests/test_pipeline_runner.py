@@ -89,7 +89,9 @@ class TestSeedDerivation:
         def run():
             return {
                 record["cell"]: {
-                    key: value for key, value in record.items() if key != "seconds"
+                    key: value
+                    for key, value in record.items()
+                    if key not in ("seconds", "timings")
                 }
                 for record in run_suite(spec).records
             }
@@ -137,12 +139,13 @@ class TestRunSuite:
         assert "diameter" in rows[0]
 
     def test_parallel_matches_serial(self):
+        from tests.conftest import strip_volatile
+
         serial = run_suite(self._SPEC, workers=1)
         parallel = run_suite(self._SPEC, workers=2)
-        strip = lambda record: {
-            key: value for key, value in record.items() if key != "seconds"
-        }
-        assert list(map(strip, serial.records)) == list(map(strip, parallel.records))
+        assert list(map(strip_volatile, serial.records)) == list(
+            map(strip_volatile, parallel.records)
+        )
 
     def test_spec_as_dict_and_unknown_scenario(self):
         result = run_suite(

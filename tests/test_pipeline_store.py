@@ -2,6 +2,7 @@
 
 import json
 import os
+import warnings
 
 import pytest
 
@@ -63,6 +64,120 @@ class TestRunStore:
         store.add(_record("x"))
         assert store.path is None
         assert "x" in store and len(store.results()) == 1
+
+    def test_schema_1_store_loads_backward_compatible(self, tmp_path):
+        """Pre-timings stores (schema 1) must keep loading under schema 2."""
+        path = os.path.join(tmp_path, "v1.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"kind": "header", "schema": 1, "suite": "old"}) + "\n")
+            handle.write(json.dumps({"kind": "result", "cell": "a", "metrics": {}}) + "\n")
+        store = RunStore(path)
+        assert store.suite == "old" and "a" in store
+        assert "timings" not in store.completed_cells()["a"]
+
+
+class TestCrashResilience:
+    def test_truncated_final_line_is_warned_skipped_and_removed(self, tmp_path):
+        path = os.path.join(tmp_path, "crashed.jsonl")
+        store = RunStore(path, suite="demo")
+        store.add(_record("a", rounds=3))
+        store.add(_record("b", rounds=5))
+        with open(path, "rb") as handle:
+            data = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(data[:-9])  # kill -9 mid-append of record "b"
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            reloaded = RunStore(path)
+        assert any("truncated" in str(w.message) for w in caught)
+        assert "a" in reloaded and "b" not in reloaded
+
+        # The fragment was truncated away, so the next append starts a fresh
+        # line and the store round-trips cleanly afterwards.
+        reloaded.add(_record("b", rounds=5))
+        again = RunStore(path)
+        assert "a" in again and "b" in again and len(again) == 2
+
+    def test_final_line_missing_only_its_newline_is_not_glued_onto(self, tmp_path):
+        """A crash can persist a full record but cut the trailing newline;
+        the next append must start a fresh line, not glue onto it."""
+        path = os.path.join(tmp_path, "newline.jsonl")
+        store = RunStore(path, suite="demo")
+        store.add(_record("a", rounds=3))
+        store.add(_record("b", rounds=5))
+        with open(path, "rb") as handle:
+            data = handle.read()
+        assert data.endswith(b"\n")
+        with open(path, "wb") as handle:
+            handle.write(data[:-1])  # crash ate exactly the newline
+
+        reloaded = RunStore(path)
+        assert "a" in reloaded and "b" in reloaded  # record "b" survived
+        reloaded.add(_record("c", rounds=7))
+        again = RunStore(path)
+        assert len(again) == 3
+        assert {"a", "b", "c"} <= set(again.completed_cells())
+
+    def test_read_only_crashed_store_still_loads(self, tmp_path):
+        """Loading never writes: the truncated-tail repair is deferred to the
+        first append, so read-only consumers (analysis, archives) work."""
+        path = os.path.join(tmp_path, "readonly.jsonl")
+        store = RunStore(path, suite="demo")
+        store.add(_record("a", rounds=3))
+        store.add(_record("b", rounds=5))
+        with open(path, "rb") as handle:
+            data = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(data[:-9])
+        os.chmod(path, 0o444)
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                reloaded = RunStore(path)
+                assert "a" in reloaded and "b" not in reloaded
+                assert read_records(path)[0]["cell"] == "a"
+        finally:
+            os.chmod(path, 0o644)
+
+    def test_mid_file_corruption_is_still_an_error(self, tmp_path):
+        path = os.path.join(tmp_path, "damaged.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps({"kind": "header", "schema": SCHEMA_VERSION}) + "\n"
+            )
+            handle.write('{"kind": "result", "cell": "a", "met\n')
+            handle.write(json.dumps({"kind": "result", "cell": "b"}) + "\n")
+        with pytest.raises(ValueError):
+            RunStore(path)
+
+    def test_truncated_header_is_not_silently_tolerated(self, tmp_path):
+        path = os.path.join(tmp_path, "headerless.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"kind": "head')
+        with pytest.raises(ValueError):
+            RunStore(path)
+
+    def test_resume_recomputes_exactly_the_lost_cell(self, tmp_path):
+        spec = SuiteSpec(
+            name="crash-resume",
+            scenarios=("torus",),
+            sizes=(36,),
+            methods=("sequential", "mpx"),
+            seeds=(0,),
+        )
+        path = os.path.join(tmp_path, "sweep.jsonl")
+        repro.run_suite(spec, store=path)
+        with open(path, "rb") as handle:
+            data = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(data[:-20])  # truncate the final record mid-line
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            result = repro.run_suite(spec, store=path)
+        assert result.executed == 1 and result.skipped == 1
+        assert len(RunStore(path)) == 2
 
 
 class TestResume:
