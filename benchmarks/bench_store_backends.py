@@ -1,0 +1,191 @@
+"""Store-backend experiment: JSONL vs SQLite at 50k-record scale.
+
+The JSON-lines backend is the canonical interchange format, but it can only
+answer a filtered question ("the ``mpx`` / ``eps=0.5`` slice, please") by
+parsing the *entire* file.  The SQLite backend keeps the same records behind
+indexed grid-parameter columns, so a filtered query reads — and JSON-parses
+— only the matching slice.  This benchmark measures both backends on the
+same ≥ 50 000 synthetic records:
+
+1. **batched append** (``add_many``) — the bulk-load path used by store
+   migration; one durability barrier per batch on either backend;
+2. **per-record append** (``add``) on a smaller sample — the runner's
+   streaming path (fsync per line vs commit per row; recorded, not
+   asserted: both are dominated by the durability barrier);
+3. **cold filtered query** — open the store file and retrieve one
+   ``method``/``eps`` slice.  JSONL pays a full-file parse; SQLite pays an
+   index lookup.
+
+Acceptance target (ISSUE 4): the SQLite filtered query is **≥ 5×** faster
+than the full JSONL scan at ≥ 50k records.
+
+Run with ``pytest benchmarks/bench_store_backends.py -s`` or directly with
+``python benchmarks/bench_store_backends.py``.
+"""
+
+import os
+import sys
+import tempfile
+import time
+
+import pytest
+
+from _harness import emit_table
+from repro.pipeline import open_store
+
+TOTAL_RECORDS = 50_000
+STREAMING_RECORDS = 2_000
+TARGET_QUERY_SPEEDUP = 5.0
+
+_SCENARIOS = ("torus", "grid", "cycle", "tree", "regular")
+_METHODS = ("strong-log3", "strong-log2", "weak-rg20", "ls93", "mpx", "sequential")
+_EPS = (0.5, 0.25, 0.125, 0.0625)
+_SIZES = (256, 1024, 4096, 16384)
+
+#: The measured slice: one method/eps cut, ~1/24 of the records.
+QUERY = {"method": "mpx", "eps": 0.5}
+
+
+def synthetic_records(total):
+    """Deterministic result records shaped exactly like a carving sweep's."""
+    records = []
+    index = 0
+    while len(records) < total:
+        scenario = _SCENARIOS[index % len(_SCENARIOS)]
+        method = _METHODS[(index // len(_SCENARIOS)) % len(_METHODS)]
+        eps = _EPS[(index // (len(_SCENARIOS) * len(_METHODS))) % len(_EPS)]
+        n = _SIZES[index % len(_SIZES)]
+        seed = index // (len(_SCENARIOS) * len(_METHODS) * len(_EPS))
+        records.append(
+            {
+                "cell": "{}/n{}/{}/eps{:g}/s{}".format(scenario, n, method, eps, seed),
+                "scenario": scenario,
+                "n": n,
+                "method": method,
+                "mode": "carving",
+                "eps": eps,
+                "seed": seed,
+                "graph_seed": index * 2654435761 % 2**32,
+                "algo_seed": index * 40503 % 2**32,
+                "backend": "csr",
+                "metrics": {
+                    "algorithm": method,
+                    "n": n,
+                    "eps": eps,
+                    "kind": "strong",
+                    "clusters": 17 + index % 97,
+                    "diameter": 4 + index % 23,
+                    "dead%": round((index % 50) / 2.0, 2),
+                    "congestion": 1,
+                    "rounds": 100 + index % 4001,
+                },
+                "rounds": {
+                    "total": 100 + index % 4001,
+                    "by_primitive": {"bfs": 60 + index % 2000, "local_step": 40 + index % 2001},
+                },
+                "seconds": round(0.001 * (index % 500), 6),
+                "timings": {
+                    "graph_build_s": 0.0,
+                    "freeze_s": 0.0,
+                    "algo_s": round(0.001 * (index % 500), 6),
+                    "source": "column",
+                },
+            }
+        )
+        index += 1
+    return records
+
+
+def _fresh(tmp, name):
+    return open_store(os.path.join(tmp, name))
+
+
+def backend_rows():
+    """Measure append throughput and filtered-query latency per backend."""
+    records = synthetic_records(TOTAL_RECORDS)
+    streaming = records[:STREAMING_RECORDS]
+    expected_matches = sum(
+        1 for r in records if r["method"] == QUERY["method"] and r["eps"] == QUERY["eps"]
+    )
+    rows = []
+    latencies = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        for backend, filename in (("jsonl", "bulk.jsonl"), ("sqlite", "bulk.sqlite")):
+            store = _fresh(tmp, filename)
+            start = time.perf_counter()
+            store.add_many(records)
+            append_seconds = time.perf_counter() - start
+            store.close()
+
+            stream_store = _fresh(tmp, "stream." + filename.split(".")[1])
+            start = time.perf_counter()
+            for record in streaming:
+                stream_store.add(record)
+            stream_seconds = time.perf_counter() - start
+            stream_store.close()
+
+            # Cold query: a fresh open, as an analysis script would do it.
+            # The JSONL open is the full-file scan; SQLite hits the index.
+            start = time.perf_counter()
+            reopened = open_store(os.path.join(tmp, filename))
+            matches = reopened.query(**QUERY)
+            query_seconds = time.perf_counter() - start
+            reopened.close()
+            assert len(matches) == expected_matches
+
+            latencies[backend] = query_seconds
+            rows.append(
+                {
+                    "backend": backend,
+                    "records": len(records),
+                    "batched append (rec/s)": int(len(records) / append_seconds),
+                    "streamed append (rec/s)": int(len(streaming) / stream_seconds),
+                    "slice": "{}/eps{:g}".format(QUERY["method"], QUERY["eps"]),
+                    "slice rows": len(matches),
+                    "cold query (s)": round(query_seconds, 4),
+                    "bytes": os.path.getsize(os.path.join(tmp, filename)),
+                }
+            )
+    for row in rows:
+        row["query speedup"] = round(latencies["jsonl"] / latencies[row["backend"]], 2)
+    return rows
+
+
+def _check(rows):
+    by_backend = {row["backend"]: row for row in rows}
+    assert by_backend["jsonl"]["records"] >= 50_000
+    speedup = by_backend["sqlite"]["query speedup"]
+    ok = speedup >= TARGET_QUERY_SPEEDUP
+    return ok, (
+        "sqlite filtered query {}x faster than the full JSONL scan at {} records "
+        "(target {}x)".format(
+            speedup, by_backend["sqlite"]["records"], TARGET_QUERY_SPEEDUP
+        )
+    )
+
+
+_TITLE = (
+    "Store backends — batched/streamed append and one method/eps slice query "
+    "at {} records".format(TOTAL_RECORDS)
+)
+
+
+@pytest.mark.benchmark(group="store-backends")
+def test_store_backends():
+    rows = backend_rows()
+    emit_table("store_backends", rows, _TITLE)
+    ok, message = _check(rows)
+    print("\n" + message)
+    assert ok, message
+
+
+def main() -> int:
+    rows = backend_rows()
+    emit_table("store_backends", rows, _TITLE)
+    ok, message = _check(rows)
+    print("{} ({})".format(message, "PASS" if ok else "FAIL"))
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

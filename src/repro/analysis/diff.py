@@ -1,0 +1,361 @@
+"""Cross-store regression diffing: align two run stores cell by cell.
+
+Two sweeps of the same suite — different commits, different store backends,
+different machines — should produce the same *measured* results wherever
+the algorithms are deterministic, and comparable timings everywhere.  This
+module makes that checkable: :func:`diff_stores` aligns two stores on their
+derived cell keys and reports, per cell and aggregated per method,
+
+* deltas in the discrete measurements — cluster count, max diameter, the
+  metric round complexity, and (schema ≥ 3) the :class:`RoundLedger`
+  aggregate charged by the algorithm — where **any** difference is flagged
+  as a regression by default (tolerance 0: a deterministic method changing
+  its answer means the reproduction changed);
+* deltas in ``algo_s`` wall time, flagged only when the current run is
+  slower than the baseline by *both* the relative and the absolute
+  tolerance (timings are noisy; two honest runs of a small cell differ by
+  microseconds, which must not fail a regression gate).
+
+Tolerances are configurable per field (`tolerances={"clusters": 1}` lets
+randomized baselines drift by one cluster; ``{"algo_s": (0.5, 1.0)}``
+means "slower by ≥ 50 % *and* ≥ 1 s").  Cells present in only one store
+are reported separately — a shrunken grid is a finding, not an error.
+
+The result renders as a Markdown regression report
+(:meth:`StoreDiff.to_markdown`), which ``repro-decompose --mode diff
+--store A --baseline B`` prints and
+:func:`repro.analysis.report.generate_report` can embed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+#: Default per-field tolerances.  Discrete measurements must match exactly;
+#: timing regressions need to clear a 100 % relative *and* a 0.25 s
+#: absolute bar before they flag (both bounds, so micro-cell noise and
+#: one-off scheduler hiccups cannot fail a gate on their own).
+DEFAULT_TOLERANCES: Dict[str, Any] = {
+    "clusters": 0,
+    "diameter": 0,
+    "rounds": 0,
+    "ledger_rounds": 0,
+    "algo_s": (1.0, 0.25),
+}
+
+#: Field → how to read it off a result record.
+_FIELD_READERS = {
+    "clusters": lambda record: record.get("metrics", {}).get("clusters"),
+    "diameter": lambda record: record.get("metrics", {}).get("diameter"),
+    "rounds": lambda record: record.get("metrics", {}).get("rounds"),
+    "ledger_rounds": lambda record: (record.get("rounds") or {}).get("total"),
+    "algo_s": lambda record: (record.get("timings") or {}).get("algo_s"),
+}
+
+#: Fields compared symmetrically (any difference beyond tolerance flags).
+DISCRETE_FIELDS = ("clusters", "diameter", "rounds", "ledger_rounds")
+
+#: Fields compared one-sidedly (only "current slower than baseline" flags).
+TIMING_FIELDS = ("algo_s",)
+
+
+@dataclasses.dataclass
+class FieldDelta:
+    """One compared field of one cell: current vs baseline."""
+
+    field: str
+    current: Any
+    baseline: Any
+    delta: float
+    regression: bool
+
+
+@dataclasses.dataclass
+class CellDelta:
+    """All differing fields of one aligned cell."""
+
+    cell: str
+    method: str
+    fields: List[FieldDelta]
+
+    @property
+    def regressions(self) -> List[FieldDelta]:
+        return [field for field in self.fields if field.regression]
+
+
+@dataclasses.dataclass
+class StoreDiff:
+    """Outcome of :func:`diff_stores` — aligned cells, deltas, regressions.
+
+    Attributes:
+        current_path: Path (or label) of the store under test.
+        baseline_path: Path (or label) of the baseline store.
+        matched: Number of cells present in both stores.
+        only_current: Cell ids present only in the current store.
+        only_baseline: Cell ids present only in the baseline store.
+        deltas: Aligned cells with at least one differing compared field.
+        tolerances: The effective per-field tolerances used.
+    """
+
+    current_path: str
+    baseline_path: str
+    matched: int
+    only_current: List[str]
+    only_baseline: List[str]
+    deltas: List[CellDelta]
+    tolerances: Dict[str, Any]
+
+    @property
+    def regressions(self) -> List[CellDelta]:
+        """Cells with at least one field exceeding its tolerance."""
+        return [delta for delta in self.deltas if delta.regressions]
+
+    @property
+    def clean(self) -> bool:
+        """Whether the diff found no regressions and no missing cells."""
+        return not self.regressions and not self.only_baseline
+
+    def per_method(self) -> Dict[str, Dict[str, Any]]:
+        """Aggregate deltas per method: cells, changed cells, worst fields."""
+        summary: Dict[str, Dict[str, Any]] = {}
+        for delta in self.deltas:
+            entry = summary.setdefault(
+                delta.method,
+                {"changed_cells": 0, "regressed_cells": 0, "worst": {}},
+            )
+            entry["changed_cells"] += 1
+            if delta.regressions:
+                entry["regressed_cells"] += 1
+            for field in delta.fields:
+                worst = entry["worst"].get(field.field)
+                if worst is None or abs(field.delta) > abs(worst):
+                    entry["worst"][field.field] = field.delta
+        return summary
+
+    def to_markdown(self) -> str:
+        """Render the regression report as Markdown."""
+        lines: List[str] = []
+        lines.append("## Regression diff")
+        lines.append("")
+        lines.append("* current: `{}`".format(self.current_path))
+        lines.append("* baseline: `{}`".format(self.baseline_path))
+        lines.append(
+            "* aligned cells: {} (current-only: {}, baseline-only: {})".format(
+                self.matched, len(self.only_current), len(self.only_baseline)
+            )
+        )
+        regressions = self.regressions
+        if self.clean:
+            lines.append(
+                "* verdict: **PASS** — 0 regressions in {} aligned cells".format(
+                    self.matched
+                )
+            )
+        else:
+            lines.append(
+                "* verdict: **FAIL** — {} regressed cell(s), {} baseline cell(s) "
+                "missing from the current store".format(
+                    len(regressions), len(self.only_baseline)
+                )
+            )
+        lines.append("")
+
+        if self.deltas:
+            lines.append("### Per-method deltas")
+            lines.append("")
+            lines.append("| method | changed cells | regressed cells | worst deltas |")
+            lines.append("|--------|---------------|-----------------|--------------|")
+            for method, entry in sorted(self.per_method().items()):
+                worst = ", ".join(
+                    "{} {:+g}".format(field, value)
+                    for field, value in sorted(entry["worst"].items())
+                )
+                lines.append(
+                    "| `{}` | {} | {} | {} |".format(
+                        method, entry["changed_cells"], entry["regressed_cells"], worst
+                    )
+                )
+            lines.append("")
+            lines.append("### Changed cells")
+            lines.append("")
+            lines.append("| cell | field | baseline | current | delta | regression |")
+            lines.append("|------|-------|----------|---------|-------|------------|")
+            for delta in self.deltas:
+                for field in delta.fields:
+                    lines.append(
+                        "| `{}` | {} | {} | {} | {:+g} | {} |".format(
+                            delta.cell,
+                            field.field,
+                            field.baseline,
+                            field.current,
+                            field.delta,
+                            "**yes**" if field.regression else "no",
+                        )
+                    )
+            lines.append("")
+        else:
+            lines.append("No aligned cell differs in any compared field.")
+            lines.append("")
+
+        for title, cells in (
+            ("Cells only in the current store", self.only_current),
+            ("Cells only in the baseline store", self.only_baseline),
+        ):
+            if cells:
+                lines.append("### {}".format(title))
+                lines.append("")
+                for cell in cells:
+                    lines.append("* `{}`".format(cell))
+                lines.append("")
+        return "\n".join(lines).rstrip() + "\n"
+
+
+def _timing_regression(
+    current: float, baseline: float, tolerance: Union[float, Tuple[float, float]]
+) -> bool:
+    if isinstance(tolerance, (int, float)):
+        relative, absolute = 0.0, float(tolerance)  # absolute-only bound
+    else:
+        relative, absolute = tolerance
+    if baseline is None or current is None:
+        return False
+    slowdown = current - baseline
+    return slowdown > absolute and slowdown > relative * max(baseline, 0.0)
+
+
+def _resolve_store(store: Union[str, Any]):
+    """Accept a path (opened by extension) or an already-open store."""
+    if isinstance(store, str):
+        from repro.pipeline.backends import open_store
+
+        if not os.path.exists(store):
+            # open_store would silently create an empty store here, and an
+            # empty baseline diffs clean — a mistyped path must not let a
+            # regression gate pass vacuously.
+            raise FileNotFoundError("no such run store: {!r}".format(store))
+        return open_store(store), store
+    label = getattr(store, "path", None) or "<in-memory {}>".format(
+        getattr(store, "backend", "store")
+    )
+    return store, str(label)
+
+
+def diff_stores(
+    current: Union[str, Any],
+    baseline: Union[str, Any],
+    tolerances: Optional[Dict[str, Any]] = None,
+) -> StoreDiff:
+    """Align two run stores cell by cell and compute their deltas.
+
+    Args:
+        current: Store under test — a path (any backend, selected by
+            extension) or an open store object.
+        baseline: Baseline store to compare against, same forms.
+        tolerances: Per-field overrides of :data:`DEFAULT_TOLERANCES`.
+            Discrete fields take an absolute number; ``algo_s`` takes a
+            ``(relative, absolute_seconds)`` pair — a cell flags only when
+            slower than the baseline by more than both.  Setting a field's
+            tolerance to ``None`` excludes it from comparison entirely.
+
+    Returns:
+        A :class:`StoreDiff`; ``diff.clean`` is the regression-gate verdict.
+    """
+    effective = dict(DEFAULT_TOLERANCES)
+    if tolerances:
+        unknown = sorted(set(tolerances) - set(DEFAULT_TOLERANCES))
+        if unknown:
+            raise ValueError(
+                "unknown diff field(s) {}; compared fields: {}".format(
+                    ", ".join(unknown), ", ".join(sorted(DEFAULT_TOLERANCES))
+                )
+            )
+        effective.update(tolerances)
+
+    current_store, current_label = _resolve_store(current)
+    baseline_store, baseline_label = _resolve_store(baseline)
+    current_cells = current_store.completed_cells()
+    baseline_cells = baseline_store.completed_cells()
+
+    matched_keys = [key for key in current_cells if key in baseline_cells]
+    deltas: List[CellDelta] = []
+    for key in matched_keys:
+        record = current_cells[key]
+        base = baseline_cells[key]
+        fields: List[FieldDelta] = []
+        for field, reader in _FIELD_READERS.items():
+            tolerance = effective.get(field)
+            if tolerance is None:
+                continue
+            value, base_value = reader(record), reader(base)
+            if value is None and base_value is None:
+                continue  # neither run recorded the field (older schema)
+            if value == base_value:
+                continue
+            try:
+                delta = float(value) - float(base_value)
+            except (TypeError, ValueError):
+                delta = float("nan")
+            if value is None or base_value is None:
+                # One run predates the field (schema 1–2 baseline vs a
+                # schema-3 current, say): report it, but a schema upgrade
+                # is not a regression.
+                regression = False
+            elif field in TIMING_FIELDS:
+                regression = _timing_regression(value, base_value, tolerance)
+                if not regression:
+                    # Wall times differ between any two honest runs; only a
+                    # tolerance-breaking slowdown is a *delta* worth
+                    # reporting (twin runs must diff clean).
+                    continue
+            else:
+                regression = abs(delta) > float(tolerance)
+            fields.append(
+                FieldDelta(
+                    field=field,
+                    current=value,
+                    baseline=base_value,
+                    delta=delta,
+                    regression=regression,
+                )
+            )
+        if fields:
+            deltas.append(
+                CellDelta(cell=key, method=str(record.get("method")), fields=fields)
+            )
+
+    return StoreDiff(
+        current_path=current_label,
+        baseline_path=baseline_label,
+        matched=len(matched_keys),
+        only_current=[key for key in current_cells if key not in baseline_cells],
+        only_baseline=[key for key in baseline_cells if key not in current_cells],
+        deltas=deltas,
+        tolerances=effective,
+    )
+
+
+def parse_tolerance_overrides(pairs: Sequence[str]) -> Dict[str, Any]:
+    """Parse CLI ``field=value`` tolerance overrides.
+
+    ``algo_s`` accepts ``rel,abs`` (e.g. ``algo_s=0.5,1.0``); every other
+    field a single number; ``field=none`` disables the field.
+    """
+    overrides: Dict[str, Any] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise ValueError(
+                "tolerance override {!r} is not of the form field=value".format(pair)
+            )
+        field, _, raw = pair.partition("=")
+        field = field.strip()
+        raw = raw.strip()
+        if raw.lower() in ("none", "off"):
+            overrides[field] = None
+        elif "," in raw:
+            relative, _, absolute = raw.partition(",")
+            overrides[field] = (float(relative), float(absolute))
+        else:
+            overrides[field] = float(raw)
+    return overrides

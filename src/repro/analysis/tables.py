@@ -83,9 +83,10 @@ def rows_from_records(
     Returns:
         One flat row dictionary per record.  Schema-2 records additionally
         get ``build_s`` (generator/attach + CSR freeze) and ``algo_s``
-        columns from their ``timings`` breakdown, so build-vs-algorithm
-        attribution renders next to the metrics (older records simply lack
-        the columns).
+        columns from their ``timings`` breakdown, and schema-3 records a
+        ``ledger_rounds`` column (the RoundLedger total charged by the
+        algorithm), so build-vs-algorithm attribution and round budgets
+        render next to the metrics (older records simply lack the columns).
     """
     rows: List[Dict[str, Any]] = []
     for record in records:
@@ -99,6 +100,12 @@ def rows_from_records(
         for key, value in dict(record.get("metrics", {})).items():
             # Grid parameters win on clashes (metrics repeat method/eps).
             row.setdefault(key, value)
+        rounds = record.get("rounds")
+        if isinstance(rounds, dict) and "total" in rounds:
+            # Schema-3 records carry the RoundLedger aggregate next to the
+            # measured metric rounds; surface the charged total so round
+            # budgets render (and regress) alongside the measurements.
+            row["ledger_rounds"] = rounds["total"]
         if "seconds" in record:
             row["seconds"] = record["seconds"]
         timings = record.get("timings")

@@ -13,6 +13,13 @@ over ``--workers`` processes and resumed from / persisted to ``--store``.
 ``--shared-graphs`` controls the column-batched shared-graph arena (one
 topology build per grid column, zero-copy shared-memory segments in pool
 runs) and ``--arena-mb`` bounds the live segment budget.
+
+The run store behind ``--store`` is pluggable (``--store-backend``, or by
+extension: ``.sqlite``/``.db`` selects the indexed SQLite backend, anything
+else the JSON-lines interchange format).  ``--mode diff`` regression-diffs
+two stores (``--store`` vs ``--baseline``) into a Markdown report, and the
+``store`` verbs (``python -m repro store migrate|export|info``) convert
+between backends losslessly.
 """
 
 from __future__ import annotations
@@ -52,11 +59,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--mode",
-        choices=("decomposition", "carving", "suite"),
+        choices=("decomposition", "carving", "suite", "diff"),
         default="decomposition",
         help=(
             "compute a full network decomposition, a single ball carving, "
-            "or run a whole suite grid through the batch pipeline"
+            "run a whole suite grid through the batch pipeline, or diff two "
+            "run stores (--store vs --baseline) into a regression report"
         ),
     )
     parser.add_argument("--eps", type=float, default=0.5, help="carving boundary parameter")
@@ -118,8 +126,36 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help=(
-            "suite mode: JSON-lines run store to resume from and stream "
-            "results into (created if missing; completed cells are skipped)"
+            "suite mode: run store to resume from and stream results into "
+            "(created if missing; completed cells are skipped; a .sqlite/.db "
+            "extension selects the SQLite backend).  diff mode: the store "
+            "under test"
+        ),
+    )
+    parser.add_argument(
+        "--store-backend",
+        choices=("auto", "jsonl", "sqlite"),
+        default="auto",
+        help=(
+            "store backend override ('auto' selects by the --store path "
+            "extension: .sqlite/.sqlite3/.db -> sqlite, else jsonl)"
+        ),
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="diff mode: the baseline run store to compare --store against",
+    )
+    parser.add_argument(
+        "--diff-tolerance",
+        metavar="FIELD=VALUE",
+        action="append",
+        default=None,
+        help=(
+            "diff mode: per-field tolerance override (repeatable), e.g. "
+            "'clusters=1', 'algo_s=0.5,1.0' (relative,absolute seconds) or "
+            "'rounds=none' to skip a field"
         ),
     )
     parser.add_argument(
@@ -183,6 +219,7 @@ def _run_suite_mode(args) -> int:
         workers=args.workers,
         shared_graphs=args.shared_graphs,
         arena_mb=args.arena_mb,
+        store_backend=args.store_backend,
     )
     print(
         format_table(
@@ -208,8 +245,136 @@ def _run_suite_mode(args) -> int:
     return 0
 
 
+def _run_diff_mode(args) -> int:
+    """``--mode diff``: regression-diff two run stores, print Markdown.
+
+    Exit code 0 when the diff is clean (no tolerance-breaking deltas and no
+    baseline cells missing), 1 otherwise — so CI can gate on it directly.
+    """
+    from repro.analysis.diff import diff_stores, parse_tolerance_overrides
+
+    if args.store is None or args.baseline is None:
+        print("--mode diff needs both --store and --baseline", file=sys.stderr)
+        return 2
+    import os
+
+    from repro.pipeline.backends import open_store
+
+    # Usage errors (missing files, bad tolerance syntax, unknown fields)
+    # exit 2, keeping exit 1 unambiguous: "the diff found regressions".
+    try:
+        tolerances = parse_tolerance_overrides(args.diff_tolerance or [])
+        if not os.path.exists(args.store):
+            raise FileNotFoundError("no such run store: {!r}".format(args.store))
+        # --store-backend overrides the extension for the store under test;
+        # the baseline is always opened by its own extension.
+        current = open_store(args.store, backend=args.store_backend)
+        diff = diff_stores(current, args.baseline, tolerances=tolerances)
+    except (ValueError, OSError) as error:
+        print("diff: {}".format(error), file=sys.stderr)
+        return 2
+    markdown = diff.to_markdown()
+    if args.report is not None:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(markdown)
+        print("wrote regression diff to {}".format(args.report))
+    print(markdown)
+    return 0 if diff.clean else 1
+
+
+def build_store_parser() -> argparse.ArgumentParser:
+    """Parser for the ``store`` maintenance verbs (``python -m repro store``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-decompose store",
+        description=(
+            "Run-store maintenance: convert stores between the JSON-lines "
+            "interchange format and the indexed SQLite backend, losslessly."
+        ),
+    )
+    verbs = parser.add_subparsers(dest="verb", required=True)
+
+    migrate = verbs.add_parser(
+        "migrate",
+        help="convert a run store to another backend (selected by the "
+        "destination extension, or forced with --store-backend)",
+    )
+    migrate.add_argument("source", help="existing run store (any backend)")
+    migrate.add_argument("destination", help="store file to create")
+    migrate.add_argument(
+        "--store-backend",
+        choices=("auto", "jsonl", "sqlite"),
+        default="auto",
+        help="destination backend ('auto' selects by extension)",
+    )
+
+    export = verbs.add_parser(
+        "export",
+        help="export any run store to the canonical JSON-lines interchange "
+        "format (byte-identical to a store written directly as JSONL)",
+    )
+    export.add_argument("source", help="existing run store (any backend)")
+    export.add_argument("destination", help="JSON-lines file to create")
+
+    info = verbs.add_parser("info", help="print a store's header and cell count")
+    info.add_argument("source", help="run store to inspect (any backend)")
+    return parser
+
+
+def _store_main(argv: List[str]) -> int:
+    """Dispatch the ``store migrate`` / ``store export`` / ``store info`` verbs."""
+    import json
+
+    from repro.pipeline.backends import backend_for_path, convert_store, open_store
+
+    import os
+
+    args = build_store_parser().parse_args(argv)
+    if not os.path.exists(args.source):
+        print("store {}: no such store: {}".format(args.verb, args.source), file=sys.stderr)
+        return 1
+    if args.verb == "info":
+        store = open_store(args.source)
+        print(
+            "backend={} suite={!r} cells={}".format(store.backend, store.suite, len(store))
+        )
+        if store.metadata:
+            print("metadata: {}".format(json.dumps(store.metadata)))
+        store.close()
+        return 0
+
+    destination_backend = (
+        "jsonl" if args.verb == "export" else getattr(args, "store_backend", "auto")
+    )
+    try:
+        destination = convert_store(
+            args.source, args.destination, destination_backend=destination_backend
+        )
+    except (ValueError, OSError) as error:
+        print("store {}: {}".format(args.verb, error), file=sys.stderr)
+        return 1
+    count = len(destination)
+    destination.close()
+    print(
+        "{} {} record(s): {} ({}) -> {} ({})".format(
+            "migrated" if args.verb == "migrate" else "exported",
+            count,
+            args.source,
+            backend_for_path(args.source),
+            args.destination,
+            destination_backend
+            if destination_backend != "auto"
+            else backend_for_path(args.destination),
+        )
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "store":
+        return _store_main(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -222,6 +387,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.mode == "suite":
         return _run_suite_mode(args)
+
+    if args.mode == "diff":
+        return _run_diff_mode(args)
 
     if args.report is not None:
         from repro.analysis.report import generate_report

@@ -181,6 +181,7 @@ def run_suite(
     shared_graphs="auto",
     arena_mb: int = 256,
     start_method: Optional[str] = None,
+    store_backend: Optional[str] = None,
 ):
     """Run a whole experiment grid (the batched form of carve/decompose).
 
@@ -206,9 +207,10 @@ def run_suite(
     Args:
         spec: A :class:`repro.pipeline.SuiteSpec`, a spec dictionary, or the
             path of a JSON spec file (format: ``docs/pipeline.md``).
-        store: A :class:`repro.pipeline.RunStore`, the path of a JSON-lines
-            store file (created, or resumed if it exists), or ``None`` for a
-            fresh in-memory store.
+        store: An open run store (any backend), the path of a store file
+            (created, or resumed if it exists; ``.sqlite``/``.db`` paths
+            select the SQLite backend, everything else JSON lines), or
+            ``None`` for a fresh in-memory store.
         workers: Fan-out pool size; ``1`` is serial, ``0``/``None``
             autodetects the CPU count.
         shared_graphs: ``"auto"`` (default) / ``"on"`` / ``"off"`` — share
@@ -217,6 +219,8 @@ def run_suite(
             unusable, ``"on"`` raises there instead.
         arena_mb: Budget (MiB) for live shared-memory segments in pool mode.
         start_method: Optional multiprocessing start method for the pool.
+        store_backend: Explicit store backend (``"jsonl"`` / ``"sqlite"``)
+            when ``store`` is a path; default selects by extension.
 
     Returns:
         A :class:`repro.pipeline.SuiteResult` (records, executed/skipped
@@ -232,4 +236,5 @@ def run_suite(
         shared_graphs=shared_graphs,
         arena_mb=arena_mb,
         start_method=start_method,
+        store_backend=store_backend,
     )

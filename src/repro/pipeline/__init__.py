@@ -11,11 +11,15 @@ This subpackage turns the reproduction's experiments into data:
 * :mod:`repro.pipeline.arena` — the zero-copy shared-memory
   :class:`CSRArena` that publishes each column's frozen CSR graph once and
   lets pool workers reattach it without rebuilds or pickled adjacency;
-* :mod:`repro.pipeline.store` — the persistent JSON-lines
-  :class:`RunStore` with schema versioning, fsynced appends and
-  resume-after-partial-run.
+* :mod:`repro.pipeline.backends` — the pluggable run-store backends behind
+  the :class:`RunStoreBase` interface: the canonical JSON-lines
+  :class:`RunStore` (schema versioning, fsynced appends,
+  resume-after-partial-run) and the indexed WAL-mode
+  :class:`SqliteRunStore`, selected by :func:`open_store` and converted
+  losslessly by :func:`convert_store`.
 
-See ``docs/pipeline.md`` for the suite spec format and a worked example.
+See ``docs/pipeline.md`` for the suite spec format, the store-backend
+selection rules and a worked example.
 """
 
 from repro.pipeline.arena import CSRArena, SegmentDescriptor, shared_memory_available
@@ -34,6 +38,16 @@ from repro.pipeline.scenarios import (
     list_scenarios,
     register_scenario,
 )
+from repro.pipeline.backends import (
+    BACKENDS,
+    COMPATIBLE_SCHEMAS,
+    RunStoreBase,
+    SqliteRunStore,
+    StoreCorruptError,
+    backend_for_path,
+    convert_store,
+    open_store,
+)
 from repro.pipeline.store import SCHEMA_VERSION, RunStore, StoreSchemaError, read_records
 
 __all__ = [
@@ -51,8 +65,16 @@ __all__ = [
     "get_scenario",
     "list_scenarios",
     "register_scenario",
+    "BACKENDS",
+    "COMPATIBLE_SCHEMAS",
     "SCHEMA_VERSION",
     "RunStore",
+    "RunStoreBase",
+    "SqliteRunStore",
+    "StoreCorruptError",
     "StoreSchemaError",
+    "backend_for_path",
+    "convert_store",
+    "open_store",
     "read_records",
 ]

@@ -1,0 +1,152 @@
+"""Pluggable run-store backends: selection, registry and lossless conversion.
+
+The pipeline persists suite results through the abstract
+:class:`~repro.pipeline.backends.base.RunStoreBase` interface; two backends
+implement it:
+
+* ``jsonl`` (:class:`~repro.pipeline.backends.jsonl.JsonlRunStore`) — the
+  canonical append-only JSON-lines interchange format: human-readable,
+  diffable, fsync-per-record durable;
+* ``sqlite`` (:class:`~repro.pipeline.backends.sqlite.SqliteRunStore`) — a
+  WAL-mode SQLite database with the grid parameters as indexed columns, for
+  sweeps too large to re-parse end-to-end.
+
+:func:`open_store` picks the backend from the store path's extension
+(``.sqlite`` / ``.sqlite3`` / ``.db`` → SQLite, everything else → JSON
+lines) unless an explicit backend name overrides it — that is what the CLI
+``--store-backend`` flag feeds.  :func:`convert_store` migrates a store
+between backends **losslessly**: records travel as their exact JSON texts,
+so a JSONL → SQLite → JSONL round trip is byte-identical.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Optional, Type
+
+from repro.pipeline.backends.base import (
+    COMPATIBLE_SCHEMAS,
+    QUERY_FIELDS,
+    SCHEMA_VERSION,
+    RunStoreBase,
+    StoreCorruptError,
+    StoreSchemaError,
+)
+from repro.pipeline.backends.jsonl import JsonlRunStore
+from repro.pipeline.backends.sqlite import SqliteRunStore
+
+#: Backend registry: name → store class.
+BACKENDS: Dict[str, Type[RunStoreBase]] = {
+    JsonlRunStore.backend: JsonlRunStore,
+    SqliteRunStore.backend: SqliteRunStore,
+}
+
+#: Store-path extensions that select the SQLite backend under ``"auto"``.
+SQLITE_EXTENSIONS = (".sqlite", ".sqlite3", ".db")
+
+
+def backend_for_path(path: Optional[str], backend: Optional[str] = None) -> str:
+    """Resolve the backend name for a store path.
+
+    ``backend=None`` / ``"auto"`` selects by extension (SQLite for
+    :data:`SQLITE_EXTENSIONS`, JSON lines otherwise — including ``None``
+    paths, whose in-memory store only the jsonl backend offers); any other
+    value must be a registered backend name and wins outright.
+    """
+    if backend not in (None, "auto"):
+        if backend not in BACKENDS:
+            raise ValueError(
+                "unknown store backend {!r}; choose from {}".format(
+                    backend, sorted(BACKENDS) + ["auto"]
+                )
+            )
+        return backend
+    if path is not None and os.path.splitext(path)[1].lower() in SQLITE_EXTENSIONS:
+        return SqliteRunStore.backend
+    return JsonlRunStore.backend
+
+
+def open_store(
+    path: Optional[str],
+    suite: str = "",
+    metadata: Optional[Dict[str, Any]] = None,
+    backend: Optional[str] = None,
+    schema: Optional[int] = None,
+) -> RunStoreBase:
+    """Open (or create) a run store, selecting the backend.
+
+    Args:
+        path: Store file, or ``None`` for an in-memory (jsonl-backend)
+            store.
+        suite: Suite name for a newly created store's header.
+        metadata: Header metadata for a newly created store.
+        backend: Explicit backend name (``"jsonl"`` / ``"sqlite"``), or
+            ``None`` / ``"auto"`` to select by the path's extension.
+        schema: Record-schema version for a newly created store's header
+            (default: the current ``SCHEMA_VERSION``; conversion passes the
+            source's version through).  An existing store keeps — and
+            validates — its own.
+
+    Returns:
+        A ready :class:`~repro.pipeline.backends.base.RunStoreBase`.
+    """
+    name = backend_for_path(path, backend)
+    return BACKENDS[name](path, suite=suite, metadata=metadata, schema=schema)
+
+
+def convert_store(
+    source: str,
+    destination: str,
+    source_backend: Optional[str] = None,
+    destination_backend: Optional[str] = None,
+) -> RunStoreBase:
+    """Convert a run store between backends, losslessly.
+
+    Opens ``source`` (validating its schema), creates ``destination`` with
+    the same suite name and header metadata, and bulk-appends every result
+    record in order.  Records cross as plain dictionaries and are
+    re-serialised by ``json.dumps`` on both sides, so a round trip
+    reproduces the original JSON-lines bytes exactly — this is the
+    ``repro store migrate`` / ``repro store export`` implementation.
+
+    Refuses to overwrite an existing non-empty destination (a half-typed
+    path must not silently merge two sweeps).
+
+    Returns:
+        The populated destination store.
+    """
+    source_store = open_store(source, backend=source_backend)
+    if os.path.exists(destination) and os.path.getsize(destination) > 0:
+        raise ValueError(
+            "destination store {!r} already exists; convert into a fresh "
+            "path (or delete it first)".format(destination)
+        )
+    destination_store = open_store(
+        destination,
+        suite=source_store.suite,
+        metadata=source_store.metadata,
+        backend=destination_backend,
+        schema=source_store.schema,
+    )
+    # add_many re-applies the "kind" tag in place (dict update preserves the
+    # original key position), so the re-serialised JSON matches byte-for-byte.
+    destination_store.add_many(source_store.results())
+    source_store.close()
+    return destination_store
+
+
+__all__ = [
+    "BACKENDS",
+    "COMPATIBLE_SCHEMAS",
+    "JsonlRunStore",
+    "QUERY_FIELDS",
+    "RunStoreBase",
+    "SCHEMA_VERSION",
+    "SQLITE_EXTENSIONS",
+    "SqliteRunStore",
+    "StoreCorruptError",
+    "StoreSchemaError",
+    "backend_for_path",
+    "convert_store",
+    "open_store",
+]

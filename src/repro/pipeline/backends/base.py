@@ -1,0 +1,198 @@
+"""The abstract :class:`RunStoreBase` interface shared by store backends.
+
+A run store persists one **result record** per executed grid cell plus one
+header (suite name, metadata, schema version).  Every backend — whatever its
+on-disk format — offers the same contract, which is all the runner, the
+analysis layer and the diff engine ever program against:
+
+* :meth:`~RunStoreBase.add` — append one record durably (a killed worker
+  loses at most the record it was writing);
+* :meth:`~RunStoreBase.add_many` — batched append for bulk loads
+  (migration, benchmarks); durability is per *batch*, not per record;
+* :meth:`~RunStoreBase.results` / iteration — every record, in insertion
+  (= completion) order;
+* :meth:`~RunStoreBase.completed_cells` / ``in`` — the resume index;
+* :meth:`~RunStoreBase.query` — filtered retrieval by grid parameters
+  (``scenario`` / ``n`` / ``method`` / ``eps`` / ``seed`` / ``mode`` /
+  ``cell``); backends with native indexes (SQLite) answer without loading
+  the whole store, the JSON-lines backend filters in memory;
+* schema validation — opening a store written by an incompatible schema
+  version raises :class:`StoreSchemaError`; an unreadable or damaged file
+  raises :class:`StoreCorruptError` instead of silently misreading data.
+
+Schema history (shared by all backends; the version describes the *record*
+shape, not the container format):
+
+* **1** — grid parameters + ``metrics`` + ``seconds``;
+* **2** — added the per-record ``timings`` wall-time breakdown;
+* **3** — added the per-record ``rounds`` ledger aggregate
+  (``{"total": ..., "by_primitive": {...}}``) charged by the algorithm's
+  :class:`repro.congest.rounds.RoundLedger`.
+
+Each addition is optional for consumers, so every older version still loads.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional
+
+SCHEMA_VERSION = 3
+
+#: Schema versions this build can safely read.  Versions 1–2 lack the
+#: ``timings`` / ``rounds`` keys, which every consumer treats as optional.
+COMPATIBLE_SCHEMAS = (1, 2, 3)
+
+#: Grid parameters a :meth:`RunStoreBase.query` may filter on.  The SQLite
+#: backend keeps each (minus ``mode``) as an indexed column.
+QUERY_FIELDS = ("cell", "scenario", "n", "method", "eps", "seed", "mode")
+
+
+class StoreSchemaError(ValueError):
+    """Raised when a store's schema version is not a supported one."""
+
+
+class StoreCorruptError(ValueError):
+    """Raised when a store file exists but cannot be read as its format."""
+
+
+def check_schema(version: Any, path: Optional[str]) -> int:
+    """Validate a header schema version, raising :class:`StoreSchemaError`."""
+    if version not in COMPATIBLE_SCHEMAS:
+        raise StoreSchemaError(
+            "store {!r} has schema {!r}; this build supports {!r}".format(
+                path, version, COMPATIBLE_SCHEMAS
+            )
+        )
+    return int(version)
+
+
+def validate_query_filters(filters: Dict[str, Any]) -> Dict[str, Any]:
+    """Reject unknown filter keys early (typos must not match everything)."""
+    unknown = sorted(set(filters) - set(QUERY_FIELDS))
+    if unknown:
+        raise ValueError(
+            "unknown query filter(s) {}; valid fields: {}".format(
+                ", ".join(unknown), ", ".join(QUERY_FIELDS)
+            )
+        )
+    return filters
+
+
+def record_matches(record: Dict[str, Any], filters: Dict[str, Any]) -> bool:
+    """Whether a result record satisfies every ``field == value`` filter."""
+    return all(record.get(field) == value for field, value in filters.items())
+
+
+class RunStoreBase:
+    """Common behaviour and the backend contract.
+
+    Subclasses implement ``_append`` (durable single append), ``_extend``
+    (batched append), ``results``, ``completed_cells``, ``__len__`` and
+    ``__contains__``; the shared code here handles record validation and the
+    default in-memory ``query``.
+
+    Attributes:
+        backend: Registry name of the concrete backend (``"jsonl"`` /
+            ``"sqlite"``).
+        path: Backing file, or ``None`` for an in-memory store.
+        suite: Suite name from the header (or the constructor, for a new
+            store).
+        metadata: Header metadata dictionary.
+    """
+
+    backend = "abstract"
+
+    def __init__(
+        self,
+        path: Optional[str],
+        suite: str = "",
+        metadata: Optional[Dict[str, Any]] = None,
+        schema: Optional[int] = None,
+    ) -> None:
+        self.path = path
+        self.suite = suite
+        self.metadata: Dict[str, Any] = dict(metadata or {})
+        #: Record-schema version of this store: the header's version for an
+        #: existing store, ``schema`` (or the current SCHEMA_VERSION) for a
+        #: new one.  Conversion passes the source's version through so a
+        #: migrated schema-1/2 store is not rebranded as schema 3.
+        self.schema = check_schema(
+            SCHEMA_VERSION if schema is None else schema, path
+        )
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+    def _normalize(self, record: Dict[str, Any]) -> Dict[str, Any]:
+        record = dict(record, kind="result")
+        if "cell" not in record:
+            raise ValueError("result records must carry a 'cell' id")
+        return record
+
+    def add(self, record: Dict[str, Any]) -> Dict[str, Any]:
+        """Append one result record (a dict with at least a ``"cell"`` key).
+
+        The record is tagged ``kind="result"``, persisted immediately (so a
+        crash loses at most the in-flight cell), and indexed for
+        :meth:`completed_cells`.  Returns the stored record.
+        """
+        record = self._normalize(record)
+        self._append(record)
+        return record
+
+    def add_many(self, records: List[Dict[str, Any]]) -> int:
+        """Batched append (one durability barrier for the whole batch).
+
+        The bulk-load path: store migration and synthetic benchmarks go
+        through this instead of paying one fsync/commit per record.
+        Returns the number of records appended.
+        """
+        normalized = [self._normalize(record) for record in records]
+        if normalized:
+            self._extend(normalized)
+        return len(normalized)
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def _extend(self, records: List[Dict[str, Any]]) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    def results(self) -> List[Dict[str, Any]]:
+        """All result records, in insertion (= completion) order."""
+        raise NotImplementedError
+
+    def completed_cells(self) -> Dict[str, Dict[str, Any]]:
+        """Map of cell id → stored record for every completed cell."""
+        raise NotImplementedError
+
+    def query(self, **filters: Any) -> List[Dict[str, Any]]:
+        """Result records matching every given grid-parameter filter.
+
+        Example: ``store.query(method="mpx", eps=0.5)``.  Valid fields are
+        :data:`QUERY_FIELDS`; unknown fields raise ``ValueError``.  The base
+        implementation scans :meth:`results` in memory — backends with
+        native indexes override it.
+        """
+        validate_query_filters(filters)
+        return [record for record in self.results() if record_matches(record, filters)]
+
+    def __contains__(self, cell_id: str) -> bool:
+        return str(cell_id) in self.completed_cells()
+
+    def __len__(self) -> int:
+        return len(self.results())
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return iter(self.results())
+
+    def close(self) -> None:
+        """Release backend resources (file handles, connections); idempotent."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return "{}(path={!r}, suite={!r}, records={})".format(
+            type(self).__name__, self.path, self.suite, len(self)
+        )

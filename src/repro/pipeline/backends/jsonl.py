@@ -1,0 +1,219 @@
+"""JSON-lines store backend — the canonical interchange format.
+
+A suite run produces one result record per grid cell; this backend keeps
+them in a plain JSON-lines file so that
+
+* a crashed or interrupted sweep can be **resumed** — already-completed
+  cells are skipped on the next run (the runner consults
+  :meth:`~repro.pipeline.backends.base.RunStoreBase.completed_cells`);
+* results are **archivable and diffable** with nothing but a text editor —
+  which is why migration between backends always round-trips through this
+  format (see :func:`repro.pipeline.backends.convert_store`);
+* the format can **evolve** — the first line of every store is a header
+  record carrying ``schema``; opening a store written by an incompatible
+  schema version raises :class:`StoreSchemaError` instead of silently
+  misreading old data.
+
+File format (one JSON object per line)::
+
+    {"kind": "header", "schema": 3, "suite": "table1", "metadata": {...}}
+    {"kind": "result", "cell": "torus/n256/strong-log3/s0", ...,
+     "timings": {"graph_build_s": ..., "freeze_s": ..., "algo_s": ..., "source": "build"},
+     "rounds": {"total": ..., "by_primitive": {"bfs": ..., ...}}}
+    {"kind": "result", "cell": "torus/n256/mpx/s0", ...}
+
+Durability: every :meth:`add` is flushed *and fsynced*, so a killed worker
+loses at most the line it was writing.  A store whose **final** line is
+truncated mid-write (the classic crash artefact) loads with a warning,
+skipping just that line — resume then recomputes exactly the one lost cell
+instead of refusing the whole store.  A corrupt line anywhere *before* the
+end is still an error: that is damage, not an interrupted append.
+(Batched :meth:`add_many` appends fsync once per batch instead.)
+
+Passing ``path=None`` gives an in-memory store with the same interface —
+useful for tests and for benchmarks that do not want to touch disk.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.pipeline.backends.base import (
+    RunStoreBase,
+    StoreSchemaError,
+    check_schema,
+    record_matches,
+    validate_query_filters,
+)
+
+
+class JsonlRunStore(RunStoreBase):
+    """Append-only JSON-lines store with resume support.
+
+    Args:
+        path: JSON-lines file backing the store, or ``None`` for a purely
+            in-memory store.  An existing file is loaded (and its schema
+            validated); a missing file is created together with its header
+            on the first :meth:`add`.
+        suite: Suite name recorded in the header of a newly created store.
+        metadata: Extra header metadata for a newly created store (spec
+            parameters, hostname, ... — anything JSON-serialisable).
+    """
+
+    backend = "jsonl"
+
+    def __init__(
+        self,
+        path: Optional[str],
+        suite: str = "",
+        metadata: Optional[Dict[str, Any]] = None,
+        schema: Optional[int] = None,
+    ) -> None:
+        super().__init__(path, suite=suite, metadata=metadata, schema=schema)
+        self._records: List[Dict[str, Any]] = []
+        self._completed: Dict[str, Dict[str, Any]] = {}
+        self._header_written = False
+        # Crash-repair state discovered by _load, applied lazily by the
+        # first append (loading never writes, so read-only consumers and
+        # read-only mounts still get the warn-and-skip behaviour):
+        # _repair_truncate_to drops a half-written final line;
+        # _repair_newline terminates a final line whose trailing newline
+        # was lost (the record itself parsed fine), so the next append
+        # cannot glue onto it.
+        self._repair_truncate_to: Optional[int] = None
+        self._repair_newline = False
+        if path is not None and os.path.exists(path):
+            self._load(path)
+
+    def _load(self, path: str) -> None:
+        with open(path, "rb") as handle:
+            lines = handle.read().splitlines(keepends=True)
+        content_numbers = [
+            number for number, line in enumerate(lines, start=1) if line.strip()
+        ]
+        last_content = content_numbers[-1] if content_numbers else 0
+        if lines and not lines[-1].endswith(b"\n"):
+            self._repair_newline = True
+        offset = 0
+        for line_number, raw in enumerate(lines, start=1):
+            line = raw.strip()
+            if not line:
+                offset += len(raw)
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                if line_number == last_content and self._header_written:
+                    # An interrupted append (killed worker, power loss)
+                    # leaves a truncated final line.  Dropping it loses
+                    # exactly the in-flight cell — resume recomputes it —
+                    # whereas refusing the store would throw away every
+                    # completed record with it.  The first append truncates
+                    # the file back to the last good byte so it starts on a
+                    # fresh line instead of gluing onto the fragment.
+                    warnings.warn(
+                        "store {!r}: dropping truncated final line {} "
+                        "(interrupted append); the affected cell will be "
+                        "recomputed on resume".format(path, line_number),
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+                    self._repair_truncate_to = offset
+                    self._repair_newline = False  # the fragment is dropped
+                    return
+                raise
+            offset += len(raw)
+            kind = record.get("kind")
+            if line_number == 1 or not self._header_written:
+                if kind != "header":
+                    raise StoreSchemaError(
+                        "store {!r} does not start with a header record".format(path)
+                    )
+                self.schema = check_schema(record.get("schema"), path)
+                self.suite = record.get("suite", self.suite)
+                self.metadata = dict(record.get("metadata", {}))
+                self._header_written = True
+                continue
+            if kind == "result":
+                self._remember(record)
+
+    def _remember(self, record: Dict[str, Any]) -> None:
+        self._records.append(record)
+        cell = record.get("cell")
+        if cell is not None:
+            self._completed[str(cell)] = record
+
+    def _apply_pending_repairs(self) -> None:
+        if self._repair_truncate_to is not None:
+            with open(self.path, "rb+") as handle:
+                handle.truncate(self._repair_truncate_to)
+            self._repair_truncate_to = None
+
+    def _write_lines(self, records: List[Dict[str, Any]]) -> None:
+        if self.path is None:
+            return
+        self._apply_pending_repairs()
+        with open(self.path, "a", encoding="utf-8") as handle:
+            if self._repair_newline:
+                # The previous final line parsed but lost its newline in a
+                # crash; terminate it so this append starts a fresh line.
+                handle.write("\n")
+                self._repair_newline = False
+            # Keep insertion order (no sort_keys): reloaded records then
+            # render with the same column order as freshly computed ones.
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+            # Crash resilience: flush + fsync per call, so a killed worker
+            # loses at most the (truncated) line it was writing — which
+            # _load tolerates — never previously completed records.
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def _ensure_header(self) -> None:
+        if self._header_written:
+            return
+        self._write_lines(
+            [
+                {
+                    "kind": "header",
+                    "schema": self.schema,
+                    "suite": self.suite,
+                    "metadata": self.metadata,
+                }
+            ]
+        )
+        self._header_written = True
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        self._ensure_header()
+        self._write_lines([record])
+        self._remember(record)
+
+    def _extend(self, records: List[Dict[str, Any]]) -> None:
+        self._ensure_header()
+        self._write_lines(records)
+        for record in records:
+            self._remember(record)
+
+    def completed_cells(self) -> Dict[str, Dict[str, Any]]:
+        return dict(self._completed)
+
+    def __contains__(self, cell_id: str) -> bool:
+        return str(cell_id) in self._completed
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return iter(list(self._records))
+
+    def results(self) -> List[Dict[str, Any]]:
+        return list(self._records)
+
+    def query(self, **filters: Any) -> List[Dict[str, Any]]:
+        """In-memory filtered scan (the whole file is already loaded)."""
+        validate_query_filters(filters)
+        return [record for record in self._records if record_matches(record, filters)]

@@ -1,0 +1,235 @@
+"""SQLite store backend — indexed, queryable, million-record scale.
+
+The JSON-lines backend is the canonical interchange format, but answering
+"give me the ``mpx`` / ``eps=0.5`` slice of a million-cell sweep" with it
+means parsing a million lines.  This backend keeps the *same records* in a
+single SQLite file:
+
+* the full record is stored verbatim as its JSON text in a ``record``
+  column, so conversion back to JSON lines is lossless to the byte
+  (:func:`repro.pipeline.backends.convert_store`);
+* the grid parameters (``cell``, ``scenario``, ``n``, ``method``, ``eps``,
+  ``seed``) are denormalised into indexed columns, so
+  :meth:`~SqliteRunStore.query` answers filtered slices from the index
+  without loading — or even JSON-parsing — the rest of the store;
+* the header (suite, metadata, schema version) lives in a ``meta``
+  key/value table and is validated on open exactly like the JSON-lines
+  header.
+
+Concurrency and durability: the database runs in **WAL mode** so analysis
+readers never block the appending runner.  Single :meth:`add` calls commit
+per record (a killed worker loses at most the in-flight cell — the same
+contract the JSON-lines backend honours with fsync-per-line);
+:meth:`add_many` commits once per batch for bulk loads.  ``synchronous`` is
+left at SQLite's WAL default (``NORMAL``): process crashes lose nothing,
+an OS-level power loss may lose the last few commits but never corrupts
+the database.
+
+A file that exists but is not a SQLite database (or is truncated/damaged)
+raises :class:`StoreCorruptError` with a clear message instead of
+``sqlite3``'s bare "file is not a database".
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.pipeline.backends.base import (
+    RunStoreBase,
+    StoreCorruptError,
+    check_schema,
+    record_matches,
+    validate_query_filters,
+)
+
+#: Grid parameters denormalised into dedicated (indexed) columns.
+INDEXED_COLUMNS = ("scenario", "n", "method", "eps", "seed")
+
+_CREATE_STATEMENTS = (
+    "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT NOT NULL)",
+    """CREATE TABLE IF NOT EXISTS results (
+        id INTEGER PRIMARY KEY AUTOINCREMENT,
+        cell TEXT NOT NULL UNIQUE,
+        scenario TEXT, n INTEGER, method TEXT, eps REAL, seed INTEGER,
+        record TEXT NOT NULL)""",
+    "CREATE INDEX IF NOT EXISTS idx_results_scenario ON results (scenario)",
+    "CREATE INDEX IF NOT EXISTS idx_results_n ON results (n)",
+    "CREATE INDEX IF NOT EXISTS idx_results_method ON results (method)",
+    "CREATE INDEX IF NOT EXISTS idx_results_eps ON results (eps)",
+    "CREATE INDEX IF NOT EXISTS idx_results_seed ON results (seed)",
+)
+
+
+class SqliteRunStore(RunStoreBase):
+    """Run store backed by a single SQLite database file.
+
+    Args:
+        path: Database file (created if missing).  Unlike the JSON-lines
+            backend there is no in-memory mode — pass ``path=None`` to
+            :class:`~repro.pipeline.backends.jsonl.JsonlRunStore` for that.
+        suite: Suite name recorded in a newly created store's header.
+        metadata: Header metadata for a newly created store.
+    """
+
+    backend = "sqlite"
+
+    def __init__(
+        self,
+        path: Optional[str],
+        suite: str = "",
+        metadata: Optional[Dict[str, Any]] = None,
+        schema: Optional[int] = None,
+    ) -> None:
+        if path is None:
+            raise ValueError(
+                "the sqlite backend needs a file path; use the jsonl backend "
+                "(path=None) for an in-memory store"
+            )
+        super().__init__(path, suite=suite, metadata=metadata, schema=schema)
+        existing = os.path.exists(path) and os.path.getsize(path) > 0
+        try:
+            self._conn = sqlite3.connect(path)
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            if existing:
+                # Surface truncated / bit-rotted files as one clear error at
+                # open time instead of a bare sqlite3 exception mid-query.
+                verdict = self._conn.execute("PRAGMA quick_check").fetchone()
+                if verdict is None or verdict[0] != "ok":
+                    raise sqlite3.DatabaseError(
+                        "quick_check: {}".format(verdict[0] if verdict else "no result")
+                    )
+                self._load_header()
+            else:
+                self._init_schema()
+        except sqlite3.DatabaseError as error:
+            # Covers "file is not a database" (a JSONL file renamed .sqlite,
+            # random bytes) and truncated/damaged databases alike.
+            raise StoreCorruptError(
+                "store {!r} is not a readable SQLite run store ({}); if it "
+                "is a JSON-lines store, open it with the jsonl backend".format(
+                    path, error
+                )
+            ) from error
+
+    # ------------------------------------------------------------------ #
+    # Header / schema
+    # ------------------------------------------------------------------ #
+    def _init_schema(self) -> None:
+        with self._conn:
+            for statement in _CREATE_STATEMENTS:
+                self._conn.execute(statement)
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                [
+                    ("schema", str(self.schema)),
+                    ("suite", self.suite),
+                    ("metadata", json.dumps(self.metadata)),
+                ],
+            )
+
+    def _load_header(self) -> None:
+        rows = self._conn.execute("SELECT key, value FROM meta").fetchall()
+        meta = dict(rows)
+        if "schema" not in meta:
+            raise StoreCorruptError(
+                "store {!r} has no schema entry in its meta table".format(self.path)
+            )
+        self.schema = check_schema(int(meta["schema"]), self.path)
+        self.suite = meta.get("suite", self.suite)
+        self.metadata = json.loads(meta.get("metadata", "{}"))
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+    def _row(self, record: Dict[str, Any]) -> Tuple[Any, ...]:
+        eps = record.get("eps")
+        return (
+            str(record["cell"]),
+            record.get("scenario"),
+            record.get("n"),
+            record.get("method"),
+            float(eps) if eps is not None else None,
+            record.get("seed"),
+            json.dumps(record),
+        )
+
+    _INSERT = (
+        "INSERT OR REPLACE INTO results "
+        "(cell, scenario, n, method, eps, seed, record) "
+        "VALUES (?, ?, ?, ?, ?, ?, ?)"
+    )
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        with self._conn:  # one transaction = one durable commit per record
+            self._conn.execute(self._INSERT, self._row(record))
+
+    def _extend(self, records: List[Dict[str, Any]]) -> None:
+        with self._conn:  # one transaction for the whole batch
+            self._conn.executemany(self._INSERT, [self._row(r) for r in records])
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    def results(self) -> List[Dict[str, Any]]:
+        cursor = self._conn.execute("SELECT record FROM results ORDER BY id")
+        return [json.loads(row[0]) for row in cursor]
+
+    def completed_cells(self) -> Dict[str, Dict[str, Any]]:
+        cursor = self._conn.execute("SELECT cell, record FROM results ORDER BY id")
+        return {row[0]: json.loads(row[1]) for row in cursor}
+
+    def query(self, **filters: Any) -> List[Dict[str, Any]]:
+        """Filtered retrieval through the column indexes.
+
+        Filters on indexed columns (and ``cell``) become a SQL ``WHERE``
+        clause, so only the matching slice is read and JSON-parsed; filters
+        on non-column fields (``mode``) are applied to that slice in Python.
+        """
+        validate_query_filters(filters)
+        clauses, parameters = [], []
+        rest: Dict[str, Any] = {}
+        for field, value in filters.items():
+            if field == "cell" or field in INDEXED_COLUMNS:
+                if value is None:
+                    clauses.append("{} IS NULL".format(field))
+                else:
+                    clauses.append("{} = ?".format(field))
+                    parameters.append(
+                        float(value) if field == "eps" else value
+                    )
+            else:
+                rest[field] = value
+        sql = "SELECT record FROM results"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY id"
+        records = [json.loads(row[0]) for row in self._conn.execute(sql, parameters)]
+        if rest:
+            records = [record for record in records if record_matches(record, rest)]
+        return records
+
+    def __contains__(self, cell_id: str) -> bool:
+        cursor = self._conn.execute(
+            "SELECT 1 FROM results WHERE cell = ? LIMIT 1", (str(cell_id),)
+        )
+        return cursor.fetchone() is not None
+
+    def __len__(self) -> int:
+        return int(self._conn.execute("SELECT COUNT(*) FROM results").fetchone()[0])
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return iter(self.results())
+
+    def close(self) -> None:
+        if getattr(self, "_conn", None) is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass

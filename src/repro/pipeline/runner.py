@@ -258,21 +258,30 @@ def _compute_cell_record(
     import repro
     from repro.analysis.metrics import evaluate_carving, evaluate_decomposition
     from repro.clustering.validation import check_ball_carving, check_network_decomposition
+    from repro.congest.rounds import RoundLedger
 
     graph_seed = derive_cell_seed(master_seed, "graph:" + cell.column_key)
     algo_seed = derive_cell_seed(master_seed, "algo:" + cell.cell_id)
 
+    # One fresh ledger per cell: the algorithm charges its CONGEST round
+    # budget into it, and the per-primitive totals land in the record so
+    # bandwidth regressions surface in store diffs (deterministic — pure
+    # counting of the same charges on the same topology).
+    ledger = RoundLedger()
     start = time.perf_counter()
     if cell.mode == "carving":
         result = repro.carve(
-            graph, cell.eps, method=cell.method, seed=algo_seed, backend=backend
+            graph, cell.eps, method=cell.method, seed=algo_seed, backend=backend,
+            ledger=ledger,
         )
         if validate:
             lenient = cell.method in ("ls93", "mpx")
             check_ball_carving(result, max_dead_fraction=0.99 if lenient else None)
         metrics = evaluate_carving(result, cell.method).as_row()
     else:
-        result = repro.decompose(graph, method=cell.method, seed=algo_seed, backend=backend)
+        result = repro.decompose(
+            graph, method=cell.method, seed=algo_seed, backend=backend, ledger=ledger
+        )
         if validate:
             check_network_decomposition(result)
         metrics = evaluate_decomposition(result, cell.method).as_row()
@@ -290,6 +299,10 @@ def _compute_cell_record(
         "algo_seed": algo_seed,
         "backend": backend,
         "metrics": metrics,
+        "rounds": {
+            "total": ledger.total_rounds,
+            "by_primitive": ledger.breakdown(),
+        },
         "seconds": round(graph_build_s + freeze_s + algo_s, 6),
         "timings": {
             "graph_build_s": round(graph_build_s, 6),
@@ -679,15 +692,18 @@ def run_suite(
     shared_graphs: Union[str, bool] = "auto",
     arena_mb: int = 256,
     start_method: Optional[str] = None,
+    store_backend: Optional[str] = None,
 ) -> SuiteResult:
     """Run every cell of a suite, resuming from ``store`` when possible.
 
     Args:
         spec: A :class:`SuiteSpec`, a spec dictionary, or the path of a JSON
             spec file.
-        store: A :class:`~repro.pipeline.store.RunStore`, the path of a
-            JSON-lines store file (created or resumed), or ``None`` for a
-            fresh in-memory store.
+        store: An already-open run store (any
+            :class:`~repro.pipeline.backends.base.RunStoreBase` backend),
+            the path of a store file (created or resumed; the backend is
+            selected by extension unless ``store_backend`` overrides it),
+            or ``None`` for a fresh in-memory store.
         workers: Pool size for the fan-out.  ``1`` runs serially in-process;
             ``0`` or ``None`` autodetects ``os.cpu_count()``.  Cells already
             in the store are never re-executed, whatever the pool size —
@@ -708,6 +724,11 @@ def run_suite(
         start_method: Optional ``multiprocessing`` start method for the pool
             (``"fork"``, ``"spawn"``, ``"forkserver"``); ``None`` uses the
             platform default.
+        store_backend: Explicit store backend name (``"jsonl"`` /
+            ``"sqlite"``) when ``store`` is a path; ``None`` / ``"auto"``
+            selects by extension (see
+            :func:`repro.pipeline.backends.open_store`).  Resume and the
+            shared-graph arena work identically on every backend.
 
     Returns:
         A :class:`SuiteResult`; ``result.records`` has one record per grid
@@ -715,7 +736,7 @@ def run_suite(
         summarises the scheduling (``graph_builds == columns`` whenever
         sharing was active).
     """
-    from repro.pipeline.store import RunStore
+    from repro.pipeline.backends import open_store
 
     if isinstance(spec, str):
         spec = load_spec(spec)
@@ -723,7 +744,12 @@ def run_suite(
         spec = SuiteSpec.from_dict(spec)
 
     if store is None or isinstance(store, str):
-        store = RunStore(store, suite=spec.name, metadata={"spec": spec.to_dict()})
+        store = open_store(
+            store,
+            suite=spec.name,
+            metadata={"spec": spec.to_dict()},
+            backend=store_backend,
+        )
 
     cells = spec.expand()
     completed_before = store.completed_cells()

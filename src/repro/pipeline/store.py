@@ -1,231 +1,60 @@
-"""Persistent run store for suite results (append-only JSON lines).
+"""Persistent run store — compatibility facade over the backend subsystem.
 
-A suite run produces one **result record** per grid cell.  The store keeps
-those records in a plain JSON-lines file so that
+The store implementation lives in :mod:`repro.pipeline.backends` since the
+backend split: :class:`~repro.pipeline.backends.base.RunStoreBase` defines
+the interface, :mod:`repro.pipeline.backends.jsonl` is the canonical
+JSON-lines format and :mod:`repro.pipeline.backends.sqlite` the indexed
+SQLite backend.  This module keeps the historical import surface working:
 
-* a crashed or interrupted sweep can be **resumed** — already-completed cells
-  are skipped on the next run (the runner consults
-  :meth:`RunStore.completed_cells` before executing anything);
-* results are **archivable and diffable** — the analysis layer
-  (:func:`repro.analysis.tables.rows_from_records`,
-  :func:`repro.analysis.report.generate_report`) consumes the same records
-  that the runner streams out, instead of ad-hoc in-process dictionaries;
-* the format can **evolve** — the first line of every store is a header
-  record carrying ``schema``; opening a store written by an incompatible
-  schema version raises :class:`StoreSchemaError` instead of silently
-  misreading old data.
+* :class:`RunStore` is the JSON-lines store (the original class, and still
+  the default backend for extension-less paths);
+* :func:`read_records` loads any store file, selecting the backend by
+  extension;
+* :data:`SCHEMA_VERSION` / :class:`StoreSchemaError` are the shared record
+  schema constants.
 
-File format (one JSON object per line)::
-
-    {"kind": "header", "schema": 2, "suite": "table1", "metadata": {...}}
-    {"kind": "result", "cell": "torus/n256/strong-log3/s0", ...,
-     "timings": {"graph_build_s": ..., "freeze_s": ..., "algo_s": ..., "source": "build"}}
-    {"kind": "result", "cell": "torus/n256/mpx/s0", ...}
-
-Schema history: version 2 added the per-record ``timings`` wall-time
-breakdown (schema-1 stores load fine — their records simply have no
-``timings`` key; the analysis layer treats the breakdown as optional).
-
-Durability: every appended line is flushed *and fsynced*, so a killed
-worker loses at most the line it was writing.  A store whose **final** line
-is truncated mid-write (the classic crash artefact) loads with a warning,
-skipping just that line — resume then recomputes exactly the one lost cell
-instead of refusing the whole store.  A corrupt line anywhere *before* the
-end is still an error: that is damage, not an interrupted append.
-
-Passing ``path=None`` gives an in-memory store with the same interface —
-useful for tests and for benchmarks that do not want to touch disk.
+New code should import :func:`repro.pipeline.open_store` and program
+against the interface instead of a concrete backend.
 """
 
 from __future__ import annotations
 
-import json
-import os
-import warnings
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, List, Optional
 
-SCHEMA_VERSION = 2
+from repro.pipeline.backends import (
+    COMPATIBLE_SCHEMAS,
+    RunStoreBase,
+    StoreCorruptError,
+    StoreSchemaError,
+    SCHEMA_VERSION,
+    backend_for_path,
+    convert_store,
+    open_store,
+)
+from repro.pipeline.backends.jsonl import JsonlRunStore as RunStore
 
-#: Schema versions this build can safely read.  Version 1 records lack the
-#: ``timings`` breakdown, which every consumer treats as optional.
-COMPATIBLE_SCHEMAS = (1, 2)
+__all__ = [
+    "COMPATIBLE_SCHEMAS",
+    "RunStore",
+    "RunStoreBase",
+    "SCHEMA_VERSION",
+    "StoreCorruptError",
+    "StoreSchemaError",
+    "backend_for_path",
+    "convert_store",
+    "open_store",
+    "read_records",
+]
 
 
-class StoreSchemaError(ValueError):
-    """Raised when a store file's schema version is not the supported one."""
+def read_records(path: str, backend: Optional[str] = None) -> List[Dict[str, Any]]:
+    """Load all result records from a store file (validating the schema).
 
-
-class RunStore:
-    """Append-only store of suite result records with resume support.
-
-    Args:
-        path: JSON-lines file backing the store, or ``None`` for a purely
-            in-memory store.  An existing file is loaded (and its schema
-            validated); a missing file is created together with its header
-            on the first :meth:`add`.
-        suite: Suite name recorded in the header of a newly created store.
-        metadata: Extra header metadata for a newly created store (spec
-            parameters, hostname, ... — anything JSON-serialisable).
+    Works for every backend: the store format is selected by the path's
+    extension unless ``backend`` names one explicitly.
     """
-
-    def __init__(
-        self,
-        path: Optional[str],
-        suite: str = "",
-        metadata: Optional[Dict[str, Any]] = None,
-    ) -> None:
-        self.path = path
-        self.suite = suite
-        self.metadata: Dict[str, Any] = dict(metadata or {})
-        self._records: List[Dict[str, Any]] = []
-        self._completed: Dict[str, Dict[str, Any]] = {}
-        self._header_written = False
-        # Crash-repair state discovered by _load, applied lazily by the
-        # first append (loading never writes, so read-only consumers and
-        # read-only mounts still get the warn-and-skip behaviour):
-        # _repair_truncate_to drops a half-written final line;
-        # _repair_newline terminates a final line whose trailing newline
-        # was lost (the record itself parsed fine), so the next append
-        # cannot glue onto it.
-        self._repair_truncate_to: Optional[int] = None
-        self._repair_newline = False
-        if path is not None and os.path.exists(path):
-            self._load(path)
-
-    def _load(self, path: str) -> None:
-        with open(path, "rb") as handle:
-            lines = handle.read().splitlines(keepends=True)
-        content_numbers = [
-            number for number, line in enumerate(lines, start=1) if line.strip()
-        ]
-        last_content = content_numbers[-1] if content_numbers else 0
-        if lines and not lines[-1].endswith(b"\n"):
-            self._repair_newline = True
-        offset = 0
-        for line_number, raw in enumerate(lines, start=1):
-            line = raw.strip()
-            if not line:
-                offset += len(raw)
-                continue
-            try:
-                record = json.loads(line)
-            except ValueError:
-                if line_number == last_content and self._header_written:
-                    # An interrupted append (killed worker, power loss)
-                    # leaves a truncated final line.  Dropping it loses
-                    # exactly the in-flight cell — resume recomputes it —
-                    # whereas refusing the store would throw away every
-                    # completed record with it.  The first append truncates
-                    # the file back to the last good byte so it starts on a
-                    # fresh line instead of gluing onto the fragment.
-                    warnings.warn(
-                        "store {!r}: dropping truncated final line {} "
-                        "(interrupted append); the affected cell will be "
-                        "recomputed on resume".format(path, line_number),
-                        RuntimeWarning,
-                        stacklevel=3,
-                    )
-                    self._repair_truncate_to = offset
-                    self._repair_newline = False  # the fragment is dropped
-                    return
-                raise
-            offset += len(raw)
-            kind = record.get("kind")
-            if line_number == 1 or not self._header_written:
-                if kind != "header":
-                    raise StoreSchemaError(
-                        "store {!r} does not start with a header record".format(path)
-                    )
-                if record.get("schema") not in COMPATIBLE_SCHEMAS:
-                    raise StoreSchemaError(
-                        "store {!r} has schema {!r}; this build supports {!r}".format(
-                            path, record.get("schema"), COMPATIBLE_SCHEMAS
-                        )
-                    )
-                self.suite = record.get("suite", self.suite)
-                self.metadata = dict(record.get("metadata", {}))
-                self._header_written = True
-                continue
-            if kind == "result":
-                self._remember(record)
-
-    def _remember(self, record: Dict[str, Any]) -> None:
-        self._records.append(record)
-        cell = record.get("cell")
-        if cell is not None:
-            self._completed[str(cell)] = record
-
-    def _apply_pending_repairs(self) -> None:
-        if self._repair_truncate_to is not None:
-            with open(self.path, "rb+") as handle:
-                handle.truncate(self._repair_truncate_to)
-            self._repair_truncate_to = None
-
-    def _write_line(self, record: Dict[str, Any]) -> None:
-        if self.path is None:
-            return
-        self._apply_pending_repairs()
-        with open(self.path, "a", encoding="utf-8") as handle:
-            if self._repair_newline:
-                # The previous final line parsed but lost its newline in a
-                # crash; terminate it so this append starts a fresh line.
-                handle.write("\n")
-                self._repair_newline = False
-            # Keep insertion order (no sort_keys): reloaded records then
-            # render with the same column order as freshly computed ones.
-            handle.write(json.dumps(record) + "\n")
-            # Crash resilience: flush + fsync per line, so a killed worker
-            # loses at most the (truncated) line it was writing — which
-            # _load tolerates — never previously completed records.
-            handle.flush()
-            os.fsync(handle.fileno())
-
-    def _ensure_header(self) -> None:
-        if self._header_written:
-            return
-        self._write_line(
-            {
-                "kind": "header",
-                "schema": SCHEMA_VERSION,
-                "suite": self.suite,
-                "metadata": self.metadata,
-            }
-        )
-        self._header_written = True
-
-    def add(self, record: Dict[str, Any]) -> Dict[str, Any]:
-        """Append one result record (a dict with at least a ``"cell"`` key).
-
-        The record is tagged ``kind="result"``, persisted immediately (so a
-        crash loses at most the in-flight cell), and indexed for
-        :meth:`completed_cells`.  Returns the stored record.
-        """
-        record = dict(record, kind="result")
-        if "cell" not in record:
-            raise ValueError("result records must carry a 'cell' id")
-        self._ensure_header()
-        self._write_line(record)
-        self._remember(record)
-        return record
-
-    def completed_cells(self) -> Dict[str, Dict[str, Any]]:
-        """Map of cell id → stored record for every completed cell."""
-        return dict(self._completed)
-
-    def __contains__(self, cell_id: str) -> bool:
-        return str(cell_id) in self._completed
-
-    def __len__(self) -> int:
-        return len(self._records)
-
-    def __iter__(self) -> Iterator[Dict[str, Any]]:
-        return iter(list(self._records))
-
-    def results(self) -> List[Dict[str, Any]]:
-        """All result records, in insertion (= completion) order."""
-        return list(self._records)
-
-
-def read_records(path: str) -> List[Dict[str, Any]]:
-    """Load all result records from a store file (validating the schema)."""
-    return RunStore(path).results()
+    store = open_store(path, backend=backend)
+    try:
+        return store.results()
+    finally:
+        store.close()

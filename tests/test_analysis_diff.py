@@ -1,0 +1,249 @@
+"""Tests for the cross-store regression diff (repro.analysis.diff)."""
+
+import json
+import os
+
+import pytest
+
+import repro
+from repro.analysis.diff import (
+    DEFAULT_TOLERANCES,
+    diff_stores,
+    parse_tolerance_overrides,
+)
+from repro.cli import main
+from repro.pipeline import SuiteSpec, open_store
+
+_SPEC = dict(
+    name="diff-suite",
+    scenarios=("torus",),
+    sizes=(36,),
+    methods=("sequential", "mpx"),
+    mode="carving",
+    eps=(0.5,),
+    seeds=(0,),
+)
+
+
+def _run_store(tmp_path, filename, **overrides):
+    path = os.path.join(tmp_path, filename)
+    repro.run_suite(SuiteSpec(**dict(_SPEC, **overrides)), store=path)
+    return path
+
+
+def _perturb_jsonl(path, cell, mutate):
+    """Rewrite one record of a JSONL store in place (regression injection)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = [json.loads(line) for line in handle if line.strip()]
+    for record in lines:
+        if record.get("cell") == cell:
+            mutate(record)
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in lines:
+            handle.write(json.dumps(record) + "\n")
+
+
+class TestDiffStores:
+    def test_twin_runs_diff_clean_across_backends(self, tmp_path):
+        """Two independent runs of one suite — one per backend — match."""
+        jsonl_path = _run_store(tmp_path, "a.jsonl")
+        sqlite_path = _run_store(tmp_path, "a.sqlite")
+        diff = diff_stores(sqlite_path, jsonl_path)
+        assert diff.clean
+        assert diff.matched == 2
+        assert diff.deltas == [] and diff.only_baseline == []
+        assert "**PASS** — 0 regressions" in diff.to_markdown()
+
+    def test_perturbed_record_flags_exactly_that_cell(self, tmp_path):
+        current = _run_store(tmp_path, "current.jsonl")
+        baseline = _run_store(tmp_path, "baseline.jsonl")
+        target = "torus/n36/mpx/eps0.5/s0"
+
+        def mutate(record):
+            record["metrics"]["clusters"] += 3
+
+        _perturb_jsonl(current, target, mutate)
+        diff = diff_stores(current, baseline)
+        assert not diff.clean
+        assert [delta.cell for delta in diff.regressions] == [target]
+        fields = {field.field for field in diff.regressions[0].regressions}
+        assert fields == {"clusters"}
+        markdown = diff.to_markdown()
+        assert "**FAIL**" in markdown and target in markdown
+
+    def test_ledger_rounds_regression_is_flagged(self, tmp_path):
+        current = _run_store(tmp_path, "current.jsonl")
+        baseline = _run_store(tmp_path, "baseline.jsonl")
+        target = "torus/n36/sequential/eps0.5/s0"
+        _perturb_jsonl(
+            current, target, lambda record: record["rounds"].update(total=10**6)
+        )
+        diff = diff_stores(current, baseline)
+        assert [delta.cell for delta in diff.regressions] == [target]
+        assert diff.regressions[0].regressions[0].field == "ledger_rounds"
+
+    def test_tolerances_absorb_small_deltas(self, tmp_path):
+        current = _run_store(tmp_path, "current.jsonl")
+        baseline = _run_store(tmp_path, "baseline.jsonl")
+        target = "torus/n36/mpx/eps0.5/s0"
+        _perturb_jsonl(
+            current,
+            target,
+            lambda record: record["metrics"].update(
+                clusters=record["metrics"]["clusters"] + 1
+            ),
+        )
+        strict = diff_stores(current, baseline)
+        lenient = diff_stores(current, baseline, tolerances={"clusters": 1})
+        assert not strict.clean
+        assert lenient.clean
+        # The delta is still *reported* under the lenient tolerance.
+        assert [delta.cell for delta in lenient.deltas] == [target]
+
+    def test_timing_noise_never_flags_but_big_slowdown_does(self, tmp_path):
+        current = _run_store(tmp_path, "current.jsonl")
+        baseline = _run_store(tmp_path, "baseline.jsonl")
+        target = "torus/n36/mpx/eps0.5/s0"
+        _perturb_jsonl(
+            current, target, lambda record: record["timings"].update(algo_s=900.0)
+        )
+        diff = diff_stores(current, baseline)
+        assert [delta.cell for delta in diff.regressions] == [target]
+        assert diff.regressions[0].regressions[0].field == "algo_s"
+        # ...and disabling the field drops the finding.
+        assert diff_stores(current, baseline, tolerances={"algo_s": None}).clean
+
+    def test_missing_baseline_cells_fail_the_gate(self, tmp_path):
+        current = _run_store(tmp_path, "small.jsonl", methods=("sequential",))
+        baseline = _run_store(tmp_path, "full.jsonl")
+        diff = diff_stores(current, baseline)
+        assert not diff.clean
+        assert diff.only_baseline == ["torus/n36/mpx/eps0.5/s0"]
+        assert "only in the baseline store" in diff.to_markdown()
+
+    def test_extra_current_cells_do_not_fail_the_gate(self, tmp_path):
+        current = _run_store(tmp_path, "full.jsonl")
+        baseline = _run_store(tmp_path, "small.jsonl", methods=("sequential",))
+        diff = diff_stores(current, baseline)
+        assert diff.clean
+        assert diff.only_current == ["torus/n36/mpx/eps0.5/s0"]
+
+    def test_unknown_tolerance_field_rejected(self, tmp_path):
+        path = _run_store(tmp_path, "a.jsonl")
+        with pytest.raises(ValueError, match="unknown diff field"):
+            diff_stores(path, path, tolerances={"vibes": 3})
+
+    def test_store_objects_accepted_directly(self, tmp_path):
+        path = _run_store(tmp_path, "a.jsonl")
+        diff = diff_stores(open_store(path), open_store(path))
+        assert diff.clean and diff.matched == 2
+
+    def test_missing_store_path_fails_instead_of_diffing_clean(self, tmp_path):
+        """A mistyped path must not open as an empty store and PASS vacuously."""
+        path = _run_store(tmp_path, "a.jsonl")
+        missing = os.path.join(tmp_path, "typo.jsonl")
+        with pytest.raises(FileNotFoundError, match="no such run store"):
+            diff_stores(path, missing)
+        with pytest.raises(FileNotFoundError, match="no such run store"):
+            diff_stores(missing, path)
+        assert not os.path.exists(missing)  # and no stray file was created
+
+
+class TestToleranceParsing:
+    def test_forms(self):
+        overrides = parse_tolerance_overrides(
+            ["clusters=1", "algo_s=0.5,2.0", "rounds=none"]
+        )
+        assert overrides == {"clusters": 1.0, "algo_s": (0.5, 2.0), "rounds": None}
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError, match="field=value"):
+            parse_tolerance_overrides(["clusters"])
+
+    def test_defaults_cover_all_compared_fields(self):
+        assert set(DEFAULT_TOLERANCES) == {
+            "clusters",
+            "diameter",
+            "rounds",
+            "ledger_rounds",
+            "algo_s",
+        }
+
+
+class TestDiffCli:
+    def test_diff_mode_clean_exit_zero(self, tmp_path, capsys):
+        current = _run_store(tmp_path, "a.sqlite")
+        baseline = _run_store(tmp_path, "b.jsonl")
+        exit_code = main(["--mode", "diff", "--store", current, "--baseline", baseline])
+        assert exit_code == 0
+        assert "0 regressions" in capsys.readouterr().out
+
+    def test_diff_mode_regression_exit_one_and_report_file(self, tmp_path, capsys):
+        current = _run_store(tmp_path, "a.jsonl")
+        baseline = _run_store(tmp_path, "b.jsonl")
+        _perturb_jsonl(
+            current,
+            "torus/n36/mpx/eps0.5/s0",
+            lambda record: record["metrics"].update(diameter=999),
+        )
+        report_path = os.path.join(tmp_path, "diff.md")
+        exit_code = main(
+            [
+                "--mode", "diff", "--store", current,
+                "--baseline", baseline, "--report", report_path,
+            ]
+        )
+        assert exit_code == 1
+        with open(report_path, "r", encoding="utf-8") as handle:
+            assert "**FAIL**" in handle.read()
+
+    def test_diff_mode_tolerance_flag(self, tmp_path, capsys):
+        current = _run_store(tmp_path, "a.jsonl")
+        baseline = _run_store(tmp_path, "b.jsonl")
+        _perturb_jsonl(
+            current,
+            "torus/n36/mpx/eps0.5/s0",
+            lambda record: record["metrics"].update(
+                clusters=record["metrics"]["clusters"] + 1
+            ),
+        )
+        argv = ["--mode", "diff", "--store", current, "--baseline", baseline]
+        assert main(argv) == 1
+        capsys.readouterr()
+        assert main(argv + ["--diff-tolerance", "clusters=1"]) == 0
+
+    def test_diff_mode_requires_both_stores(self, tmp_path, capsys):
+        assert main(["--mode", "diff"]) == 2
+        assert "--baseline" in capsys.readouterr().err
+
+    def test_diff_mode_missing_baseline_is_a_usage_error_not_a_pass(
+        self, tmp_path, capsys
+    ):
+        current = _run_store(tmp_path, "a.jsonl")
+        missing = os.path.join(tmp_path, "nope.sqlite")
+        exit_code = main(
+            ["--mode", "diff", "--store", current, "--baseline", missing]
+        )
+        assert exit_code == 2
+        assert "no such run store" in capsys.readouterr().err
+        assert not os.path.exists(missing)
+
+    def test_diff_mode_bad_tolerance_is_a_usage_error(self, tmp_path, capsys):
+        current = _run_store(tmp_path, "a.jsonl")
+        baseline = _run_store(tmp_path, "b.jsonl")
+        argv = ["--mode", "diff", "--store", current, "--baseline", baseline]
+        assert main(argv + ["--diff-tolerance", "clusters=abc"]) == 2
+        assert main(argv + ["--diff-tolerance", "vibes=1"]) == 2
+
+    def test_report_embeds_diff_section(self, tmp_path):
+        from repro.analysis.report import generate_report
+
+        current = _run_store(tmp_path, "a.jsonl")
+        baseline = _run_store(tmp_path, "b.jsonl")
+        report = generate_report(
+            results_dir=str(tmp_path),
+            include_live_summary=False,
+            diffs=[(current, baseline)],
+        )
+        assert "Regression diff" in report
+        assert "0 regressions" in report

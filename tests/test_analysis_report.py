@@ -26,6 +26,18 @@ class TestArchivedTables:
     def test_missing_directory_gives_empty_list(self, tmp_path):
         assert collect_archived_tables(str(tmp_path)) == []
 
+    def test_nonexistent_directory_gives_empty_list(self, tmp_path):
+        """A checkout that never ran the bench harness has no results dir;
+        collection must tolerate that instead of raising."""
+        assert collect_archived_tables(os.path.join(tmp_path, "no", "such", "dir")) == []
+        assert collect_archived_tables("") == []
+
+    def test_results_dir_that_is_a_file_gives_empty_list(self, tmp_path):
+        path = os.path.join(tmp_path, "results")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("not a directory\n")
+        assert collect_archived_tables(path) == []
+
     def test_existing_tables_are_collected_in_order(self, tmp_path):
         for stem in ("table1_torus", "barrier_properties"):
             with open(os.path.join(tmp_path, stem + ".txt"), "w", encoding="utf-8") as handle:
@@ -42,6 +54,13 @@ class TestGenerateReport:
     def test_report_without_archives(self, tmp_path):
         report = generate_report(results_dir=str(tmp_path), live_summary_n=64)
         assert report.startswith("# Reproduction report")
+        assert "No archived benchmark tables" in report
+
+    def test_report_with_missing_results_dir_emits_placeholder(self, tmp_path):
+        report = generate_report(
+            results_dir=os.path.join(tmp_path, "never", "created"),
+            include_live_summary=False,
+        )
         assert "No archived benchmark tables" in report
 
     def test_report_with_archives_and_no_live_summary(self, tmp_path):

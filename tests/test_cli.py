@@ -115,3 +115,76 @@ class TestSuiteMode:
         output = capsys.readouterr().out
         for name in ("torus", "small-world", "expander-mix"):
             assert name in output
+
+    def test_suite_into_sqlite_store_by_extension(self, tmp_path, capsys):
+        import os
+
+        store_path = os.path.join(tmp_path, "suite.sqlite")
+        argv = [
+            "--mode", "suite", "--family", "torus", "--n", "36",
+            "--method", "sequential", "--store", store_path,
+        ]
+        assert main(argv) == 0
+        assert "executed 1 cell(s)" in capsys.readouterr().out
+        # Resumes from the SQLite store on the second invocation.
+        assert main(argv) == 0
+        assert "1 store hit(s)" in capsys.readouterr().out
+
+    def test_store_backend_flag_forces_backend(self, tmp_path, capsys):
+        import os
+        import sqlite3
+
+        store_path = os.path.join(tmp_path, "suite.data")
+        assert main(
+            [
+                "--mode", "suite", "--family", "torus", "--n", "36",
+                "--method", "sequential", "--store", store_path,
+                "--store-backend", "sqlite",
+            ]
+        ) == 0
+        count = sqlite3.connect(store_path).execute(
+            "SELECT COUNT(*) FROM results"
+        ).fetchone()[0]
+        assert count == 1
+
+
+class TestStoreVerbs:
+    def _make_store(self, tmp_path, filename):
+        import os
+
+        store_path = os.path.join(tmp_path, filename)
+        assert main(
+            [
+                "--mode", "suite", "--family", "torus", "--n", "36",
+                "--method", "sequential", "--store", store_path,
+            ]
+        ) == 0
+        return store_path
+
+    def test_store_migrate_and_export_roundtrip(self, tmp_path, capsys):
+        import os
+
+        jsonl_path = self._make_store(tmp_path, "run.jsonl")
+        sqlite_path = os.path.join(tmp_path, "run.sqlite")
+        export_path = os.path.join(tmp_path, "export.jsonl")
+        capsys.readouterr()
+
+        assert main(["store", "migrate", jsonl_path, sqlite_path]) == 0
+        assert "migrated 1 record(s)" in capsys.readouterr().out
+        assert main(["store", "export", sqlite_path, export_path]) == 0
+        assert "exported 1 record(s)" in capsys.readouterr().out
+        with open(jsonl_path, "rb") as handle:
+            original = handle.read()
+        with open(export_path, "rb") as handle:
+            assert handle.read() == original
+
+    def test_store_info(self, tmp_path, capsys):
+        jsonl_path = self._make_store(tmp_path, "run.jsonl")
+        capsys.readouterr()
+        assert main(["store", "info", jsonl_path]) == 0
+        output = capsys.readouterr().out
+        assert "backend=jsonl" in output and "cells=1" in output
+
+    def test_store_requires_a_verb(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["store"])

@@ -1,0 +1,322 @@
+"""Store-backend tests: selection, SQLite backend, parity, conversion.
+
+The contract under test: every backend behind
+:class:`repro.pipeline.RunStoreBase` is interchangeable — identical suites
+produce identical records whichever backend persists them, resume works
+mid-suite on both, and conversion between backends is lossless to the byte.
+"""
+
+import json
+import os
+import sqlite3
+import warnings
+
+import pytest
+
+import repro
+from repro.pipeline import (
+    RunStore,
+    SCHEMA_VERSION,
+    SqliteRunStore,
+    StoreCorruptError,
+    StoreSchemaError,
+    SuiteSpec,
+    backend_for_path,
+    convert_store,
+    open_store,
+    read_records,
+)
+from tests.conftest import strip_volatile
+
+
+def _record(cell_id, method="mpx", scenario="torus", n=36, eps=None, seed=0, rounds=1):
+    return {
+        "cell": cell_id,
+        "scenario": scenario,
+        "n": n,
+        "method": method,
+        "eps": eps,
+        "seed": seed,
+        "metrics": {"rounds": rounds},
+    }
+
+
+class TestBackendSelection:
+    def test_extension_selects_backend(self):
+        assert backend_for_path("runs/a.jsonl") == "jsonl"
+        assert backend_for_path("runs/a.txt") == "jsonl"
+        assert backend_for_path(None) == "jsonl"
+        for extension in (".sqlite", ".sqlite3", ".db", ".SQLITE"):
+            assert backend_for_path("runs/a" + extension) == "sqlite"
+
+    def test_explicit_backend_overrides_extension(self):
+        assert backend_for_path("a.jsonl", backend="sqlite") == "sqlite"
+        assert backend_for_path("a.sqlite", backend="jsonl") == "jsonl"
+        with pytest.raises(ValueError, match="unknown store backend"):
+            backend_for_path("a.jsonl", backend="parquet")
+
+    def test_open_store_returns_matching_backend(self, tmp_path):
+        jsonl = open_store(os.path.join(tmp_path, "a.jsonl"))
+        sqlite_store = open_store(os.path.join(tmp_path, "a.sqlite"))
+        assert jsonl.backend == "jsonl" and isinstance(jsonl, RunStore)
+        assert sqlite_store.backend == "sqlite"
+        assert isinstance(sqlite_store, SqliteRunStore)
+        sqlite_store.close()
+
+    def test_sqlite_backend_rejects_in_memory(self):
+        with pytest.raises(ValueError, match="file path"):
+            SqliteRunStore(None)
+
+
+class TestSqliteRunStore:
+    def test_records_persist_and_reload(self, tmp_path):
+        path = os.path.join(tmp_path, "store.sqlite")
+        store = SqliteRunStore(path, suite="demo", metadata={"host": "test"})
+        store.add(_record("a", rounds=3))
+        store.add(_record("b", rounds=5))
+        store.close()
+
+        reloaded = SqliteRunStore(path)
+        assert reloaded.suite == "demo"
+        assert reloaded.metadata == {"host": "test"}
+        assert len(reloaded) == 2
+        assert "a" in reloaded and "b" in reloaded and "c" not in reloaded
+        assert reloaded.completed_cells()["a"]["metrics"]["rounds"] == 3
+        assert [record["cell"] for record in reloaded.results()] == ["a", "b"]
+        reloaded.close()
+
+    def test_wal_mode_is_active(self, tmp_path):
+        path = os.path.join(tmp_path, "store.sqlite")
+        store = SqliteRunStore(path)
+        mode = store._conn.execute("PRAGMA journal_mode").fetchone()[0]
+        assert mode == "wal"
+        store.close()
+
+    def test_grid_columns_are_indexed(self, tmp_path):
+        path = os.path.join(tmp_path, "store.sqlite")
+        store = SqliteRunStore(path)
+        indexes = {
+            row[1]
+            for row in store._conn.execute("PRAGMA index_list('results')").fetchall()
+        }
+        for column in ("scenario", "n", "method", "eps", "seed"):
+            assert "idx_results_{}".format(column) in indexes
+        # The filtered-query plan must actually use an index, not scan.
+        plan = store._conn.execute(
+            "EXPLAIN QUERY PLAN SELECT record FROM results WHERE method = ?", ("mpx",)
+        ).fetchall()
+        assert any("idx_results_method" in str(row) for row in plan)
+        store.close()
+
+    def test_query_filters_on_columns_and_json_fields(self, tmp_path):
+        path = os.path.join(tmp_path, "store.sqlite")
+        store = SqliteRunStore(path)
+        store.add_many(
+            [
+                _record("t/n36/mpx/eps0.5/s0", method="mpx", eps=0.5),
+                _record("t/n36/mpx/eps0.25/s0", method="mpx", eps=0.25),
+                _record("t/n36/ls93/eps0.5/s0", method="ls93", eps=0.5),
+            ]
+        )
+        assert len(store.query(method="mpx")) == 2
+        assert len(store.query(method="mpx", eps=0.5)) == 1
+        assert len(store.query(eps=None)) == 0
+        assert store.query(cell="t/n36/ls93/eps0.5/s0")[0]["method"] == "ls93"
+        with pytest.raises(ValueError, match="unknown query filter"):
+            store.query(flavour="strawberry")
+        store.close()
+
+    def test_jsonl_query_matches_sqlite_query(self, tmp_path):
+        records = [
+            _record("c/{}".format(index), method="mpx" if index % 2 else "ls93")
+            for index in range(10)
+        ]
+        jsonl = open_store(os.path.join(tmp_path, "q.jsonl"))
+        sqlite_store = open_store(os.path.join(tmp_path, "q.sqlite"))
+        jsonl.add_many(records)
+        sqlite_store.add_many(records)
+        assert jsonl.query(method="mpx") == sqlite_store.query(method="mpx")
+        sqlite_store.close()
+
+    def test_schema_version_rejection(self, tmp_path):
+        path = os.path.join(tmp_path, "future.sqlite")
+        store = SqliteRunStore(path)
+        store._conn.execute(
+            "UPDATE meta SET value = ? WHERE key = 'schema'", (str(SCHEMA_VERSION + 1),)
+        )
+        store._conn.commit()
+        store.close()
+        with pytest.raises(StoreSchemaError):
+            SqliteRunStore(path)
+
+    def test_not_a_database_fails_clearly(self, tmp_path):
+        path = os.path.join(tmp_path, "fake.sqlite")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{"kind": "header", "schema": 3}\n')  # a JSONL file
+        with pytest.raises(StoreCorruptError, match="not a readable SQLite"):
+            SqliteRunStore(path)
+
+    def test_truncated_database_fails_clearly(self, tmp_path):
+        path = os.path.join(tmp_path, "torn.sqlite")
+        store = SqliteRunStore(path, suite="demo")
+        store.add_many([_record("cell/{}".format(index)) for index in range(64)])
+        store.close()
+        with open(path, "rb") as handle:
+            data = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(data[: len(data) // 2])  # rip the file in half
+        with pytest.raises(StoreCorruptError):
+            SqliteRunStore(path)
+
+    def test_read_records_selects_backend_by_extension(self, tmp_path):
+        path = os.path.join(tmp_path, "store.sqlite")
+        store = SqliteRunStore(path)
+        store.add(_record("a"))
+        store.close()
+        assert read_records(path)[0]["cell"] == "a"
+
+
+class TestBackendParity:
+    _SPEC = dict(
+        name="parity",
+        scenarios=("torus",),
+        sizes=(36,),
+        methods=("sequential", "mpx"),
+        mode="carving",
+        eps=(0.5,),
+        seeds=(0,),
+    )
+
+    def test_identical_suites_yield_identical_records(self, tmp_path):
+        jsonl_path = os.path.join(tmp_path, "run.jsonl")
+        sqlite_path = os.path.join(tmp_path, "run.sqlite")
+        jsonl_result = repro.run_suite(SuiteSpec(**self._SPEC), store=jsonl_path)
+        sqlite_result = repro.run_suite(SuiteSpec(**self._SPEC), store=sqlite_path)
+        assert sqlite_result.store.backend == "sqlite"
+        assert list(map(strip_volatile, jsonl_result.records)) == list(
+            map(strip_volatile, sqlite_result.records)
+        )
+
+    def test_roundtrip_through_sqlite_is_byte_identical(self, tmp_path):
+        """jsonl -> sqlite -> jsonl reproduces the original file bytes."""
+        jsonl_path = os.path.join(tmp_path, "run.jsonl")
+        repro.run_suite(SuiteSpec(**self._SPEC), store=jsonl_path)
+        sqlite_path = os.path.join(tmp_path, "run.sqlite")
+        export_path = os.path.join(tmp_path, "export.jsonl")
+        convert_store(jsonl_path, sqlite_path).close()
+        convert_store(sqlite_path, export_path)
+        with open(jsonl_path, "rb") as handle:
+            original = handle.read()
+        with open(export_path, "rb") as handle:
+            exported = handle.read()
+        assert exported == original
+
+    def test_migrate_preserves_header_and_resume(self, tmp_path):
+        jsonl_path = os.path.join(tmp_path, "run.jsonl")
+        spec = SuiteSpec(**self._SPEC)
+        repro.run_suite(spec, store=jsonl_path)
+        sqlite_path = os.path.join(tmp_path, "migrated.sqlite")
+        migrated = convert_store(jsonl_path, sqlite_path)
+        assert migrated.suite == "parity"
+        assert migrated.metadata["spec"]["name"] == "parity"
+        migrated.close()
+        # Resuming against the migrated store is a full store hit.
+        rerun = repro.run_suite(spec, store=sqlite_path)
+        assert rerun.executed == 0 and rerun.skipped == 2
+
+    def test_convert_refuses_to_clobber_existing_store(self, tmp_path):
+        jsonl_path = os.path.join(tmp_path, "run.jsonl")
+        repro.run_suite(SuiteSpec(**self._SPEC), store=jsonl_path)
+        with pytest.raises(ValueError, match="already exists"):
+            convert_store(jsonl_path, jsonl_path)
+
+    @pytest.mark.parametrize("extension", ["jsonl", "sqlite"])
+    def test_resume_mid_suite(self, tmp_path, extension):
+        """A partially-filled store resumes computing exactly the missing cells."""
+        store_path = os.path.join(tmp_path, "resume." + extension)
+        partial = dict(self._SPEC, methods=("sequential",))
+        first = repro.run_suite(SuiteSpec(**partial), store=store_path)
+        assert first.executed == 1
+        full = repro.run_suite(SuiteSpec(**self._SPEC), store=store_path)
+        assert full.executed == 1 and full.skipped == 1
+        assert len(open_store(store_path).results()) == 2
+
+    @pytest.mark.parametrize("extension", ["jsonl", "sqlite"])
+    def test_resume_rejects_other_configuration(self, tmp_path, extension):
+        store_path = os.path.join(tmp_path, "cfg." + extension)
+        repro.run_suite(SuiteSpec(**self._SPEC), store=store_path)
+        with pytest.raises(ValueError, match="master_seed|seed"):
+            repro.run_suite(
+                SuiteSpec(master_seed=99, **self._SPEC), store=store_path
+            )
+
+    def test_explicit_store_backend_overrides_extension(self, tmp_path):
+        path = os.path.join(tmp_path, "actually-sqlite.jsonl")
+        result = repro.run_suite(
+            SuiteSpec(**self._SPEC), store=path, store_backend="sqlite"
+        )
+        assert result.store.backend == "sqlite"
+        assert sqlite3.connect(path).execute("SELECT COUNT(*) FROM results").fetchone()[
+            0
+        ] == 2
+
+
+class TestLedgerRounds:
+    def test_records_carry_ledger_rounds_breakdown(self):
+        result = repro.run_suite(
+            SuiteSpec(
+                name="rounds",
+                scenarios=("torus",),
+                sizes=(36,),
+                methods=("strong-log3",),
+            )
+        )
+        rounds = result.records[0]["rounds"]
+        assert rounds["total"] >= 0
+        assert isinstance(rounds["by_primitive"], dict)
+        assert sum(rounds["by_primitive"].values()) == rounds["total"]
+        # The flattened table surfaces the charged total.
+        assert result.rows()[0]["ledger_rounds"] == rounds["total"]
+
+    def test_ledger_rounds_deterministic_across_runs(self):
+        spec = SuiteSpec(
+            name="rounds-det", scenarios=("torus",), sizes=(36,), methods=("mpx",)
+        )
+        first = repro.run_suite(spec).records[0]["rounds"]
+        second = repro.run_suite(spec).records[0]["rounds"]
+        assert first == second
+
+    def test_conversion_preserves_old_schema_versions(self, tmp_path):
+        """Migrating a schema-1 store must not rebrand it as schema 3."""
+        source = os.path.join(tmp_path, "v1.jsonl")
+        with open(source, "w", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps({"kind": "header", "schema": 1, "suite": "old", "metadata": {}})
+                + "\n"
+            )
+            handle.write(json.dumps({"kind": "result", "cell": "a", "metrics": {}}) + "\n")
+        with open(source, "rb") as handle:
+            original = handle.read()
+        sqlite_path = os.path.join(tmp_path, "v1.sqlite")
+        roundtrip_path = os.path.join(tmp_path, "roundtrip.jsonl")
+        migrated = convert_store(source, sqlite_path)
+        assert migrated.schema == 1
+        migrated.close()
+        convert_store(sqlite_path, roundtrip_path)
+        with open(roundtrip_path, "rb") as handle:
+            assert handle.read() == original
+
+    def test_schema_2_records_still_load_without_rounds(self, tmp_path):
+        path = os.path.join(tmp_path, "v2.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"kind": "header", "schema": 2, "suite": "old"}) + "\n")
+            handle.write(
+                json.dumps({"kind": "result", "cell": "a", "metrics": {"rounds": 4}})
+                + "\n"
+            )
+        store = open_store(path)
+        assert "a" in store
+        assert "rounds" not in store.completed_cells()["a"]
+        from repro.analysis.tables import rows_from_records
+
+        assert "ledger_rounds" not in rows_from_records(store.results())[0]
