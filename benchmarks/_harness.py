@@ -26,23 +26,16 @@ from repro.graphs.generators import random_regular_graph, torus_graph
 
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
 
-# The algorithm rows of Table 1 / Table 2, in the paper's order.
-DECOMPOSITION_ROWS = (
-    ("LS93 (weak, randomized)", "ls93"),
-    ("RG20/GGR21 (weak, deterministic)", "weak-rg20"),
-    ("MPX13/EN16 (strong, randomized)", "mpx"),
-    ("Theorem 2.3 (strong, deterministic)", "strong-log3"),
-    ("Theorem 3.4 (strong, deterministic)", "strong-log2"),
-    ("LS93 existential (centralized)", "sequential"),
+# The algorithm rows of Table 1 / Table 2, in the paper's order — derived
+# from the method registry (repro.registry is the single source of truth).
+from repro.registry import METHODS
+
+DECOMPOSITION_ROWS = tuple(
+    (METHODS.get(method).decomposition_label, method) for method in METHODS.table_order()
 )
 
-CARVING_ROWS = (
-    ("LS93 (weak, randomized)", "ls93"),
-    ("RG20/GGR21 (weak, deterministic)", "weak-rg20"),
-    ("MPX13/EN16 (strong, randomized)", "mpx"),
-    ("Theorem 2.2 (strong, deterministic)", "strong-log3"),
-    ("Theorem 3.3 (strong, deterministic)", "strong-log2"),
-    ("Greedy ball growing (centralized)", "sequential"),
+CARVING_ROWS = tuple(
+    (METHODS.get(method).carving_label, method) for method in METHODS.table_order()
 )
 
 # method string -> display label, for labelling suite-pipeline rows.

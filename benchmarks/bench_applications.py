@@ -1,16 +1,27 @@
-"""Experiment: the C * D application template (MIS and coloring).
+"""Experiment: the C * D application tasks (MIS and coloring).
 
 Section 1.1 motivates network decomposition through the standard template:
 process colors one by one, solve inside each cluster, total cost proportional
-to ``C * D``.  This benchmark runs MIS and (Δ+1)-coloring on top of the
-decompositions produced by the different algorithms and reports the template's
-round cost, confirming that
+to ``C * D``.  This benchmark covers the application layer from three sides:
 
-* every decomposition yields correct MIS / coloring solutions, and
-* the template cost is bounded by ``colors * (2 * max diameter + 2)`` —
-  i.e. better decomposition parameters translate directly into cheaper
-  applications, which is why polylog ``C`` and ``D`` matter.
+* **Correctness / accounting** — MIS and (Δ+1)-coloring run on the
+  decompositions of every method; solutions verify and the template cost is
+  bounded by ``colors * (2 * max diameter + 2)``, i.e. better decomposition
+  parameters translate directly into cheaper applications.
+* **Task-loop backend speedup** — the flat-array CSR task loops vs the
+  networkx oracle on an identical decomposition: identical solutions,
+  >= 3x end-to-end speedup (mirroring the PR-1 carving backend result).
+* **One decomposition, N tasks** — the suite's task-group scheduling
+  reuses one decomposition for all requested tasks; zero redundant
+  decompositions (asserted from the scheduling stats) and the measured
+  speedup vs naively recomputing the decomposition per task.
+
+Run with ``pytest benchmarks/bench_applications.py -s`` or directly with
+``python benchmarks/bench_applications.py``.
 """
+
+import sys
+import time
 
 import pytest
 
@@ -20,9 +31,19 @@ from repro.applications.coloring import delta_plus_one_coloring, verify_coloring
 from repro.applications.mis import maximal_independent_set, verify_mis
 from repro.clustering.validation import max_cluster_diameter
 from repro.congest.rounds import RoundLedger
+from repro.graphs.backend import use_backend
+from repro.pipeline import SuiteSpec
 
 _N = 256
 _METHODS = ("sequential", "mpx", "ls93", "strong-log3")
+
+# Backend-speedup experiment parameters: large enough that the task loops
+# dominate interpreter noise, small enough for CI.
+_SPEEDUP_N = 8100
+_SPEEDUP_METHOD = "mpx"  # many clusters and colors: the busiest task loop
+_SPEEDUP_TARGET = 3.0
+_REPEATS = 5
+_REUSE_N = 2025
 
 
 def _application_row(graph, method):
@@ -75,3 +96,178 @@ def test_better_parameters_give_cheaper_template(benchmark):
     )
     for row in rows.values():
         assert row["MIS template rounds"] <= row["CxD bound"]
+
+
+# --------------------------------------------------------------------- #
+# CSR vs nx task loops
+# --------------------------------------------------------------------- #
+def _time_tasks(decomposition, backend):
+    """Best-of-N wall time of running both tasks on one decomposition."""
+    best = float("inf")
+    solutions = None
+    for _ in range(_REPEATS):
+        with use_backend(backend):
+            start = time.perf_counter()
+            independent_set = maximal_independent_set(decomposition)
+            coloring = delta_plus_one_coloring(decomposition)
+            elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        solutions = (independent_set, coloring)
+    return best, solutions
+
+
+def speedup_rows():
+    graph = benchmark_torus(_SPEEDUP_N)
+    decomposition = repro.decompose(graph, method=_SPEEDUP_METHOD, seed=2)
+    # Warm the decomposition-geometry caches (per-cluster diameters, member
+    # order) exactly as a suite's first task does — both backends then
+    # measure the task loops themselves, not the shared one-off geometry.
+    maximal_independent_set(decomposition)
+    delta_plus_one_coloring(decomposition)
+    nx_s, nx_solutions = _time_tasks(decomposition, "nx")
+    csr_s, csr_solutions = _time_tasks(decomposition, "csr")
+    assert csr_solutions[0] == nx_solutions[0], "MIS differs between backends"
+    assert csr_solutions[1] == nx_solutions[1], "coloring differs between backends"
+    assert verify_mis(graph, csr_solutions[0])
+    assert verify_coloring(graph, csr_solutions[1])
+    speedup = nx_s / csr_s if csr_s > 0 else float("inf")
+    return [
+        {
+            "method": _SPEEDUP_METHOD,
+            "n": graph.number_of_nodes(),
+            "colors": decomposition.num_colors,
+            "clusters": len(decomposition.clusters),
+            "tasks": "mis+coloring",
+            "nx_s": round(nx_s, 4),
+            "csr_s": round(csr_s, 4),
+            "speedup": round(speedup, 2),
+            "identical": True,
+        }
+    ]
+
+
+def _check_speedup(rows):
+    speedup = rows[0]["speedup"]
+    ok = speedup >= _SPEEDUP_TARGET
+    return ok, "CSR task loops {:.1f}x over nx (target {:.0f}x)".format(
+        speedup, _SPEEDUP_TARGET
+    )
+
+
+@pytest.mark.benchmark(group="applications")
+def test_csr_task_loops_beat_nx(benchmark):
+    rows = run_once(benchmark, speedup_rows)
+    emit_table(
+        "applications_speedup",
+        rows,
+        "Applications — CSR vs nx task loops (identical solutions)",
+    )
+    ok, message = _check_speedup(rows)
+    print("\n" + message)
+    assert ok, message
+
+
+# --------------------------------------------------------------------- #
+# One decomposition, N tasks
+# --------------------------------------------------------------------- #
+def reuse_rows():
+    methods = ("strong-log3", "mpx")
+    tasks = ("decompose", "mis", "coloring")
+
+    def spec_for(task_axis, suffix):
+        return SuiteSpec(
+            name="bench-task-reuse-" + suffix,
+            scenarios=("torus",),
+            sizes=(_REUSE_N,),
+            methods=methods,
+            tasks=task_axis,
+            seeds=(0,),
+        )
+
+    start = time.perf_counter()
+    result = repro.run_suite(spec_for(tasks, "grouped"))
+    suite_s = time.perf_counter() - start
+
+    # The naive baseline a task-naive pipeline would run: one sweep per
+    # task, each recomputing every cell's decomposition (and metrics) —
+    # same cells, same records, no cross-task reuse.
+    start = time.perf_counter()
+    naive_records = 0
+    for task in tasks:
+        naive_records += len(repro.run_suite(spec_for((task,), task)).records)
+    naive_s = time.perf_counter() - start
+
+    arena = result.arena
+    return [
+        {
+            "cells": len(result.records),
+            "task_groups": arena.get("task_groups"),
+            "algorithm_runs": arena.get("algorithm_runs"),
+            "redundant_decompositions": arena.get("algorithm_runs")
+            - arena.get("task_groups"),
+            "graph_builds": arena.get("graph_builds"),
+            "columns": arena.get("columns"),
+            "suite_s": round(suite_s, 3),
+            "naive_recompute_s": round(naive_s, 3),
+            "speedup": round(naive_s / suite_s, 2) if suite_s > 0 else float("inf"),
+        }
+    ]
+
+
+def _check_reuse(rows):
+    row = rows[0]
+    if row["redundant_decompositions"] != 0:
+        return False, "scheduler ran {} redundant decompositions".format(
+            row["redundant_decompositions"]
+        )
+    if row["graph_builds"] != row["columns"]:
+        return False, "scheduler rebuilt topology columns"
+    return True, (
+        "one decomposition per task group ({} groups, {} cells); "
+        "{:.1f}x over naive per-task recompute".format(
+            row["task_groups"], row["cells"], row["speedup"]
+        )
+    )
+
+
+@pytest.mark.benchmark(group="applications")
+def test_one_decomposition_serves_all_tasks(benchmark):
+    rows = run_once(benchmark, reuse_rows)
+    emit_table(
+        "applications_reuse",
+        rows,
+        "Applications — one decomposition, N tasks (suite task groups)",
+    )
+    ok, message = _check_reuse(rows)
+    print("\n" + message)
+    assert ok, message
+
+
+def main() -> int:
+    graph = benchmark_torus(_N)
+    emit_table(
+        "applications_torus",
+        [_application_row(graph, method) for method in _METHODS],
+        "Applications — MIS / coloring via the C*D template",
+    )
+    rows = speedup_rows()
+    emit_table(
+        "applications_speedup",
+        rows,
+        "Applications — CSR vs nx task loops (identical solutions)",
+    )
+    ok_speedup, speedup_message = _check_speedup(rows)
+    rows = reuse_rows()
+    emit_table(
+        "applications_reuse",
+        rows,
+        "Applications — one decomposition, N tasks (suite task groups)",
+    )
+    ok_reuse, reuse_message = _check_reuse(rows)
+    print("{} ({})".format(speedup_message, "PASS" if ok_speedup else "FAIL"))
+    print("{} ({})".format(reuse_message, "PASS" if ok_reuse else "FAIL"))
+    return 0 if (ok_speedup and ok_reuse) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

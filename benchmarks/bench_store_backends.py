@@ -37,8 +37,10 @@ TOTAL_RECORDS = 50_000
 STREAMING_RECORDS = 2_000
 TARGET_QUERY_SPEEDUP = 5.0
 
+from repro.registry import METHODS
+
 _SCENARIOS = ("torus", "grid", "cycle", "tree", "regular")
-_METHODS = ("strong-log3", "strong-log2", "weak-rg20", "ls93", "mpx", "sequential")
+_METHODS = METHODS.names()
 _EPS = (0.5, 0.25, 0.125, 0.0625)
 _SIZES = (256, 1024, 4096, 16384)
 

@@ -36,7 +36,9 @@ from repro.core.api import (
     carve,
     decompose,
     run_suite,
+    run_task,
 )
+from repro.registry import METHODS, TASK_NAMES, TASKS, TaskResult
 from repro.clustering import (
     BallCarving,
     Cluster,
@@ -52,9 +54,14 @@ __version__ = "1.0.0"
 __all__ = [
     "CARVING_METHODS",
     "DECOMPOSITION_METHODS",
+    "METHODS",
+    "TASKS",
+    "TASK_NAMES",
+    "TaskResult",
     "carve",
     "decompose",
     "run_suite",
+    "run_task",
     "BallCarving",
     "Cluster",
     "NetworkDecomposition",

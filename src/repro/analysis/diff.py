@@ -7,10 +7,14 @@ module makes that checkable: :func:`diff_stores` aligns two stores on their
 derived cell keys and reports, per cell and aggregated per method,
 
 * deltas in the discrete measurements — cluster count, max diameter, the
-  metric round complexity, and (schema ≥ 3) the :class:`RoundLedger`
-  aggregate charged by the algorithm — where **any** difference is flagged
-  as a regression by default (tolerance 0: a deterministic method changing
-  its answer means the reproduction changed);
+  metric round complexity, (schema ≥ 3) the :class:`RoundLedger` aggregate
+  charged by the algorithm, and (schema ≥ 4) the task fields: the ``C * D``
+  template cost ``task_rounds``, the task metrics ``mis_size`` /
+  ``colors_used``, and the ``verified`` bit — where **any** difference is
+  flagged as a regression by default (tolerance 0: a deterministic method
+  changing its answer means the reproduction changed; a coloring that
+  suddenly needs more colors, or an MIS whose verification flips, is
+  exactly such a change);
 * deltas in ``algo_s`` wall time, flagged only when the current run is
   slower than the baseline by *both* the relative and the absolute
   tolerance (timings are noisy; two honest runs of a small cell differ by
@@ -42,8 +46,29 @@ DEFAULT_TOLERANCES: Dict[str, Any] = {
     "diameter": 0,
     "rounds": 0,
     "ledger_rounds": 0,
+    "task_rounds": 0,
+    "mis_size": 0,
+    "colors_used": 0,
+    "task_verified": 0,
     "algo_s": (1.0, 0.25),
 }
+
+
+def _task_metric(record: Dict[str, Any], key: str) -> Any:
+    value = (record.get("task_metrics") or {}).get(key)
+    # Booleans compare/delta as ints (True -> 1), so a verification flip is
+    # a ±1 delta against tolerance 0.
+    return int(value) if isinstance(value, bool) else value
+
+
+def _task_rounds(record: Dict[str, Any]) -> Any:
+    # Plain decompose cells carry task_rounds=0 as schema-4 filler; reading
+    # them as "no task field" keeps schema-3 baselines diffing clean
+    # instead of reporting a 0-vs-absent row for every aligned cell.
+    if record.get("task") in (None, "decompose"):
+        return None
+    return record.get("task_rounds")
+
 
 #: Field → how to read it off a result record.
 _FIELD_READERS = {
@@ -51,11 +76,24 @@ _FIELD_READERS = {
     "diameter": lambda record: record.get("metrics", {}).get("diameter"),
     "rounds": lambda record: record.get("metrics", {}).get("rounds"),
     "ledger_rounds": lambda record: (record.get("rounds") or {}).get("total"),
+    "task_rounds": _task_rounds,
+    "mis_size": lambda record: _task_metric(record, "mis_size"),
+    "colors_used": lambda record: _task_metric(record, "colors_used"),
+    "task_verified": lambda record: _task_metric(record, "verified"),
     "algo_s": lambda record: (record.get("timings") or {}).get("algo_s"),
 }
 
 #: Fields compared symmetrically (any difference beyond tolerance flags).
-DISCRETE_FIELDS = ("clusters", "diameter", "rounds", "ledger_rounds")
+DISCRETE_FIELDS = (
+    "clusters",
+    "diameter",
+    "rounds",
+    "ledger_rounds",
+    "task_rounds",
+    "mis_size",
+    "colors_used",
+    "task_verified",
+)
 
 #: Fields compared one-sidedly (only "current slower than baseline" flags).
 TIMING_FIELDS = ("algo_s",)

@@ -29,6 +29,8 @@ _ARCHIVE_SECTIONS = (
     ("message_size_abcp", "ABCP96 message sizes"),
     ("message_size_primitives", "Small-message primitives"),
     ("applications_torus", "Applications (C*D template)"),
+    ("applications_speedup", "Applications — CSR vs nx task loops"),
+    ("applications_reuse", "Applications — one decomposition, N tasks"),
 )
 
 
@@ -44,6 +46,33 @@ def quick_summary(n: int = 100, seed: int = 1) -> str:
         rows.append(evaluate_decomposition(decomposition, method).as_row())
     return format_table(
         rows, title="live summary — all methods on a {}x{} torus".format(side, side)
+    )
+
+
+def task_summary(n: int = 100, seed: int = 1) -> str:
+    """A live applications table: every registered task on every method.
+
+    One decomposition per method, reused across the tasks (exactly the
+    suite runner's one-decomposition/N-tasks path), with the ``C * D``
+    template cost and the verified task metrics per row.
+    """
+    from repro.graphs.generators import torus_graph
+    from repro.registry import TASKS
+
+    side = max(3, int(round(n ** 0.5)))
+    graph = torus_graph(side, side, seed=seed)
+    rows = []
+    for method in repro.DECOMPOSITION_METHODS:
+        decomposition = repro.decompose(graph, method=method, seed=seed)
+        for task in TASKS.names():
+            if TASKS.get(task).solve is None:
+                continue
+            result = repro.run_task(
+                graph, method=method, task=task, decomposition=decomposition
+            )
+            rows.append(result.as_row())
+    return format_table(
+        rows, title="applications — tasks on a {}x{} torus".format(side, side)
     )
 
 
@@ -127,6 +156,10 @@ def generate_report(
         lines.append("")
         lines.append("```")
         lines.append(quick_summary(n=live_summary_n))
+        lines.append("```")
+        lines.append("")
+        lines.append("```")
+        lines.append(task_summary(n=live_summary_n))
         lines.append("```")
         lines.append("")
 

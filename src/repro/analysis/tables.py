@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 # Grid parameters promoted into every flattened suite row, in column order.
-_RECORD_PARAMS = ("scenario", "method", "mode", "eps", "seed")
+_RECORD_PARAMS = ("scenario", "method", "task", "mode", "eps", "seed")
 
 
 def format_table(
@@ -25,7 +25,9 @@ def format_table(
 
     Args:
         rows: One dictionary per row; missing keys render as empty cells.
-        columns: Column order; defaults to the keys of the first row.
+        columns: Column order; defaults to the union of all rows' keys in
+            first-seen order (rows with different task metrics — ``mis_size``
+            vs ``colors_used`` — must not hide each other's columns).
         title: Optional title line printed above the table.
 
     Returns:
@@ -34,7 +36,11 @@ def format_table(
     if not rows:
         return title or "(no rows)"
     if columns is None:
-        columns = list(rows[0].keys())
+        seen = {}
+        for row in rows:
+            for key in row:
+                seen.setdefault(key, None)
+        columns = list(seen)
 
     def render(value: Any) -> str:
         if isinstance(value, float):
@@ -83,10 +89,13 @@ def rows_from_records(
     Returns:
         One flat row dictionary per record.  Schema-2 records additionally
         get ``build_s`` (generator/attach + CSR freeze) and ``algo_s``
-        columns from their ``timings`` breakdown, and schema-3 records a
+        columns from their ``timings`` breakdown, schema-3 records a
         ``ledger_rounds`` column (the RoundLedger total charged by the
-        algorithm), so build-vs-algorithm attribution and round budgets
-        render next to the metrics (older records simply lack the columns).
+        algorithm), and schema-4 task records ``task``, ``task_rounds`` and
+        their flattened ``task_metrics`` (``mis_size`` / ``colors_used`` /
+        ``verified``), so build-vs-algorithm attribution, round budgets and
+        task outcomes all render next to the metrics (older records simply
+        lack the columns).
     """
     rows: List[Dict[str, Any]] = []
     for record in records:
@@ -100,6 +109,14 @@ def rows_from_records(
         for key, value in dict(record.get("metrics", {})).items():
             # Grid parameters win on clashes (metrics repeat method/eps).
             row.setdefault(key, value)
+        task_metrics = record.get("task_metrics")
+        if record.get("task") not in (None, "decompose"):
+            # Schema-4 task records: the template cost and the task's own
+            # measurements render next to the decomposition metrics.
+            row["task_rounds"] = record.get("task_rounds")
+            if isinstance(task_metrics, dict):
+                for key, value in task_metrics.items():
+                    row.setdefault(key, value)
         rounds = record.get("rounds")
         if isinstance(rounds, dict) and "total" in rounds:
             # Schema-3 records carry the RoundLedger aggregate next to the

@@ -5,6 +5,12 @@ assign each node the smallest palette color not used by any already-colored
 neighbour.  Every node has at most Δ neighbours, so a palette of Δ+1 colors
 always suffices, and same-color clusters cannot conflict because they are
 non-adjacent.
+
+As with MIS, two interchangeable paths produce **identical** colorings: the
+flat-array loop over the CSR adjacency rows (palette state in one int list
+indexed by node position) and the networkx walk through
+:func:`~repro.applications.template.process_by_colors`, kept as the
+differential-testing oracle.  Both charge the same per-color template cost.
 """
 
 from __future__ import annotations
@@ -13,10 +19,18 @@ from typing import Any, Dict, Optional
 
 import networkx as nx
 
-from repro.applications.template import process_by_colors
+from repro.applications.template import (
+    charge_color_round,
+    cluster_diameter,
+    color_classes,
+    node_order_key,
+    process_by_colors,
+    sorted_member_indices,
+)
 from repro.clustering.cluster import Cluster
 from repro.clustering.decomposition import NetworkDecomposition
 from repro.congest.rounds import RoundLedger
+from repro.graphs.csr import CSRGraph, csr_index_or_none
 
 
 def _greedy_cluster_coloring(
@@ -24,9 +38,7 @@ def _greedy_cluster_coloring(
 ) -> Dict[Any, int]:
     """First-fit coloring inside one cluster, honouring decided neighbours."""
     assignment: Dict[Any, int] = {}
-    ordered = sorted(
-        cluster.nodes, key=lambda node: (graph.nodes[node].get("uid", node), str(node))
-    )
+    ordered = sorted(cluster.nodes, key=lambda node: node_order_key(graph, node))
     for node in ordered:
         used = set()
         for neighbour in graph.neighbors(node):
@@ -41,14 +53,56 @@ def _greedy_cluster_coloring(
     return assignment
 
 
+def _csr_coloring(
+    decomposition: NetworkDecomposition, csr: CSRGraph, ledger: RoundLedger
+) -> Dict[Any, int]:
+    """The flat-array first-fit loop: palette state per node index.
+
+    Equivalent to the oracle's per-color snapshots for the same reason as
+    the MIS loop: a neighbour colored within the current color class is in
+    the same cluster, which the oracle's intra-cluster ``assignment`` map
+    sees too.
+    """
+    graph = decomposition.graph
+    rows = csr.neighbor_rows
+    nodes = csr.nodes
+    palette = [-1] * csr.n
+    result = {}
+    for color, clusters in color_classes(decomposition):
+        color_diameter = 0
+        for cluster in clusters:
+            diameter = cluster_diameter(graph, cluster, decomposition.kind)
+            if diameter > color_diameter:
+                color_diameter = diameter
+            for i in sorted_member_indices(cluster, csr):
+                # First-fit over the neighbour palette: a plain list beats a
+                # set for the bounded degrees here, and the -1 "uncolored"
+                # sentinels never collide with a candidate value >= 0.
+                used = [palette[j] for j in rows[i]]
+                value = 0
+                while value in used:
+                    value += 1
+                palette[i] = value
+                result[nodes[i]] = value
+        charge_color_round(ledger, color, color_diameter)
+    return result
+
+
 def delta_plus_one_coloring(
     decomposition: NetworkDecomposition,
     ledger: Optional[RoundLedger] = None,
 ) -> Dict[Any, int]:
     """Compute a proper (Δ+1)-coloring of the decomposition's graph.
 
-    Returns a mapping node -> palette color in ``{0, ..., Δ}``.
+    Returns a mapping node -> palette color in ``{0, ..., Δ}``.  Runs the
+    flat-array CSR loop when the ambient backend allows it, the networkx
+    oracle otherwise — both produce the same coloring.
     """
+    ledger = ledger if ledger is not None else RoundLedger()
+    # No per-call staleness refresh — see maximal_independent_set.
+    csr = csr_index_or_none(decomposition.graph, views="reject")
+    if csr is not None:
+        return _csr_coloring(decomposition, csr, ledger)
     return process_by_colors(decomposition, _greedy_cluster_coloring, ledger=ledger)
 
 

@@ -5,6 +5,14 @@ greedily extend the independent set, respecting the decisions already made by
 neighbours in previously processed clusters.  Because same-color clusters are
 non-adjacent, their greedy extensions cannot conflict, and after the last
 color every node is either in the set or has a neighbour in it.
+
+Two interchangeable execution paths produce **identical** sets (enforced by
+the differential tests): the flat-array loop over the CSR adjacency rows
+(the default — state lives in one ``bytearray`` indexed by node position,
+neighbour scans are int-slice walks) and the original networkx walk through
+:func:`~repro.applications.template.process_by_colors`, kept as the oracle
+and used when the ``"nx"`` backend is active or the graph cannot be
+CSR-indexed.  Both charge the same per-color template cost.
 """
 
 from __future__ import annotations
@@ -13,10 +21,21 @@ from typing import Any, Dict, Optional, Set
 
 import networkx as nx
 
-from repro.applications.template import process_by_colors
+from repro.applications.template import (
+    charge_color_round,
+    cluster_diameter,
+    color_classes,
+    node_order_key,
+    process_by_colors,
+    sorted_member_indices,
+)
 from repro.clustering.cluster import Cluster
 from repro.clustering.decomposition import NetworkDecomposition
 from repro.congest.rounds import RoundLedger
+from repro.graphs.csr import CSRGraph, csr_index_or_none
+
+# Flat MIS node states (bytearray values of the CSR loop).
+_UNDECIDED, _SELECTED, _DOMINATED = 0, 1, 2
 
 
 def _greedy_cluster_mis(
@@ -24,9 +43,7 @@ def _greedy_cluster_mis(
 ) -> Dict[Any, bool]:
     """Greedy MIS inside one cluster, honouring already-decided neighbours."""
     decisions: Dict[Any, bool] = {}
-    ordered = sorted(
-        cluster.nodes, key=lambda node: (graph.nodes[node].get("uid", node), str(node))
-    )
+    ordered = sorted(cluster.nodes, key=lambda node: node_order_key(graph, node))
     for node in ordered:
         blocked = False
         for neighbour in graph.neighbors(node):
@@ -37,6 +54,40 @@ def _greedy_cluster_mis(
     return decisions
 
 
+def _csr_mis(
+    decomposition: NetworkDecomposition, csr: CSRGraph, ledger: RoundLedger
+) -> Set[Any]:
+    """The flat-array MIS loop: one state byte per node, int-row neighbour scans.
+
+    Same-color clusters are non-adjacent, so a single live state array is
+    equivalent to the oracle's per-color snapshots: a neighbour decided
+    within the current color is necessarily in the *same* cluster, exactly
+    what the oracle's intra-cluster ``decisions`` map sees.
+    """
+    graph = decomposition.graph
+    rows = csr.neighbor_rows
+    nodes = csr.nodes
+    state = bytearray(csr.n)
+    result = set()
+    for color, clusters in color_classes(decomposition):
+        color_diameter = 0
+        for cluster in clusters:
+            diameter = cluster_diameter(graph, cluster, decomposition.kind)
+            if diameter > color_diameter:
+                color_diameter = diameter
+            for i in sorted_member_indices(cluster, csr):
+                selected = _SELECTED
+                for j in rows[i]:
+                    if state[j] == _SELECTED:
+                        selected = _DOMINATED
+                        break
+                state[i] = selected
+                if selected == _SELECTED:
+                    result.add(nodes[i])
+        charge_color_round(ledger, color, color_diameter)
+    return result
+
+
 def maximal_independent_set(
     decomposition: NetworkDecomposition,
     ledger: Optional[RoundLedger] = None,
@@ -44,8 +95,19 @@ def maximal_independent_set(
     """Compute an MIS of the decomposition's graph via the color template.
 
     Returns the set of selected nodes.  The round cost charged to ``ledger``
-    is ``O(C * D)`` as per the standard argument.
+    is ``O(C * D)`` as per the standard argument.  Runs the flat-array CSR
+    loop when the ambient backend allows it (``views="reject"``: a subgraph
+    view's hidden neighbours must not block its nodes), the networkx oracle
+    otherwise — both produce the same set.
     """
+    ledger = ledger if ledger is not None else RoundLedger()
+    # No per-call staleness refresh: like the primitives in
+    # repro.graphs.properties, the solvers trust the cached index — the
+    # public entry points (run_task, the suite runner) refresh once per
+    # invocation, and a decomposition's host graph is fixed by contract.
+    csr = csr_index_or_none(decomposition.graph, views="reject")
+    if csr is not None:
+        return _csr_mis(decomposition, csr, ledger)
     solution = process_by_colors(decomposition, _greedy_cluster_mis, ledger=ledger)
     return {node for node, selected in solution.items() if selected}
 

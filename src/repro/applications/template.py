@@ -7,11 +7,27 @@ gathering the cluster's relevant state at its centre, solving locally and
 redistributing the answer costs ``O(D)`` rounds.  The total is ``O(C * D)``
 rounds — the quantity that makes polylogarithmic ``C`` and ``D`` the right
 target.
+
+Two execution paths share this module's scheduling and round accounting:
+
+* :func:`process_by_colors` — the generic (networkx-walking) template for
+  arbitrary cluster handlers, kept verbatim as the differential-testing
+  oracle for the task solvers;
+* the flat-array task loops in :mod:`repro.applications.mis` /
+  :mod:`repro.applications.coloring`, which iterate the CSR adjacency rows
+  directly (mirroring the PR-1 backend switch) but charge the *same*
+  per-color template cost through :func:`charge_color_round`.
+
+Node processing order inside a cluster follows the simulator's uid-sort
+convention (:func:`node_order_key`): uid first — via
+:func:`repro.graphs.csr.uid_order_key`, robust to mixed identifier types —
+then the node's string form as the final tie-break.  Both backends use the
+same key, so their greedy solutions are identical.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
 import networkx as nx
 
@@ -19,6 +35,7 @@ from repro.clustering.cluster import Cluster
 from repro.clustering.decomposition import NetworkDecomposition
 from repro.clustering.validation import strong_diameter, weak_diameter
 from repro.congest.rounds import RoundLedger
+from repro.graphs.csr import uid_order_key
 
 # A cluster handler receives (graph, cluster, partial_solution) and returns
 # the solution values for the cluster's nodes.  `partial_solution` holds the
@@ -27,6 +44,91 @@ from repro.congest.rounds import RoundLedger
 # decided), which is exactly the information a cluster can collect from its
 # one-hop neighbourhood in O(1) rounds before solving internally.
 ClusterHandler = Callable[[nx.Graph, Cluster, Dict[Any, Any]], Dict[Any, Any]]
+
+
+def node_order_key(graph: nx.Graph, node: Any) -> Tuple[Any, ...]:
+    """The shared within-cluster processing order: uid, then string form.
+
+    Delegates the uid ordering to :func:`repro.graphs.csr.uid_order_key`
+    (the CONGEST simulator's convention), so the order is total even when
+    ``"uid"`` attributes are missing and node labels mix ``int`` and
+    ``str`` — a plain ``(uid, str(node))`` key would raise ``TypeError``
+    there.
+    """
+    return uid_order_key(graph.nodes[node].get("uid", node)) + (str(node),)
+
+
+def cluster_diameter(graph: nx.Graph, cluster: Cluster, kind: str) -> int:
+    """A cluster's diameter in the decomposition's sense, memoized.
+
+    The value is cached on the cluster object: a decomposition's geometry
+    is fixed, so every task running on it (MIS, then coloring, then
+    whatever else) charges the same per-color diameters without re-running
+    the all-pairs BFS.  Both backends compute identical values, so the
+    cache never couples them.  The *validators* deliberately bypass this
+    helper — a checker must not trust a measurement cache.
+    """
+    cached = getattr(cluster, "_diameter_cache", None)
+    if cached is not None and cached[0] == kind:
+        return cached[1]
+    if kind == "strong":
+        value = strong_diameter(graph, cluster.nodes)
+    else:
+        value = weak_diameter(graph, cluster.nodes)
+    object.__setattr__(cluster, "_diameter_cache", (kind, value))
+    return value
+
+
+def color_classes(decomposition: NetworkDecomposition):
+    """The decomposition's ``(color, clusters)`` classes in color order, memoized.
+
+    One O(clusters) grouping pass instead of re-scanning every cluster per
+    color (``decomposition.clusters_of_color`` is O(clusters) *per call*).
+    Cached on the decomposition object — its clustering is immutable by
+    contract, and every task re-schedules the same classes.
+    """
+    cached = getattr(decomposition, "_color_classes_cache", None)
+    if cached is not None:
+        return cached
+    classes: Dict[int, list] = {}
+    for cluster in decomposition.clusters:
+        classes.setdefault(cluster.color, []).append(cluster)
+    ordered = tuple((color, tuple(classes[color])) for color in sorted(classes))
+    object.__setattr__(decomposition, "_color_classes_cache", ordered)
+    return ordered
+
+
+def sorted_member_indices(cluster: Cluster, csr) -> list:
+    """A cluster's CSR member indices in uid-sort order, memoized.
+
+    Like the diameter cache: the member order is fixed by the decomposition
+    and the frozen index, so every task reuses one sort.  The cache is
+    keyed by the index object itself — a re-frozen graph (new ``CSRGraph``)
+    recomputes.
+    """
+    cached = getattr(cluster, "_member_order_cache", None)
+    if cached is not None and cached[0] is csr:
+        return cached[1]
+    index_of = csr.index
+    members = sorted(
+        (index_of[node] for node in cluster.nodes), key=csr.uid_rank.__getitem__
+    )
+    object.__setattr__(cluster, "_member_order_cache", (csr, members))
+    return members
+
+
+def charge_color_round(ledger: RoundLedger, color: int, color_diameter: int) -> int:
+    """Charge one color class's template cost: gather + solve + scatter.
+
+    ``2 * D + 2`` rounds for a color whose largest cluster has diameter
+    ``D`` — the standard argument, shared by the generic template and the
+    flat-array task loops so the two paths charge identically.
+    """
+    return ledger.charge(
+        "template_color",
+        2 * color_diameter + 2,
+        detail="color {} (gather + solve + scatter)".format(color),
+    )
 
 
 def process_by_colors(
@@ -53,15 +155,11 @@ def process_by_colors(
     graph = decomposition.graph
     solution: Dict[Any, Any] = {}
 
-    for color in decomposition.colors:
-        clusters = decomposition.clusters_of_color(color)
+    for color, clusters in color_classes(decomposition):
         snapshot = dict(solution)
         color_diameter = 0
         for cluster in clusters:
-            if decomposition.kind == "strong":
-                diameter = strong_diameter(graph, cluster.nodes)
-            else:
-                diameter = weak_diameter(graph, cluster.nodes)
+            diameter = cluster_diameter(graph, cluster, decomposition.kind)
             color_diameter = max(color_diameter, diameter)
             values = handler(graph, cluster, snapshot)
             missing = cluster.nodes - set(values)
@@ -73,10 +171,6 @@ def process_by_colors(
                 )
             for node in cluster.nodes:
                 solution[node] = values[node]
-        ledger.charge(
-            "template_color",
-            2 * color_diameter + 2,
-            detail="color {} (gather + solve + scatter)".format(color),
-        )
+        charge_color_round(ledger, color, color_diameter)
 
     return solution

@@ -5,11 +5,15 @@ validates the result, and prints the measured parameters — a quick way to see
 the reproduction's headline numbers without writing any code.
 
 ``--mode suite`` switches to the batched pipeline: a whole
-``(scenario x n x method x eps x seed)`` grid is run through
+``(scenario x n x method x eps x seed x task)`` grid is run through
 :func:`repro.run_suite`, either from a JSON spec file (``--spec``, format in
 ``docs/pipeline.md``) or from the single-run flags (``--suite-mode`` picks
-decomposition or carving for the flag-built grid), optionally fanned out
-over ``--workers`` processes and resumed from / persisted to ``--store``.
+decomposition or carving for the flag-built grid; ``--tasks mis,coloring``
+adds the application task axis — every task of a cell group reuses one
+decomposition), optionally fanned out over ``--workers`` processes and
+resumed from / persisted to ``--store``.  Single-run decompositions take
+``--task`` to run one application on top (``--list-tasks`` prints the task
+registry).
 ``--shared-graphs`` controls the column-batched shared-graph arena (one
 topology build per grid column, zero-copy shared-memory segments in pool
 runs) and ``--arena-mb`` bounds the live segment budget.
@@ -31,8 +35,9 @@ from typing import List, Optional
 from repro.analysis.metrics import evaluate_carving, evaluate_decomposition
 from repro.analysis.tables import format_table
 from repro.clustering.validation import check_ball_carving, check_network_decomposition
-from repro.core.api import CARVING_METHODS, DECOMPOSITION_METHODS, carve, decompose
+from repro.core.api import carve, decompose, run_task
 from repro.pipeline.scenarios import build_workload, list_scenarios
+from repro.registry import METHODS, TASKS
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -53,9 +58,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--n", type=int, default=256, help="approximate number of nodes")
     parser.add_argument(
         "--method",
-        choices=sorted(set(DECOMPOSITION_METHODS)),
+        choices=sorted(METHODS.names()),
         default="strong-log3",
         help="algorithm to run",
+    )
+    parser.add_argument(
+        "--task",
+        choices=sorted(TASKS.names()),
+        default="decompose",
+        help=(
+            "decomposition mode: application task to run on top of the "
+            "computed decomposition ('decompose' records the decomposition "
+            "itself; 'mis' / 'coloring' solve and verify via the C*D "
+            "template — see --list-tasks)"
+        ),
     )
     parser.add_argument(
         "--mode",
@@ -186,9 +202,24 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--tasks",
+        metavar="TASKS",
+        default="decompose",
+        help=(
+            "suite mode without --spec: comma-separated task axis of the "
+            "flag-built grid (e.g. 'mis,coloring'); every task of a cell "
+            "group reuses one decomposition"
+        ),
+    )
+    parser.add_argument(
         "--list-scenarios",
         action="store_true",
         help="print the registered workload scenarios and exit",
+    )
+    parser.add_argument(
+        "--list-tasks",
+        action="store_true",
+        help="print the registered pipeline tasks and exit",
     )
     return parser
 
@@ -202,6 +233,9 @@ def _run_suite_mode(args) -> int:
     if args.spec is not None:
         spec = load_spec(args.spec)
     else:
+        tasks = tuple(
+            task.strip() for task in str(args.tasks).split(",") if task.strip()
+        ) or ("decompose",)
         spec = SuiteSpec(
             name="cli-{}".format(args.family),
             scenarios=(args.family,),
@@ -210,6 +244,7 @@ def _run_suite_mode(args) -> int:
             mode=args.suite_mode,
             eps=(args.eps,),
             seeds=(args.seed,),
+            tasks=tasks,
             backend=args.backend,
             validate=not args.skip_validation,
         )
@@ -385,6 +420,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             print("{:14s} {}".format(name, get_scenario(name).description))
         return 0
 
+    if args.list_tasks:
+        for name in TASKS.names():
+            print("{:14s} {}".format(name, TASKS.get(name).description))
+        return 0
+
     if args.mode == "suite":
         return _run_suite_mode(args)
 
@@ -418,7 +458,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 # The randomized baselines guarantee their dead fraction only
                 # in expectation, so structural invariants are checked but
                 # the per-run dead fraction gets slack.
-                lenient = args.method in ("ls93", "mpx")
+                lenient = not METHODS.get(args.method).deterministic
                 check_ball_carving(carving, max_dead_fraction=0.99 if lenient else None)
             metrics = evaluate_carving(carving, args.method)
             print(format_table([metrics.as_row()], title="ball carving"))
@@ -429,6 +469,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                 check_network_decomposition(decomposition)
             metrics = evaluate_decomposition(decomposition, args.method)
             print(format_table([metrics.as_row()], title="network decomposition"))
+            if args.task != "decompose":
+                task_result = run_task(
+                    graph,
+                    method=args.method,
+                    task=args.task,
+                    decomposition=decomposition,
+                )
+                print(format_table([task_result.as_row()], title="task {}".format(args.task)))
+                if not args.skip_validation and not task_result.metrics.get("verified"):
+                    print(
+                        "task {} solution failed verification".format(args.task),
+                        file=sys.stderr,
+                    )
+                    return 1
             result = decomposition
 
     if args.save is not None:

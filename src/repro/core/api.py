@@ -1,8 +1,10 @@
-"""High-level one-call API: :func:`decompose`, :func:`carve`, :func:`run_suite`.
+"""High-level one-call API: :func:`decompose`, :func:`carve`, :func:`run_task`,
+:func:`run_suite`.
 
 These are the entry points a downstream user (and the examples, CLI and
 benchmarks) interact with.  Every algorithm of the reproduction is reachable
-through a ``method`` string:
+through a ``method`` string registered in :mod:`repro.registry` — the single
+source of method truth:
 
 ===================  ==========================================================
 method               algorithm
@@ -26,48 +28,43 @@ nodes ends up dead — exactly for the deterministic methods, in expectation
 for the randomized ones.  Decompositions have no ``eps`` parameter; they fix
 their own per-color budgets internally.
 
+On top of a decomposition run the §1.1 **tasks** of :data:`repro.registry.TASKS`
+(``"mis"``, ``"coloring"``): :func:`run_task` decomposes (or reuses a given
+decomposition) and executes the task through the ``C * D`` color template,
+returning the verified solution and its round cost.
+
 Both single-shot entry points additionally accept ``backend="csr" | "nx"``
 (default: the ambient backend, which is ``"csr"``): ``"csr"`` routes all
-ball growing through the flat-array graph core of :mod:`repro.graphs.csr`,
+graph walks through the flat-array graph core of :mod:`repro.graphs.csr`,
 ``"nx"`` runs the original dict-of-dicts networkx walks.  The two backends
-produce identical cluster assignments — ``"nx"`` is kept as a
-differential-testing oracle and for graphs the CSR index cannot represent.
+produce identical results — ``"nx"`` is kept as a differential-testing
+oracle and for graphs the CSR index cannot represent.
 
 :func:`run_suite` is the batched form: it expands a declarative
-``(scenario x n x method x eps x seed)`` grid into cells and runs them with
-resume support and optional multiprocessing fan-out — see
+``(scenario x n x method x eps x seed x task)`` grid into cells and runs
+them with resume support and optional multiprocessing fan-out — see
 :mod:`repro.pipeline` and ``docs/pipeline.md``.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Dict, Iterable, Optional
+from typing import Any, Iterable, Optional
 
 import networkx as nx
 
-from repro.baselines.linial_saks import linial_saks_carving, linial_saks_decomposition
-from repro.baselines.mpx import mpx_carving, mpx_decomposition
-from repro.baselines.sequential import (
-    greedy_sequential_carving,
-    greedy_sequential_decomposition,
-)
 from repro.clustering.carving import BallCarving
 from repro.clustering.decomposition import NetworkDecomposition
 from repro.congest.rounds import RoundLedger
-from repro.core.decomposition import (
-    theorem23_decomposition,
-    theorem34_decomposition,
-    weak_decomposition_rg20,
-)
-from repro.core.improved_carving import theorem33_carving
-from repro.core.strong_carving import theorem22_carving
 from repro.graphs.backend import use_backend
 from repro.graphs.csr import refresh_csr_cache
-from repro.weak.carving import weak_diameter_carving
-
-CARVING_METHODS = ("strong-log3", "strong-log2", "weak-rg20", "ls93", "mpx", "sequential")
-DECOMPOSITION_METHODS = CARVING_METHODS
+from repro.registry import (
+    CARVING_METHODS,
+    DECOMPOSITION_METHODS,
+    METHODS,
+    TASKS,
+    TaskResult,
+)
 
 
 def carve(
@@ -89,8 +86,8 @@ def carve(
             methods, in expectation for ``ls93`` / ``mpx``.  Smaller ``eps``
             means fewer dead nodes but larger cluster diameters (every bound
             carries a ``1/eps`` factor).
-        method: One of :data:`CARVING_METHODS` (see the module docstring for
-            the algorithm behind each string).
+        method: A method string from :data:`repro.registry.METHODS` (see the
+            module docstring for the algorithm behind each string).
         nodes: Optional node subset to carve (default: every node).
         ledger: Optional round ledger to charge CONGEST rounds into.
         seed: Seed for the randomized baselines' private random stream;
@@ -104,6 +101,7 @@ def carve(
     Returns:
         A :class:`~repro.clustering.carving.BallCarving`.
     """
+    spec = METHODS.get(method)
     rng = random.Random(seed if seed is not None else 0)
     # One staleness check per API call: callers who mutated the graph in
     # place since the last call get a fresh CSR index.  Exception: hosts
@@ -112,19 +110,7 @@ def carve(
     # requires invalidate_csr_cache first; see CSRGraph.to_networkx).
     refresh_csr_cache(graph)
     with use_backend(backend):
-        if method == "strong-log3":
-            return theorem22_carving(graph, eps, nodes=nodes, ledger=ledger)
-        if method == "strong-log2":
-            return theorem33_carving(graph, eps, nodes=nodes, ledger=ledger)
-        if method == "weak-rg20":
-            return weak_diameter_carving(graph, eps, nodes=nodes, ledger=ledger)
-        if method == "ls93":
-            return linial_saks_carving(graph, eps, nodes=nodes, ledger=ledger, rng=rng)
-        if method == "mpx":
-            return mpx_carving(graph, eps, nodes=nodes, ledger=ledger, rng=rng)
-        if method == "sequential":
-            return greedy_sequential_carving(graph, eps, nodes=nodes, ledger=ledger)
-    raise ValueError("unknown carving method {!r}; choose from {}".format(method, CARVING_METHODS))
+        return spec.carve(graph, eps, nodes, ledger, rng)
 
 
 def decompose(
@@ -139,10 +125,10 @@ def decompose(
     Args:
         graph: Host graph (nodes should carry ``"uid"`` attributes; see
             :func:`repro.graphs.assign_unique_identifiers`).
-        method: One of :data:`DECOMPOSITION_METHODS` (see the module
-            docstring for the algorithm behind each string).  There is no
-            ``eps`` parameter: decompositions fix their per-color budgets
-            internally.
+        method: A method string from :data:`repro.registry.METHODS` (see the
+            module docstring for the algorithm behind each string).  There
+            is no ``eps`` parameter: decompositions fix their per-color
+            budgets internally.
         ledger: Optional round ledger to charge CONGEST rounds into.
         seed: Seed for the randomized baselines' private random stream;
             ignored by the deterministic methods.  ``None`` behaves like
@@ -154,24 +140,102 @@ def decompose(
         A :class:`~repro.clustering.decomposition.NetworkDecomposition`
         covering every node.
     """
+    spec = METHODS.get(method)
     rng = random.Random(seed if seed is not None else 0)
     refresh_csr_cache(graph)
     with use_backend(backend):
-        if method == "strong-log3":
-            return theorem23_decomposition(graph, ledger=ledger)
-        if method == "strong-log2":
-            return theorem34_decomposition(graph, ledger=ledger)
-        if method == "weak-rg20":
-            return weak_decomposition_rg20(graph, ledger=ledger)
-        if method == "ls93":
-            return linial_saks_decomposition(graph, ledger=ledger, rng=rng)
-        if method == "mpx":
-            return mpx_decomposition(graph, ledger=ledger, rng=rng)
-        if method == "sequential":
-            return greedy_sequential_decomposition(graph, ledger=ledger)
-    raise ValueError(
-        "unknown decomposition method {!r}; choose from {}".format(method, DECOMPOSITION_METHODS)
+        return spec.decompose(graph, ledger, rng)
+
+
+def run_task(
+    graph: nx.Graph,
+    method: str = "strong-log3",
+    task: str = "mis",
+    ledger: Optional[RoundLedger] = None,
+    seed: Optional[int] = None,
+    backend: Optional[str] = None,
+    decomposition: Optional[NetworkDecomposition] = None,
+) -> TaskResult:
+    """Run a pipeline task (MIS, coloring) on a network decomposition.
+
+    The applications form of the API: decomposes ``graph`` with ``method``
+    (or reuses ``decomposition`` — one decomposition can serve many tasks),
+    executes the task through the ``C * D`` color template, verifies the
+    solution on the host graph, and returns a
+    :class:`~repro.registry.TaskResult`.
+
+    Args:
+        graph: Host graph (must be the decomposition's graph when one is
+            passed).
+        method: Method string for the decomposition (ignored for the
+            clustering when ``decomposition`` is given, but still recorded
+            in the result).
+        task: A task string from :data:`repro.registry.TASKS`
+            (``"decompose"`` runs no application and returns empty metrics).
+        ledger: Optional round ledger; the decomposition's construction cost
+            and the task's template cost are both charged into it.
+        seed: Seed for randomized decomposition methods (see
+            :func:`decompose`); the task solvers themselves are
+            deterministic.
+        backend: Graph backend for the decomposition *and* the task's hot
+            loops (``"csr"`` flat arrays by default, ``"nx"`` oracle).
+        decomposition: Optional precomputed decomposition to reuse instead
+            of decomposing again.
+
+    Returns:
+        A :class:`~repro.registry.TaskResult` with the solution, the task's
+        template round cost, and its measured metrics (including
+        ``verified``).
+    """
+    spec = TASKS.get(task)
+    if decomposition is None:
+        decomposition = decompose(graph, method=method, ledger=ledger, seed=seed, backend=backend)
+    elif decomposition.graph is not graph:
+        # Solving runs on decomposition.graph while verification and metrics
+        # read ``graph``; a mismatch would silently certify a solution
+        # against the wrong graph.
+        raise ValueError(
+            "run_task received a decomposition of a different graph object; "
+            "pass the decomposition's own host graph"
+        )
+    if spec.solve is None:
+        return TaskResult(
+            task=task,
+            method=method,
+            solution=None,
+            rounds=0,
+            metrics={},
+            decomposition=decomposition,
+        )
+    refresh_csr_cache(graph)
+    solution, rounds, metrics = _execute_task(spec, decomposition, graph, backend)
+    if ledger is not None:
+        ledger.charge("subroutine", rounds, detail="task {}".format(task))
+    return TaskResult(
+        task=task,
+        method=method,
+        solution=solution,
+        rounds=rounds,
+        metrics=metrics,
+        decomposition=decomposition,
     )
+
+
+def _execute_task(task_spec, decomposition, graph, backend):
+    """Solve + measure + verify one task; the single task-execution path.
+
+    Shared by :func:`run_task` and the suite runner's task groups so the
+    semantics (backend scoping, a fresh ledger per task, the ``verified``
+    bit) cannot diverge between single-shot and batched execution.  Returns
+    ``(solution, task_rounds, metrics)``; callers refresh the CSR cache
+    once per invocation themselves.
+    """
+    task_ledger = RoundLedger()
+    with use_backend(backend):
+        solution = task_spec.solve(decomposition, task_ledger)
+        metrics = dict(task_spec.measure(graph, solution))
+        metrics["verified"] = bool(task_spec.verify(graph, solution))
+    return solution, task_ledger.total_rounds, metrics
 
 
 def run_suite(
@@ -185,24 +249,29 @@ def run_suite(
 ):
     """Run a whole experiment grid (the batched form of carve/decompose).
 
-    Expands ``spec`` — a ``(scenario x n x method x eps x seed)`` grid — into
-    cells, skips every cell already present in ``store`` (resume), and runs
-    the rest serially or over a ``multiprocessing`` pool.  Each cell runs
-    :func:`carve` or :func:`decompose` on the spec's ``backend`` and streams
-    a result record (grid parameters + measured metrics + a
-    ``timings`` wall-time breakdown) into the store.
+    Expands ``spec`` — a ``(scenario x n x method x eps x seed x task)``
+    grid — into cells, skips every cell already present in ``store``
+    (resume), and runs the rest serially or over a ``multiprocessing`` pool.
+    Each cell runs :func:`carve`, :func:`decompose` or a registered task on
+    the spec's ``backend`` and streams a result record (grid parameters +
+    measured metrics + task metrics + a ``timings`` wall-time breakdown)
+    into the store.
 
     Scheduling is **column-batched**: cells sharing a topology column are
     executed against one graph build.  With ``shared_graphs`` enabled (the
     default) the build happens exactly once per column — in-process for
     serial runs, published as a zero-copy shared-memory segment
     (:mod:`repro.pipeline.arena`) for pool runs — instead of once per cell.
+    On top of that, cells differing only in ``task`` share one
+    decomposition: the clustering is computed once per ``(scenario, n,
+    method, eps, seed)`` group and every requested task runs against it.
     Records are identical either way; only the timings move.
 
     Seeds are derived per cell from ``spec.master_seed``: the *graph* seed
     depends only on ``(scenario, n, seed index)`` so method columns compare
-    on identical topologies, while the *algorithm* seed depends on the full
-    cell id — see :func:`repro.pipeline.runner.derive_cell_seed`.
+    on identical topologies, while the *algorithm* seed depends on the cell
+    id minus the task axis (tasks share their group's decomposition) — see
+    :func:`repro.pipeline.runner.derive_cell_seed`.
 
     Args:
         spec: A :class:`repro.pipeline.SuiteSpec`, a spec dictionary, or the

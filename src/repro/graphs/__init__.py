@@ -22,6 +22,7 @@ from repro.graphs.csr import CSRGraph, CSRUnsupported, invalidate_csr_cache
 from repro.graphs.generators import (
     GraphFamily,
     assign_unique_identifiers,
+    attach_edge_weights,
     binary_tree_graph,
     caterpillar_graph,
     cycle_graph,
@@ -42,7 +43,7 @@ from repro.graphs.expanders import (
     random_regular_expander,
     subdivide_edges,
 )
-from repro.graphs.power import power_graph
+from repro.graphs.power import power_graph, power_law_graph
 from repro.graphs.io import (
     clustering_to_dict,
     read_clustering,
@@ -77,6 +78,7 @@ __all__ = [
     "neighbors_resolver",
     "GraphFamily",
     "assign_unique_identifiers",
+    "attach_edge_weights",
     "binary_tree_graph",
     "caterpillar_graph",
     "cycle_graph",
@@ -95,6 +97,7 @@ __all__ = [
     "random_regular_expander",
     "subdivide_edges",
     "power_graph",
+    "power_law_graph",
     "clustering_to_dict",
     "read_clustering",
     "read_edge_list",

@@ -237,6 +237,8 @@ class CSRGraph:
         "built_edges",
         "fingerprint",
         "frozen",
+        "_uid_rank",
+        "_neighbor_rows",
         "_ones_scratch",
         "_zeros_scratch",
         "_ones_busy",
@@ -268,6 +270,8 @@ class CSRGraph:
         # their host graph is rebuilt from the frozen arrays, so the O(n + m)
         # staleness fingerprint of refresh_csr_cache can be skipped for them.
         self.frozen = False
+        self._uid_rank: Optional[List[int]] = None
+        self._neighbor_rows: Optional[Tuple[Tuple[int, ...], ...]] = None
         self._ones_scratch = bytearray(b"\x01") * self.n
         self._zeros_scratch = bytearray(self.n)
         self._ones_busy = False
@@ -617,6 +621,107 @@ class CSRGraph:
         finally:
             if permitted is not None:
                 self._release_blocked(permitted, cleared, permitted_owned)
+            self._release_members(members, member_indices, owned)
+
+    @property
+    def neighbor_rows(self) -> Tuple[Tuple[int, ...], ...]:
+        """Per-node neighbour-index tuples, lazily materialised.
+
+        The BFS primitives slice ``indices[indptr[i]:indptr[i+1]]`` — fine
+        when each row is visited once per traversal, but per-*node* loops
+        that revisit rows across calls (the application task loops) pay a
+        fresh array allocation per visit.  This caches the rows as plain
+        tuples once (O(n + m), roughly doubling the index's memory — which
+        is why it is lazy: only row-revisiting consumers pay it).
+        """
+        if self._neighbor_rows is None:
+            indptr, indices = self.indptr, self.indices
+            self._neighbor_rows = tuple(
+                tuple(indices[indptr[i] : indptr[i + 1]]) for i in range(self.n)
+            )
+        return self._neighbor_rows
+
+    @property
+    def uid_rank(self) -> List[int]:
+        """Per-index rank under the shared uid-sort convention, lazily built.
+
+        ``uid_rank[i]`` is node ``i``'s position in the total order
+        ``uid_order_key(uid) + (str(label),)`` (the CONGEST simulator's
+        ordering rule).  Sorting a subset of indices by this array is a
+        plain int-key sort — the flat replacement for computing tuple keys
+        per node in every cluster of every task.  Computed once per index
+        (O(n log n)) and reused for the graph's lifetime; the uid array is
+        frozen with the index, so the rank can never go stale ahead of it.
+        """
+        if self._uid_rank is None:
+            uids, nodes = self.uids, self.nodes
+            order = sorted(
+                range(self.n), key=lambda i: uid_order_key(uids[i]) + (str(nodes[i]),)
+            )
+            rank = [0] * self.n
+            for position, i in enumerate(order):
+                rank[i] = position
+            self._uid_rank = rank
+        return self._uid_rank
+
+    def induced_diameter(
+        self, cluster: Iterable[Any], expected: Optional[int] = None
+    ) -> int:
+        """Diameter of the induced subgraph: one flat BFS per member.
+
+        All work stays in index space — one member mask, one visited mask,
+        int frontiers — so the all-pairs eccentricity costs
+        ``O(k * (k + vol))`` array operations for a ``k``-node cluster
+        instead of ``k`` label-space BFS calls with per-call mask setup.
+        This is the hot primitive of the per-color diameter accounting in
+        the ``C * D`` application template (and of the validators' diameter
+        checks).
+
+        Raises ``ValueError`` when the induced subgraph is disconnected, or
+        when fewer than ``expected`` members are present in the graph
+        (mirroring :func:`repro.graphs.properties.subgraph_diameter`).
+        """
+        indptr, indices = self.indptr, self.indices
+        members, member_indices, owned = self._acquire_members(cluster)
+        try:
+            k = len(member_indices)
+            if expected is not None and k != expected:
+                raise ValueError(
+                    "induced subgraph is disconnected; strong diameter undefined"
+                )
+            if k <= 1:
+                return 0
+            diameter = 0
+            seen = bytearray(self.n)
+            first = True
+            for source in member_indices:
+                for i in member_indices:
+                    seen[i] = 0
+                seen[source] = 1
+                frontier = [source]
+                reached = 1
+                depth = 0
+                while frontier:
+                    next_frontier: List[int] = []
+                    for u in frontier:
+                        for v in indices[indptr[u] : indptr[u + 1]]:
+                            if members[v] and not seen[v]:
+                                seen[v] = 1
+                                next_frontier.append(v)
+                    if not next_frontier:
+                        break
+                    reached += len(next_frontier)
+                    depth += 1
+                    frontier = next_frontier
+                if first and reached != k:
+                    raise ValueError(
+                        "induced subgraph is disconnected; strong diameter undefined"
+                    )
+                first = False
+                if depth > diameter:
+                    diameter = depth
+            return diameter
+        finally:
             self._release_members(members, member_indices, owned)
 
     def induced_degrees(self, cluster: Iterable[Any]) -> Dict[Any, int]:

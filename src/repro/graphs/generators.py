@@ -231,6 +231,39 @@ def expander_mix_graph(
     return assign_unique_identifiers(graph, seed=_uid_seed(seed))
 
 
+def attach_edge_weights(
+    graph: nx.Graph,
+    seed: Optional[int] = None,
+    low: int = 1,
+    high: int = 16,
+) -> nx.Graph:
+    """Attach deterministic integer ``"weight"`` attributes to every edge.
+
+    The decomposition algorithms are hop-metric (weights do not change any
+    clustering), but weighted workloads matter downstream: edge weights ride
+    through the pipeline into stores and user code, and the suite must not
+    choke on attribute-carrying graphs.  Weights are drawn uniformly from
+    ``[low, high]`` by a stream seeded independently of the topology seed
+    (same splitmix derivation as the uid scrambling), and assigned in
+    endpoint-canonicalized sorted edge order — the same edge set gets the
+    same weights regardless of how (or in which orientation) the edges were
+    inserted.
+
+    Note: the shared-memory arena serialises topology only; a column shipped
+    through it reaches workers without the weight attributes (which no
+    algorithm reads).  The graph is modified in place and also returned.
+    """
+    if low > high:
+        raise ValueError("attach_edge_weights requires low <= high")
+    rng = random.Random(_uid_seed(seed if seed is not None else 0) ^ 0x5EED)
+    edges = sorted(
+        graph.edges(), key=lambda edge: tuple(sorted((str(edge[0]), str(edge[1]))))
+    )
+    for u, v in edges:
+        graph[u][v]["weight"] = rng.randint(low, high)
+    return graph
+
+
 def erdos_renyi_graph(n: int, probability: float, seed: Optional[int] = None) -> nx.Graph:
     """A ``G(n, p)`` random graph.  May be disconnected; algorithms must cope."""
     if n <= 0:

@@ -1,4 +1,4 @@
-"""The graph power operator ``G^k``.
+"""The graph power operator ``G^k`` and the power-law workload generator.
 
 The ABCP96 transformation (the prior weak-to-strong reduction that our paper
 replaces) starts by running a weak-diameter decomposition on the power graph
@@ -7,14 +7,22 @@ their distance in ``G`` is at most ``k``.  Simulating one round of a ``G^k``
 algorithm on ``G`` requires ``k`` CONGEST rounds *per unit of bandwidth* —
 and in general blows up message sizes, which is exactly the point the paper
 makes about ABCP96 requiring unbounded messages.
+
+:func:`power_law_graph` is the power-*law* workload (the other sense of
+"power"): a preferential-attachment graph whose degree distribution has a
+heavy tail, mimicking internet-like topologies — hubs of degree ``Θ(√n)``
+next to a sea of degree-``m`` leaves, the opposite stress to the
+bounded-degree families.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict
+from typing import Dict, Optional
 
 import networkx as nx
+
+from repro.graphs.generators import _uid_seed, assign_unique_identifiers
 
 
 def power_graph(graph: nx.Graph, k: int) -> nx.Graph:
@@ -43,3 +51,25 @@ def power_graph(graph: nx.Graph, k: int) -> nx.Graph:
             if target != source and distance <= k:
                 result.add_edge(source, target)
     return result
+
+
+def power_law_graph(n: int, attachment: int = 2, seed: Optional[int] = None) -> nx.Graph:
+    """A preferential-attachment (Barabási–Albert) graph with ~``n`` nodes.
+
+    Every new node attaches ``attachment`` edges to existing nodes with
+    probability proportional to their degree, yielding a power-law degree
+    tail (exponent ≈ 3): a few hubs of degree ``Θ(√n)`` and mostly
+    degree-``attachment`` leaves.  Hub-dominated inputs stress the carving
+    loops' frontier handling (one BFS layer can hold a constant fraction of
+    the graph) — the opposite regime to the bounded-degree families.
+
+    The graph is connected for ``attachment >= 1``; node labels are
+    ``0..n-1`` and uids a seeded pseudo-random permutation, decoupled from
+    the topology stream like every other randomized generator here.
+    """
+    if attachment < 1:
+        raise ValueError("power_law_graph requires attachment >= 1")
+    if n <= attachment:
+        raise ValueError("power_law_graph requires n > attachment")
+    graph = nx.barabasi_albert_graph(n, attachment, seed=seed)
+    return assign_unique_identifiers(graph, seed=_uid_seed(seed))

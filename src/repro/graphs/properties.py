@@ -223,6 +223,10 @@ def subgraph_diameter(graph: nx.Graph, nodes: Iterable) -> int:
     node_set = set(nodes)
     if len(node_set) <= 1:
         return 0
+    fast = _csr_restriction(graph, node_set)
+    if fast is not None:
+        csr, effective = fast
+        return csr.induced_diameter(effective, expected=len(node_set))
     diameter = 0
     remaining_check = True
     for source in node_set:

@@ -27,7 +27,12 @@ shape, not the container format):
 * **2** — added the per-record ``timings`` wall-time breakdown;
 * **3** — added the per-record ``rounds`` ledger aggregate
   (``{"total": ..., "by_primitive": {...}}``) charged by the algorithm's
-  :class:`repro.congest.rounds.RoundLedger`.
+  :class:`repro.congest.rounds.RoundLedger`;
+* **4** — added the task axis: ``task`` (the
+  :data:`repro.registry.TASKS` string; ``"decompose"`` for plain
+  decomposition/carving cells), ``task_rounds`` (the ``C * D`` template
+  cost the task charged) and ``task_metrics`` (``mis_size`` /
+  ``colors_used`` plus ``verified``; empty for ``"decompose"``).
 
 Each addition is optional for consumers, so every older version still loads.
 """
@@ -36,15 +41,16 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterator, List, Optional
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 #: Schema versions this build can safely read.  Versions 1–2 lack the
-#: ``timings`` / ``rounds`` keys, which every consumer treats as optional.
-COMPATIBLE_SCHEMAS = (1, 2, 3)
+#: ``timings`` / ``rounds`` keys, version 3 the ``task`` keys — all of
+#: which every consumer treats as optional.
+COMPATIBLE_SCHEMAS = (1, 2, 3, 4)
 
 #: Grid parameters a :meth:`RunStoreBase.query` may filter on.  The SQLite
 #: backend keeps each (minus ``mode``) as an indexed column.
-QUERY_FIELDS = ("cell", "scenario", "n", "method", "eps", "seed", "mode")
+QUERY_FIELDS = ("cell", "scenario", "n", "method", "eps", "seed", "mode", "task")
 
 
 class StoreSchemaError(ValueError):

@@ -16,11 +16,13 @@ them in a plain JSON-lines file so that
 
 File format (one JSON object per line)::
 
-    {"kind": "header", "schema": 3, "suite": "table1", "metadata": {...}}
+    {"kind": "header", "schema": 4, "suite": "table1", "metadata": {...}}
     {"kind": "result", "cell": "torus/n256/strong-log3/s0", ...,
+     "task": "decompose", "task_rounds": 0, "task_metrics": {},
      "timings": {"graph_build_s": ..., "freeze_s": ..., "algo_s": ..., "source": "build"},
      "rounds": {"total": ..., "by_primitive": {"bfs": ..., ...}}}
-    {"kind": "result", "cell": "torus/n256/mpx/s0", ...}
+    {"kind": "result", "cell": "torus/n256/mpx/mis/s0", ...,
+     "task": "mis", "task_rounds": 18, "task_metrics": {"mis_size": 64, "verified": true}}
 
 Durability: every :meth:`add` is flushed *and fsynced*, so a killed worker
 loses at most the line it was writing.  A store whose **final** line is

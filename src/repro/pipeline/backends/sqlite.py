@@ -9,7 +9,7 @@ single SQLite file:
   column, so conversion back to JSON lines is lossless to the byte
   (:func:`repro.pipeline.backends.convert_store`);
 * the grid parameters (``cell``, ``scenario``, ``n``, ``method``, ``eps``,
-  ``seed``) are denormalised into indexed columns, so
+  ``seed``, ``task``) are denormalised into indexed columns, so
   :meth:`~SqliteRunStore.query` answers filtered slices from the index
   without loading — or even JSON-parsing — the rest of the store;
 * the header (suite, metadata, schema version) lives in a ``meta``
@@ -46,20 +46,21 @@ from repro.pipeline.backends.base import (
 )
 
 #: Grid parameters denormalised into dedicated (indexed) columns.
-INDEXED_COLUMNS = ("scenario", "n", "method", "eps", "seed")
+INDEXED_COLUMNS = ("scenario", "n", "method", "eps", "seed", "task")
 
 _CREATE_STATEMENTS = (
     "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT NOT NULL)",
     """CREATE TABLE IF NOT EXISTS results (
         id INTEGER PRIMARY KEY AUTOINCREMENT,
         cell TEXT NOT NULL UNIQUE,
-        scenario TEXT, n INTEGER, method TEXT, eps REAL, seed INTEGER,
+        scenario TEXT, n INTEGER, method TEXT, eps REAL, seed INTEGER, task TEXT,
         record TEXT NOT NULL)""",
     "CREATE INDEX IF NOT EXISTS idx_results_scenario ON results (scenario)",
     "CREATE INDEX IF NOT EXISTS idx_results_n ON results (n)",
     "CREATE INDEX IF NOT EXISTS idx_results_method ON results (method)",
     "CREATE INDEX IF NOT EXISTS idx_results_eps ON results (eps)",
     "CREATE INDEX IF NOT EXISTS idx_results_seed ON results (seed)",
+    "CREATE INDEX IF NOT EXISTS idx_results_task ON results (task)",
 )
 
 
@@ -140,6 +141,25 @@ class SqliteRunStore(RunStoreBase):
         self.schema = check_schema(int(meta["schema"]), self.path)
         self.suite = meta.get("suite", self.suite)
         self.metadata = json.loads(meta.get("metadata", "{}"))
+        self._ensure_task_column()
+
+    def _ensure_task_column(self) -> None:
+        """Add the ``task`` column + index to pre-task databases on open.
+
+        Stores created before the task axis (record schemas 1–3) lack the
+        denormalised ``task`` column.  Adding it is a pure container
+        upgrade — the record JSON stays byte-identical, old rows read the
+        column as ``NULL`` (their records carry no ``task`` key), and the
+        header's record-schema version is deliberately left untouched.
+        """
+        columns = {row[1] for row in self._conn.execute("PRAGMA table_info(results)")}
+        if "task" in columns:
+            return
+        with self._conn:
+            self._conn.execute("ALTER TABLE results ADD COLUMN task TEXT")
+            self._conn.execute(
+                "CREATE INDEX IF NOT EXISTS idx_results_task ON results (task)"
+            )
 
     # ------------------------------------------------------------------ #
     # Writing
@@ -153,13 +173,14 @@ class SqliteRunStore(RunStoreBase):
             record.get("method"),
             float(eps) if eps is not None else None,
             record.get("seed"),
+            record.get("task"),
             json.dumps(record),
         )
 
     _INSERT = (
         "INSERT OR REPLACE INTO results "
-        "(cell, scenario, n, method, eps, seed, record) "
-        "VALUES (?, ?, ?, ?, ?, ?, ?)"
+        "(cell, scenario, n, method, eps, seed, task, record) "
+        "VALUES (?, ?, ?, ?, ?, ?, ?, ?)"
     )
 
     def _append(self, record: Dict[str, Any]) -> None:

@@ -2,23 +2,33 @@
 
 A :class:`SuiteSpec` is the declarative form of one experiment — exactly the
 shape of the paper's tables: a grid of ``scenario x n x method`` cells, with
-an ``eps`` axis in carving mode and a ``seed`` axis for repetitions.
-:func:`run_suite` expands the grid, skips every cell already present in the
-:class:`~repro.pipeline.store.RunStore` (resume!), and executes the remaining
-cells either serially or over a ``multiprocessing`` pool, streaming each
-finished record into the store as it arrives.
+an ``eps`` axis in carving mode, a ``seed`` axis for repetitions, and a
+``task`` axis (``decompose`` / ``mis`` / ``coloring``; see
+:data:`repro.registry.TASKS`) for the §1.1 applications that run on top of
+each decomposition.  :func:`run_suite` expands the grid, skips every cell
+already present in the :class:`~repro.pipeline.store.RunStore` (resume!),
+and executes the remaining cells either serially or over a
+``multiprocessing`` pool, streaming each finished record into the store as
+it arrives.
 
 Determinism is grid-positional, not order-dependent:
 
 * the **graph seed** of a cell is derived from ``(master_seed, scenario, n,
   seed index)`` only — every method/eps cell on the same grid column sees the
   *same* topology, which is what makes method columns comparable;
-* the **algorithm seed** is derived from the full cell id, so randomized
-  baselines are independent across cells but reproducible per cell;
+* the **algorithm seed** is derived from the cell id minus the task axis
+  (:attr:`Cell.base_id`), so randomized baselines are independent across
+  cells but reproducible per cell — and all tasks of one cell group run on
+  the *same* decomposition;
 * both derivations hash with SHA-256, so they are stable across processes,
   platforms and Python versions (no ``hash()`` randomization).
 
-Scheduling is **column-batched**: cells are grouped by
+Execution units are **task groups**: cells differing only in ``task`` share
+one clustering — the group's decomposition is computed exactly once and
+every requested task runs against it (one decomposition, N task records; no
+recompute), whatever the pool size or sharing mode.
+
+Scheduling is additionally **column-batched**: task groups are grouped by
 :attr:`Cell.column_key` (the graph-identity key) and, with
 ``shared_graphs`` enabled (the default), each column's topology is built and
 CSR-frozen exactly once —
@@ -81,7 +91,7 @@ def _format_eps(eps: float) -> str:
 
 @dataclasses.dataclass(frozen=True)
 class Cell:
-    """One grid point of a suite: a single algorithm run."""
+    """One grid point of a suite: a single algorithm (or task) run."""
 
     scenario: str
     n: int
@@ -89,15 +99,32 @@ class Cell:
     seed: int
     mode: str
     eps: Optional[float] = None
+    task: str = "decompose"
 
     @property
     def cell_id(self) -> str:
-        """Stable store key; the resume logic matches cells by this string."""
+        """Stable store key; the resume logic matches cells by this string.
+
+        The default ``decompose`` task is omitted from the id, so cell ids
+        written by pre-task suites resume unchanged under the task axis.
+        """
         parts = [self.scenario, "n{}".format(self.n), self.method]
+        if self.task != "decompose":
+            parts.append(self.task)
         if self.eps is not None:
             parts.append("eps{}".format(_format_eps(self.eps)))
         parts.append("s{}".format(self.seed))
         return "/".join(parts)
+
+    @property
+    def base_id(self) -> str:
+        """The cell id minus the task axis — the clustering identity.
+
+        Cells sharing it run their tasks on the *same* decomposition (and
+        derive the same algorithm seed), which is what makes the
+        one-decomposition/N-tasks reuse exact rather than approximate.
+        """
+        return dataclasses.replace(self, task="decompose").cell_id
 
     @property
     def column_key(self) -> str:
@@ -114,17 +141,23 @@ class SuiteSpec:
         scenarios: Scenario names (see :mod:`repro.pipeline.scenarios`;
             ``"edgelist:<path>"`` loads a user graph).
         sizes: Target node counts.
-        methods: Algorithm method strings (subset of
-            :data:`repro.core.api.CARVING_METHODS`).
+        methods: Algorithm method strings (registered in
+            :data:`repro.registry.METHODS`).
         mode: ``"decomposition"`` or ``"carving"``.
         eps: Boundary parameters — expanded as a grid axis in carving mode,
             ignored in decomposition mode.
         seeds: Repetition indices; each index yields an independent
             (graph seed, algorithm seed) pair via :func:`derive_cell_seed`.
+        tasks: Task strings (registered in :data:`repro.registry.TASKS`) —
+            expanded as a grid axis in decomposition mode; all tasks of one
+            cell group run on the same decomposition.  Carving suites must
+            keep the default ``("decompose",)`` (tasks consume
+            decompositions).
         backend: Graph backend for every cell (``"csr"`` or ``"nx"``).
         master_seed: Root of all per-cell seed derivations.
         validate: Run the clustering validators on every cell result
-            (slower; randomized methods get the usual dead-fraction slack).
+            (slower; randomized methods get the usual dead-fraction slack)
+            and require every task solution to verify.
     """
 
     name: str
@@ -134,26 +167,39 @@ class SuiteSpec:
     mode: str = "decomposition"
     eps: Tuple[float, ...] = (0.5,)
     seeds: Tuple[int, ...] = (0,)
+    tasks: Tuple[str, ...] = ("decompose",)
     backend: str = "csr"
     master_seed: int = 0
     validate: bool = False
 
     def __post_init__(self) -> None:
-        from repro.core.api import CARVING_METHODS
+        from repro.registry import METHODS, TASKS
 
         if self.mode not in MODES:
             raise ValueError("mode must be one of {}, got {!r}".format(MODES, self.mode))
         for method in self.methods:
-            if method not in CARVING_METHODS:
+            if method not in METHODS:
                 raise ValueError(
-                    "unknown method {!r}; choose from {}".format(method, CARVING_METHODS)
+                    "unknown method {!r}; choose from {}".format(method, METHODS.names())
+                )
+        for task in self.tasks:
+            if task not in TASKS:
+                raise ValueError(
+                    "unknown task {!r}; choose from {}".format(task, TASKS.names())
                 )
         if self.backend not in ("csr", "nx"):
             raise ValueError("backend must be 'csr' or 'nx', got {!r}".format(self.backend))
-        if not (self.scenarios and self.sizes and self.methods and self.seeds):
-            raise ValueError("scenarios, sizes, methods and seeds must all be non-empty")
+        if not (self.scenarios and self.sizes and self.methods and self.seeds and self.tasks):
+            raise ValueError(
+                "scenarios, sizes, methods, seeds and tasks must all be non-empty"
+            )
         if self.mode == "carving" and not self.eps:
             raise ValueError("carving suites need at least one eps value")
+        if self.mode == "carving" and tuple(self.tasks) != ("decompose",):
+            raise ValueError(
+                "tasks run on network decompositions; carving suites must keep "
+                "tasks=('decompose',), got {!r}".format(tuple(self.tasks))
+            )
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "SuiteSpec":
@@ -163,7 +209,7 @@ class SuiteSpec:
         if unknown:
             raise ValueError("unknown suite spec keys: {}".format(", ".join(unknown)))
         data = dict(payload)
-        for key in ("scenarios", "methods"):
+        for key in ("scenarios", "methods", "tasks"):
             if key in data:
                 data[key] = tuple(str(value) for value in data[key])
         if "sizes" in data:
@@ -188,16 +234,18 @@ class SuiteSpec:
                 for method in self.methods:
                     for eps in eps_axis:
                         for seed in self.seeds:
-                            cells.append(
-                                Cell(
-                                    scenario=scenario,
-                                    n=n,
-                                    method=method,
-                                    seed=seed,
-                                    mode=self.mode,
-                                    eps=eps,
+                            for task in self.tasks:
+                                cells.append(
+                                    Cell(
+                                        scenario=scenario,
+                                        n=n,
+                                        method=method,
+                                        seed=seed,
+                                        mode=self.mode,
+                                        eps=eps,
+                                        task=task,
+                                    )
                                 )
-                            )
         return cells
 
 
@@ -235,8 +283,25 @@ def _freeze_index(graph, backend: str, mark_frozen: bool = False):
     return csr, time.perf_counter() - start
 
 
-def _compute_cell_record(
-    cell: Cell,
+def _group_task_cells(cells: Sequence[Cell]) -> List[List[Cell]]:
+    """Group cells by :attr:`Cell.base_id`, preserving grid order.
+
+    Each group is one **execution unit**: its clustering is computed once
+    and every member cell's task runs against it.
+    """
+    groups: Dict[str, List[Cell]] = {}
+    order: List[str] = []
+    for cell in cells:
+        key = cell.base_id
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(cell)
+    return [groups[key] for key in order]
+
+
+def _compute_group_records(
+    cells: Sequence[Cell],
     graph,
     backend: str,
     validate: bool,
@@ -244,95 +309,136 @@ def _compute_cell_record(
     graph_build_s: float,
     freeze_s: float,
     source: str,
-) -> Dict[str, Any]:
-    """Run one cell's algorithm on an already-built graph; returns its record.
+) -> List[Dict[str, Any]]:
+    """Run one task group's algorithm + tasks on an already-built graph.
 
-    ``timings`` attributes the cell's wall time: ``graph_build_s`` is the
-    generator run (or the arena attach) that produced ``graph``, ``freeze_s``
-    the CSR freeze, ``algo_s`` the algorithm + validation + metrics, and
-    ``source`` says where the topology came from (``"build"`` — built here;
-    ``"column"`` — reused in-process from the column's first cell;
-    ``"arena"`` / ``"arena-cached"`` — reattached from a shared-memory
-    segment).  ``seconds`` stays the cell total for backward compatibility.
+    The group's clustering (decomposition or carving) is computed exactly
+    once; each member cell then runs its registered task against it and
+    yields one record.  ``timings`` attributes the wall time: the group's
+    first record carries ``graph_build_s`` (generator run or arena attach),
+    ``freeze_s`` (CSR freeze) and the clustering's share of ``algo_s``;
+    subsequent records carry only their own task's solve time and
+    ``source="column"`` (the clustering was reused in-process).  ``source``
+    otherwise says where the topology came from (``"build"`` — built here;
+    ``"column"`` — reused from the column's first group; ``"arena"`` /
+    ``"arena-cached"`` — reattached from a shared-memory segment).
+    ``seconds`` stays the per-record total for backward compatibility.
     """
     import repro
     from repro.analysis.metrics import evaluate_carving, evaluate_decomposition
     from repro.clustering.validation import check_ball_carving, check_network_decomposition
     from repro.congest.rounds import RoundLedger
+    from repro.core.api import _execute_task
+    from repro.registry import METHODS, TASKS
 
-    graph_seed = derive_cell_seed(master_seed, "graph:" + cell.column_key)
-    algo_seed = derive_cell_seed(master_seed, "algo:" + cell.cell_id)
+    head = cells[0]
+    graph_seed = derive_cell_seed(master_seed, "graph:" + head.column_key)
+    # Derived from the id *minus* the task axis: every task of the group
+    # sees the same decomposition, so they must share the algorithm stream
+    # (and pre-task stores keep resuming — base_id == cell_id there).
+    algo_seed = derive_cell_seed(master_seed, "algo:" + head.base_id)
 
-    # One fresh ledger per cell: the algorithm charges its CONGEST round
-    # budget into it, and the per-primitive totals land in the record so
-    # bandwidth regressions surface in store diffs (deterministic — pure
-    # counting of the same charges on the same topology).
+    # One fresh ledger per group: the algorithm charges its CONGEST round
+    # budget into it, and the per-primitive totals land in every member
+    # record so bandwidth regressions surface in store diffs (deterministic
+    # — pure counting of the same charges on the same topology).
     ledger = RoundLedger()
+    decomposition = None
     start = time.perf_counter()
-    if cell.mode == "carving":
+    if head.mode == "carving":
         result = repro.carve(
-            graph, cell.eps, method=cell.method, seed=algo_seed, backend=backend,
+            graph, head.eps, method=head.method, seed=algo_seed, backend=backend,
             ledger=ledger,
         )
         if validate:
-            lenient = cell.method in ("ls93", "mpx")
+            lenient = not METHODS.get(head.method).deterministic
             check_ball_carving(result, max_dead_fraction=0.99 if lenient else None)
-        metrics = evaluate_carving(result, cell.method).as_row()
+        metrics = evaluate_carving(result, head.method).as_row()
     else:
-        result = repro.decompose(
-            graph, method=cell.method, seed=algo_seed, backend=backend, ledger=ledger
+        decomposition = repro.decompose(
+            graph, method=head.method, seed=algo_seed, backend=backend, ledger=ledger
         )
         if validate:
-            check_network_decomposition(result)
-        metrics = evaluate_decomposition(result, cell.method).as_row()
-    algo_s = time.perf_counter() - start
+            check_network_decomposition(decomposition)
+        metrics = evaluate_decomposition(decomposition, head.method).as_row()
+    clustering_s = time.perf_counter() - start
 
-    return {
-        "cell": cell.cell_id,
-        "scenario": cell.scenario,
-        "n": cell.n,
-        "method": cell.method,
-        "mode": cell.mode,
-        "eps": cell.eps,
-        "seed": cell.seed,
-        "graph_seed": graph_seed,
-        "algo_seed": algo_seed,
-        "backend": backend,
-        "metrics": metrics,
-        "rounds": {
-            "total": ledger.total_rounds,
-            "by_primitive": ledger.breakdown(),
-        },
-        "seconds": round(graph_build_s + freeze_s + algo_s, 6),
-        "timings": {
-            "graph_build_s": round(graph_build_s, 6),
-            "freeze_s": round(freeze_s, 6),
-            "algo_s": round(algo_s, 6),
-            "source": source,
-        },
-    }
+    records: List[Dict[str, Any]] = []
+    for position, cell in enumerate(cells):
+        task_spec = TASKS.get(cell.task)
+        task_start = time.perf_counter()
+        if task_spec.solve is None:
+            task_rounds, task_metrics = 0, {}
+        else:
+            # The shared single task-execution path (same as run_task), so
+            # suite records cannot drift from single-shot results.
+            _, task_rounds, task_metrics = _execute_task(
+                task_spec, decomposition, graph, backend
+            )
+            if validate and not task_metrics["verified"]:
+                raise ValueError(
+                    "task {!r} produced an unverified solution for cell {!r}".format(
+                        cell.task, cell.cell_id
+                    )
+                )
+        task_s = time.perf_counter() - task_start
+        algo_s = (clustering_s + task_s) if position == 0 else task_s
+        build_s = graph_build_s if position == 0 else 0.0
+        frozen_s = freeze_s if position == 0 else 0.0
+        records.append(
+            {
+                "cell": cell.cell_id,
+                "scenario": cell.scenario,
+                "n": cell.n,
+                "method": cell.method,
+                "mode": cell.mode,
+                "eps": cell.eps,
+                "seed": cell.seed,
+                "task": cell.task,
+                "graph_seed": graph_seed,
+                "algo_seed": algo_seed,
+                "backend": backend,
+                "metrics": dict(metrics),
+                "task_rounds": task_rounds,
+                "task_metrics": task_metrics,
+                "rounds": {
+                    "total": ledger.total_rounds,
+                    "by_primitive": ledger.breakdown(),
+                },
+                "seconds": round(build_s + frozen_s + algo_s, 6),
+                "timings": {
+                    "graph_build_s": round(build_s, 6),
+                    "freeze_s": round(frozen_s, 6),
+                    "algo_s": round(algo_s, 6),
+                    "source": source if position == 0 else "column",
+                },
+            }
+        )
+    return records
 
 
-def _execute_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Run one cell from scratch; top-level so multiprocessing can pickle it.
+def _execute_cells(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Run one task group from scratch; top-level so pools can pickle it.
 
     The per-cell-rebuild path (``shared_graphs`` off, and the fallback for
     graphs the arena cannot serialise): the worker re-derives the topology
-    from the scenario registry and freezes its own CSR index.
+    from the scenario registry and freezes its own CSR index.  The group's
+    decomposition is still computed only once — task reuse is semantic, not
+    a transport optimisation.
     """
     from repro.pipeline.scenarios import build_workload
 
-    cell = Cell(**payload["cell"])
+    cells = [Cell(**cell) for cell in payload["cells"]]
     backend = payload["backend"]
-    graph_seed = derive_cell_seed(payload["master_seed"], "graph:" + cell.column_key)
+    graph_seed = derive_cell_seed(payload["master_seed"], "graph:" + cells[0].column_key)
 
     start = time.perf_counter()
-    graph = build_workload(cell.scenario, cell.n, seed=graph_seed)
+    graph = build_workload(cells[0].scenario, cells[0].n, seed=graph_seed)
     graph_build_s = time.perf_counter() - start
     _, freeze_s = _freeze_index(graph, backend)
 
-    return _compute_cell_record(
-        cell,
+    return _compute_group_records(
+        cells,
         graph,
         backend,
         payload["validate"],
@@ -343,8 +449,8 @@ def _execute_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
     )
 
 
-def _execute_arena_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Run one cell against a published column segment (pool workers).
+def _execute_arena_cells(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Run one task group against a published column segment (pool workers).
 
     Attaches the column's shared-memory segment (cached per worker, so a
     worker draining a column pays one attach), reuses the zero-copy CSR
@@ -353,15 +459,15 @@ def _execute_arena_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
     """
     from repro.pipeline.arena import SegmentDescriptor, attach_column
 
-    cell = Cell(**payload["cell"])
+    cells = [Cell(**cell) for cell in payload["cells"]]
     descriptor = SegmentDescriptor.from_dict(payload["segment"])
 
     start = time.perf_counter()
     column, cache_hit = attach_column(descriptor)
     attach_s = time.perf_counter() - start
 
-    return _compute_cell_record(
-        cell,
+    return _compute_group_records(
+        cells,
         column.graph,
         payload["backend"],
         payload["validate"],
@@ -388,7 +494,10 @@ class SuiteResult:
             ``"column"`` in-process column batching, ``"arena"``
             shared-memory segments), ``columns``/``graph_builds`` counts
             (``graph_builds == columns`` is the zero-redundant-builds
-            guarantee), parent-side ``build_s``/``freeze_s`` totals, and
+            guarantee), ``task_groups``/``algorithm_runs`` counts
+            (``algorithm_runs == task_groups`` is the zero-redundant-
+            decompositions guarantee: every task of a group reuses one
+            clustering), parent-side ``build_s``/``freeze_s`` totals, and
             segment accounting in arena mode.
     """
 
@@ -419,7 +528,7 @@ def _check_record_matches(record: Dict[str, Any], cell: Cell, spec: SuiteSpec) -
     expected = {
         "backend": spec.backend,
         "graph_seed": derive_cell_seed(spec.master_seed, "graph:" + cell.column_key),
-        "algo_seed": derive_cell_seed(spec.master_seed, "algo:" + cell.cell_id),
+        "algo_seed": derive_cell_seed(spec.master_seed, "algo:" + cell.base_id),
     }
     for key, value in expected.items():
         if key in record and record[key] != value:
@@ -503,9 +612,9 @@ def _build_column_graph(
     return graph, csr, build_s, freeze_s
 
 
-def _cell_payload(cell: Cell, spec: SuiteSpec) -> Dict[str, Any]:
+def _group_payload(cells: Sequence[Cell], spec: SuiteSpec) -> Dict[str, Any]:
     return {
-        "cell": dataclasses.asdict(cell),
+        "cells": [dataclasses.asdict(cell) for cell in cells],
         "backend": spec.backend,
         "master_seed": spec.master_seed,
         "validate": spec.validate,
@@ -515,11 +624,13 @@ def _cell_payload(cell: Cell, spec: SuiteSpec) -> Dict[str, Any]:
 def _run_serial_batched(
     spec: SuiteSpec, groups: List[Tuple[str, List[Cell]]], store
 ) -> Dict[str, Any]:
-    """Serial column-batched execution: one build per column, cells reuse it."""
+    """Serial column-batched execution: one build per column, one clustering
+    per task group — every cell reuses both."""
     stats = {
         "mode": "column",
         "columns": len(groups),
         "graph_builds": 0,
+        "algorithm_runs": 0,
         "build_s": 0.0,
         "freeze_s": 0.0,
     }
@@ -528,18 +639,22 @@ def _run_serial_batched(
         stats["graph_builds"] += 1
         stats["build_s"] += build_s
         stats["freeze_s"] += freeze_s
-        for position, cell in enumerate(cells):
-            record = _compute_cell_record(
-                cell,
+        first = True
+        for task_cells in _group_task_cells(cells):
+            records = _compute_group_records(
+                task_cells,
                 graph,
                 spec.backend,
                 spec.validate,
                 spec.master_seed,
-                build_s if position == 0 else 0.0,
-                freeze_s if position == 0 else 0.0,
-                source="build" if position == 0 else "column",
+                build_s if first else 0.0,
+                freeze_s if first else 0.0,
+                source="build" if first else "column",
             )
-            store.add(record)
+            first = False
+            stats["algorithm_runs"] += 1
+            for record in records:
+                store.add(record)
     stats["build_s"] = round(stats["build_s"], 6)
     stats["freeze_s"] = round(stats["freeze_s"], 6)
     return stats
@@ -575,11 +690,12 @@ def _run_pool_arena(
     from repro.graphs.csr import CSRUnsupported
     from repro.pipeline.arena import ArenaUnavailable, CSRArena
 
-    total = sum(len(cells) for _, cells in groups)
+    total = sum(len(_group_task_cells(cells)) for _, cells in groups)
     stats = {
         "mode": "arena",
         "columns": len(groups),
         "graph_builds": 0,
+        "algorithm_runs": 0,
         "build_s": 0.0,
         "freeze_s": 0.0,
         "published_segments": 0,
@@ -599,10 +715,17 @@ def _run_pool_arena(
     try:
         with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
             def _dispatch_fallback(cells) -> None:
-                """Per-worker rebuilds — exactly the shared_graphs=off path."""
+                """Per-worker rebuilds — exactly the shared_graphs=off path.
+
+                Task groups stay intact: the fallback worker still computes
+                one clustering per group.
+                """
                 stats["fallback_cells"] += len(cells)
-                for cell in cells:
-                    futures[pool.submit(_execute_cell, _cell_payload(cell, spec))] = None
+                for task_cells in _group_task_cells(cells):
+                    stats["algorithm_runs"] += 1
+                    futures[
+                        pool.submit(_execute_cells, _group_payload(task_cells, spec))
+                    ] = None
 
             while completed < total:
                 while next_group < len(groups) or staged is not None:
@@ -654,22 +777,25 @@ def _run_pool_arena(
                     stats["freeze_s"] += freeze_s
                     stats["published_segments"] += 1
                     stats["published_bytes"] += descriptor.total_len
-                    outstanding[key] = len(cells)
-                    for cell in cells:
-                        payload = _cell_payload(cell, spec)
+                    task_groups = _group_task_cells(cells)
+                    outstanding[key] = len(task_groups)
+                    for task_cells in task_groups:
+                        payload = _group_payload(task_cells, spec)
                         payload["segment"] = descriptor.to_dict()
-                        futures[pool.submit(_execute_arena_cell, payload)] = key
+                        stats["algorithm_runs"] += 1
+                        futures[pool.submit(_execute_arena_cells, payload)] = key
                     staged = None
 
                 done, _ = wait(set(futures), return_when=FIRST_COMPLETED)
                 for future in done:
                     key = futures.pop(future)
-                    # Re-raises the cell's own exception, or BrokenProcessPool
+                    # Re-raises the group's own exception, or BrokenProcessPool
                     # when the worker running it died.
                     try:
-                        store.add(future.result())
+                        for record in future.result():
+                            store.add(record)
                     except BaseException:
-                        # Don't sit out the queued cells during unwind.
+                        # Don't sit out the queued groups during unwind.
                         pool.shutdown(wait=False, cancel_futures=True)
                         raise
                     completed += 1
@@ -761,7 +887,9 @@ def run_suite(
         else:
             _check_record_matches(record, cell, spec)
     skipped = len(cells) - len(pending)
-    workers = min(_resolve_workers(workers), max(1, len(pending)))
+    # The schedulable unit is a task group, not a cell — a pool larger than
+    # the group count would only spawn idle workers.
+    workers = min(_resolve_workers(workers), max(1, len(_group_task_cells(pending))))
     shared = _resolve_shared_graphs(shared_graphs, workers)
 
     start = time.perf_counter()
@@ -776,19 +904,24 @@ def run_suite(
     else:
         initial_mode = "arena"
     groups = _group_columns(pending)
+    task_groups = _group_task_cells(pending)
     arena_stats: Dict[str, Any] = {
         "shared_graphs": shared,
         "mode": initial_mode,
         "columns": len(groups),
-        "graph_builds": len(pending),
+        "cells": len(pending),
+        "task_groups": len(task_groups),
+        "graph_builds": len(task_groups),
+        "algorithm_runs": len(task_groups),
     }
     if pending:
         if workers == 1:
             if shared:
                 arena_stats.update(_run_serial_batched(spec, groups, store))
             else:
-                for cell in pending:
-                    store.add(_execute_cell(_cell_payload(cell, spec)))
+                for task_cells in task_groups:
+                    for record in _execute_cells(_group_payload(task_cells, spec)):
+                        store.add(record)
         else:
             if shared:
                 context = multiprocessing.get_context(start_method)
@@ -797,12 +930,14 @@ def run_suite(
                 )
             else:
                 context = multiprocessing.get_context(start_method)
-                payloads = [_cell_payload(cell, spec) for cell in pending]
+                payloads = [_group_payload(task_cells, spec) for task_cells in task_groups]
                 with context.Pool(processes=workers) as pool:
-                    for record in pool.imap_unordered(_execute_cell, payloads):
-                        store.add(record)
+                    for records in pool.imap_unordered(_execute_cells, payloads):
+                        for record in records:
+                            store.add(record)
     else:
         arena_stats["graph_builds"] = 0
+        arena_stats["algorithm_runs"] = 0
     seconds = time.perf_counter() - start
 
     completed = store.completed_cells()

@@ -8,7 +8,8 @@ can refer to workloads by string.  The registry covers
 * the classic benchmark families (torus, grid, cycle, path, tree, hypercube,
   random regular),
 * the wider catalogue added for the pipeline (Watts–Strogatz small-world,
-  bounded-degree expander mix, Margulis expander),
+  bounded-degree expander mix, Margulis expander, preferential-attachment
+  power-law, weighted torus),
 * user graphs on disk, through the ``"edgelist:<path>"`` pseudo-scenario
   which loads an edge-list file via :func:`repro.graphs.io.read_edge_list`.
 
@@ -39,6 +40,7 @@ import networkx as nx
 
 from repro.graphs.expanders import margulis_expander
 from repro.graphs.generators import (
+    attach_edge_weights,
     binary_tree_graph,
     cycle_graph,
     expander_mix_graph,
@@ -49,6 +51,7 @@ from repro.graphs.generators import (
     torus_graph,
     watts_strogatz_graph,
 )
+from repro.graphs.power import power_law_graph
 
 EDGE_LIST_PREFIX = "edgelist:"
 
@@ -124,6 +127,17 @@ def _margulis(n: int, seed: Optional[int]) -> nx.Graph:
     return margulis_expander(_square_side(n, 2), seed=seed)
 
 
+def _power_law(n: int, seed: Optional[int]) -> nx.Graph:
+    return power_law_graph(max(8, n), attachment=2, seed=seed)
+
+
+def _weighted(n: int, seed: Optional[int]) -> nx.Graph:
+    # Hop-metric algorithms ignore the weights; the scenario exists so
+    # attribute-carrying graphs flow through every pipeline path (store,
+    # resume, fallback scheduling) — see attach_edge_weights.
+    return attach_edge_weights(_torus(n, seed), seed=seed)
+
+
 _REGISTRY: Dict[str, Scenario] = {}
 
 
@@ -160,6 +174,12 @@ def _register_builtins() -> None:
         "expander-mix", _expander_mix, "bounded-degree expander blocks bridged in a ring"
     )
     register_scenario("margulis", _margulis, "deterministic Margulis-Gabber-Galil expander")
+    register_scenario(
+        "power-law", _power_law, "preferential-attachment graph: heavy degree tail, hubs"
+    )
+    register_scenario(
+        "weighted", _weighted, "2-D torus with seeded integer edge weights"
+    )
 
 
 _register_builtins()

@@ -166,6 +166,10 @@ class TestToleranceParsing:
             "diameter",
             "rounds",
             "ledger_rounds",
+            "task_rounds",
+            "mis_size",
+            "colors_used",
+            "task_verified",
             "algo_s",
         }
 
@@ -247,3 +251,97 @@ class TestDiffCli:
         )
         assert "Regression diff" in report
         assert "0 regressions" in report
+
+
+class TestTaskRegressionDiff:
+    """Schema-4 task fields are regression-diffed like every measurement."""
+
+    _TASK_SPEC = dict(
+        name="task-diff",
+        scenarios=("torus",),
+        sizes=(36,),
+        methods=("sequential",),
+        mode="decomposition",
+        tasks=("decompose", "mis", "coloring"),
+        seeds=(0,),
+    )
+
+    def _task_store(self, tmp_path, filename):
+        path = os.path.join(tmp_path, filename)
+        repro.run_suite(SuiteSpec(**self._TASK_SPEC), store=path)
+        return path
+
+    def test_twin_task_runs_diff_clean(self, tmp_path):
+        current = self._task_store(tmp_path, "a.jsonl")
+        baseline = self._task_store(tmp_path, "b.jsonl")
+        assert diff_stores(current, baseline).clean
+
+    def test_coloring_needing_more_colors_is_flagged(self, tmp_path):
+        current = self._task_store(tmp_path, "current.jsonl")
+        baseline = self._task_store(tmp_path, "baseline.jsonl")
+        target = "torus/n36/sequential/coloring/s0"
+
+        def bump_colors(record):
+            record["task_metrics"]["colors_used"] += 3
+
+        _perturb_jsonl(current, target, bump_colors)
+        diff = diff_stores(current, baseline)
+        assert not diff.clean
+        assert [delta.cell for delta in diff.regressions] == [target]
+        fields = {field.field for delta in diff.regressions for field in delta.fields}
+        assert fields == {"colors_used"}
+        assert "colors_used" in diff.to_markdown()
+
+    def test_unverified_mis_is_flagged(self, tmp_path):
+        current = self._task_store(tmp_path, "current.jsonl")
+        baseline = self._task_store(tmp_path, "baseline.jsonl")
+        target = "torus/n36/sequential/mis/s0"
+
+        def unverify(record):
+            record["task_metrics"]["verified"] = False
+
+        _perturb_jsonl(current, target, unverify)
+        diff = diff_stores(current, baseline)
+        assert not diff.clean
+        fields = {field.field for delta in diff.regressions for field in delta.fields}
+        assert fields == {"task_verified"}
+
+    def test_task_rounds_regression_is_flagged_and_tunable(self, tmp_path):
+        current = self._task_store(tmp_path, "current.jsonl")
+        baseline = self._task_store(tmp_path, "baseline.jsonl")
+        target = "torus/n36/sequential/mis/s0"
+
+        def slower(record):
+            record["task_rounds"] += 5
+
+        _perturb_jsonl(current, target, slower)
+        assert not diff_stores(current, baseline).clean
+        # A tolerance override (or disabling the field) un-flags it.
+        assert diff_stores(
+            current, baseline, tolerances={"task_rounds": 5}
+        ).clean
+        assert diff_stores(
+            current, baseline, tolerances={"task_rounds": None}
+        ).clean
+
+    def test_schema_3_baseline_diffs_clean_against_schema_4(self, tmp_path):
+        """A pre-task baseline must not flag (or even report) the new keys."""
+        current = self._task_store(tmp_path, "current.jsonl")
+        baseline = self._task_store(tmp_path, "baseline.jsonl")
+
+        def strip_task_keys(record):
+            for key in ("task", "task_rounds", "task_metrics"):
+                record.pop(key, None)
+
+        with open(baseline, "r", encoding="utf-8") as handle:
+            lines = [json.loads(line) for line in handle if line.strip()]
+        for record in lines:
+            if record.get("kind") == "header":
+                record["schema"] = 3
+            else:
+                strip_task_keys(record)
+        with open(baseline, "w", encoding="utf-8") as handle:
+            for record in lines:
+                handle.write(json.dumps(record) + "\n")
+        diff = diff_stores(current, baseline)
+        assert diff.clean

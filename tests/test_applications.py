@@ -1,12 +1,14 @@
 """Unit tests for the MIS / coloring applications of network decomposition."""
 
+import networkx as nx
 import pytest
 
 import repro
 from repro.applications.coloring import delta_plus_one_coloring, verify_coloring
 from repro.applications.mis import maximal_independent_set, verify_mis
-from repro.applications.template import process_by_colors
+from repro.applications.template import node_order_key, process_by_colors
 from repro.congest.rounds import RoundLedger
+from repro.graphs.backend import use_backend
 
 
 class TestTemplate:
@@ -103,3 +105,82 @@ class TestColoring:
 
     def test_verify_coloring_rejects_partial_assignments(self, small_cycle):
         assert not verify_coloring(small_cycle, {0: 0})
+
+
+class TestBackendDifferential:
+    """The CSR task loops must match the networkx oracle exactly."""
+
+    @pytest.mark.parametrize("method", repro.CARVING_METHODS)
+    def test_mis_identical_on_both_backends(self, small_torus, method):
+        decomposition = repro.decompose(small_torus, method=method, seed=2)
+        csr_ledger, nx_ledger = RoundLedger(), RoundLedger()
+        csr_set = maximal_independent_set(decomposition, ledger=csr_ledger)
+        with use_backend("nx"):
+            nx_set = maximal_independent_set(decomposition, ledger=nx_ledger)
+        assert csr_set == nx_set
+        assert csr_ledger.total_rounds == nx_ledger.total_rounds
+        assert verify_mis(small_torus, csr_set)
+
+    @pytest.mark.parametrize("method", repro.CARVING_METHODS)
+    def test_coloring_identical_on_both_backends(self, small_torus, method):
+        decomposition = repro.decompose(small_torus, method=method, seed=2)
+        csr_ledger, nx_ledger = RoundLedger(), RoundLedger()
+        csr_coloring = delta_plus_one_coloring(decomposition, ledger=csr_ledger)
+        with use_backend("nx"):
+            nx_coloring = delta_plus_one_coloring(decomposition, ledger=nx_ledger)
+        assert csr_coloring == nx_coloring
+        assert csr_ledger.total_rounds == nx_ledger.total_rounds
+        assert verify_coloring(small_torus, csr_coloring)
+
+    def test_csr_loop_actually_engages(self, small_torus, monkeypatch):
+        # Guard against the fast path silently falling back to the oracle.
+        import repro.applications.mis as mis_module
+
+        decomposition = repro.decompose(small_torus, method="sequential")
+        calls = []
+        original = mis_module._csr_mis
+
+        def spy(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(mis_module, "_csr_mis", spy)
+        maximal_independent_set(decomposition)
+        assert calls, "the CSR MIS loop was not used under the csr backend"
+
+
+class TestMixedLabelOrdering:
+    """Regression: mixed int/str labels without uids used to raise TypeError
+    in the within-cluster sort; the uid-sort convention totals the order."""
+
+    def _mixed_decomposition(self):
+        from repro.clustering.cluster import Cluster
+        from repro.clustering.decomposition import NetworkDecomposition
+
+        graph = nx.Graph()
+        graph.add_edges_from([(1, "a"), ("a", 2), (2, "b"), ("b", 1)])
+        clusters = [Cluster(nodes=frozenset(graph.nodes()), label=0, color=0)]
+        return graph, NetworkDecomposition(graph=graph, clusters=clusters, kind="strong")
+
+    def test_mis_on_mixed_labels(self):
+        graph, decomposition = self._mixed_decomposition()
+        independent_set = maximal_independent_set(decomposition)
+        assert verify_mis(graph, independent_set)
+
+    def test_coloring_on_mixed_labels(self):
+        graph, decomposition = self._mixed_decomposition()
+        coloring = delta_plus_one_coloring(decomposition)
+        assert verify_coloring(graph, coloring)
+
+    def test_mixed_labels_identical_across_backends(self):
+        graph, decomposition = self._mixed_decomposition()
+        csr_set = maximal_independent_set(decomposition)
+        with use_backend("nx"):
+            nx_set = maximal_independent_set(decomposition)
+        assert csr_set == nx_set
+
+    def test_node_order_key_totals_mixed_types(self):
+        graph, _ = self._mixed_decomposition()
+        ordered = sorted(graph.nodes(), key=lambda node: node_order_key(graph, node))
+        # Integer uids first (numerically), string-form uids after.
+        assert ordered == [1, 2, "a", "b"]

@@ -113,8 +113,44 @@ class TestSuiteMode:
     def test_list_scenarios(self, capsys):
         assert main(["--list-scenarios"]) == 0
         output = capsys.readouterr().out
-        for name in ("torus", "small-world", "expander-mix"):
+        for name in ("torus", "small-world", "expander-mix", "power-law", "weighted"):
             assert name in output
+
+    def test_list_tasks(self, capsys):
+        assert main(["--list-tasks"]) == 0
+        output = capsys.readouterr().out
+        for name in ("decompose", "mis", "coloring"):
+            assert name in output
+
+    def test_single_run_task(self, capsys):
+        exit_code = main(
+            ["--family", "torus", "--n", "36", "--method", "sequential", "--task", "mis"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "task mis" in output and "mis_size" in output
+
+    def test_suite_tasks_axis_from_flags(self, capsys):
+        exit_code = main(
+            [
+                "--mode", "suite", "--family", "torus", "--n", "36",
+                "--method", "sequential", "--tasks", "mis,coloring",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "mis" in output and "coloring" in output
+        assert "colors_used" in output and "mis_size" in output
+        assert "2 cells" in output
+
+    def test_suite_rejects_unknown_task(self, capsys):
+        with pytest.raises(ValueError, match="unknown task"):
+            main(
+                [
+                    "--mode", "suite", "--family", "torus", "--n", "36",
+                    "--method", "sequential", "--tasks", "frobnicate",
+                ]
+            )
 
     def test_suite_into_sqlite_store_by_extension(self, tmp_path, capsys):
         import os

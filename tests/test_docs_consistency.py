@@ -18,6 +18,7 @@ import pytest
 
 from repro.cli import build_parser
 from repro.core.api import CARVING_METHODS
+from repro.registry import TASKS
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
@@ -51,6 +52,19 @@ class TestMethodTable:
             "README method table ({}) out of sync with CARVING_METHODS ({})".format(
                 sorted(documented), sorted(CARVING_METHODS)
             )
+        )
+
+
+class TestTaskTable:
+    def test_applications_doc_task_table_matches_registry(self):
+        applications = _read(os.path.join(REPO_ROOT, "docs", "applications.md"))
+        documented = re.findall(
+            r"^\|\s*`([a-z][a-z0-9-]*)`\s*\|", applications, flags=re.MULTILINE
+        )
+        assert documented, "docs/applications.md has no task table rows"
+        assert set(documented) == set(TASKS.names()), (
+            "docs/applications.md task table ({}) out of sync with the task "
+            "registry ({})".format(sorted(documented), sorted(TASKS.names()))
         )
 
 

@@ -320,3 +320,109 @@ class TestLedgerRounds:
         from repro.analysis.tables import rows_from_records
 
         assert "ledger_rounds" not in rows_from_records(store.results())[0]
+
+
+class TestTaskSchema:
+    """Schema 4: the task axis on both backends, with 1–3 still loading."""
+
+    def _task_suite(self, store_path):
+        spec = SuiteSpec(
+            name="task-schema",
+            scenarios=("torus",),
+            sizes=(36,),
+            methods=("sequential",),
+            tasks=("decompose", "mis", "coloring"),
+        )
+        return repro.run_suite(spec, store=store_path)
+
+    @pytest.mark.parametrize("extension", ["jsonl", "sqlite"])
+    def test_new_stores_are_schema_4_with_task_records(self, tmp_path, extension):
+        path = os.path.join(tmp_path, "tasks." + extension)
+        self._task_suite(path)
+        store = open_store(path)
+        assert store.schema == SCHEMA_VERSION == 4
+        mis_records = store.query(task="mis")
+        assert len(mis_records) == 1
+        assert mis_records[0]["task_metrics"]["verified"] is True
+        assert len(store.query(task="decompose")) == 1
+        store.close()
+
+    def test_sqlite_task_column_is_indexed(self, tmp_path):
+        path = os.path.join(tmp_path, "tasks.sqlite")
+        self._task_suite(path)
+        connection = sqlite3.connect(path)
+        indexes = {row[1] for row in connection.execute("PRAGMA index_list(results)")}
+        assert "idx_results_task" in indexes
+        plan = connection.execute(
+            "EXPLAIN QUERY PLAN SELECT record FROM results WHERE task = ?", ("mis",)
+        ).fetchall()
+        assert any("idx_results_task" in str(row) for row in plan)
+        connection.close()
+
+    def test_schema_3_store_loads_under_schema_4(self, tmp_path):
+        path = os.path.join(tmp_path, "v3.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"kind": "header", "schema": 3, "suite": "old"}) + "\n")
+            handle.write(
+                json.dumps(
+                    {
+                        "kind": "result",
+                        "cell": "torus/n36/mpx/s0",
+                        "method": "mpx",
+                        "metrics": {"rounds": 4},
+                        "rounds": {"total": 4, "by_primitive": {"bfs": 4}},
+                    }
+                )
+                + "\n"
+            )
+        store = open_store(path)
+        assert store.schema == 3
+        record = store.completed_cells()["torus/n36/mpx/s0"]
+        assert "task" not in record
+        from repro.analysis.tables import rows_from_records
+
+        row = rows_from_records(store.results())[0]
+        assert "task_rounds" not in row and "mis_size" not in row
+
+    def test_pre_task_sqlite_database_gains_task_column_on_open(self, tmp_path):
+        """A PR-4-era SQLite store (no task column) must open and query."""
+        path = os.path.join(tmp_path, "legacy.sqlite")
+        connection = sqlite3.connect(path)
+        connection.execute("CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT NOT NULL)")
+        connection.execute(
+            """CREATE TABLE results (
+                id INTEGER PRIMARY KEY AUTOINCREMENT,
+                cell TEXT NOT NULL UNIQUE,
+                scenario TEXT, n INTEGER, method TEXT, eps REAL, seed INTEGER,
+                record TEXT NOT NULL)"""
+        )
+        connection.executemany(
+            "INSERT INTO meta (key, value) VALUES (?, ?)",
+            [("schema", "3"), ("suite", "legacy"), ("metadata", "{}")],
+        )
+        connection.execute(
+            "INSERT INTO results (cell, scenario, n, method, eps, seed, record) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?)",
+            ("c1", "torus", 36, "mpx", None, 0, json.dumps({"kind": "result", "cell": "c1"})),
+        )
+        connection.commit()
+        connection.close()
+        store = open_store(path)
+        assert store.schema == 3
+        assert store.query(task="mis") == []
+        assert len(store.query(task=None)) == 1  # legacy rows read NULL
+        store.add(_record("torus/n36/mpx/mis/s0") | {"task": "mis"})
+        assert [r["cell"] for r in store.query(task="mis")] == ["torus/n36/mpx/mis/s0"]
+        store.close()
+
+    @pytest.mark.parametrize("extension", ["jsonl", "sqlite"])
+    def test_task_records_roundtrip_between_backends(self, tmp_path, extension):
+        source = os.path.join(tmp_path, "src." + extension)
+        self._task_suite(source)
+        other = "sqlite" if extension == "jsonl" else "jsonl"
+        destination = os.path.join(tmp_path, "dst." + other)
+        converted = convert_store(source, destination)
+        assert [r["cell"] for r in converted.query(task="coloring")] == [
+            "torus/n36/sequential/coloring/s0"
+        ]
+        converted.close()

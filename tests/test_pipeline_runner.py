@@ -179,6 +179,113 @@ class TestRunSuite:
         assert result.records[0]["metrics"]["n"] == small_grid.number_of_nodes()
 
 
+class TestTaskAxis:
+    _SPEC = SuiteSpec(
+        name="tasks",
+        scenarios=("torus",),
+        sizes=(36,),
+        methods=("sequential", "mpx"),
+        tasks=("decompose", "mis", "coloring"),
+        seeds=(0,),
+        validate=True,
+    )
+
+    def test_task_axis_expands_innermost(self):
+        cells = self._SPEC.expand()
+        assert len(cells) == 2 * 3
+        assert [cell.task for cell in cells[:3]] == ["decompose", "mis", "coloring"]
+        # The decompose task keeps the pre-task cell id; tasks append theirs.
+        assert cells[0].cell_id == "torus/n36/sequential/s0"
+        assert cells[1].cell_id == "torus/n36/sequential/mis/s0"
+        # All tasks of a group share the clustering identity (and seed).
+        assert cells[1].base_id == cells[0].cell_id == cells[2].base_id
+
+    def test_task_records_carry_verified_metrics(self):
+        result = run_suite(self._SPEC)
+        by_cell = {record["cell"]: record for record in result.records}
+        mis = by_cell["torus/n36/mpx/mis/s0"]
+        assert mis["task"] == "mis"
+        assert mis["task_metrics"]["verified"] is True
+        assert mis["task_metrics"]["mis_size"] > 0
+        assert mis["task_rounds"] > 0
+        coloring = by_cell["torus/n36/mpx/coloring/s0"]
+        assert coloring["task_metrics"]["colors_used"] >= 2
+        plain = by_cell["torus/n36/mpx/s0"]
+        assert plain["task"] == "decompose"
+        assert plain["task_rounds"] == 0 and plain["task_metrics"] == {}
+        # Tasks of one group share the decomposition: same algo seed, same
+        # decomposition metrics and ledger aggregate.
+        assert mis["algo_seed"] == plain["algo_seed"] == coloring["algo_seed"]
+        assert mis["metrics"] == plain["metrics"]
+        assert mis["rounds"] == plain["rounds"]
+
+    def test_zero_redundant_decompositions(self):
+        result = run_suite(self._SPEC)
+        assert result.arena["task_groups"] == 2
+        assert result.arena["algorithm_runs"] == 2
+        assert result.arena["graph_builds"] == 1  # one topology column
+
+    def test_task_records_identical_across_scheduling_modes(self):
+        from tests.conftest import strip_volatile
+
+        baseline = [strip_volatile(r) for r in run_suite(self._SPEC).records]
+        for kwargs in (
+            {"workers": 2},
+            {"shared_graphs": "off"},
+            {"workers": 2, "shared_graphs": "off"},
+        ):
+            records = [strip_volatile(r) for r in run_suite(self._SPEC, **kwargs).records]
+            assert records == baseline, kwargs
+
+    @pytest.mark.parametrize("extension", ["jsonl", "sqlite"])
+    def test_task_aware_resume_on_both_backends(self, tmp_path, extension):
+        from tests.conftest import strip_volatile
+
+        path = os.path.join(tmp_path, "tasks." + extension)
+        # Seed the store with the decompose-only subset (a pre-task sweep).
+        partial = dataclasses_replace_tasks(self._SPEC, ("decompose",))
+        run_suite(partial, store=path)
+        # Resuming with the full task axis computes only the task cells and
+        # serves the decompose cells from the store.
+        result = run_suite(self._SPEC, store=path)
+        assert result.skipped == 2 and result.executed == 4
+        fresh = run_suite(self._SPEC)
+        assert [strip_volatile(r) for r in result.records] == [
+            strip_volatile(r) for r in fresh.records
+        ]
+
+    def test_carving_suites_reject_task_axes(self):
+        with pytest.raises(ValueError):
+            SuiteSpec(
+                name="bad",
+                scenarios=("torus",),
+                sizes=(36,),
+                methods=("sequential",),
+                mode="carving",
+                tasks=("mis",),
+            )
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(ValueError):
+            SuiteSpec(
+                name="bad",
+                scenarios=("torus",),
+                sizes=(36,),
+                methods=("sequential",),
+                tasks=("frobnicate",),
+            )
+
+    def test_spec_dict_roundtrip_with_tasks(self):
+        spec = dataclasses_replace_tasks(self._SPEC, ("mis", "coloring"))
+        assert SuiteSpec.from_dict(spec.to_dict()) == spec
+
+
+def dataclasses_replace_tasks(spec, tasks):
+    import dataclasses
+
+    return dataclasses.replace(spec, tasks=tasks)
+
+
 class TestApiSurface:
     def test_run_suite_reachable_from_package_root(self):
         assert repro.run_suite is not None
@@ -190,3 +297,8 @@ class TestApiSurface:
         )
         assert cell.cell_id == "torus/n256/mpx/eps0.125/s3"
         assert cell.column_key == "torus/n256/s3"
+        task_cell = Cell(
+            scenario="torus", n=256, method="mpx", seed=3, mode="decomposition", task="mis"
+        )
+        assert task_cell.cell_id == "torus/n256/mpx/mis/s3"
+        assert task_cell.base_id == "torus/n256/mpx/s3"

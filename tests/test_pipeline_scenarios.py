@@ -23,6 +23,8 @@ class TestRegistry:
             "small-world",
             "expander-mix",
             "margulis",
+            "power-law",
+            "weighted",
         ):
             assert expected in names
 
@@ -108,7 +110,45 @@ class TestNewGenerators:
     def test_generated_scenarios_are_algorithm_ready(self):
         import repro
 
-        for name in ("small-world", "expander-mix"):
+        for name in ("small-world", "expander-mix", "power-law", "weighted"):
             graph = build_workload(name, 96, seed=4)
             decomposition = repro.decompose(graph, method="sequential")
             repro.check_network_decomposition(decomposition)
+
+    def test_power_law_graph_has_a_heavy_degree_tail(self):
+        from repro.graphs import power_law_graph
+
+        graph = power_law_graph(400, attachment=2, seed=7)
+        assert nx.is_connected(graph)
+        degrees = sorted((degree for _, degree in graph.degree()), reverse=True)
+        average = sum(degrees) / len(degrees)
+        # Hubs dominate: the max degree is several times the mean, unlike
+        # any of the bounded-degree families.
+        assert degrees[0] >= 4 * average
+        uids = [graph.nodes[node]["uid"] for node in graph.nodes()]
+        assert sorted(uids) == list(range(graph.number_of_nodes()))
+        with pytest.raises(ValueError):
+            power_law_graph(2, attachment=2)
+        with pytest.raises(ValueError):
+            power_law_graph(10, attachment=0)
+
+    def test_weighted_scenario_carries_deterministic_weights(self):
+        graph = build_workload("weighted", 64, seed=5)
+        weights = {
+            (u, v): data["weight"] for u, v, data in graph.edges(data=True)
+        }
+        assert weights and all(isinstance(w, int) and w >= 1 for w in weights.values())
+        again = build_workload("weighted", 64, seed=5)
+        assert weights == {
+            (u, v): data["weight"] for u, v, data in again.edges(data=True)
+        }
+        other_seed = build_workload("weighted", 64, seed=6)
+        assert weights != {
+            (u, v): data["weight"] for u, v, data in other_seed.edges(data=True)
+        }
+
+    def test_attach_edge_weights_validates_bounds(self, small_grid):
+        from repro.graphs import attach_edge_weights
+
+        with pytest.raises(ValueError):
+            attach_edge_weights(small_grid, low=5, high=1)
