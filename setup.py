@@ -1,10 +1,37 @@
-"""Setuptools shim.
+"""Setuptools entry point.
 
-The project is configured through ``pyproject.toml``; this file only exists so
-that legacy editable installs (``pip install -e . --no-use-pep517``) work in
-offline environments where the ``wheel`` package is unavailable.
+Keeps the packaging metadata minimal and offline-friendly: the mandatory
+dependency set is just ``networkx`` (every algorithm has a pure-Python
+reference path), and the accelerated hot-path kernel tiers are opt-in
+extras —
+
+* ``repro[fast]`` pulls in numpy for the vectorised frontier-expansion /
+  carving kernels (selected automatically by ``--kernel auto`` when
+  importable);
+* ``repro[jit]`` additionally pulls in numba for the JIT-compiled loops
+  (never auto-selected; request with ``--kernel numba``).
+
+Without either extra the package still works end to end on the ``pure``
+kernel tier — ``repro.kernels`` degrades with a one-line warning.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-strong-decomposition",
+    version="0.5.0",
+    description=(
+        "Reproduction of 'Strong-Diameter Network Decomposition' (PODC 2021)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=["networkx"],
+    extras_require={
+        "fast": ["numpy"],
+        "jit": ["numpy", "numba"],
+    },
+    entry_points={
+        "console_scripts": ["repro-decompose = repro.cli:main"],
+    },
+)

@@ -27,10 +27,13 @@ from repro.applications.template import (
     process_by_colors,
     sorted_member_indices,
 )
+from array import array
+
 from repro.clustering.cluster import Cluster
 from repro.clustering.decomposition import NetworkDecomposition
 from repro.congest.rounds import RoundLedger
 from repro.graphs.csr import CSRGraph, csr_index_or_none
+from repro.kernels import active_kernel
 
 
 def _greedy_cluster_coloring(
@@ -64,9 +67,11 @@ def _csr_coloring(
     sees too.
     """
     graph = decomposition.graph
-    rows = csr.neighbor_rows
     nodes = csr.nodes
-    palette = [-1] * csr.n
+    kernel = active_kernel()
+    # An int32 buffer rather than a plain list so the JIT tier can view the
+    # palette zero-copy; -1 marks uncolored nodes under every tier.
+    palette = array("i", [-1]) * csr.n
     result = {}
     for color, clusters in color_classes(decomposition):
         color_diameter = 0
@@ -74,15 +79,9 @@ def _csr_coloring(
             diameter = cluster_diameter(graph, cluster, decomposition.kind)
             if diameter > color_diameter:
                 color_diameter = diameter
-            for i in sorted_member_indices(cluster, csr):
-                # First-fit over the neighbour palette: a plain list beats a
-                # set for the bounded degrees here, and the -1 "uncolored"
-                # sentinels never collide with a candidate value >= 0.
-                used = [palette[j] for j in rows[i]]
-                value = 0
-                while value in used:
-                    value += 1
-                palette[i] = value
+            member_indices = sorted_member_indices(cluster, csr)
+            values = kernel.greedy_color_sweep(csr, member_indices, palette)
+            for i, value in zip(member_indices, values):
                 result[nodes[i]] = value
         charge_color_round(ledger, color, color_diameter)
     return result

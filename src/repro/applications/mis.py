@@ -33,9 +33,12 @@ from repro.clustering.cluster import Cluster
 from repro.clustering.decomposition import NetworkDecomposition
 from repro.congest.rounds import RoundLedger
 from repro.graphs.csr import CSRGraph, csr_index_or_none
+from repro.kernels import active_kernel
+from repro.kernels.base import MIS_DOMINATED, MIS_SELECTED, MIS_UNDECIDED
 
-# Flat MIS node states (bytearray values of the CSR loop).
-_UNDECIDED, _SELECTED, _DOMINATED = 0, 1, 2
+# Flat MIS node states (bytearray values of the kernel sweep) — aliases of
+# the kernel-layer constants so the two vocabularies cannot drift.
+_UNDECIDED, _SELECTED, _DOMINATED = MIS_UNDECIDED, MIS_SELECTED, MIS_DOMINATED
 
 
 def _greedy_cluster_mis(
@@ -65,8 +68,8 @@ def _csr_mis(
     what the oracle's intra-cluster ``decisions`` map sees.
     """
     graph = decomposition.graph
-    rows = csr.neighbor_rows
     nodes = csr.nodes
+    kernel = active_kernel()
     state = bytearray(csr.n)
     result = set()
     for color, clusters in color_classes(decomposition):
@@ -75,15 +78,8 @@ def _csr_mis(
             diameter = cluster_diameter(graph, cluster, decomposition.kind)
             if diameter > color_diameter:
                 color_diameter = diameter
-            for i in sorted_member_indices(cluster, csr):
-                selected = _SELECTED
-                for j in rows[i]:
-                    if state[j] == _SELECTED:
-                        selected = _DOMINATED
-                        break
-                state[i] = selected
-                if selected == _SELECTED:
-                    result.add(nodes[i])
+            for i in kernel.mis_sweep(csr, sorted_member_indices(cluster, csr), state):
+                result.add(nodes[i])
         charge_color_round(ledger, color, color_diameter)
     return result
 

@@ -18,6 +18,10 @@ registry).
 topology build per grid column, zero-copy shared-memory segments in pool
 runs) and ``--arena-mb`` bounds the live segment budget.
 
+``--kernel`` selects the hot-path kernel tier (pure / numpy / numba) for
+both single runs and suites; ``--list-kernels`` prints the registry with
+per-tier availability.
+
 The run store behind ``--store`` is pluggable (``--store-backend``, or by
 extension: ``.sqlite``/``.db`` selects the indexed SQLite backend, anything
 else the JSON-lines interchange format).  ``--mode diff`` regression-diffs
@@ -36,6 +40,7 @@ from repro.analysis.metrics import evaluate_carving, evaluate_decomposition
 from repro.analysis.tables import format_table
 from repro.clustering.validation import check_ball_carving, check_network_decomposition
 from repro.core.api import carve, decompose, run_task
+from repro.kernels import KERNEL_CHOICES, KERNELS
 from repro.pipeline.scenarios import build_workload, list_scenarios
 from repro.registry import METHODS, TASKS
 
@@ -97,6 +102,17 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "graph backend: 'csr' runs the flat-array fast path (default), "
             "'nx' the original networkx walks (differential-testing oracle)"
+        ),
+    )
+    parser.add_argument(
+        "--kernel",
+        choices=KERNEL_CHOICES,
+        default="auto",
+        help=(
+            "hot-path kernel tier: 'pure' runs the reference Python loops, "
+            "'numpy' the vectorized frontier expansion, 'numba' the JIT "
+            "loops (opt-in; needs the repro[jit] extra); 'auto' picks the "
+            "fastest non-JIT tier available (see --list-kernels)"
         ),
     )
     parser.add_argument(
@@ -221,6 +237,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the registered pipeline tasks and exit",
     )
+    parser.add_argument(
+        "--list-kernels",
+        action="store_true",
+        help="print the registered hot-path kernels and their availability, then exit",
+    )
     return parser
 
 
@@ -232,6 +253,10 @@ def _run_suite_mode(args) -> int:
 
     if args.spec is not None:
         spec = load_spec(args.spec)
+        if args.kernel != "auto":
+            import dataclasses
+
+            spec = dataclasses.replace(spec, kernel=args.kernel)
     else:
         tasks = tuple(
             task.strip() for task in str(args.tasks).split(",") if task.strip()
@@ -246,6 +271,7 @@ def _run_suite_mode(args) -> int:
             seeds=(args.seed,),
             tasks=tasks,
             backend=args.backend,
+            kernel=args.kernel,
             validate=not args.skip_validation,
         )
     result = repro.run_suite(
@@ -425,6 +451,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             print("{:14s} {}".format(name, TASKS.get(name).description))
         return 0
 
+    if args.list_kernels:
+        available = KERNELS.available_names()
+        for name in KERNELS.names():
+            marker = "available" if name in available else "unavailable"
+            print("{:14s} [{}] {}".format(name, marker, KERNELS.get(name).description))
+        return 0
+
     if args.mode == "suite":
         return _run_suite_mode(args)
 
@@ -448,10 +481,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
 
     from repro.graphs.backend import use_backend
+    from repro.kernels import use_kernel
 
     # Scope the backend switch over validation and metrics too: selecting
     # the nx oracle must keep *all* graph walks off the CSR code paths.
-    with use_backend(args.backend):
+    # The kernel switch rides along so --kernel covers the whole run.
+    with use_backend(args.backend), use_kernel(args.kernel):
         if args.mode == "carving":
             carving = carve(graph, args.eps, method=args.method, seed=args.seed)
             if not args.skip_validation:

@@ -40,6 +40,12 @@ graph walks through the flat-array graph core of :mod:`repro.graphs.csr`,
 produce identical results — ``"nx"`` is kept as a differential-testing
 oracle and for graphs the CSR index cannot represent.
 
+Orthogonally to the backend, ``kernel="auto" | "pure" | "numpy" | "numba"``
+selects the implementation tier of the CSR hot loops (frontier expansion,
+proposal steps, task sweeps) from :data:`repro.kernels.KERNELS`; every tier
+produces identical results, and ``None`` keeps the ambient selection
+(default ``"auto"`` — ``numpy`` when installed, else ``pure``).
+
 :func:`run_suite` is the batched form: it expands a declarative
 ``(scenario x n x method x eps x seed x task)`` grid into cells and runs
 them with resume support and optional multiprocessing fan-out — see
@@ -58,6 +64,7 @@ from repro.clustering.decomposition import NetworkDecomposition
 from repro.congest.rounds import RoundLedger
 from repro.graphs.backend import use_backend
 from repro.graphs.csr import refresh_csr_cache
+from repro.kernels import use_kernel
 from repro.registry import (
     CARVING_METHODS,
     DECOMPOSITION_METHODS,
@@ -75,6 +82,7 @@ def carve(
     ledger: Optional[RoundLedger] = None,
     seed: Optional[int] = None,
     backend: Optional[str] = None,
+    kernel: Optional[str] = None,
 ) -> BallCarving:
     """Compute a ball carving of ``graph`` with the chosen algorithm.
 
@@ -97,6 +105,10 @@ def carve(
             networkx walks, the differential-testing oracle) or ``None`` to
             keep the ambient backend (default ``"csr"``).  Both produce
             identical cluster assignments.
+        kernel: Hot-loop implementation tier from
+            :data:`repro.kernels.KERNELS` (``"auto"`` / ``"pure"`` /
+            ``"numpy"`` / ``"numba"``) or ``None`` to keep the ambient
+            selection.  All tiers produce identical results.
 
     Returns:
         A :class:`~repro.clustering.carving.BallCarving`.
@@ -109,7 +121,7 @@ def carve(
     # O(1) counts only — they are immutable by contract (mutating one
     # requires invalidate_csr_cache first; see CSRGraph.to_networkx).
     refresh_csr_cache(graph)
-    with use_backend(backend):
+    with use_backend(backend), use_kernel(kernel):
         return spec.carve(graph, eps, nodes, ledger, rng)
 
 
@@ -119,6 +131,7 @@ def decompose(
     ledger: Optional[RoundLedger] = None,
     seed: Optional[int] = None,
     backend: Optional[str] = None,
+    kernel: Optional[str] = None,
 ) -> NetworkDecomposition:
     """Compute a network decomposition of ``graph`` with the chosen algorithm.
 
@@ -135,6 +148,8 @@ def decompose(
             ``0``, so repeated calls are reproducible by default.
         backend: ``"csr"``, ``"nx"`` or ``None`` (ambient default, ``"csr"``)
             — see :func:`carve`.
+        kernel: Hot-loop tier (``"auto"`` / ``"pure"`` / ``"numpy"`` /
+            ``"numba"``) or ``None`` (ambient) — see :func:`carve`.
 
     Returns:
         A :class:`~repro.clustering.decomposition.NetworkDecomposition`
@@ -143,7 +158,7 @@ def decompose(
     spec = METHODS.get(method)
     rng = random.Random(seed if seed is not None else 0)
     refresh_csr_cache(graph)
-    with use_backend(backend):
+    with use_backend(backend), use_kernel(kernel):
         return spec.decompose(graph, ledger, rng)
 
 
@@ -154,6 +169,7 @@ def run_task(
     ledger: Optional[RoundLedger] = None,
     seed: Optional[int] = None,
     backend: Optional[str] = None,
+    kernel: Optional[str] = None,
     decomposition: Optional[NetworkDecomposition] = None,
 ) -> TaskResult:
     """Run a pipeline task (MIS, coloring) on a network decomposition.
@@ -179,6 +195,8 @@ def run_task(
             deterministic.
         backend: Graph backend for the decomposition *and* the task's hot
             loops (``"csr"`` flat arrays by default, ``"nx"`` oracle).
+        kernel: Hot-loop tier for both as well (``None`` keeps the ambient
+            selection) — see :func:`carve`.
         decomposition: Optional precomputed decomposition to reuse instead
             of decomposing again.
 
@@ -189,7 +207,9 @@ def run_task(
     """
     spec = TASKS.get(task)
     if decomposition is None:
-        decomposition = decompose(graph, method=method, ledger=ledger, seed=seed, backend=backend)
+        decomposition = decompose(
+            graph, method=method, ledger=ledger, seed=seed, backend=backend, kernel=kernel
+        )
     elif decomposition.graph is not graph:
         # Solving runs on decomposition.graph while verification and metrics
         # read ``graph``; a mismatch would silently certify a solution
@@ -208,7 +228,7 @@ def run_task(
             decomposition=decomposition,
         )
     refresh_csr_cache(graph)
-    solution, rounds, metrics = _execute_task(spec, decomposition, graph, backend)
+    solution, rounds, metrics = _execute_task(spec, decomposition, graph, backend, kernel=kernel)
     if ledger is not None:
         ledger.charge("subroutine", rounds, detail="task {}".format(task))
     return TaskResult(
@@ -221,17 +241,17 @@ def run_task(
     )
 
 
-def _execute_task(task_spec, decomposition, graph, backend):
+def _execute_task(task_spec, decomposition, graph, backend, kernel=None):
     """Solve + measure + verify one task; the single task-execution path.
 
     Shared by :func:`run_task` and the suite runner's task groups so the
-    semantics (backend scoping, a fresh ledger per task, the ``verified``
-    bit) cannot diverge between single-shot and batched execution.  Returns
-    ``(solution, task_rounds, metrics)``; callers refresh the CSR cache
-    once per invocation themselves.
+    semantics (backend and kernel scoping, a fresh ledger per task, the
+    ``verified`` bit) cannot diverge between single-shot and batched
+    execution.  Returns ``(solution, task_rounds, metrics)``; callers
+    refresh the CSR cache once per invocation themselves.
     """
     task_ledger = RoundLedger()
-    with use_backend(backend):
+    with use_backend(backend), use_kernel(kernel):
         solution = task_spec.solve(decomposition, task_ledger)
         metrics = dict(task_spec.measure(graph, solution))
         metrics["verified"] = bool(task_spec.verify(graph, solution))

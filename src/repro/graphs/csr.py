@@ -18,8 +18,13 @@ loops over those arrays with ``bytearray`` visit masks:
   a participating set (consumed by the weak-carving phase loop and the
   CONGEST simulator).
 
-Everything is pure Python over :mod:`array` buffers — no new dependency.  The
-index is value-identical to the networkx walk, so the ``"nx"`` backend (see
+The traversal loops themselves (frontier expansion, BFS layering, the
+per-source eccentricity sweeps) dispatch through the ambient **kernel**
+(:mod:`repro.kernels`): the ``pure`` tier runs the seed flat loops over the
+:mod:`array` buffers with no dependency beyond the standard library, the
+``numpy`` tier vectorises the same steps over zero-copy views of the same
+buffers.  Every tier produces identical results; the index stays
+value-identical to the networkx walk, so the ``"nx"`` backend (see
 :mod:`repro.graphs.backend`) remains a drop-in differential-testing oracle.
 
 Construction is cached per *root* graph object in a
@@ -48,6 +53,8 @@ from array import array
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
+
+from repro.kernels import active_kernel
 
 
 class CSRUnsupported(TypeError):
@@ -521,8 +528,9 @@ class CSRGraph:
         """Flat-array BFS; returns layers of node *indices*.
 
         ``blocked`` doubles as the visited mask and is consumed (mutated).
+        Label resolution stays here; the traversal itself runs on the
+        ambient kernel tier (:mod:`repro.kernels`).
         """
-        indptr, indices = self.indptr, self.indices
         index_get = self.index.get
         frontier: List[int] = []
         for node in sources:
@@ -530,21 +538,7 @@ class CSRGraph:
             if i is not None and not blocked[i]:
                 blocked[i] = 1
                 frontier.append(i)
-        layers: List[List[int]] = [frontier]
-        radius = 0
-        while frontier and (max_radius is None or radius < max_radius):
-            next_frontier: List[int] = []
-            for u in frontier:
-                for v in indices[indptr[u] : indptr[u + 1]]:
-                    if not blocked[v]:
-                        blocked[v] = 1
-                        next_frontier.append(v)
-            if not next_frontier:
-                break
-            layers.append(next_frontier)
-            frontier = next_frontier
-            radius += 1
-        return layers
+        return active_kernel().bfs_layers(self, frontier, blocked, max_radius=max_radius)
 
     def bfs_layers(
         self,
@@ -681,7 +675,6 @@ class CSRGraph:
         when fewer than ``expected`` members are present in the graph
         (mirroring :func:`repro.graphs.properties.subgraph_diameter`).
         """
-        indptr, indices = self.indptr, self.indices
         members, member_indices, owned = self._acquire_members(cluster)
         try:
             k = len(member_indices)
@@ -692,27 +685,18 @@ class CSRGraph:
             if k <= 1:
                 return 0
             diameter = 0
-            seen = bytearray(self.n)
+            # One all-ones mask doubles as the member restriction and the
+            # visited set: non-member entries stay blocked forever, member
+            # entries are re-opened before each source's sweep (O(k), same
+            # as the former per-source reset).
+            seen = bytearray(b"\x01") * self.n
+            kernel = active_kernel()
             first = True
             for source in member_indices:
                 for i in member_indices:
                     seen[i] = 0
                 seen[source] = 1
-                frontier = [source]
-                reached = 1
-                depth = 0
-                while frontier:
-                    next_frontier: List[int] = []
-                    for u in frontier:
-                        for v in indices[indptr[u] : indptr[u + 1]]:
-                            if members[v] and not seen[v]:
-                                seen[v] = 1
-                                next_frontier.append(v)
-                    if not next_frontier:
-                        break
-                    reached += len(next_frontier)
-                    depth += 1
-                    frontier = next_frontier
+                depth, reached = kernel.multi_source_bfs(self, [source], seen)
                 if first and reached != k:
                     raise ValueError(
                         "induced subgraph is disconnected; strong diameter undefined"
@@ -748,8 +732,9 @@ class CSRGraph:
         Components are emitted in ascending order of their smallest node
         index, which makes the output deterministic for a given graph.
         """
-        indptr, indices, nodes = self.indptr, self.indices, self.nodes
+        nodes = self.nodes
         blocked, cleared, owned = self._acquire_blocked(allowed)
+        kernel = active_kernel()
         try:
             starts = range(self.n) if cleared is None else sorted(cleared)
             components: List[Set[Any]] = []
@@ -757,15 +742,11 @@ class CSRGraph:
                 if blocked[start]:
                     continue
                 blocked[start] = 1
-                stack = [start]
+                frontier = [start]
                 component = {nodes[start]}
-                while stack:
-                    u = stack.pop()
-                    for v in indices[indptr[u] : indptr[u + 1]]:
-                        if not blocked[v]:
-                            blocked[v] = 1
-                            component.add(nodes[v])
-                            stack.append(v)
+                while frontier:
+                    frontier = kernel.frontier_expand(self, frontier, blocked)
+                    component.update(nodes[i] for i in frontier)
                 components.append(component)
             return components
         finally:

@@ -1,0 +1,193 @@
+"""Pluggable hot-path kernels: the ``--kernel`` switch and its registry.
+
+Three tiers implement the same index-space primitives (see
+:mod:`repro.kernels.base`):
+
+* ``pure`` — the seed flat-array loops, extracted verbatim; always
+  available; the differential oracle for the other tiers;
+* ``numpy`` — vectorised frontier expansion and weak-phase proposal steps
+  over zero-copy int32 buffer views (the ``repro[fast]`` extra);
+* ``numba`` — lazily ``@njit``-compiled scalar loops (the ``repro[jit]``
+  extra); explicit opt-in because its first-call compilation latency only
+  pays off on long runs.
+
+The active kernel is an ambient, process-wide setting mirroring the graph
+backend switch (:mod:`repro.graphs.backend`): select per scope via
+:func:`use_kernel`, per process via :func:`set_kernel`, on the CLI via
+``--kernel``, or per suite via the spec's ``kernel`` field.  The default is
+``"auto"``, which resolves to ``numpy`` when importable and otherwise
+degrades to ``pure`` with a one-line warning.  Every tier produces
+byte-identical clusters, ledger charges and task solutions (asserted by
+``tests/test_kernels.py``); only the wall-clock cost differs.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import warnings
+from typing import Iterator, Optional, Tuple
+
+from repro.kernels.base import (
+    Kernel,
+    KernelRegistry,
+    KernelSpec,
+    ProposalEngine,
+)
+
+
+def _numpy_available() -> bool:
+    try:
+        import importlib.util
+
+        return importlib.util.find_spec("numpy") is not None
+    except (ImportError, ValueError):  # pragma: no cover - exotic loaders
+        return False
+
+
+def _make_pure() -> Kernel:
+    from repro.kernels.pure import PureKernel
+
+    return PureKernel()
+
+
+def _make_numpy() -> Kernel:
+    from repro.kernels.numpy_kernel import NumpyKernel
+
+    return NumpyKernel()
+
+
+def _make_numba() -> Kernel:
+    from repro.kernels.numba_kernel import NumbaKernel
+
+    return NumbaKernel()
+
+
+def _numba_available() -> bool:
+    if not _numpy_available():  # numba consumes numpy arrays
+        return False
+    from repro.kernels.numba_kernel import numba_available
+
+    return numba_available()
+
+
+KERNELS = KernelRegistry()
+KERNELS.register(
+    KernelSpec(
+        name="pure",
+        description="seed flat-array loops (always available; the oracle)",
+        factory=_make_pure,
+        auto_rank=2,
+    )
+)
+KERNELS.register(
+    KernelSpec(
+        name="numpy",
+        description="vectorised frontier expansion + proposal steps [repro[fast]]",
+        factory=_make_numpy,
+        requires="numpy (the repro[fast] extra)",
+        available=_numpy_available,
+        auto_rank=1,
+    )
+)
+KERNELS.register(
+    KernelSpec(
+        name="numba",
+        description="lazily @njit-compiled loops, explicit opt-in [repro[jit]]",
+        factory=_make_numba,
+        requires="numba (the repro[jit] extra)",
+        available=_numba_available,
+        # Behind numpy on purpose: 'auto' never picks the JIT tier (first
+        # call pays compilation); see the module docstring.
+        auto_rank=3,
+    )
+)
+
+#: Valid values of the ``--kernel`` flag / the suite spec's ``kernel`` field.
+KERNEL_CHOICES: Tuple[str, ...] = ("auto",) + KERNELS.names()
+
+_DEFAULT_KERNEL = "auto"
+_current_kernel = _DEFAULT_KERNEL
+_active_instance: Optional[Kernel] = None
+_warned_degraded = False
+
+
+def _resolve(name: str) -> Kernel:
+    global _warned_degraded
+    instance = KERNELS.resolve(name)
+    if name == "auto" and instance.name == "pure" and not _warned_degraded:
+        _warned_degraded = True
+        warnings.warn(
+            "repro.kernels: numpy is not installed; --kernel auto degrades "
+            "to the 'pure' tier (install the repro[fast] extra for the "
+            "vectorised kernels)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    return instance
+
+
+def get_kernel() -> str:
+    """The currently selected kernel name (possibly ``"auto"``)."""
+    return _current_kernel
+
+
+def active_kernel() -> Kernel:
+    """The resolved :class:`Kernel` instance of the ambient selection.
+
+    This is on the hot path (the CSR primitives call it once per
+    traversal), so resolution happens at :func:`set_kernel` time and this
+    is a module-global read.
+    """
+    global _active_instance
+    if _active_instance is None:
+        _active_instance = _resolve(_current_kernel)
+    return _active_instance
+
+
+def set_kernel(name: str) -> str:
+    """Set the ambient kernel; returns the previously selected name.
+
+    Validates against the registry (``"auto"`` plus the registered tiers)
+    and resolves eagerly, so an unavailable tier fails here — at selection
+    time — rather than deep inside an algorithm.
+    """
+    global _current_kernel, _active_instance
+    if name not in KERNEL_CHOICES:
+        raise ValueError(
+            "unknown kernel {!r}; choose from {}".format(name, KERNEL_CHOICES)
+        )
+    previous = _current_kernel
+    _active_instance = _resolve(name)
+    _current_kernel = name
+    return previous
+
+
+@contextlib.contextmanager
+def use_kernel(name: Optional[str]) -> Iterator[str]:
+    """Scope the kernel switch to a ``with`` block.
+
+    ``None`` keeps the ambient kernel (for plumbing an optional
+    ``kernel=`` keyword through API layers without forcing a choice).
+    """
+    if name is None:
+        yield _current_kernel
+        return
+    previous = set_kernel(name)
+    try:
+        yield name
+    finally:
+        set_kernel(previous)
+
+
+__all__ = [
+    "KERNELS",
+    "KERNEL_CHOICES",
+    "Kernel",
+    "KernelRegistry",
+    "KernelSpec",
+    "ProposalEngine",
+    "active_kernel",
+    "get_kernel",
+    "set_kernel",
+    "use_kernel",
+]

@@ -1,0 +1,131 @@
+"""The ``numba`` kernel: lazily ``@njit``-compiled scalar loops.
+
+Opt-in tier (``--kernel numba`` / the ``repro[jit]`` extra): the first call
+of each primitive pays the JIT compilation, which only amortises on long
+runs, so ``auto`` never selects it.  This module must only be imported when
+:func:`numba_available` is true — the registry's availability probe gates
+it, and the test suite skip-marks the tier when the import fails.
+
+The compiled loops are line-for-line the ``pure`` loops over the same
+zero-copy buffer views the ``numpy`` tier uses (``np.frombuffer`` over the
+int32 CSR arrays and the ``bytearray`` masks), so discovery order — and
+therefore every downstream record — is identical by construction.  The
+weak-carving proposal engine is inherited from
+:class:`~repro.kernels.numpy_kernel.NumpyKernel`.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from typing import Any, List
+
+import numpy as np
+
+from repro.kernels.numpy_kernel import NumpyKernel
+
+
+def numba_available() -> bool:
+    """Cheap import probe (no actual numba import at registry time)."""
+    try:
+        return importlib.util.find_spec("numba") is not None
+    except (ImportError, ValueError):  # pragma: no cover - exotic loaders
+        return False
+
+
+_JIT = None  # compiled function table, built on first use
+
+
+def _compiled():
+    """Compile the jitted loops once, on first kernel use."""
+    global _JIT
+    if _JIT is not None:
+        return _JIT
+    from numba import njit  # deferred: only explicit --kernel numba pays this
+
+    @njit(cache=True)
+    def expand(indptr, indices, frontier, blocked, out):
+        k = 0
+        for t in range(frontier.size):
+            u = frontier[t]
+            for p in range(indptr[u], indptr[u + 1]):
+                v = indices[p]
+                if blocked[v] == 0:
+                    blocked[v] = 1
+                    out[k] = v
+                    k += 1
+        return k
+
+    @njit(cache=True)
+    def mis(indptr, indices, members, state, out):
+        k = 0
+        for t in range(members.size):
+            i = members[t]
+            selected = 1
+            for p in range(indptr[i], indptr[i + 1]):
+                if state[indices[p]] == 1:
+                    selected = 2
+                    break
+            state[i] = selected
+            if selected == 1:
+                out[k] = i
+                k += 1
+        return k
+
+    @njit(cache=True)
+    def color(indptr, indices, members, palette, out):
+        for t in range(members.size):
+            i = members[t]
+            value = 0
+            searching = True
+            while searching:
+                searching = False
+                for p in range(indptr[i], indptr[i + 1]):
+                    if palette[indices[p]] == value:
+                        value += 1
+                        searching = True
+                        break
+            palette[i] = value
+            out[t] = value
+
+    _JIT = (expand, mis, color)
+    return _JIT
+
+
+class NumbaKernel(NumpyKernel):
+    """JIT-compiled scalar loops (requires the ``repro[jit]`` extra)."""
+
+    name = "numba"
+
+    def frontier_expand(
+        self, csr: Any, frontier: List[int], blocked: bytearray
+    ) -> List[int]:
+        expand, _, _ = _compiled()
+        indptr, indices, _ = self._arrays(csr)
+        fr = np.fromiter(frontier, count=len(frontier), dtype=np.int32)
+        out = np.empty(csr.n, dtype=np.int32)
+        k = expand(indptr, indices, fr, np.frombuffer(blocked, dtype=np.uint8), out)
+        return out[:k].tolist()
+
+    def mis_sweep(
+        self, csr: Any, member_indices: List[int], state: bytearray
+    ) -> List[int]:
+        _, mis, _ = _compiled()
+        indptr, indices, _ = self._arrays(csr)
+        members = np.fromiter(
+            member_indices, count=len(member_indices), dtype=np.int32
+        )
+        out = np.empty(members.size, dtype=np.int32)
+        k = mis(indptr, indices, members, np.frombuffer(state, dtype=np.uint8), out)
+        return out[:k].tolist()
+
+    def greedy_color_sweep(
+        self, csr: Any, member_indices: List[int], palette: Any
+    ) -> List[int]:
+        _, _, color = _compiled()
+        indptr, indices, _ = self._arrays(csr)
+        members = np.fromiter(
+            member_indices, count=len(member_indices), dtype=np.int32
+        )
+        out = np.empty(members.size, dtype=np.int32)
+        color(indptr, indices, members, np.frombuffer(palette, dtype=np.int32), out)
+        return out.tolist()

@@ -154,6 +154,10 @@ class SuiteSpec:
             keep the default ``("decompose",)`` (tasks consume
             decompositions).
         backend: Graph backend for every cell (``"csr"`` or ``"nx"``).
+        kernel: Hot-path kernel tier for every cell (``"auto"``, ``"pure"``,
+            ``"numpy"`` or ``"numba"``; see :data:`repro.kernels.KERNELS`).
+            Pure execution optimisation — every tier produces identical
+            records; the resolved tier lands in each record's ``timings``.
         master_seed: Root of all per-cell seed derivations.
         validate: Run the clustering validators on every cell result
             (slower; randomized methods get the usual dead-fraction slack)
@@ -169,10 +173,12 @@ class SuiteSpec:
     seeds: Tuple[int, ...] = (0,)
     tasks: Tuple[str, ...] = ("decompose",)
     backend: str = "csr"
+    kernel: str = "auto"
     master_seed: int = 0
     validate: bool = False
 
     def __post_init__(self) -> None:
+        from repro.kernels import KERNEL_CHOICES
         from repro.registry import METHODS, TASKS
 
         if self.mode not in MODES:
@@ -189,6 +195,10 @@ class SuiteSpec:
                 )
         if self.backend not in ("csr", "nx"):
             raise ValueError("backend must be 'csr' or 'nx', got {!r}".format(self.backend))
+        if self.kernel not in KERNEL_CHOICES:
+            raise ValueError(
+                "kernel must be one of {}, got {!r}".format(KERNEL_CHOICES, self.kernel)
+            )
         if not (self.scenarios and self.sizes and self.methods and self.seeds and self.tasks):
             raise ValueError(
                 "scenarios, sizes, methods, seeds and tasks must all be non-empty"
@@ -309,6 +319,7 @@ def _compute_group_records(
     graph_build_s: float,
     freeze_s: float,
     source: str,
+    kernel: str = "auto",
 ) -> List[Dict[str, Any]]:
     """Run one task group's algorithm + tasks on an already-built graph.
 
@@ -322,13 +333,18 @@ def _compute_group_records(
     otherwise says where the topology came from (``"build"`` — built here;
     ``"column"`` — reused from the column's first group; ``"arena"`` /
     ``"arena-cached"`` — reattached from a shared-memory segment).
-    ``seconds`` stays the per-record total for backward compatibility.
+    ``timings["kernel"]`` records the *resolved* hot-path kernel tier (never
+    the ``"auto"`` alias), so stores written under different tiers can be
+    regression-diffed; the schema is otherwise unchanged and pre-kernel
+    records still resume.  ``seconds`` stays the per-record total for
+    backward compatibility.
     """
     import repro
     from repro.analysis.metrics import evaluate_carving, evaluate_decomposition
     from repro.clustering.validation import check_ball_carving, check_network_decomposition
     from repro.congest.rounds import RoundLedger
     from repro.core.api import _execute_task
+    from repro.kernels import active_kernel, use_kernel
     from repro.registry import METHODS, TASKS
 
     head = cells[0]
@@ -344,76 +360,82 @@ def _compute_group_records(
     # — pure counting of the same charges on the same topology).
     ledger = RoundLedger()
     decomposition = None
-    start = time.perf_counter()
-    if head.mode == "carving":
-        result = repro.carve(
-            graph, head.eps, method=head.method, seed=algo_seed, backend=backend,
-            ledger=ledger,
-        )
-        if validate:
-            lenient = not METHODS.get(head.method).deterministic
-            check_ball_carving(result, max_dead_fraction=0.99 if lenient else None)
-        metrics = evaluate_carving(result, head.method).as_row()
-    else:
-        decomposition = repro.decompose(
-            graph, method=head.method, seed=algo_seed, backend=backend, ledger=ledger
-        )
-        if validate:
-            check_network_decomposition(decomposition)
-        metrics = evaluate_decomposition(decomposition, head.method).as_row()
-    clustering_s = time.perf_counter() - start
-
-    records: List[Dict[str, Any]] = []
-    for position, cell in enumerate(cells):
-        task_spec = TASKS.get(cell.task)
-        task_start = time.perf_counter()
-        if task_spec.solve is None:
-            task_rounds, task_metrics = 0, {}
-        else:
-            # The shared single task-execution path (same as run_task), so
-            # suite records cannot drift from single-shot results.
-            _, task_rounds, task_metrics = _execute_task(
-                task_spec, decomposition, graph, backend
+    # Every execution path (serial batched or not, pool workers, arena
+    # reattaches) funnels through here, so scoping the kernel switch once
+    # covers the clustering and every task of the group.
+    with use_kernel(kernel):
+        kernel_name = active_kernel().name
+        start = time.perf_counter()
+        if head.mode == "carving":
+            result = repro.carve(
+                graph, head.eps, method=head.method, seed=algo_seed, backend=backend,
+                ledger=ledger,
             )
-            if validate and not task_metrics["verified"]:
-                raise ValueError(
-                    "task {!r} produced an unverified solution for cell {!r}".format(
-                        cell.task, cell.cell_id
-                    )
+            if validate:
+                lenient = not METHODS.get(head.method).deterministic
+                check_ball_carving(result, max_dead_fraction=0.99 if lenient else None)
+            metrics = evaluate_carving(result, head.method).as_row()
+        else:
+            decomposition = repro.decompose(
+                graph, method=head.method, seed=algo_seed, backend=backend, ledger=ledger
+            )
+            if validate:
+                check_network_decomposition(decomposition)
+            metrics = evaluate_decomposition(decomposition, head.method).as_row()
+        clustering_s = time.perf_counter() - start
+
+        records: List[Dict[str, Any]] = []
+        for position, cell in enumerate(cells):
+            task_spec = TASKS.get(cell.task)
+            task_start = time.perf_counter()
+            if task_spec.solve is None:
+                task_rounds, task_metrics = 0, {}
+            else:
+                # The shared single task-execution path (same as run_task), so
+                # suite records cannot drift from single-shot results.
+                _, task_rounds, task_metrics = _execute_task(
+                    task_spec, decomposition, graph, backend
                 )
-        task_s = time.perf_counter() - task_start
-        algo_s = (clustering_s + task_s) if position == 0 else task_s
-        build_s = graph_build_s if position == 0 else 0.0
-        frozen_s = freeze_s if position == 0 else 0.0
-        records.append(
-            {
-                "cell": cell.cell_id,
-                "scenario": cell.scenario,
-                "n": cell.n,
-                "method": cell.method,
-                "mode": cell.mode,
-                "eps": cell.eps,
-                "seed": cell.seed,
-                "task": cell.task,
-                "graph_seed": graph_seed,
-                "algo_seed": algo_seed,
-                "backend": backend,
-                "metrics": dict(metrics),
-                "task_rounds": task_rounds,
-                "task_metrics": task_metrics,
-                "rounds": {
-                    "total": ledger.total_rounds,
-                    "by_primitive": ledger.breakdown(),
-                },
-                "seconds": round(build_s + frozen_s + algo_s, 6),
-                "timings": {
-                    "graph_build_s": round(build_s, 6),
-                    "freeze_s": round(frozen_s, 6),
-                    "algo_s": round(algo_s, 6),
-                    "source": source if position == 0 else "column",
-                },
-            }
-        )
+                if validate and not task_metrics["verified"]:
+                    raise ValueError(
+                        "task {!r} produced an unverified solution for cell {!r}".format(
+                            cell.task, cell.cell_id
+                        )
+                    )
+            task_s = time.perf_counter() - task_start
+            algo_s = (clustering_s + task_s) if position == 0 else task_s
+            build_s = graph_build_s if position == 0 else 0.0
+            frozen_s = freeze_s if position == 0 else 0.0
+            records.append(
+                {
+                    "cell": cell.cell_id,
+                    "scenario": cell.scenario,
+                    "n": cell.n,
+                    "method": cell.method,
+                    "mode": cell.mode,
+                    "eps": cell.eps,
+                    "seed": cell.seed,
+                    "task": cell.task,
+                    "graph_seed": graph_seed,
+                    "algo_seed": algo_seed,
+                    "backend": backend,
+                    "metrics": dict(metrics),
+                    "task_rounds": task_rounds,
+                    "task_metrics": task_metrics,
+                    "rounds": {
+                        "total": ledger.total_rounds,
+                        "by_primitive": ledger.breakdown(),
+                    },
+                    "seconds": round(build_s + frozen_s + algo_s, 6),
+                    "timings": {
+                        "graph_build_s": round(build_s, 6),
+                        "freeze_s": round(frozen_s, 6),
+                        "algo_s": round(algo_s, 6),
+                        "source": source if position == 0 else "column",
+                        "kernel": kernel_name,
+                    },
+                }
+            )
     return records
 
 
@@ -446,6 +468,7 @@ def _execute_cells(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
         graph_build_s,
         freeze_s,
         source="build",
+        kernel=payload.get("kernel", "auto"),
     )
 
 
@@ -475,6 +498,7 @@ def _execute_arena_cells(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
         attach_s,
         0.0,
         source="arena-cached" if cache_hit else "arena",
+        kernel=payload.get("kernel", "auto"),
     )
 
 
@@ -616,6 +640,7 @@ def _group_payload(cells: Sequence[Cell], spec: SuiteSpec) -> Dict[str, Any]:
     return {
         "cells": [dataclasses.asdict(cell) for cell in cells],
         "backend": spec.backend,
+        "kernel": spec.kernel,
         "master_seed": spec.master_seed,
         "validate": spec.validate,
     }
@@ -650,6 +675,7 @@ def _run_serial_batched(
                 build_s if first else 0.0,
                 freeze_s if first else 0.0,
                 source="build" if first else "column",
+                kernel=spec.kernel,
             )
             first = False
             stats["algorithm_runs"] += 1

@@ -19,6 +19,13 @@ collapses them into two small registries that every layer programs against:
   ``"decompose"`` task, which records the decomposition itself and runs no
   application on top.
 
+A third registry rides along as a re-export: :data:`KERNELS`
+(:class:`repro.kernels.KernelRegistry`), the hot-loop implementation tiers
+behind the ``--kernel`` switch.  It lives in :mod:`repro.kernels` (the
+graph layer must reach it without importing the algorithm registries), but
+callers that already program against this module can validate kernel
+strings here too.
+
 Tasks consume a :class:`~repro.clustering.decomposition.NetworkDecomposition`
 and charge their CONGEST cost through the ``C * D`` color template
 (:mod:`repro.applications.template`), which is why one decomposition can
@@ -36,6 +43,7 @@ import networkx as nx
 from repro.clustering.carving import BallCarving
 from repro.clustering.decomposition import NetworkDecomposition
 from repro.congest.rounds import RoundLedger
+from repro.kernels import KERNEL_CHOICES, KERNELS, KernelRegistry, KernelSpec
 
 # Callable shapes the registry stores.  ``rng`` is the method's private
 # random stream (already seeded by the API layer); deterministic methods
@@ -415,6 +423,10 @@ TASK_NAMES: Tuple[str, ...] = TASKS.names()
 __all__ = [
     "CARVING_METHODS",
     "DECOMPOSITION_METHODS",
+    "KERNELS",
+    "KERNEL_CHOICES",
+    "KernelRegistry",
+    "KernelSpec",
     "METHODS",
     "MethodRegistry",
     "MethodSpec",

@@ -41,6 +41,7 @@ from repro.clustering.carving import BallCarving
 from repro.clustering.cluster import Cluster, SteinerTree
 from repro.congest.rounds import RoundLedger
 from repro.graphs.csr import csr_index_or_none
+from repro.kernels import active_kernel
 from repro.weak.phases import CarvingState, run_phase
 
 
@@ -131,32 +132,44 @@ def weak_diameter_carving(
     # is what Theorem 2.1 requires ("Steiner trees in graph G[S]").
     working_graph = graph.subgraph(participating)
 
-    # Under the CSR backend the phase loop consumes flat neighbour lists
-    # restricted to the participating set (built once per carving from the
-    # cached index) instead of walking the subgraph view edge by edge.  The
-    # shared gate rejects edge-filtered views, whose hidden edges the node
-    # restriction cannot express.
+    # Under the CSR backend the proposal steps run on the ambient kernel's
+    # proposal engine when it offers one (the numpy tier vectorises them
+    # over the flat buffers); otherwise the phase loop consumes flat
+    # neighbour lists restricted to the participating set (built once per
+    # carving from the cached index) instead of walking the subgraph view
+    # edge by edge.  The shared gate rejects edge-filtered views, whose
+    # hidden edges the node restriction cannot express.
     csr = csr_index_or_none(graph)
-    adjacency = csr.subset_adjacency(participating) if csr is not None else None
+    adjacency = None
+    engine = None
+    if csr is not None:
+        engine = active_kernel().proposal_engine(csr, participating, uid_of)
+        if engine is None:
+            adjacency = csr.subset_adjacency(participating)
 
     state = CarvingState.initial(working_graph, participating, uid_of, adjacency=adjacency)
+    state.engine = engine
 
     # One round for every node to learn its neighbours' identifiers/labels.
     ledger.local_step(1, detail="exchange identifiers")
 
-    for bit in range(bits):
-        report = run_phase(state, bit=bit, threshold=threshold, max_steps=max_steps)
-        # Round accounting per the paper's analysis: every step needs one
-        # neighbourhood exchange plus a proposal aggregation and a decision
-        # broadcast over the Steiner trees (depth x congestion, pipelined).
-        depth = max(1, report.max_tree_depth)
-        for _ in range(report.steps):
-            ledger.local_step(1, detail="bit {} proposals".format(bit))
-            ledger.tree_aggregate(depth, congestion=bits, detail="bit {} count proposals".format(bit))
-            ledger.tree_broadcast(depth, congestion=bits, detail="bit {} accept/reject".format(bit))
-        if report.steps == 0:
-            # Even an empty phase needs one exchange to discover it is empty.
-            ledger.local_step(1, detail="bit {} empty phase".format(bit))
+    try:
+        for bit in range(bits):
+            report = run_phase(state, bit=bit, threshold=threshold, max_steps=max_steps)
+            # Round accounting per the paper's analysis: every step needs one
+            # neighbourhood exchange plus a proposal aggregation and a decision
+            # broadcast over the Steiner trees (depth x congestion, pipelined).
+            depth = max(1, report.max_tree_depth)
+            for _ in range(report.steps):
+                ledger.local_step(1, detail="bit {} proposals".format(bit))
+                ledger.tree_aggregate(depth, congestion=bits, detail="bit {} count proposals".format(bit))
+                ledger.tree_broadcast(depth, congestion=bits, detail="bit {} accept/reject".format(bit))
+            if report.steps == 0:
+                # Even an empty phase needs one exchange to discover it is empty.
+                ledger.local_step(1, detail="bit {} empty phase".format(bit))
+    finally:
+        if engine is not None:
+            engine.close()
 
     clusters = _extract_clusters(state, uid_of)
     carving = BallCarving(

@@ -24,17 +24,27 @@ have cluster labels that agree on bits ``0..i``*.  Consequently, after all
 ``b`` phases, adjacent alive nodes share a label, i.e. the final clusters are
 pairwise non-adjacent.
 
-Backends.  The proposal loop is the single hottest piece of the whole
-reproduction.  Under the default ``"csr"`` backend the carving driver hands
-:class:`CarvingState` a flat per-node ``adjacency`` map (built once from the
-:class:`repro.graphs.csr.CSRGraph` index, restricted to the participating
-set) and :func:`run_phase` runs a blue-frontier loop over it; with
-``adjacency=None`` (the ``"nx"`` oracle backend) the phase walks
-``graph.neighbors`` through the subgraph view exactly as the seed
-implementation did.  Both paths compute identical proposals: the proposal a
-blue node makes is the minimum over its red neighbours of the pair
-``(cluster label, neighbour uid)``, which does not depend on iteration
-order.
+Backends and kernels.  The proposal loop is the single hottest piece of the
+whole reproduction, and :func:`run_phase` has three tiers of it:
+
+* an accelerated **proposal engine** supplied by the ambient kernel
+  (:mod:`repro.kernels` — the ``numpy`` tier vectorises the per-step
+  proposal computation over the CSR buffers); label updates are mirrored
+  into the engine by :meth:`CarvingState.record_join` /
+  :meth:`CarvingState.kill`, and the driver keeps all acceptance
+  bookkeeping;
+* the flat per-node ``adjacency`` map (built once from the
+  :class:`repro.graphs.csr.CSRGraph` index, restricted to the
+  participating set) with a blue-frontier loop over it — the
+  ``pure``-kernel reference path, used whenever the kernel offers no
+  engine;
+* with ``adjacency=None`` (the ``"nx"`` oracle backend) the phase walks
+  ``graph.neighbors`` through the subgraph view exactly as the seed
+  implementation did.
+
+All paths compute identical proposals: the proposal a blue node makes is
+the minimum over its red neighbours of the pair ``(cluster label,
+neighbour uid)``, which does not depend on iteration order.
 """
 
 from __future__ import annotations
@@ -69,6 +79,10 @@ class CarvingState:
         adjacency: Optional flat per-node neighbour lists restricted to the
             participating set (the CSR fast path); ``None`` walks
             ``graph.neighbors`` instead (the networkx oracle path).
+        engine: Optional kernel proposal engine
+            (:class:`repro.kernels.ProposalEngine`); when set it supersedes
+            both scan paths for proposal collection, and
+            :meth:`record_join` / :meth:`kill` mirror label updates into it.
     """
 
     graph: nx.Graph
@@ -83,6 +97,7 @@ class CarvingState:
     rejection_events: int = 0
     uid_of: Optional[Dict[Any, int]] = None
     adjacency: Optional[Dict[Any, List[Any]]] = None
+    engine: Optional[Any] = None
     # Running maximum over all tree_depth entries.  Join trees only ever grow
     # during the phases (pruning happens after extraction), so the maximum is
     # maintained incrementally by record_join instead of being rescanned.
@@ -119,6 +134,8 @@ class CarvingState:
     def record_join(self, node: Any, via: Any, new_label: int) -> None:
         """Node ``node`` joins cluster ``new_label`` through neighbour ``via``."""
         self.label[node] = new_label
+        if self.engine is not None:
+            self.engine.on_join(node, new_label)
         parent_map = self.tree_parent.setdefault(new_label, {})
         depth_map = self.tree_depth.setdefault(new_label, {})
         if node not in parent_map:
@@ -133,6 +150,8 @@ class CarvingState:
         self.alive.discard(node)
         self.dead.add(node)
         self.label.pop(node, None)
+        if self.engine is not None:
+            self.engine.on_kill(node)
 
 
 def _bit(value: int, position: int) -> int:
@@ -148,6 +167,110 @@ class PhaseReport:
     nodes_joined: int
     nodes_killed: int
     max_tree_depth: int
+
+
+def _run_engine_phase(
+    state: CarvingState,
+    bit: int,
+    threshold: float,
+    max_steps: int,
+) -> PhaseReport:
+    """The batched-engine variant of :func:`run_phase` (same semantics).
+
+    Kernel engines that support step batches hand the driver whole
+    per-target proposal groups (ascending label, proposers in blue-scan
+    order) plus this phase's red-cluster sizes, so the per-node work left
+    here is exactly the tree bookkeeping the output depends on: the label
+    dict, the Steiner parent/depth maps and the alive/dead sets.  Label
+    mirroring and cluster-size counting happen inside the engine in array
+    space.  Everything observable — decisions, join order, tree depths,
+    event counts — matches the per-node loop byte for byte; the
+    differential kernel tests pin that down.
+    """
+    engine = state.engine
+    engine.start_phase(bit)
+    # Alive sizes of this phase's red clusters.  Only red labels are ever
+    # *read* for acceptance decisions (targets carry bit 1, proposers'
+    # old labels carry bit 0), so blue-side decrements — which the per-node
+    # loop tracks and never consults — are skipped entirely.
+    sizes = engine.red_cluster_sizes()
+    label = state.label
+    alive_discard = state.alive.discard
+    dead_add = state.dead.add
+    tree_parent = state.tree_parent
+    tree_depth = state.tree_depth
+    joined = 0
+    killed = 0
+    steps = 0
+    while True:
+        groups = engine.propose_step()
+        if not groups:
+            break
+        steps += 1
+        if steps > max_steps:
+            raise RuntimeError(
+                "weak carving phase for bit {} exceeded {} steps; "
+                "this indicates a bug in the growth accounting".format(bit, max_steps)
+            )
+        decisions: List[bool] = []
+        for target_label, proposers, vias in groups:
+            size = sizes.get(target_label, 0)
+            count = len(proposers)
+            if size > 0 and count >= threshold * size:
+                decisions.append(True)
+                state.acceptance_events += 1
+                sizes[target_label] = size + count
+                parent_map = tree_parent.setdefault(target_label, {})
+                depth_map = tree_depth.setdefault(target_label, {})
+                max_depth = state._max_depth
+                if count == 1:
+                    # Single-proposer groups dominate the group stream on
+                    # large instances; skip the batch-update machinery.
+                    node = proposers[0]
+                    via = vias[0]
+                    label[node] = target_label
+                    if node not in parent_map:
+                        parent_map[node] = via
+                        depth = depth_map.get(via, 0) + 1
+                        depth_map[node] = depth
+                        if depth > max_depth:
+                            state._max_depth = depth
+                else:
+                    # Batch label update (C loop); the vias' depths are
+                    # fixed before the step (they are red members already),
+                    # so the per-node order below cannot affect any depth.
+                    label.update(dict.fromkeys(proposers, target_label))
+                    depth_get = depth_map.get
+                    for node, via in zip(proposers, vias):
+                        # Same rejoin guard as record_join: a returning
+                        # Steiner node keeps its original parent and depth.
+                        if node not in parent_map:
+                            parent_map[node] = via
+                            depth = depth_get(via, 0) + 1
+                            depth_map[node] = depth
+                            if depth > max_depth:
+                                max_depth = depth
+                    state._max_depth = max_depth
+                joined += count
+            else:
+                decisions.append(False)
+                state.rejection_events += 1
+                for node in proposers:
+                    alive_discard(node)
+                    dead_add(node)
+                    label.pop(node, None)
+                killed += count
+        # One batched scatter settles every group of the step in the
+        # engine's label array (joins to their targets, rejections to -1).
+        engine.resolve_step(decisions)
+    state.steps_executed += steps
+    return PhaseReport(
+        bit=bit,
+        steps=steps,
+        nodes_joined=joined,
+        nodes_killed=killed,
+        max_tree_depth=state.max_tree_depth(),
+    )
 
 
 def run_phase(
@@ -170,8 +293,13 @@ def run_phase(
     Returns:
         A :class:`PhaseReport` with the phase's statistics.
     """
+    if state.engine is not None and getattr(
+        state.engine, "supports_step_batches", False
+    ):
+        return _run_engine_phase(state, bit, threshold, max_steps)
     graph = state.graph
     adjacency = state.adjacency
+    engine = state.engine
     uid_of = state.uid_of
     alive = state.alive
     label = state.label
@@ -187,9 +315,12 @@ def run_phase(
     # CSR fast path bookkeeping: within one phase, blue nodes (bit 0) can
     # only *leave* the blue set — a proposer either joins a red cluster or
     # dies, and non-proposers keep their label — so the scan list shrinks
-    # monotonically instead of being re-derived from all alive nodes.
+    # monotonically instead of being re-derived from all alive nodes.  A
+    # kernel proposal engine maintains its own blue frontier internally.
     blue: Optional[List[Any]] = None
-    if adjacency is not None:
+    if engine is not None:
+        engine.start_phase(bit)
+    elif adjacency is not None:
         blue = [node for node in alive if not (label[node] >> bit) & 1]
 
     while True:
@@ -197,9 +328,11 @@ def run_phase(
         # node proposes to exactly one adjacent red cluster.  The chosen
         # target minimises (cluster label, neighbour uid), which makes the
         # proposal set independent of neighbour iteration order (and hence
-        # identical under both backends).
+        # identical under every backend and kernel tier).
         proposals: Dict[int, List[Tuple[Any, Any]]] = {}
-        if blue is not None:
+        if engine is not None:
+            proposals = engine.propose()
+        elif blue is not None:
             # Flat-array path: plain list adjacency + cached uids.  `label`
             # holds exactly the alive nodes (kills pop their entry), so one
             # dict probe doubles as the aliveness test.

@@ -18,6 +18,7 @@ import pytest
 
 from repro.cli import build_parser
 from repro.core.api import CARVING_METHODS
+from repro.kernels import KERNELS
 from repro.registry import TASKS
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -68,6 +69,19 @@ class TestTaskTable:
         )
 
 
+class TestKernelTable:
+    def test_kernels_doc_tier_table_matches_registry(self):
+        kernels = _read(os.path.join(REPO_ROOT, "docs", "kernels.md"))
+        documented = re.findall(
+            r"^\|\s*`([a-z][a-z0-9-]*)`\s*\|", kernels, flags=re.MULTILINE
+        )
+        assert documented, "docs/kernels.md has no tier table rows"
+        assert set(documented) == set(KERNELS.names()), (
+            "docs/kernels.md tier table ({}) out of sync with the kernel "
+            "registry ({})".format(sorted(documented), sorted(KERNELS.names()))
+        )
+
+
 class TestCliFlags:
     def test_every_documented_flag_exists_on_the_parser(self):
         parser_flags = set()
@@ -108,5 +122,5 @@ class TestLinks:
                 )
 
     def test_docs_tree_exists(self):
-        for name in ("architecture.md", "pipeline.md"):
+        for name in ("architecture.md", "kernels.md", "pipeline.md"):
             assert os.path.exists(os.path.join(REPO_ROOT, "docs", name))
