@@ -1,0 +1,225 @@
+"""Out-of-core scaling experiment: million-node graphs under an RSS budget.
+
+Exercises the ISSUE 7 tier end to end, with **no networkx object at any
+point** for the scaled rows:
+
+* a torus edge list is synthesized arithmetically (streamed to a text file,
+  never held in memory),
+* :func:`repro.graphs.memmap.ingest_edge_list` converts it into an on-disk
+  ``.csrbin`` CSR with the two-pass streaming build,
+* the ``np.memmap``-backed facade (:func:`repro.graphs.memmap.load_graph`)
+  feeds :func:`repro.decompose` directly — optionally through the
+  partitioned path (``partition_nodes``), which bounds the carving working
+  set by decomposing deterministic BFS-ordered chunks.
+
+Each row records the ingest / load / decompose wall times, the resulting
+color and cluster counts, and the process RSS read from
+``/proc/self/status`` (``VmRSS`` current, ``VmHWM`` lifetime peak).  The
+experiment **fails** if the peak RSS exceeds the ceiling — that is the
+out-of-core guarantee made measurable: the O(m) adjacency lives in the page
+cache, not the heap.
+
+A small-scale equivalence row additionally asserts that the memmap route
+produces *identical* color and cluster assignments to the classic
+``read_edge_list`` -> in-memory decomposition route (same seeds, same
+ledger totals) — the differential contract behind ``--graph-backend``.
+
+Environment knobs (the CI smoke run shrinks the workload and lowers the
+ceiling to match; the job itself is report-only):
+
+* ``REPRO_BENCH_OOC_N`` — largest target node count (default ``1000000``);
+* ``REPRO_BENCH_OOC_METHOD`` — decomposition method (default ``mpx``);
+* ``REPRO_BENCH_OOC_PARTITION`` — chunk budget for the partitioned path
+  (default ``250000``; ``0`` decomposes unpartitioned);
+* ``REPRO_BENCH_OOC_RSS_MB`` — peak-RSS ceiling in MiB (default ``1600``).
+
+Run with ``python benchmarks/bench_ooc_scaling.py`` (or ``pytest
+benchmarks/bench_ooc_scaling.py -s``).
+"""
+
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+import repro
+from _harness import emit_table
+from repro.graphs.io import read_edge_list
+from repro.graphs.memmap import ingest_edge_list, load_graph
+
+N = int(os.environ.get("REPRO_BENCH_OOC_N", "1000000"))
+METHOD = os.environ.get("REPRO_BENCH_OOC_METHOD", "mpx")
+PARTITION = int(os.environ.get("REPRO_BENCH_OOC_PARTITION", "250000"))
+RSS_CEILING_MB = float(os.environ.get("REPRO_BENCH_OOC_RSS_MB", "1600"))
+EQUIVALENCE_N = 2500
+
+
+def _status_mb(field):
+    """Read one VmRSS/VmHWM-style field of /proc/self/status, in MiB."""
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith(field + ":"):
+                    return int(line.split()[1]) / 1024.0
+    except OSError:
+        pass
+    return float("nan")
+
+
+def synthesize_torus_edgelist(side, path):
+    """Stream a side x side torus edge list to ``path`` — no graph object.
+
+    Node ``(r, c)`` is the integer ``r * side + c``; each node emits its
+    right and down neighbour (wrapping), so every edge appears exactly once
+    and the file has ``2 * side^2`` lines.
+    """
+    with open(path, "w", encoding="ascii") as handle:
+        chunk = []
+        for r in range(side):
+            base = r * side
+            down = ((r + 1) % side) * side
+            for c in range(side):
+                u = base + c
+                chunk.append("{} {}\n".format(u, base + (c + 1) % side))
+                chunk.append("{} {}\n".format(u, down + c))
+            if len(chunk) >= 100000:
+                handle.write("".join(chunk))
+                chunk = []
+        handle.write("".join(chunk))
+    return path
+
+
+def _sizes():
+    targets = sorted({n for n in (10000, 100000, N) if n <= N})
+    return targets or [N]
+
+
+def scaling_rows(workdir):
+    """One row per target size: the full file -> CSR -> decomposition path."""
+    rows = []
+    partition = PARTITION if PARTITION > 0 else None
+    for target in _sizes():
+        side = max(3, int(round(target ** 0.5)))
+        source = os.path.join(workdir, "torus-{}.edges".format(side))
+        synthesize_torus_edgelist(side, source)
+
+        start = time.perf_counter()
+        dest = ingest_edge_list(source, source + ".csrbin")
+        ingest_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        graph = load_graph(dest)
+        load_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        decomposition = repro.decompose(
+            graph, method=METHOD, seed=1, partition_nodes=partition
+        )
+        decompose_s = time.perf_counter() - start
+
+        rows.append(
+            {
+                "n": graph.number_of_nodes(),
+                "m": graph.number_of_edges(),
+                "ingest_s": round(ingest_s, 2),
+                "load_s": round(load_s, 3),
+                "decompose_s": round(decompose_s, 2),
+                "colors": decomposition.num_colors,
+                "clusters": len(decomposition.clusters),
+                "rss_mb": round(_status_mb("VmRSS"), 1),
+                "peak_mb": round(_status_mb("VmHWM"), 1),
+            }
+        )
+        del graph, decomposition
+        os.remove(source)
+        os.remove(dest)
+    return rows
+
+
+def equivalence_rows(workdir):
+    """Assert memmap == in-memory decompositions on a small shared file."""
+    side = max(3, int(round(EQUIVALENCE_N ** 0.5)))
+    source = synthesize_torus_edgelist(
+        side, os.path.join(workdir, "equiv-{}.edges".format(side))
+    )
+    facade = load_graph(ingest_edge_list(source, source + ".csrbin"))
+    host = read_edge_list(source)
+    rows = []
+    for partition in (None, max(100, EQUIVALENCE_N // 4)):
+        ooc = repro.decompose(facade, method=METHOD, seed=1, partition_nodes=partition)
+        ram = repro.decompose(host, method=METHOD, seed=1, partition_nodes=partition)
+        identical = (
+            ooc.color_of() == ram.color_of()
+            and ooc.cluster_of() == ram.cluster_of()
+            and ooc.rounds == ram.rounds
+        )
+        rows.append(
+            {
+                "route": "partitioned" if partition else "whole-graph",
+                "n": facade.number_of_nodes(),
+                "colors": ooc.num_colors,
+                "rounds": ooc.rounds,
+                "identical": identical,
+            }
+        )
+    return rows
+
+
+def _check(scaling, equivalence):
+    problems = []
+    for row in equivalence:
+        if not row["identical"]:
+            problems.append("memmap diverged from in-memory ({})".format(row["route"]))
+    peak = max(row["peak_mb"] for row in scaling)
+    if peak > RSS_CEILING_MB:
+        problems.append(
+            "peak RSS {:.0f} MiB exceeds the {:.0f} MiB ceiling".format(
+                peak, RSS_CEILING_MB
+            )
+        )
+    return problems
+
+
+def _run(assert_targets):
+    workdir = tempfile.mkdtemp(prefix="ooc-bench-")
+    try:
+        equivalence = equivalence_rows(workdir)
+        scaling = scaling_rows(workdir)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    emit_table(
+        "ooc_equivalence",
+        equivalence,
+        "Out-of-core equivalence — memmap vs in-memory, {} n={}".format(
+            METHOD, EQUIVALENCE_N
+        ),
+    )
+    emit_table(
+        "ooc_scaling",
+        scaling,
+        "Out-of-core scaling — {} over memmap CSR, partition={}, no networkx".format(
+            METHOD, PARTITION if PARTITION > 0 else "off"
+        ),
+    )
+    problems = _check(scaling, equivalence)
+    print(
+        "targets: identical assignments, peak RSS <= {:.0f} MiB at n = {} -> {}".format(
+            RSS_CEILING_MB, N, "PASS" if not problems else "; ".join(problems)
+        )
+    )
+    if assert_targets:
+        assert not problems, problems
+    return problems
+
+
+def test_ooc_scaling():
+    _run(assert_targets=True)
+
+
+def main():
+    return 1 if _run(assert_targets=False) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -116,6 +116,41 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--graph-backend",
+        choices=("memory", "memmap"),
+        default="memory",
+        help=(
+            "where the topology lives: 'memory' builds networkx / heap-CSR "
+            "graphs (default); 'memmap' streams into on-disk np.memmap-backed "
+            "CSR files and runs the networkx-free facade, bounding the "
+            "resident set on million-node graphs (requires --backend csr; "
+            "results are identical — see docs/out_of_core.md)"
+        ),
+    )
+    parser.add_argument(
+        "--spill-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "directory for out-of-core artifacts: memmap scratch / edgelist "
+            "conversion cache files, and — in suite pool mode — arena columns "
+            "spilled to disk past the --arena-mb budget (default: system temp "
+            "dir for scratch, arena spill disabled)"
+        ),
+    )
+    parser.add_argument(
+        "--partition-nodes",
+        type=int,
+        metavar="N",
+        default=None,
+        help=(
+            "decomposition mode: decompose in deterministic BFS-ordered "
+            "chunks of at most N nodes with per-chunk color offsets, bounding "
+            "the peak working set on out-of-core graphs (trades color count "
+            "for memory)"
+        ),
+    )
+    parser.add_argument(
         "--skip-validation",
         action="store_true",
         help="skip the invariant validators (faster on large graphs)",
@@ -253,10 +288,19 @@ def _run_suite_mode(args) -> int:
 
     if args.spec is not None:
         spec = load_spec(args.spec)
+        overrides = {}
         if args.kernel != "auto":
+            overrides["kernel"] = args.kernel
+        if args.graph_backend != "memory":
+            overrides["graph_backend"] = args.graph_backend
+        if args.spill_dir is not None:
+            overrides["spill_dir"] = args.spill_dir
+        if args.partition_nodes is not None:
+            overrides["partition_nodes"] = args.partition_nodes
+        if overrides:
             import dataclasses
 
-            spec = dataclasses.replace(spec, kernel=args.kernel)
+            spec = dataclasses.replace(spec, **overrides)
     else:
         tasks = tuple(
             task.strip() for task in str(args.tasks).split(",") if task.strip()
@@ -272,6 +316,9 @@ def _run_suite_mode(args) -> int:
             tasks=tasks,
             backend=args.backend,
             kernel=args.kernel,
+            graph_backend=args.graph_backend,
+            spill_dir=args.spill_dir,
+            partition_nodes=args.partition_nodes,
             validate=not args.skip_validation,
         )
     result = repro.run_suite(
@@ -473,7 +520,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("wrote experiment report to {}".format(args.report))
         return 0
 
-    graph = build_workload(args.family, args.n, seed=args.seed)
+    if args.graph_backend == "memmap":
+        if args.backend != "csr":
+            print(
+                "--graph-backend memmap requires --backend csr (the facade "
+                "serves the flat-array kernels only)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.pipeline.scenarios import build_workload_memmap
+
+        graph = build_workload_memmap(
+            args.family, args.n, seed=args.seed, spill_dir=args.spill_dir
+        )
+    else:
+        graph = build_workload(args.family, args.n, seed=args.seed)
     print(
         "graph: family={} nodes={} edges={}".format(
             args.family, graph.number_of_nodes(), graph.number_of_edges()
@@ -499,7 +560,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(format_table([metrics.as_row()], title="ball carving"))
             result = carving
         else:
-            decomposition = decompose(graph, method=args.method, seed=args.seed)
+            decomposition = decompose(
+                graph,
+                method=args.method,
+                seed=args.seed,
+                partition_nodes=args.partition_nodes,
+            )
             if not args.skip_validation:
                 check_network_decomposition(decomposition)
             metrics = evaluate_decomposition(decomposition, args.method)

@@ -132,6 +132,7 @@ def decompose(
     seed: Optional[int] = None,
     backend: Optional[str] = None,
     kernel: Optional[str] = None,
+    partition_nodes: Optional[int] = None,
 ) -> NetworkDecomposition:
     """Compute a network decomposition of ``graph`` with the chosen algorithm.
 
@@ -150,6 +151,12 @@ def decompose(
             — see :func:`carve`.
         kernel: Hot-loop tier (``"auto"`` / ``"pure"`` / ``"numpy"`` /
             ``"numba"``) or ``None`` (ambient) — see :func:`carve`.
+        partition_nodes: Optional node budget for the out-of-core
+            partitioned path: the node set is split into deterministic
+            BFS-ordered chunks of at most this many nodes and each chunk is
+            decomposed independently with per-chunk color offsets — see
+            :func:`repro.core.decomposition.partitioned_decomposition`.
+            ``None`` (default) decomposes the whole graph at once.
 
     Returns:
         A :class:`~repro.clustering.decomposition.NetworkDecomposition`
@@ -159,6 +166,16 @@ def decompose(
     rng = random.Random(seed if seed is not None else 0)
     refresh_csr_cache(graph)
     with use_backend(backend), use_kernel(kernel):
+        if partition_nodes:
+            # Imported lazily to keep the registry/API import graph acyclic.
+            from repro.core.decomposition import partitioned_decomposition
+
+            def carving(host, eps, nodes=None, ledger=None):
+                return spec.carve(host, eps, nodes, ledger, rng)
+
+            return partitioned_decomposition(
+                graph, carving, partition_nodes, eps=0.5, ledger=ledger, kind=spec.kind
+            )
         return spec.decompose(graph, ledger, rng)
 
 
@@ -171,6 +188,7 @@ def run_task(
     backend: Optional[str] = None,
     kernel: Optional[str] = None,
     decomposition: Optional[NetworkDecomposition] = None,
+    partition_nodes: Optional[int] = None,
 ) -> TaskResult:
     """Run a pipeline task (MIS, coloring) on a network decomposition.
 
@@ -199,6 +217,9 @@ def run_task(
             selection) — see :func:`carve`.
         decomposition: Optional precomputed decomposition to reuse instead
             of decomposing again.
+        partition_nodes: Optional node budget for the partitioned
+            out-of-core decomposition path (ignored when ``decomposition``
+            is given) — see :func:`decompose`.
 
     Returns:
         A :class:`~repro.registry.TaskResult` with the solution, the task's
@@ -208,7 +229,13 @@ def run_task(
     spec = TASKS.get(task)
     if decomposition is None:
         decomposition = decompose(
-            graph, method=method, ledger=ledger, seed=seed, backend=backend, kernel=kernel
+            graph,
+            method=method,
+            ledger=ledger,
+            seed=seed,
+            backend=backend,
+            kernel=kernel,
+            partition_nodes=partition_nodes,
         )
     elif decomposition.graph is not graph:
         # Solving runs on decomposition.graph while verification and metrics

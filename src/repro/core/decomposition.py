@@ -22,6 +22,7 @@ from repro.clustering.decomposition import NetworkDecomposition
 from repro.congest.rounds import RoundLedger
 from repro.core.improved_carving import theorem33_carving
 from repro.core.strong_carving import theorem22_carving
+from repro.graphs.csr import csr_index_or_none
 from repro.weak.carving import weak_diameter_carving
 
 # A ball carving algorithm usable by the reduction: it accepts
@@ -36,6 +37,7 @@ def decomposition_via_carving(
     ledger: Optional[RoundLedger] = None,
     kind: str = "strong",
     max_colors: Optional[int] = None,
+    nodes: Optional[Iterable[Any]] = None,
 ) -> NetworkDecomposition:
     """Build a network decomposition by iterating a ball carving algorithm.
 
@@ -51,20 +53,26 @@ def decomposition_via_carving(
             carving (propagated to the decomposition).
         max_colors: Safety cap on the number of repetitions; defaults to
             ``4 * log2 n + 8``.
+        nodes: Optional node subset to decompose (default: every node) —
+            the partitioned out-of-core path decomposes one chunk at a time
+            through this.
 
     Returns:
         A :class:`~repro.clustering.decomposition.NetworkDecomposition`
-        covering every node of ``graph``.
+        covering every node of ``graph`` (or of ``nodes``).
     """
     ledger = ledger if ledger is not None else RoundLedger()
-    n = graph.number_of_nodes()
+    if nodes is None:
+        remaining: Set[Any] = set(graph.nodes())
+    else:
+        remaining = {node for node in nodes if node in graph}
+    n = len(remaining)
     if n == 0:
         return NetworkDecomposition(graph=graph, clusters=[], ledger=ledger, kind=kind)
 
     if max_colors is None:
         max_colors = 4 * max(1, int(math.ceil(math.log2(max(2, n))))) + 8
 
-    remaining: Set[Any] = set(graph.nodes())
     colored_clusters: List[Cluster] = []
     color = 0
 
@@ -99,6 +107,129 @@ def decomposition_via_carving(
         color += 1
 
     return NetworkDecomposition(graph=graph, clusters=colored_clusters, ledger=ledger, kind=kind)
+
+
+def _bfs_chunk_order(graph: nx.Graph) -> List[Any]:
+    """Every node of ``graph`` in a deterministic BFS order.
+
+    Components are visited in ascending order of their smallest node
+    *index* (the CSR / insertion order), and within a component the BFS
+    expands neighbours in ascending index order.  Both graph backends
+    (in-memory and memmap) index nodes identically, so the order — and
+    therefore any chunking derived from it — is backend-independent.
+    """
+    csr = csr_index_or_none(graph, respect_backend=False)
+    if csr is not None:
+        nodes = csr.nodes
+        indptr = csr.indptr
+        indices = csr.indices
+        n = csr.n
+
+        def row(i: int) -> Iterable[int]:
+            return indices[indptr[i] : indptr[i + 1]]
+
+    else:
+        nodes = list(graph.nodes())
+        n = len(nodes)
+        position = {node: i for i, node in enumerate(nodes)}
+        rows: List[List[int]] = [
+            sorted(position[other] for other in graph.neighbors(node)) for node in nodes
+        ]
+
+        def row(i: int) -> Iterable[int]:
+            return rows[i]
+
+    seen = bytearray(n)
+    order: List[int] = []
+    for start in range(n):
+        if seen[start]:
+            continue
+        seen[start] = 1
+        order.append(start)
+        head = len(order) - 1
+        while head < len(order):
+            i = order[head]
+            head += 1
+            for j in row(i):
+                if not seen[j]:
+                    seen[j] = 1
+                    order.append(j)
+    return [nodes[i] for i in order]
+
+
+def partition_node_chunks(graph: nx.Graph, chunk_size: int) -> List[List[Any]]:
+    """Split ``graph``'s nodes into BFS-ordered chunks of ``chunk_size``.
+
+    The BFS order keeps chunks topologically coherent (a chunk is a union
+    of contiguous BFS prefixes), which keeps the per-chunk working set of
+    the partitioned decomposition small.
+    """
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive, got {}".format(chunk_size))
+    ordered = _bfs_chunk_order(graph)
+    return [ordered[i : i + chunk_size] for i in range(0, len(ordered), chunk_size)]
+
+
+def partitioned_decomposition(
+    graph: nx.Graph,
+    carving_algorithm: CarvingAlgorithm,
+    partition_nodes: int,
+    eps: float = 0.5,
+    ledger: Optional[RoundLedger] = None,
+    kind: str = "strong",
+    max_colors: Optional[int] = None,
+) -> NetworkDecomposition:
+    """Decompose ``graph`` chunk-by-chunk under a node budget.
+
+    The node set is split into deterministic BFS-ordered chunks of at most
+    ``partition_nodes`` nodes; each chunk is decomposed independently via
+    :func:`decomposition_via_carving` (sharing one ledger, so round costs
+    add up as a sequential composition) and the chunk's colors are shifted
+    past the colors already in use.  Same-color clusters stay non-adjacent
+    because they always originate from a single carving repetition of a
+    single chunk; the price of partitioning is a color count that grows
+    with the number of chunks, which is the usual trade-off for bounding
+    the peak working set on out-of-core graphs.
+    """
+    ledger = ledger if ledger is not None else RoundLedger()
+    chunks = partition_node_chunks(graph, partition_nodes)
+    if len(chunks) <= 1:
+        return decomposition_via_carving(
+            graph,
+            carving_algorithm,
+            eps=eps,
+            ledger=ledger,
+            kind=kind,
+            max_colors=max_colors,
+        )
+
+    merged: List[Cluster] = []
+    offset = 0
+    for chunk_index, chunk in enumerate(chunks):
+        part = decomposition_via_carving(
+            graph,
+            carving_algorithm,
+            eps=eps,
+            ledger=ledger,
+            kind=kind,
+            max_colors=max_colors,
+            nodes=chunk,
+        )
+        peak = 0
+        for cluster in part.clusters:
+            color = cluster.color + offset
+            peak = max(peak, cluster.color + 1)
+            merged.append(
+                Cluster(
+                    nodes=cluster.nodes,
+                    label=("part", chunk_index) + tuple(cluster.label),
+                    color=color,
+                    tree=cluster.tree,
+                )
+            )
+        offset += peak
+
+    return NetworkDecomposition(graph=graph, clusters=merged, ledger=ledger, kind=kind)
 
 
 def theorem23_decomposition(

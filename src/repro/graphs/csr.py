@@ -118,15 +118,8 @@ def uid_order_key(uid: Any) -> Tuple[int, Any]:
     return (1, str(uid))
 
 
-def _graph_fingerprint(root: nx.Graph) -> int:
-    """Order-insensitive fingerprint of the node set, uids, and edge set.
-
-    XOR of per-node ``(label, uid)`` hashes and symmetric per-edge hashes:
-    O(n + m), insensitive to iteration and endpoint order, and — unlike an
-    ``(n, m)`` count — it changes under count-preserving rewires, node
-    replacements, and in-place ``"uid"`` reassignments, all of which a
-    frozen index must notice.
-    """
+def _graph_fingerprint_scalar(root: nx.Graph) -> int:
+    """Reference implementation of the fingerprint: pure-Python XOR walk."""
     fingerprint = 0
     for node, data in root.nodes(data=True):
         fingerprint ^= hash((node, data.get("uid", node)))
@@ -138,6 +131,124 @@ def _graph_fingerprint(root: nx.Graph) -> int:
         else:
             fingerprint ^= hash((u, v)) ^ hash((v, u))
     return fingerprint
+
+
+# CPython's tuple hash (pyhash.c, 64-bit xxHash variant): replicated in
+# uint64 numpy arithmetic so million-edge fingerprints don't pay a Python
+# tuple allocation + hash call per edge.  Valid only where hash(x) == x,
+# i.e. ints in [0, 2**61 - 1) — everything else falls back to the scalar
+# walk.
+_HASH_IDENTITY_LIMIT = (1 << 61) - 1
+_UINT64_MASK = (1 << 64) - 1
+
+
+def _tuple_hash_pairs(first, second):
+    """Vectorized ``hash((a, b))`` for arrays of hash-identity ints."""
+    import numpy as np
+
+    one = np.uint64(11400714785074694791)  # _PyHASH_XXPRIME_1
+    two = np.uint64(14029467366897019727)  # _PyHASH_XXPRIME_2
+    five = np.uint64(2870177450012600261)  # _PyHASH_XXPRIME_5
+    with np.errstate(over="ignore"):
+        acc = np.full(first.shape, five, dtype=np.uint64)
+        for lane in (first, second):
+            acc += lane.astype(np.uint64) * two
+            acc = (acc << np.uint64(31)) | (acc >> np.uint64(33))
+            acc *= one
+        acc += np.uint64(2) ^ (five ^ np.uint64(3527539))
+    acc[acc == np.uint64(_UINT64_MASK)] = np.uint64(1546275796)
+    return acc
+
+
+def _graph_fingerprint_vectorized(root: nx.Graph) -> Optional[int]:
+    """Numpy fast path for :func:`_graph_fingerprint`.
+
+    Returns ``None`` (caller falls back to the scalar walk) when numpy is
+    unavailable or any label/uid is not a hash-identity int.
+    """
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - numpy is a baked-in dependency
+        return None
+    # The raw backing dicts: networkx's public views cost a wrapper call per
+    # scanned neighbour, which is most of what this fast path removes.  Any
+    # graph class without them takes the scalar walk.
+    node_dict = getattr(root, "_node", None)
+    adj_dict = getattr(root, "_adj", None)
+    if node_dict is None or adj_dict is None:
+        return None
+    labels: List[int] = []
+    uids: List[int] = []
+    for node, data in node_dict.items():
+        uid = data.get("uid", node)
+        if type(node) is not int or type(uid) is not int:
+            return None
+        labels.append(node)
+        uids.append(uid)
+    total = 0
+    if labels:
+        try:
+            label_arr = np.asarray(labels, dtype=np.int64)
+            uid_arr = np.asarray(uids, dtype=np.int64)
+        except OverflowError:
+            return None
+        if (
+            int(label_arr.min()) < 0
+            or int(label_arr.max()) >= _HASH_IDENTITY_LIMIT
+            or int(uid_arr.min()) < 0
+            or int(uid_arr.max()) >= _HASH_IDENTITY_LIMIT
+        ):
+            return None
+        total ^= int(np.bitwise_xor.reduce(_tuple_hash_pairs(label_arr, uid_arr)))
+    n = len(labels)
+    degrees = np.fromiter(
+        (len(nbrs) for nbrs in adj_dict.values()), dtype=np.int64, count=n
+    )
+    pair_count = int(degrees.sum()) if n else 0
+    if pair_count:
+        from itertools import chain
+
+        # Flatten the adjacency dicts directly (``fromiter`` + ``np.repeat``,
+        # no per-edge Python tuple): every non-loop edge appears as both
+        # ``(u, v)`` and ``(v, u)``, which is exactly the symmetric XOR
+        # term.  Endpoints are node labels, already validated above.
+        u = np.repeat(np.fromiter(adj_dict.keys(), dtype=np.int64, count=n), degrees)
+        v = np.fromiter(
+            chain.from_iterable(adj_dict.values()), dtype=np.int64, count=pair_count
+        )
+        loops = u == v
+        if loops.any():
+            # A self-loop appears once per adjacency row; the scalar walk
+            # hashes it once per edge.
+            for node in u[loops]:
+                total ^= hash(("self-loop", int(node))) & _UINT64_MASK
+            keep = ~loops
+            u, v = u[keep], v[keep]
+        if len(u):
+            total ^= int(np.bitwise_xor.reduce(_tuple_hash_pairs(u, v)))
+    if total >= 1 << 63:  # reinterpret the uint64 accumulator as Py_hash_t
+        total -= 1 << 64
+    return total
+
+
+def _graph_fingerprint(root: nx.Graph) -> int:
+    """Order-insensitive fingerprint of the node set, uids, and edge set.
+
+    XOR of per-node ``(label, uid)`` hashes and symmetric per-edge hashes:
+    O(n + m), insensitive to iteration and endpoint order, and — unlike an
+    ``(n, m)`` count — it changes under count-preserving rewires, node
+    replacements, and in-place ``"uid"`` reassignments, all of which a
+    frozen index must notice.
+
+    Integer-labelled graphs (every generated scenario and every streamed
+    ingest) take the vectorized path; the value is bit-identical to the
+    scalar walk either way, so fingerprints recorded before this
+    optimisation stay valid.
+    """
+    fast = _graph_fingerprint_vectorized(root)
+    if fast is not None:
+        return fast
+    return _graph_fingerprint_scalar(root)
 
 
 def csr_index_or_none(

@@ -19,7 +19,12 @@ cheap methods.  The arena removes that redundancy:
   ever happens;
 * the parent bounds live segments with an LRU byte budget
   (``arena_mb``) and guarantees ``close``/``unlink`` of every segment on
-  success, failure and ``KeyboardInterrupt``.
+  success, failure and ``KeyboardInterrupt``;
+* when a **spill directory** is configured, columns that would overflow the
+  byte budget (or whose shm allocation the kernel refuses) are written to
+  disk instead and workers ``mmap`` them read-only — a suite whose topology
+  columns exceed ``--arena-mb`` degrades gracefully to page-cache reads
+  rather than serialising the dispatch pipeline behind the budget window.
 
 Segment layout (one per column)::
 
@@ -41,6 +46,9 @@ reclaims everything if the whole family dies).
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import mmap
+import os
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -68,11 +76,14 @@ class SegmentDescriptor:
 
     Attributes:
         name: Kernel-level segment name (attach with
-            ``SharedMemory(name=...)``).
+            ``SharedMemory(name=...)``) when ``location == "shm"``; the
+            spill file's path when ``location == "file"``.
         column_key: The grid column the segment holds (diagnostics only).
         indptr_len: Byte length of the indptr section.
         indices_len: Byte length of the indices section.
         meta_len: Byte length of the JSON label-table section.
+        location: ``"shm"`` (shared-memory segment) or ``"file"`` (column
+            spilled to disk; workers ``mmap`` it read-only).
     """
 
     name: str
@@ -80,6 +91,7 @@ class SegmentDescriptor:
     indptr_len: int
     indices_len: int
     meta_len: int
+    location: str = "shm"
 
     @property
     def total_len(self) -> int:
@@ -142,48 +154,72 @@ class CSRArena:
     failure and ``KeyboardInterrupt`` all clean up.
     """
 
-    def __init__(self, max_bytes: int = DEFAULT_ARENA_MB * 1024 * 1024) -> None:
+    def __init__(
+        self,
+        max_bytes: int = DEFAULT_ARENA_MB * 1024 * 1024,
+        spill_dir: Optional[str] = None,
+    ) -> None:
         if _shared_memory is None:
             raise ArenaUnavailable("multiprocessing.shared_memory is not importable")
         self.max_bytes = max(1, int(max_bytes))
+        self.spill_dir = spill_dir
         self._segments: "OrderedDict[str, Any]" = OrderedDict()
         self._descriptors: Dict[str, SegmentDescriptor] = {}
+        self._spill_paths: Dict[str, str] = {}
         self.live_bytes = 0
         self.published_count = 0
         self.published_bytes = 0
+        self.spilled_count = 0
+        self.spilled_bytes = 0
 
     def __len__(self) -> int:
-        return len(self._segments)
+        return len(self._segments) + len(self._spill_paths)
+
+    @property
+    def spill_enabled(self) -> bool:
+        return self.spill_dir is not None
 
     def fits(self, extra_bytes: int) -> bool:
         """Whether another ``extra_bytes`` segment fits the budget window.
 
         Always true when the arena is empty: a column larger than the whole
-        budget must still be runnable, just with no neighbours.
+        budget must still be runnable, just with no neighbours.  Spilled
+        columns live on disk and do not consume the window.
         """
         if not self._segments:
             return True
         return self.live_bytes + int(extra_bytes) <= self.max_bytes
 
     def publish(self, column_key: str, source) -> SegmentDescriptor:
-        """Copy a frozen index into a fresh segment; returns its descriptor.
+        """Publish a frozen index; returns the (picklable) descriptor.
 
         ``source`` is a :class:`~repro.graphs.csr.CSRGraph` or the buffer
         dict its ``to_buffers()`` returns — the runner serialises up front
         so its budget check sees the real byte size (label tables included).
-        Raises :class:`repro.graphs.csr.CSRUnsupported` when the graph's
-        labels cannot ride the arena (the caller falls back to per-cell
-        rebuilds for that column) and :class:`ArenaUnavailable` when the
-        kernel refuses the allocation.
+
+        The column lands in a fresh shared-memory segment while it fits the
+        byte budget; when it would not fit — or the kernel refuses the
+        allocation — and a ``spill_dir`` is configured, the column is
+        *spilled*: written to a file there that workers ``mmap`` instead,
+        so the suite degrades to page-cache reads rather than stalling the
+        dispatch pipeline.  Raises
+        :class:`repro.graphs.csr.CSRUnsupported` when the graph's labels
+        cannot ride the arena (the caller falls back to per-cell rebuilds
+        for that column) and :class:`ArenaUnavailable` when the kernel
+        refuses the allocation and no spill directory is available.
         """
-        if column_key in self._segments:
+        if column_key in self._segments or column_key in self._spill_paths:
             raise ValueError("column {!r} is already published".format(column_key))
         buffers = source.to_buffers() if isinstance(source, CSRGraph) else source
         lengths = (len(buffers["indptr"]), len(buffers["indices"]), len(buffers["meta"]))
         total = sum(lengths) or 1
+        if self.spill_enabled and not self.fits(total):
+            return self._spill(column_key, buffers, lengths)
         try:
             segment = _shared_memory.SharedMemory(create=True, size=total)
         except OSError as error:
+            if self.spill_enabled:
+                return self._spill(column_key, buffers, lengths)
             raise ArenaUnavailable(
                 "cannot allocate a {} byte shared-memory segment: {}".format(total, error)
             ) from error
@@ -206,8 +242,44 @@ class CSRArena:
         self.published_bytes += total
         return descriptor
 
+    def _spill(
+        self, column_key: str, buffers: Dict[str, bytes], lengths: Tuple[int, int, int]
+    ) -> SegmentDescriptor:
+        """Write one column to ``spill_dir`` (same section layout as shm)."""
+        os.makedirs(self.spill_dir, exist_ok=True)
+        digest = hashlib.sha256(column_key.encode("utf-8")).hexdigest()[:16]
+        path = os.path.join(self.spill_dir, "column-{}.seg".format(digest))
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "wb") as handle:
+            for section in ("indptr", "indices", "meta"):
+                handle.write(buffers[section])
+        os.replace(tmp_path, path)
+        descriptor = SegmentDescriptor(
+            name=path,
+            column_key=column_key,
+            indptr_len=lengths[0],
+            indices_len=lengths[1],
+            meta_len=lengths[2],
+            location="file",
+        )
+        self._spill_paths[column_key] = path
+        self._descriptors[column_key] = descriptor
+        self.published_count += 1
+        self.published_bytes += descriptor.total_len
+        self.spilled_count += 1
+        self.spilled_bytes += descriptor.total_len
+        return descriptor
+
     def release(self, column_key: str) -> None:
-        """Close and unlink one column's segment (idempotent)."""
+        """Close and unlink one column's segment or spill file (idempotent)."""
+        spill_path = self._spill_paths.pop(column_key, None)
+        if spill_path is not None:
+            self._descriptors.pop(column_key, None)
+            try:
+                os.remove(spill_path)
+            except OSError:  # pragma: no cover - best effort
+                pass
+            return
         segment = self._segments.pop(column_key, None)
         descriptor = self._descriptors.pop(column_key, None)
         if segment is None:
@@ -221,7 +293,7 @@ class CSRArena:
 
     def close(self) -> None:
         """Release every remaining segment (safe to call repeatedly)."""
-        for column_key in list(self._segments):
+        for column_key in list(self._segments) + list(self._spill_paths):
             self.release(column_key)
 
     def __enter__(self) -> "CSRArena":
@@ -234,18 +306,32 @@ class CSRArena:
 class AttachedColumn:
     """Worker-side view of one published column: segment + graph + index.
 
-    Owns the attached :class:`SharedMemory` handle and every memoryview
-    carved out of it; :meth:`close` releases the views *before* closing the
-    segment (closing with exported views raises ``BufferError``).  The CSR
-    adjacency arrays point straight into the segment — only the O(n) label
-    table and the host ``networkx`` graph are worker-local objects.
+    Owns the attached :class:`SharedMemory` handle (or, for a spilled
+    column, the read-only ``mmap`` of its file) and every memoryview carved
+    out of it; :meth:`close` releases the views *before* closing the
+    backing object (closing with exported views raises ``BufferError``).
+    The CSR adjacency arrays point straight into the segment/file — only
+    the O(n) label table is a worker-local object.  The host ``networkx``
+    graph is materialised lazily on first :attr:`graph` access, so the
+    facade-based (memmap) backend never builds one.
     """
 
     def __init__(self, descriptor: SegmentDescriptor) -> None:
         self.descriptor = descriptor
-        self.segment = _attach_existing(descriptor.name)
         self._views: List[Any] = []
-        buf = self.segment.buf
+        self._file = None
+        self._map = None
+        if descriptor.location == "file":
+            self.segment = None
+            self._file = open(descriptor.name, "rb")
+            self._map = mmap.mmap(
+                self._file.fileno(), descriptor.total_len or 1, access=mmap.ACCESS_READ
+            )
+            buf = memoryview(self._map)
+            self._views.append(buf)
+        else:
+            self.segment = _attach_existing(descriptor.name)
+            buf = self.segment.buf
         a = descriptor.indptr_len
         b = a + descriptor.indices_len
         c = b + descriptor.meta_len
@@ -255,11 +341,18 @@ class AttachedColumn:
         self.csr = CSRGraph.from_buffers(indptr_view, indices_view, bytes(buf[b:c]))
         # Keep the cast int32 views so close() can release them explicitly.
         self._views.extend((self.csr.indptr, self.csr.indices))
-        self.graph = self.csr.to_networkx(register_cache=True)
+        self._graph = None
+
+    @property
+    def graph(self):
+        """The host ``networkx`` graph, built on first use (cache-seeded)."""
+        if self._graph is None and self.csr is not None:
+            self._graph = self.csr.to_networkx(register_cache=True)
+        return self._graph
 
     def close(self) -> None:
         """Drop the graph/index and detach from the segment (no unlink)."""
-        self.graph = None
+        self._graph = None
         self.csr = None
         for view in self._views:
             try:
@@ -267,10 +360,20 @@ class AttachedColumn:
             except (AttributeError, ValueError):  # pragma: no cover
                 pass
         self._views = []
-        try:
-            self.segment.close()
-        except (OSError, BufferError):  # pragma: no cover - best effort
-            pass
+        if self.segment is not None:
+            try:
+                self.segment.close()
+            except (OSError, BufferError):  # pragma: no cover - best effort
+                pass
+        if self._map is not None:
+            try:
+                self._map.close()
+            except (OSError, BufferError):  # pragma: no cover - best effort
+                pass
+            self._map = None
+        if self._file is not None:
+            self._file.close()
+            self._file = None
 
 
 # Per-worker attach cache: segment name -> AttachedColumn.  A worker executes

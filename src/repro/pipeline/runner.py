@@ -72,6 +72,8 @@ MODES = ("decomposition", "carving")
 
 SHARED_GRAPH_CHOICES = ("on", "off", "auto")
 
+GRAPH_BACKENDS = ("memory", "memmap")
+
 
 def derive_cell_seed(master_seed: int, key: str) -> int:
     """Deterministically derive a 32-bit seed from a master seed and a key.
@@ -158,6 +160,25 @@ class SuiteSpec:
             ``"numpy"`` or ``"numba"``; see :data:`repro.kernels.KERNELS`).
             Pure execution optimisation — every tier produces identical
             records; the resolved tier lands in each record's ``timings``.
+        graph_backend: Where the topology *lives*: ``"memory"`` (default —
+            networkx graphs / heap CSR) or ``"memmap"`` — on-disk
+            ``np.memmap``-backed CSR files with the networkx-free facade of
+            :mod:`repro.graphs.memmap`, so the resident set stays bounded
+            on million-node graphs.  ``"memmap"`` requires ``backend="csr"``
+            and produces records identical to ``"memory"`` (only the
+            ``timings`` differ), so stores resume across graph backends.
+        spill_dir: Directory for out-of-core artifacts: memmap scratch /
+            edgelist-conversion cache files, and — in pool mode — arena
+            columns spilled to disk when the shared-memory budget is
+            exceeded (see :class:`repro.pipeline.arena.CSRArena`).  ``None``
+            uses the system temp dir for scratch and disables arena spill.
+        partition_nodes: Optional per-chunk node budget for the partitioned
+            decomposition path (decomposition mode only): each cell's graph
+            is decomposed in deterministic BFS-ordered chunks of at most
+            this many nodes with per-chunk color offsets — see
+            :func:`repro.core.decomposition.partitioned_decomposition`.
+            Changes the records (more colors); use a fresh store when
+            toggling it.
         master_seed: Root of all per-cell seed derivations.
         validate: Run the clustering validators on every cell result
             (slower; randomized methods get the usual dead-fraction slack)
@@ -174,6 +195,9 @@ class SuiteSpec:
     tasks: Tuple[str, ...] = ("decompose",)
     backend: str = "csr"
     kernel: str = "auto"
+    graph_backend: str = "memory"
+    spill_dir: Optional[str] = None
+    partition_nodes: Optional[int] = None
     master_seed: int = 0
     validate: bool = False
 
@@ -198,6 +222,26 @@ class SuiteSpec:
         if self.kernel not in KERNEL_CHOICES:
             raise ValueError(
                 "kernel must be one of {}, got {!r}".format(KERNEL_CHOICES, self.kernel)
+            )
+        if self.graph_backend not in GRAPH_BACKENDS:
+            raise ValueError(
+                "graph_backend must be one of {}, got {!r}".format(
+                    GRAPH_BACKENDS, self.graph_backend
+                )
+            )
+        if self.graph_backend == "memmap" and self.backend != "csr":
+            raise ValueError(
+                "graph_backend='memmap' serves the flat-array kernels only; "
+                "it requires backend='csr' (got backend={!r})".format(self.backend)
+            )
+        if self.partition_nodes is not None and self.partition_nodes <= 0:
+            raise ValueError(
+                "partition_nodes must be positive, got {!r}".format(self.partition_nodes)
+            )
+        if self.partition_nodes is not None and self.mode != "decomposition":
+            raise ValueError(
+                "partition_nodes applies to the decomposition path only; "
+                "carving suites cannot be partitioned"
             )
         if not (self.scenarios and self.sizes and self.methods and self.seeds and self.tasks):
             raise ValueError(
@@ -228,6 +272,8 @@ class SuiteSpec:
             data["seeds"] = tuple(int(value) for value in data["seeds"])
         if "eps" in data:
             data["eps"] = tuple(float(value) for value in data["eps"])
+        if data.get("partition_nodes") is not None:
+            data["partition_nodes"] = int(data["partition_nodes"])
         return cls(**data)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -293,6 +339,29 @@ def _freeze_index(graph, backend: str, mark_frozen: bool = False):
     return csr, time.perf_counter() - start
 
 
+def _materialize_graph(
+    scenario: str,
+    n: int,
+    graph_seed: int,
+    graph_backend: str,
+    spill_dir: Optional[str],
+):
+    """Build one column's topology on the requested graph backend.
+
+    Returns ``(graph, build_seconds)``: a networkx graph on ``"memory"``,
+    a :class:`repro.graphs.memmap.CSRBackedGraph` facade (file-backed
+    adjacency, no live networkx object) on ``"memmap"``.
+    """
+    from repro.pipeline.scenarios import build_workload, build_workload_memmap
+
+    start = time.perf_counter()
+    if graph_backend == "memmap":
+        graph = build_workload_memmap(scenario, n, seed=graph_seed, spill_dir=spill_dir)
+    else:
+        graph = build_workload(scenario, n, seed=graph_seed)
+    return graph, time.perf_counter() - start
+
+
 def _group_task_cells(cells: Sequence[Cell]) -> List[List[Cell]]:
     """Group cells by :attr:`Cell.base_id`, preserving grid order.
 
@@ -320,6 +389,8 @@ def _compute_group_records(
     freeze_s: float,
     source: str,
     kernel: str = "auto",
+    graph_backend: str = "memory",
+    partition_nodes: Optional[int] = None,
 ) -> List[Dict[str, Any]]:
     """Run one task group's algorithm + tasks on an already-built graph.
 
@@ -335,7 +406,9 @@ def _compute_group_records(
     ``"arena-cached"`` — reattached from a shared-memory segment).
     ``timings["kernel"]`` records the *resolved* hot-path kernel tier (never
     the ``"auto"`` alias), so stores written under different tiers can be
-    regression-diffed; the schema is otherwise unchanged and pre-kernel
+    regression-diffed; ``timings["graph_backend"]`` likewise records where
+    the topology lived (``"memory"`` / ``"memmap"``) — both are pure
+    execution provenance, the schema is otherwise unchanged and older
     records still resume.  ``seconds`` stays the per-record total for
     backward compatibility.
     """
@@ -377,7 +450,12 @@ def _compute_group_records(
             metrics = evaluate_carving(result, head.method).as_row()
         else:
             decomposition = repro.decompose(
-                graph, method=head.method, seed=algo_seed, backend=backend, ledger=ledger
+                graph,
+                method=head.method,
+                seed=algo_seed,
+                backend=backend,
+                ledger=ledger,
+                partition_nodes=partition_nodes,
             )
             if validate:
                 check_network_decomposition(decomposition)
@@ -433,6 +511,7 @@ def _compute_group_records(
                         "algo_s": round(algo_s, 6),
                         "source": source if position == 0 else "column",
                         "kernel": kernel_name,
+                        "graph_backend": graph_backend,
                     },
                 }
             )
@@ -448,15 +527,19 @@ def _execute_cells(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
     decomposition is still computed only once — task reuse is semantic, not
     a transport optimisation.
     """
-    from repro.pipeline.scenarios import build_workload
-
     cells = [Cell(**cell) for cell in payload["cells"]]
     backend = payload["backend"]
+    graph_backend = payload.get("graph_backend", "memory")
     graph_seed = derive_cell_seed(payload["master_seed"], "graph:" + cells[0].column_key)
 
-    start = time.perf_counter()
-    graph = build_workload(cells[0].scenario, cells[0].n, seed=graph_seed)
-    graph_build_s = time.perf_counter() - start
+    graph, graph_build_s = _materialize_graph(
+        cells[0].scenario,
+        cells[0].n,
+        graph_seed,
+        graph_backend,
+        payload.get("spill_dir"),
+    )
+    # Memmap facades pre-seed the CSR cache, so this freeze is a cache hit.
     _, freeze_s = _freeze_index(graph, backend)
 
     return _compute_group_records(
@@ -469,29 +552,40 @@ def _execute_cells(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
         freeze_s,
         source="build",
         kernel=payload.get("kernel", "auto"),
+        graph_backend=graph_backend,
+        partition_nodes=payload.get("partition_nodes"),
     )
 
 
 def _execute_arena_cells(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
     """Run one task group against a published column segment (pool workers).
 
-    Attaches the column's shared-memory segment (cached per worker, so a
-    worker draining a column pays one attach), reuses the zero-copy CSR
-    index and its rebuilt host graph, and never runs a generator or a
-    freeze.
+    Attaches the column's segment — shared-memory, or a disk spill file when
+    the arena ran over budget (cached per worker, so a worker draining a
+    column pays one attach), reuses the zero-copy CSR index, and never runs
+    a generator or a freeze.  Under ``graph_backend="memmap"`` the group
+    runs against the networkx-free facade over the attached CSR instead of
+    rebuilding a networkx host, so workers stay nx-free end to end.
     """
     from repro.pipeline.arena import SegmentDescriptor, attach_column
 
     cells = [Cell(**cell) for cell in payload["cells"]]
     descriptor = SegmentDescriptor.from_dict(payload["segment"])
+    graph_backend = payload.get("graph_backend", "memory")
 
     start = time.perf_counter()
     column, cache_hit = attach_column(descriptor)
+    if graph_backend == "memmap":
+        from repro.graphs.memmap import graph_from_csr
+
+        graph = graph_from_csr(column.csr)
+    else:
+        graph = column.graph
     attach_s = time.perf_counter() - start
 
     return _compute_group_records(
         cells,
-        column.graph,
+        graph,
         payload["backend"],
         payload["validate"],
         payload["master_seed"],
@@ -499,6 +593,8 @@ def _execute_arena_cells(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
         0.0,
         source="arena-cached" if cache_hit else "arena",
         kernel=payload.get("kernel", "auto"),
+        graph_backend=graph_backend,
+        partition_nodes=payload.get("partition_nodes"),
     )
 
 
@@ -623,14 +719,16 @@ def _build_column_graph(
 
     ``force_freeze=True`` freezes even under the ``"nx"`` backend — the
     arena uses the CSR arrays as its *transport* format regardless of which
-    backend the algorithms will walk.
+    backend the algorithms will walk.  Under ``graph_backend="memmap"`` the
+    graph is the file-backed facade and its CSR is already frozen, so the
+    "freeze" is a cache hit and the build time covers the file round trip.
     """
-    from repro.pipeline.scenarios import build_workload
-
     graph_seed = derive_cell_seed(spec.master_seed, "graph:" + cell.column_key)
-    start = time.perf_counter()
-    graph = build_workload(cell.scenario, cell.n, seed=graph_seed)
-    build_s = time.perf_counter() - start
+    graph, build_s = _materialize_graph(
+        cell.scenario, cell.n, graph_seed, spec.graph_backend, spec.spill_dir
+    )
+    if spec.graph_backend == "memmap":
+        return graph, graph.csr, build_s, 0.0
     freeze_backend = "csr" if force_freeze else spec.backend
     csr, freeze_s = _freeze_index(graph, freeze_backend, mark_frozen=mark_frozen)
     return graph, csr, build_s, freeze_s
@@ -641,6 +739,9 @@ def _group_payload(cells: Sequence[Cell], spec: SuiteSpec) -> Dict[str, Any]:
         "cells": [dataclasses.asdict(cell) for cell in cells],
         "backend": spec.backend,
         "kernel": spec.kernel,
+        "graph_backend": spec.graph_backend,
+        "spill_dir": spec.spill_dir,
+        "partition_nodes": spec.partition_nodes,
         "master_seed": spec.master_seed,
         "validate": spec.validate,
     }
@@ -676,6 +777,8 @@ def _run_serial_batched(
                 freeze_s if first else 0.0,
                 source="build" if first else "column",
                 kernel=spec.kernel,
+                graph_backend=spec.graph_backend,
+                partition_nodes=spec.partition_nodes,
             )
             first = False
             stats["algorithm_runs"] += 1
@@ -700,8 +803,11 @@ def _run_pool_arena(
     long as the byte budget allows (always at least one), fans each column's
     cells out as executor futures, and releases a column's segment the
     moment its last cell completes — so the live-segment window slides over
-    the grid instead of growing with it.  Columns whose graphs the arena
-    cannot serialise fall back to per-cell rebuilds transparently.
+    the grid instead of growing with it.  With a ``spill_dir`` configured,
+    columns that exceed the live budget are *spilled* to disk files instead
+    of waiting — workers attach them via ``mmap`` and the suite degrades
+    gracefully rather than serialising on the budget.  Columns whose graphs
+    the arena cannot serialise fall back to per-cell rebuilds transparently.
 
     The pool is a :class:`concurrent.futures.ProcessPoolExecutor` rather
     than ``multiprocessing.Pool``: when a worker process dies abruptly
@@ -726,11 +832,13 @@ def _run_pool_arena(
         "freeze_s": 0.0,
         "published_segments": 0,
         "published_bytes": 0,
+        "spilled_segments": 0,
+        "spilled_bytes": 0,
         "fallback_cells": 0,
         "arena_mb": arena_mb,
     }
 
-    arena = CSRArena(max_bytes=arena_mb * 1024 * 1024)
+    arena = CSRArena(max_bytes=arena_mb * 1024 * 1024, spill_dir=spec.spill_dir)
     staged = None  # (key, cells, buffers) serialised but deferred by the budget
     next_group = 0
     futures: Dict[Any, Optional[str]] = {}  # future -> column key (None: fallback)
@@ -779,7 +887,9 @@ def _run_pool_arena(
                             continue
                         staged = (key, cells, buffers, build_s, freeze_s)
                     key, cells, buffers, build_s, freeze_s = staged
-                    if not arena.fits(sum(len(part) for part in buffers.values())):
+                    if not arena.fits(
+                        sum(len(part) for part in buffers.values())
+                    ) and not arena.spill_enabled:
                         break  # wait for a column to complete and release
                     try:
                         descriptor = arena.publish(key, buffers)
@@ -830,6 +940,8 @@ def _run_pool_arena(
                         if outstanding[key] == 0:
                             del outstanding[key]
                             arena.release(key)
+            stats["spilled_segments"] = arena.spilled_count
+            stats["spilled_bytes"] = arena.spilled_bytes
     finally:
         arena.close()
     stats["build_s"] = round(stats["build_s"], 6)
@@ -933,6 +1045,7 @@ def run_suite(
     task_groups = _group_task_cells(pending)
     arena_stats: Dict[str, Any] = {
         "shared_graphs": shared,
+        "graph_backend": spec.graph_backend,
         "mode": initial_mode,
         "columns": len(groups),
         "cells": len(pending),

@@ -122,5 +122,5 @@ class TestLinks:
                 )
 
     def test_docs_tree_exists(self):
-        for name in ("architecture.md", "kernels.md", "pipeline.md"):
+        for name in ("architecture.md", "kernels.md", "out_of_core.md", "pipeline.md"):
             assert os.path.exists(os.path.join(REPO_ROOT, "docs", name))

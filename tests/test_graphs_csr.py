@@ -482,3 +482,75 @@ class TestBufferRoundTrip:
         )
         assert clone.nodes == csr.nodes
         assert {type(node) for node in clone.nodes} == {int, str}
+
+
+class TestFingerprintVectorization:
+    """The numpy freeze fingerprint must be bit-identical to the scalar
+    reference walk — fingerprints recorded before the optimisation (frozen
+    CSR caches, cross-process transfers) stay valid."""
+
+    def _cases(self):
+        import random
+
+        loops = nx.Graph()
+        rng = random.Random(0)
+        for _ in range(120):
+            loops.add_edge(rng.randrange(80), rng.randrange(80))
+        loops.add_edge(3, 3)
+        loops.add_edge(9, 9)
+        assign_unique_identifiers(loops, seed=3)
+        return [
+            torus_graph(8, 8, seed=1),
+            erdos_renyi_graph(40, 0.1, seed=2),
+            loops,
+            nx.path_graph(20),  # no uid attributes: uid defaults to the label
+            nx.empty_graph(5),
+            nx.Graph(),
+        ]
+
+    def test_vectorized_equals_scalar(self):
+        from repro.graphs.csr import (
+            _graph_fingerprint,
+            _graph_fingerprint_scalar,
+            _graph_fingerprint_vectorized,
+        )
+
+        for graph in self._cases():
+            scalar = _graph_fingerprint_scalar(graph)
+            assert _graph_fingerprint(graph) == scalar
+            if graph.number_of_nodes():
+                # Integer-labelled graphs must actually take the fast path.
+                assert _graph_fingerprint_vectorized(graph) == scalar
+
+    def test_ineligible_labels_fall_back_to_scalar(self):
+        from repro.graphs.csr import (
+            _graph_fingerprint,
+            _graph_fingerprint_scalar,
+            _graph_fingerprint_vectorized,
+        )
+
+        strings = nx.Graph()
+        strings.add_edge("a", "b")
+        negative = nx.Graph()
+        negative.add_edge(-1, 2)
+        huge = nx.Graph()
+        huge.add_edge(1 << 61, 1)
+        none_uid = nx.Graph()
+        none_uid.add_node(1, uid=None)
+        float_label = nx.Graph()
+        float_label.add_node(2.5)
+        for graph in (strings, negative, huge, none_uid, float_label):
+            assert _graph_fingerprint_vectorized(graph) is None
+            assert _graph_fingerprint(graph) == _graph_fingerprint_scalar(graph)
+
+    def test_fingerprint_still_detects_mutations(self):
+        """End-to-end: the fast path feeds the staleness guard, which must
+        keep noticing count-preserving rewires and uid reassignment."""
+        graph = torus_graph(6, 6, seed=1)
+        first = CSRGraph.from_networkx(graph)
+        graph.nodes[(0, 0) if (0, 0) in graph else 0]["uid"] = 987654
+        from repro.graphs.csr import refresh_csr_cache
+
+        refresh_csr_cache(graph)
+        second = CSRGraph.from_networkx(graph)
+        assert second.fingerprint != first.fingerprint

@@ -83,3 +83,19 @@ class TestExamplesRun:
         runpy.run_path(script, run_name="__main__")
         output = capsys.readouterr().out
         assert output.strip()
+
+    def test_download_roadnet_offline_full_runs_memmap(self, monkeypatch, capsys):
+        """``--offline --full`` drives the out-of-core memmap pipeline on the
+        committed fixture — no network, no networkx host for the workload."""
+        import os
+
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        script = os.path.join(repo_root, "examples", "download_roadnet.py")
+        monkeypatch.setattr(sys, "argv", ["example", "--offline", "--full"])
+        with pytest.raises(SystemExit) as excinfo:
+            runpy.run_path(script, run_name="__main__")
+        assert excinfo.value.code == 0
+        output = capsys.readouterr().out
+        assert "fixture road network" in output
+        assert "graph backend: memmap" in output
+        assert "out-of-core" in output
