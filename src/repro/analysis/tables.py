@@ -97,7 +97,9 @@ def rows_from_records(
         task outcomes all render next to the metrics (older records simply
         lack the columns).  Records whose timings carry a ``kernel`` entry
         (runs since the hot-path kernel tiers landed) get a ``kernel``
-        column with the resolved tier name.
+        column with the resolved tier name.  Schema-5 quarantined cells
+        (``status="failed"``) get ``status`` and ``error`` columns instead
+        of metrics.
     """
     rows: List[Dict[str, Any]] = []
     for record in records:
@@ -108,6 +110,15 @@ def rows_from_records(
             value = record.get(key)
             if value is not None:
                 row[key] = value
+        status = record.get("status", "ok")
+        if status != "ok":
+            # Schema-5 quarantined cells carry no metrics — surface the
+            # status and the captured error class so failed cells render
+            # as explicit rows instead of silently-blank ones.
+            row["status"] = status
+            error = record.get("error")
+            if isinstance(error, dict) and error.get("type"):
+                row["error"] = error["type"]
         for key, value in dict(record.get("metrics", {})).items():
             # Grid parameters win on clashes (metrics repeat method/eps).
             row.setdefault(key, value)

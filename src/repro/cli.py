@@ -22,6 +22,13 @@ runs) and ``--arena-mb`` bounds the live segment budget.
 both single runs and suites; ``--list-kernels`` prints the registry with
 per-tier availability.
 
+``--faults`` / ``--cell-timeout`` / ``--max-retries`` switch a suite into
+**supervised execution**: seeded fault injection, per-cell deadlines,
+bounded retries with backoff, and poison-cell quarantine as explicit
+``status=failed`` records (rerunning the suite heals them) — see
+``docs/robustness.md``.  ``--list-fault-kinds`` prints the fault
+vocabulary.
+
 The run store behind ``--store`` is pluggable (``--store-backend``, or by
 extension: ``.sqlite``/``.db`` selects the indexed SQLite backend, anything
 else the JSON-lines interchange format).  ``--mode diff`` regression-diffs
@@ -263,6 +270,39 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--faults",
+        metavar="PLAN",
+        default=None,
+        help=(
+            "suite mode: seeded fault-injection plan as 'kind:value' pairs "
+            "(e.g. 'drop:0.05,crash:1'; kinds via --list-fault-kinds); "
+            "enables supervised execution — see docs/robustness.md"
+        ),
+    )
+    parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "suite mode: per-cell wall-clock deadline; an expired cell "
+            "counts a failed attempt (pool workers are terminated and the "
+            "pool respawned); enables supervised execution"
+        ),
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "suite mode: retries per failing cell (seeded exponential "
+            "backoff) before it is quarantined as an explicit "
+            "status=failed record instead of aborting the suite; enables "
+            "supervised execution"
+        ),
+    )
+    parser.add_argument(
         "--list-scenarios",
         action="store_true",
         help="print the registered workload scenarios and exit",
@@ -276,6 +316,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-kernels",
         action="store_true",
         help="print the registered hot-path kernels and their availability, then exit",
+    )
+    parser.add_argument(
+        "--list-fault-kinds",
+        action="store_true",
+        help="print the fault-injection kinds accepted by --faults and exit",
     )
     return parser
 
@@ -328,6 +373,9 @@ def _run_suite_mode(args) -> int:
         shared_graphs=args.shared_graphs,
         arena_mb=args.arena_mb,
         store_backend=args.store_backend,
+        faults=args.faults,
+        cell_timeout=args.cell_timeout,
+        max_retries=args.max_retries,
     )
     print(
         format_table(
@@ -350,6 +398,24 @@ def _run_suite_mode(args) -> int:
             " — store: {}".format(args.store) if args.store else "",
         )
     )
+    supervisor = result.supervisor or {}
+    if supervisor:
+        failed = sum(
+            1 for record in result.records if record.get("status") == "failed"
+        )
+        print(
+            "supervisor: {} failure(s), {} retrie(s) ({} retried ok), "
+            "{} quarantined, {} timeout(s), {} pool respawn(s); "
+            "{} cell(s) failed in store".format(
+                supervisor.get("failures", 0),
+                supervisor.get("retries", 0),
+                supervisor.get("retried_ok", 0),
+                supervisor.get("quarantined", 0),
+                supervisor.get("timeouts", 0),
+                supervisor.get("pool_respawns", 0),
+                failed,
+            )
+        )
     return 0
 
 
@@ -503,6 +569,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name in KERNELS.names():
             marker = "available" if name in available else "unavailable"
             print("{:14s} [{}] {}".format(name, marker, KERNELS.get(name).description))
+        return 0
+
+    if args.list_fault_kinds:
+        from repro.registry import FAULT_KINDS
+
+        for kind in FAULT_KINDS:
+            print(
+                "{:10s} [{}] {}".format(
+                    kind.name, "/".join(kind.scopes), kind.description
+                )
+            )
         return 0
 
     if args.mode == "suite":

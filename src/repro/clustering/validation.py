@@ -23,6 +23,25 @@ class ValidationError(AssertionError):
     """Raised when a clustering violates one of its claimed invariants."""
 
 
+class FaultDetected(ValidationError):
+    """A validator caught a fault-injected run producing a broken clustering.
+
+    Raised by the ``*_under_faults`` wrappers when a run executed under a
+    :class:`~repro.congest.faults.FaultPlan` fails any invariant check.
+    The suite supervisor records it as an explicit ``status=failed`` cell
+    (or retries the attempt) — injected faults either leave a *verified*
+    result or this typed, attributable error; never silent corruption.
+
+    Attributes:
+        fault_stats: Counters/flags describing what was injected into the
+            run that produced the broken clustering (empty when unknown).
+    """
+
+    def __init__(self, message: str, fault_stats: Optional[Dict[str, Any]] = None) -> None:
+        super().__init__(message)
+        self.fault_stats: Dict[str, Any] = dict(fault_stats or {})
+
+
 def _validation_csr_index(graph: nx.Graph, refresh: bool = True):
     """The CSR index for a validator's boundary walks, or ``None``.
 
@@ -343,3 +362,47 @@ def check_network_decomposition(
     elif decomposition.kind == "strong":
         for cluster in decomposition.clusters:
             strong_diameter(graph, cluster.nodes)
+
+
+# ---------------------------------------------------------------------- #
+# Fault-injected runs: verify-or-raise-typed, never silent
+# ---------------------------------------------------------------------- #
+def check_network_decomposition_under_faults(
+    decomposition: NetworkDecomposition,
+    fault_stats: Optional[Dict[str, Any]] = None,
+    **kwargs: Any,
+) -> None:
+    """:func:`check_network_decomposition`, re-raised as :class:`FaultDetected`.
+
+    The contract of every fault-injected run: either the full validator
+    passes (the decomposition survived the injected faults intact) or the
+    failure surfaces as a typed :class:`FaultDetected` carrying the run's
+    ``fault_stats`` — which the pipeline records as an explicit failure
+    cell rather than a silently-wrong result row.
+    """
+    try:
+        check_network_decomposition(decomposition, **kwargs)
+    except FaultDetected:
+        raise
+    except ValidationError as error:
+        raise FaultDetected(
+            "decomposition failed validation under fault injection: {}".format(error),
+            fault_stats,
+        ) from error
+
+
+def check_ball_carving_under_faults(
+    carving: BallCarving,
+    fault_stats: Optional[Dict[str, Any]] = None,
+    **kwargs: Any,
+) -> None:
+    """:func:`check_ball_carving`, re-raised as :class:`FaultDetected`."""
+    try:
+        check_ball_carving(carving, **kwargs)
+    except FaultDetected:
+        raise
+    except ValidationError as error:
+        raise FaultDetected(
+            "carving failed validation under fault injection: {}".format(error),
+            fault_stats,
+        ) from error

@@ -16,9 +16,20 @@ synchronous rounds, and per round each node may send one ``B``-bit message
   the simulator;
 * :mod:`repro.congest.rounds` — the :class:`RoundLedger` cost model used by
   the composite graph-level algorithms, with the same per-primitive cost
-  formulas that the simulator realises (cross-checked in the test suite).
+  formulas that the simulator realises (cross-checked in the test suite);
+* :mod:`repro.congest.faults` — the seeded :class:`FaultPlan` behind the
+  ``--faults`` switch: message drop/duplicate/delay and node crash/restart
+  schedules for the simulator, plus the cell-scope faults the suite
+  supervisor injects (see docs/robustness.md).
 """
 
+from repro.congest.faults import (
+    FAULT_KINDS,
+    FAULT_KIND_NAMES,
+    FaultKindSpec,
+    FaultPlan,
+    InjectedFault,
+)
 from repro.congest.messages import Message, message_bits
 from repro.congest.simulator import BandwidthExceeded, CongestSimulator, SimulationReport
 from repro.congest.algorithm import NodeAlgorithm, NodeContext
@@ -33,6 +44,11 @@ from repro.congest.primitives import (
 )
 
 __all__ = [
+    "FAULT_KINDS",
+    "FAULT_KIND_NAMES",
+    "FaultKindSpec",
+    "FaultPlan",
+    "InjectedFault",
     "Message",
     "message_bits",
     "BandwidthExceeded",

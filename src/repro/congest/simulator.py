@@ -13,6 +13,15 @@ instance per node and records, per run:
 * the number of bandwidth violations (only possible in ``permissive`` mode —
   in strict mode a violation raises :class:`BandwidthExceeded`).
 
+With a :class:`~repro.congest.faults.FaultPlan` attached, the simulator
+additionally consults the plan every round: messages are dropped, duplicated
+or delayed by one round, and nodes crash (fail-stop: inbox discarded, sends
+suppressed, program not stepped) and restart on the plan's seeded schedule.
+Fault draws are deterministic in ``(plan, fault_seed)``, the report's
+``fault_counters`` records what was injected, and termination additionally
+waits for delayed in-flight messages — a faulty run ends cleanly, it just
+may end *wrong*, which is exactly what the validators are for.
+
 The simulator freezes the network into the flat-array CSR index of
 :mod:`repro.graphs.csr` at construction time: per-node neighbour tuples
 (sorted by *uid*, the only ordering a CONGEST node can actually compute) are
@@ -29,6 +38,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Type
 import networkx as nx
 
 from repro.congest.algorithm import NodeAlgorithm, NodeContext
+from repro.congest.faults import FaultPlan
 from repro.congest.messages import Message, default_bandwidth, message_bits
 
 
@@ -47,6 +57,10 @@ class SimulationReport:
     bandwidth_bits: int
     bandwidth_violations: int
     outputs: Dict[Any, Any]
+    #: Injected-fault counters (``dropped`` / ``duplicated`` / ``delayed`` /
+    #: ``crashed_nodes`` / ``lost_to_crash``) when the simulator ran under a
+    #: :class:`~repro.congest.faults.FaultPlan`; ``None`` for clean runs.
+    fault_counters: Optional[Dict[str, int]] = None
 
     @property
     def within_bandwidth(self) -> bool:
@@ -66,6 +80,12 @@ class CongestSimulator:
         strict: When true, any over-budget message raises
             :class:`BandwidthExceeded`; when false the violation is only
             counted (used by the ABCP96 message-size experiment).
+        fault_plan: Optional :class:`~repro.congest.faults.FaultPlan`; when
+            given (and active), every :meth:`run` injects the plan's
+            message-scope faults, seeded by ``fault_seed`` — identical plan
+            + seed reproduce the exact same fault sequence.
+        fault_seed: Seed for the fault draws (typically derived from the
+            suite's SHA-256 cell seed).
     """
 
     def __init__(
@@ -73,6 +93,8 @@ class CongestSimulator:
         graph: nx.Graph,
         bandwidth_bits: Optional[int] = None,
         strict: bool = True,
+        fault_plan: Optional[FaultPlan] = None,
+        fault_seed: int = 0,
     ) -> None:
         if graph.number_of_nodes() == 0:
             raise ValueError("cannot simulate an empty network")
@@ -82,6 +104,8 @@ class CongestSimulator:
             bandwidth_bits if bandwidth_bits is not None else default_bandwidth(self.n)
         )
         self.strict = strict
+        self.fault_plan = fault_plan if fault_plan is not None and fault_plan.active else None
+        self.fault_seed = fault_seed
         # Freeze the adjacency once: per-node neighbour tuples sorted by uid
         # (integer uids order numerically — sorting by str(label) would order
         # node 10 before node 2, a determinism hazard for tie-breaking
@@ -166,6 +190,28 @@ class CongestSimulator:
         max_message_bits = 0
         violations = 0
 
+        # Fault machinery: per-run draw state, the seeded node-crash windows
+        # (node -> [down_round, up_round)), and the one-round delay buffer.
+        faults = None
+        crash_windows: Dict[Any, Tuple[int, int]] = {}
+        if self.fault_plan is not None:
+            from repro.graphs.csr import uid_order_key
+
+            faults = self.fault_plan.message_state(self.fault_seed)
+            ordered = sorted(
+                self.graph.nodes(), key=lambda v: uid_order_key(self._uid_of[v])
+            )
+            crash_windows = self.fault_plan.node_crash_schedule(
+                ordered, self.fault_seed
+            )
+            faults.counters["crashed_nodes"] = len(crash_windows)
+
+        def _crashed(node: Any, round_number: int) -> bool:
+            window = crash_windows.get(node)
+            return window is not None and window[0] <= round_number < window[1]
+
+        delayed_next: List[Tuple[Any, Message]] = []
+
         # Round 1 output: initialize() produces the first batch of messages.
         outgoing: Dict[Any, Dict[Any, Any]] = {}
         for node, program in programs.items():
@@ -185,6 +231,25 @@ class CongestSimulator:
                 deliveries[node] = []
             touched = []
             any_message = False
+
+            def _deliver(neighbor: Any, message: Message) -> None:
+                inbox = deliveries[neighbor]
+                if not inbox:
+                    touched.append(neighbor)
+                inbox.append(message)
+
+            # Messages the fault plan held back last round arrive first (a
+            # delayed message is one round late, not reordered past round
+            # boundaries).  A receiver that crashed in the meantime loses it.
+            if delayed_next:
+                arriving, delayed_next = delayed_next, []
+                for neighbor, message in arriving:
+                    if _crashed(neighbor, round_number):
+                        faults.counters["lost_to_crash"] += 1
+                        continue
+                    _deliver(neighbor, message)
+                    any_message = True
+
             for sender, per_neighbor in outgoing.items():
                 for neighbor, payload in per_neighbor.items():
                     if payload is None:
@@ -205,20 +270,46 @@ class CongestSimulator:
                     messages_sent += 1
                     total_bits += bits
                     max_message_bits = max(max_message_bits, bits)
-                    inbox = deliveries[neighbor]
-                    if not inbox:
-                        touched.append(neighbor)
-                    inbox.append(Message(sender=sender, payload=payload))
+                    if faults is not None:
+                        # Fail-stop: a crashed sender's messages never leave
+                        # it; a crashed receiver loses what reaches it.
+                        if _crashed(sender, round_number):
+                            faults.counters["lost_to_crash"] += 1
+                            continue
+                        dropped, copies, delay_rounds = faults.message_fate()
+                        if dropped:
+                            continue
+                        message = Message(sender=sender, payload=payload)
+                        if delay_rounds:
+                            delayed_next.append((neighbor, message))
+                            continue
+                        if _crashed(neighbor, round_number):
+                            faults.counters["lost_to_crash"] += 1
+                            continue
+                        for _ in range(copies):
+                            _deliver(neighbor, message)
+                        any_message = True
+                        continue
+                    _deliver(neighbor, Message(sender=sender, payload=payload))
                     any_message = True
 
             rounds = round_number
             all_halted = all(program.finished() for program in programs.values())
-            if all_halted and not any_message:
+            if all_halted and not any_message and not delayed_next:
                 rounds = round_number - 1
                 break
 
             outgoing = {}
             for node, program in programs.items():
+                # Fail-stop crash window: the node neither steps nor sends;
+                # anything already in its inbox is discarded (and counted).
+                # On restart the program resumes with its state intact.
+                if faults is not None and _crashed(node, round_number):
+                    lost = len(deliveries[node])
+                    if lost:
+                        faults.counters["lost_to_crash"] += lost
+                    outgoing[node] = {}
+                    continue
                 # A "halted" program is idle, not dead: it is woken up again
                 # whenever a message arrives (event-driven semantics).  This
                 # lets programs like the BFS wave go quiet while waiting for
@@ -245,4 +336,5 @@ class CongestSimulator:
             bandwidth_bits=self.bandwidth_bits,
             bandwidth_violations=violations,
             outputs=outputs,
+            fault_counters=dict(faults.counters) if faults is not None else None,
         )

@@ -293,6 +293,9 @@ def run_suite(
     arena_mb: int = 256,
     start_method: Optional[str] = None,
     store_backend: Optional[str] = None,
+    faults=None,
+    cell_timeout: Optional[float] = None,
+    max_retries: int = 0,
 ):
     """Run a whole experiment grid (the batched form of carve/decompose).
 
@@ -337,6 +340,15 @@ def run_suite(
         start_method: Optional multiprocessing start method for the pool.
         store_backend: Explicit store backend (``"jsonl"`` / ``"sqlite"``)
             when ``store`` is a path; default selects by extension.
+        faults: Optional fault-injection plan (a ``"drop:0.05,crash:1"``
+            style spec string or a :class:`repro.congest.faults.FaultPlan`);
+            enables supervised execution (see docs/robustness.md).
+        cell_timeout: Per-cell wall-clock deadline in seconds; enables
+            supervised execution.
+        max_retries: Retries per failing cell before quarantine as an
+            explicit ``status="failed"`` record; enables supervised
+            execution.  All three default to off — the legacy fail-fast
+            behaviour.
 
     Returns:
         A :class:`repro.pipeline.SuiteResult` (records, executed/skipped
@@ -353,4 +365,7 @@ def run_suite(
         arena_mb=arena_mb,
         start_method=start_method,
         store_backend=store_backend,
+        faults=faults,
+        cell_timeout=cell_timeout,
+        max_retries=max_retries,
     )

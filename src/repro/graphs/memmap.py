@@ -289,13 +289,29 @@ def _parse_pass(
         if buffer:
             _flush_pairs(pairs, buffer)
     if bad_line is not None:
-        warnings.warn(
-            "{}: ignoring truncated final line {} ({!r})".format(
-                source_path, bad_line[0], bad_line[1]
-            ),
-            stacklevel=3,
-        )
+        _warn_truncated_line(source_path, bad_line)
     return pair_count, uids, loops
+
+
+#: Absolute source paths whose torn final line was already reported.  The
+#: ingester re-parses the same file on cache misses (force rebuilds, stale
+#: ``.csrbin``), and warning on every pass makes a single damaged download
+#: look like a growing pile of problems.
+_TRUNCATION_WARNED: set = set()
+
+
+def _warn_truncated_line(source_path: str, bad_line: Tuple[int, str]) -> None:
+    """Warn about a torn final line once per source file per process."""
+    key = os.path.abspath(source_path)
+    if key in _TRUNCATION_WARNED:
+        return
+    _TRUNCATION_WARNED.add(key)
+    warnings.warn(
+        "{}: ignoring truncated final line {} ({!r})".format(
+            source_path, bad_line[0], bad_line[1]
+        ),
+        stacklevel=4,
+    )
 
 
 def _assign_uids(nodes: List[int], headers: Dict[int, int]) -> List[int]:

@@ -45,10 +45,13 @@ reclaims everything if the whole family dies).
 
 from __future__ import annotations
 
+import atexit
 import dataclasses
 import hashlib
 import mmap
 import os
+import signal
+import weakref
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -171,6 +174,7 @@ class CSRArena:
         self.published_bytes = 0
         self.spilled_count = 0
         self.spilled_bytes = 0
+        _LIVE_ARENAS.add(self)
 
     def __len__(self) -> int:
         return len(self._segments) + len(self._spill_paths)
@@ -405,3 +409,62 @@ def detach_all() -> None:
     while _ATTACHED:
         _, column = _ATTACHED.popitem(last=False)
         column.close()
+
+
+# ---------------------------------------------------------------------- #
+# Crash hygiene
+# ---------------------------------------------------------------------- #
+# Parent side: every live arena, so segments are unlinked even when the
+# parent exits through an unhandled exception path that skips the runner's
+# ``finally`` (e.g. a signal-triggered SystemExit from a surrounding
+# harness).  A WeakSet, so a closed-and-dropped arena costs nothing.
+_LIVE_ARENAS: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def _close_live_arenas() -> None:  # pragma: no cover - exercised at exit
+    for arena in list(_LIVE_ARENAS):
+        try:
+            arena.close()
+        except Exception:
+            pass
+
+
+atexit.register(_close_live_arenas)
+
+_WORKER_CLEANUP_INSTALLED = False
+
+
+def install_worker_cleanup() -> None:
+    """Guarantee segment detach when a pool worker dies mid-column.
+
+    Used as the pool initializer by the suite runner.  Two hooks:
+
+    * ``atexit`` — covers normal worker shutdown and ``SystemExit``;
+    * a ``SIGTERM`` handler — the supervisor (and ``Executor.shutdown``
+      on some platforms) terminates workers with SIGTERM, which by default
+      kills the process *without* running ``atexit``, leaking whatever
+      attachments the worker held in its cache.  The handler detaches and
+      re-raises as ``SystemExit(128 + signum)`` so ``atexit`` hooks (ours
+      and anyone else's) still run and the exit code stays conventional.
+
+    Idempotent; safe to call in the parent too (it only touches this
+    process's attach cache).  Detaching never unlinks: segment lifetime
+    stays with the parent's :class:`CSRArena`.
+    """
+    global _WORKER_CLEANUP_INSTALLED
+    if _WORKER_CLEANUP_INSTALLED:
+        return
+    _WORKER_CLEANUP_INSTALLED = True
+    atexit.register(detach_all)
+
+    def _on_sigterm(signum, _frame):  # pragma: no cover - runs in workers
+        detach_all()
+        raise SystemExit(128 + signum)
+
+    if hasattr(signal, "SIGTERM"):
+        try:
+            signal.signal(signal.SIGTERM, _on_sigterm)
+        except (ValueError, OSError):
+            # Not the main thread (embedded use): atexit alone still covers
+            # every non-signal exit.
+            pass

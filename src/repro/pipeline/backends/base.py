@@ -32,7 +32,14 @@ shape, not the container format):
   :data:`repro.registry.TASKS` string; ``"decompose"`` for plain
   decomposition/carving cells), ``task_rounds`` (the ``C * D`` template
   cost the task charged) and ``task_metrics`` (``mis_size`` /
-  ``colors_used`` plus ``verified``; empty for ``"decompose"``).
+  ``colors_used`` plus ``verified``; empty for ``"decompose"``);
+* **5** — added the supervision fields: ``status`` (``"ok"``, or
+  ``"failed"`` for a quarantined poison cell — such records carry an
+  ``error`` ``{"type", "message"}`` block instead of ``metrics``),
+  ``attempts`` (how many executions the record took under
+  ``--max-retries``) and optional ``fault_stats`` (what the fault plan
+  injected; see docs/robustness.md).  A missing ``status`` means ``"ok"``
+  — every pre-5 record is implicitly a successful cell.
 
 Each addition is optional for consumers, so every older version still loads.
 """
@@ -41,16 +48,19 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterator, List, Optional
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 #: Schema versions this build can safely read.  Versions 1–2 lack the
-#: ``timings`` / ``rounds`` keys, version 3 the ``task`` keys — all of
-#: which every consumer treats as optional.
-COMPATIBLE_SCHEMAS = (1, 2, 3, 4)
+#: ``timings`` / ``rounds`` keys, version 3 the ``task`` keys, version 4
+#: the ``status`` / ``attempts`` keys — all of which every consumer treats
+#: as optional.
+COMPATIBLE_SCHEMAS = (1, 2, 3, 4, 5)
 
 #: Grid parameters a :meth:`RunStoreBase.query` may filter on.  The SQLite
 #: backend keeps each (minus ``mode``) as an indexed column.
-QUERY_FIELDS = ("cell", "scenario", "n", "method", "eps", "seed", "mode", "task")
+QUERY_FIELDS = (
+    "cell", "scenario", "n", "method", "eps", "seed", "mode", "task", "status",
+)
 
 
 class StoreSchemaError(ValueError):
@@ -85,8 +95,18 @@ def validate_query_filters(filters: Dict[str, Any]) -> Dict[str, Any]:
 
 
 def record_matches(record: Dict[str, Any], filters: Dict[str, Any]) -> bool:
-    """Whether a result record satisfies every ``field == value`` filter."""
-    return all(record.get(field) == value for field, value in filters.items())
+    """Whether a result record satisfies every ``field == value`` filter.
+
+    A missing ``status`` reads as ``"ok"`` (pre-schema-5 records are all
+    successful cells), so ``query(status="ok")`` matches old stores too.
+    """
+    for field, value in filters.items():
+        actual = record.get(field)
+        if field == "status" and actual is None:
+            actual = "ok"
+        if actual != value:
+            return False
+    return True
 
 
 class RunStoreBase:

@@ -46,7 +46,7 @@ from repro.pipeline.backends.base import (
 )
 
 #: Grid parameters denormalised into dedicated (indexed) columns.
-INDEXED_COLUMNS = ("scenario", "n", "method", "eps", "seed", "task")
+INDEXED_COLUMNS = ("scenario", "n", "method", "eps", "seed", "task", "status")
 
 _CREATE_STATEMENTS = (
     "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT NOT NULL)",
@@ -54,6 +54,7 @@ _CREATE_STATEMENTS = (
         id INTEGER PRIMARY KEY AUTOINCREMENT,
         cell TEXT NOT NULL UNIQUE,
         scenario TEXT, n INTEGER, method TEXT, eps REAL, seed INTEGER, task TEXT,
+        status TEXT,
         record TEXT NOT NULL)""",
     "CREATE INDEX IF NOT EXISTS idx_results_scenario ON results (scenario)",
     "CREATE INDEX IF NOT EXISTS idx_results_n ON results (n)",
@@ -61,6 +62,7 @@ _CREATE_STATEMENTS = (
     "CREATE INDEX IF NOT EXISTS idx_results_eps ON results (eps)",
     "CREATE INDEX IF NOT EXISTS idx_results_seed ON results (seed)",
     "CREATE INDEX IF NOT EXISTS idx_results_task ON results (task)",
+    "CREATE INDEX IF NOT EXISTS idx_results_status ON results (status)",
 )
 
 
@@ -141,25 +143,32 @@ class SqliteRunStore(RunStoreBase):
         self.schema = check_schema(int(meta["schema"]), self.path)
         self.suite = meta.get("suite", self.suite)
         self.metadata = json.loads(meta.get("metadata", "{}"))
-        self._ensure_task_column()
+        self._ensure_columns()
 
-    def _ensure_task_column(self) -> None:
-        """Add the ``task`` column + index to pre-task databases on open.
+    def _ensure_columns(self) -> None:
+        """Add late-addition columns + indexes to older databases on open.
 
         Stores created before the task axis (record schemas 1–3) lack the
-        denormalised ``task`` column.  Adding it is a pure container
+        denormalised ``task`` column; stores from before the supervision
+        fields (schema 4) lack ``status``.  Adding them is a pure container
         upgrade — the record JSON stays byte-identical, old rows read the
-        column as ``NULL`` (their records carry no ``task`` key), and the
-        header's record-schema version is deliberately left untouched.
+        columns as ``NULL`` (their records carry no such keys; a ``NULL``
+        status reads as ``"ok"``), and the header's record-schema version
+        is deliberately left untouched.
         """
         columns = {row[1] for row in self._conn.execute("PRAGMA table_info(results)")}
-        if "task" in columns:
-            return
-        with self._conn:
-            self._conn.execute("ALTER TABLE results ADD COLUMN task TEXT")
-            self._conn.execute(
-                "CREATE INDEX IF NOT EXISTS idx_results_task ON results (task)"
-            )
+        for column in ("task", "status"):
+            if column in columns:
+                continue
+            with self._conn:
+                self._conn.execute(
+                    "ALTER TABLE results ADD COLUMN {} TEXT".format(column)
+                )
+                self._conn.execute(
+                    "CREATE INDEX IF NOT EXISTS idx_results_{0} ON results ({0})".format(
+                        column
+                    )
+                )
 
     # ------------------------------------------------------------------ #
     # Writing
@@ -174,13 +183,14 @@ class SqliteRunStore(RunStoreBase):
             float(eps) if eps is not None else None,
             record.get("seed"),
             record.get("task"),
+            record.get("status"),
             json.dumps(record),
         )
 
     _INSERT = (
         "INSERT OR REPLACE INTO results "
-        "(cell, scenario, n, method, eps, seed, task, record) "
-        "VALUES (?, ?, ?, ?, ?, ?, ?, ?)"
+        "(cell, scenario, n, method, eps, seed, task, status, record) "
+        "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)"
     )
 
     def _append(self, record: Dict[str, Any]) -> None:
@@ -214,7 +224,13 @@ class SqliteRunStore(RunStoreBase):
         rest: Dict[str, Any] = {}
         for field, value in filters.items():
             if field == "cell" or field in INDEXED_COLUMNS:
-                if value is None:
+                if field == "status" and value == "ok":
+                    # Pre-schema-5 rows hold NULL here but are all
+                    # successful cells — the same default record_matches
+                    # applies in Python.
+                    clauses.append("(status = ? OR status IS NULL)")
+                    parameters.append(value)
+                elif value is None:
                     clauses.append("{} IS NULL".format(field))
                 else:
                     clauses.append("{} = ?".format(field))

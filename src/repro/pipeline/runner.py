@@ -48,6 +48,18 @@ The arena is a pure transport optimisation: records (assignments, metrics,
 seeds) are identical with ``shared_graphs`` on or off — only the per-record
 ``timings`` breakdown shows where the time went.
 
+Execution is **supervised** when any of ``faults`` / ``cell_timeout`` /
+``max_retries`` is given to :func:`run_suite` (see
+:mod:`repro.pipeline.supervisor` and docs/robustness.md): cells get
+per-attempt fault injection (:class:`repro.congest.faults.FaultPlan`),
+wall-clock deadlines, bounded seeded-backoff retries, and poison-cell
+quarantine — a cell that keeps failing is written to the store as an
+explicit ``status="failed"`` record instead of aborting the suite, and a
+later resume re-executes exactly the failed cells.  Worker-pool death
+(``BrokenProcessPool``) respawns the pool and falls the in-flight groups
+back to serial execution in the parent.  Without those knobs the legacy
+fail-fast behaviour is unchanged: the first cell error aborts the run.
+
 Workers re-derive everything else from the cell payload.  Under the spawn
 start method (macOS/Windows defaults) each worker re-imports the scenario
 registry, so custom scenarios must be registered at import time of a module
@@ -362,6 +374,60 @@ def _materialize_graph(
     return graph, time.perf_counter() - start
 
 
+# Supervised degradation chain for explicitly requested kernel tiers whose
+# optional dependency turns out to be missing in the executing process
+# (e.g. a spec pinned to "numba" running on a numpy-only worker).
+_KERNEL_FALLBACKS = {"numba": "numpy", "numpy": "pure"}
+
+
+def _degrade_kernel(kernel: str, degraded: List[str]) -> str:
+    """Walk the tier chain down to an available kernel (supervised runs only).
+
+    ``auto`` already degrades inside the registry; explicit tiers normally
+    *fail* when unavailable (``set_kernel`` raises), which is the right
+    default — but a supervised suite prefers a slower verified record over
+    a failure record, so each step down is taken and logged into the
+    record's ``timings["degraded"]``.
+    """
+    from repro.kernels import KERNELS
+
+    current = kernel
+    while current != "auto":
+        try:
+            KERNELS.resolve(current)
+            break
+        except ValueError:
+            fallback = _KERNEL_FALLBACKS.get(current)
+            if fallback is None:
+                raise
+            degraded.append("kernel:{}->{}".format(current, fallback))
+            current = fallback
+    return current
+
+
+def _injected_hang(cell_timeout: Optional[float], base_id: str) -> None:
+    """The ``hang`` fault: stall past the supervisor's deadline.
+
+    In pool mode the parent normally terminates the worker first; when it
+    does not (serial mode, or a racing parent), the stall ends itself by
+    raising :class:`~repro.pipeline.supervisor.CellTimeout` just past the
+    deadline, so a hang is *always* a typed failure, never a stuck suite.
+    """
+    from repro.pipeline.supervisor import CellTimeout
+
+    deadline = (cell_timeout if cell_timeout is not None else 1.0) + 0.25
+    waited = 0.0
+    while waited < deadline:
+        step = min(0.05, deadline - waited)
+        time.sleep(step)
+        waited += step
+    raise CellTimeout(
+        "injected hang in cell group {!r} exceeded the {}s deadline".format(
+            base_id, cell_timeout
+        )
+    )
+
+
 def _group_task_cells(cells: Sequence[Cell]) -> List[List[Cell]]:
     """Group cells by :attr:`Cell.base_id`, preserving grid order.
 
@@ -391,8 +457,22 @@ def _compute_group_records(
     kernel: str = "auto",
     graph_backend: str = "memory",
     partition_nodes: Optional[int] = None,
+    fault: Optional[Dict[str, Any]] = None,
+    attempt: int = 1,
+    degrade: bool = False,
+    degraded: Optional[List[str]] = None,
 ) -> List[Dict[str, Any]]:
     """Run one task group's algorithm + tasks on an already-built graph.
+
+    ``fault``/``attempt``/``degrade`` exist only on supervised paths:
+    ``fault`` carries the suite's fault plan and this attempt's injection
+    parameters (the draw itself is re-derived here, so workers need no
+    shared state), ``attempt`` lands in every record, and ``degrade``
+    enables the kernel fallback chain.  When a fault plan is active the
+    group's clustering is *always* validated — through the
+    ``*_under_faults`` wrappers, so an injected corruption surfaces as a
+    typed :class:`~repro.clustering.validation.FaultDetected`, never as a
+    silently wrong record.
 
     The group's clustering (decomposition or carving) is computed exactly
     once; each member cell then runs its registered task against it and
@@ -427,6 +507,36 @@ def _compute_group_records(
     # (and pre-task stores keep resuming — base_id == cell_id there).
     algo_seed = derive_cell_seed(master_seed, "algo:" + head.base_id)
 
+    degraded = list(degraded or [])
+    if degrade:
+        kernel = _degrade_kernel(kernel, degraded)
+
+    draw = None
+    if fault is not None:
+        from repro.congest.faults import FaultPlan, InjectedFault
+
+        plan = FaultPlan.parse(fault["plan"])
+        draw = plan.cell_draw(
+            master_seed,
+            head.base_id,
+            fault.get("attempt", attempt),
+            forced_crash=fault.get("forced_crash", False),
+        )
+        if draw.crash:
+            if fault.get("hard_crash"):
+                # Fail-stop: the worker vanishes mid-cell, exactly like an
+                # OOM kill — the parent sees BrokenProcessPool.
+                os._exit(87)
+            raise InjectedFault(
+                "injected crash in cell group {!r} (attempt {})".format(
+                    head.base_id, attempt
+                )
+            )
+        if draw.hang:
+            _injected_hang(fault.get("cell_timeout"), head.base_id)
+        if draw.delay_s:
+            time.sleep(draw.delay_s)
+
     # One fresh ledger per group: the algorithm charges its CONGEST round
     # budget into it, and the per-primitive totals land in every member
     # record so bandwidth regressions surface in store diffs (deterministic
@@ -444,9 +554,21 @@ def _compute_group_records(
                 graph, head.eps, method=head.method, seed=algo_seed, backend=backend,
                 ledger=ledger,
             )
-            if validate:
+            if draw is not None and draw.corrupt:
+                from repro.pipeline.supervisor import corrupt_clustering
+
+                corrupt_clustering(result)
+            if validate or draw is not None:
                 lenient = not METHODS.get(head.method).deterministic
-                check_ball_carving(result, max_dead_fraction=0.99 if lenient else None)
+                max_dead = 0.99 if lenient else None
+                if draw is not None:
+                    from repro.clustering.validation import check_ball_carving_under_faults
+
+                    check_ball_carving_under_faults(
+                        result, fault_stats=draw.as_stats(), max_dead_fraction=max_dead
+                    )
+                else:
+                    check_ball_carving(result, max_dead_fraction=max_dead)
             metrics = evaluate_carving(result, head.method).as_row()
         else:
             decomposition = repro.decompose(
@@ -457,8 +579,21 @@ def _compute_group_records(
                 ledger=ledger,
                 partition_nodes=partition_nodes,
             )
-            if validate:
-                check_network_decomposition(decomposition)
+            if draw is not None and draw.corrupt:
+                from repro.pipeline.supervisor import corrupt_clustering
+
+                corrupt_clustering(decomposition)
+            if validate or draw is not None:
+                if draw is not None:
+                    from repro.clustering.validation import (
+                        check_network_decomposition_under_faults,
+                    )
+
+                    check_network_decomposition_under_faults(
+                        decomposition, fault_stats=draw.as_stats()
+                    )
+                else:
+                    check_network_decomposition(decomposition)
             metrics = evaluate_decomposition(decomposition, head.method).as_row()
         clustering_s = time.perf_counter() - start
 
@@ -484,37 +619,43 @@ def _compute_group_records(
             algo_s = (clustering_s + task_s) if position == 0 else task_s
             build_s = graph_build_s if position == 0 else 0.0
             frozen_s = freeze_s if position == 0 else 0.0
-            records.append(
-                {
-                    "cell": cell.cell_id,
-                    "scenario": cell.scenario,
-                    "n": cell.n,
-                    "method": cell.method,
-                    "mode": cell.mode,
-                    "eps": cell.eps,
-                    "seed": cell.seed,
-                    "task": cell.task,
-                    "graph_seed": graph_seed,
-                    "algo_seed": algo_seed,
-                    "backend": backend,
-                    "metrics": dict(metrics),
-                    "task_rounds": task_rounds,
-                    "task_metrics": task_metrics,
-                    "rounds": {
-                        "total": ledger.total_rounds,
-                        "by_primitive": ledger.breakdown(),
-                    },
-                    "seconds": round(build_s + frozen_s + algo_s, 6),
-                    "timings": {
-                        "graph_build_s": round(build_s, 6),
-                        "freeze_s": round(frozen_s, 6),
-                        "algo_s": round(algo_s, 6),
-                        "source": source if position == 0 else "column",
-                        "kernel": kernel_name,
-                        "graph_backend": graph_backend,
-                    },
-                }
-            )
+            timings = {
+                "graph_build_s": round(build_s, 6),
+                "freeze_s": round(frozen_s, 6),
+                "algo_s": round(algo_s, 6),
+                "source": source if position == 0 else "column",
+                "kernel": kernel_name,
+                "graph_backend": graph_backend,
+            }
+            if degraded:
+                timings["degraded"] = list(degraded)
+            record = {
+                "cell": cell.cell_id,
+                "scenario": cell.scenario,
+                "n": cell.n,
+                "method": cell.method,
+                "mode": cell.mode,
+                "eps": cell.eps,
+                "seed": cell.seed,
+                "task": cell.task,
+                "graph_seed": graph_seed,
+                "algo_seed": algo_seed,
+                "backend": backend,
+                "status": "ok",
+                "attempts": attempt,
+                "metrics": dict(metrics),
+                "task_rounds": task_rounds,
+                "task_metrics": task_metrics,
+                "rounds": {
+                    "total": ledger.total_rounds,
+                    "by_primitive": ledger.breakdown(),
+                },
+                "seconds": round(build_s + frozen_s + algo_s, 6),
+                "timings": timings,
+            }
+            if draw is not None:
+                record["fault_stats"] = draw.as_stats()
+            records.append(record)
     return records
 
 
@@ -554,6 +695,10 @@ def _execute_cells(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
         kernel=payload.get("kernel", "auto"),
         graph_backend=graph_backend,
         partition_nodes=payload.get("partition_nodes"),
+        fault=payload.get("fault"),
+        attempt=payload.get("attempt", 1),
+        degrade=payload.get("degrade", False),
+        degraded=payload.get("degraded"),
     )
 
 
@@ -566,6 +711,12 @@ def _execute_arena_cells(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
     a generator or a freeze.  Under ``graph_backend="memmap"`` the group
     runs against the networkx-free facade over the attached CSR instead of
     rebuilding a networkx host, so workers stay nx-free end to end.
+
+    On supervised runs (``payload["degrade"]``), a failed attach — the
+    parent unlinked early, the segment name raced a respawned pool, a
+    spill file vanished — degrades to the per-cell rebuild path instead of
+    failing the group: slower, identical records, with ``"arena-attach"``
+    logged in ``timings["degraded"]``.
     """
     from repro.pipeline.arena import SegmentDescriptor, attach_column
 
@@ -574,7 +725,15 @@ def _execute_arena_cells(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
     graph_backend = payload.get("graph_backend", "memory")
 
     start = time.perf_counter()
-    column, cache_hit = attach_column(descriptor)
+    try:
+        column, cache_hit = attach_column(descriptor)
+    except Exception:
+        if not payload.get("degrade"):
+            raise
+        fallback = dict(payload)
+        fallback.pop("segment", None)
+        fallback["degraded"] = list(payload.get("degraded") or []) + ["arena-attach"]
+        return _execute_cells(fallback)
     if graph_backend == "memmap":
         from repro.graphs.memmap import graph_from_csr
 
@@ -595,6 +754,10 @@ def _execute_arena_cells(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
         kernel=payload.get("kernel", "auto"),
         graph_backend=graph_backend,
         partition_nodes=payload.get("partition_nodes"),
+        fault=payload.get("fault"),
+        attempt=payload.get("attempt", 1),
+        degrade=payload.get("degrade", False),
+        degraded=payload.get("degraded"),
     )
 
 
@@ -619,6 +782,10 @@ class SuiteResult:
             decompositions guarantee: every task of a group reuses one
             clustering), parent-side ``build_s``/``freeze_s`` totals, and
             segment accounting in arena mode.
+        supervisor: Incident accounting of a supervised run (``{}`` on
+            legacy runs): the resolved policy plus ``failures`` /
+            ``retries`` / ``retried_ok`` / ``quarantined`` / ``timeouts`` /
+            ``pool_respawns`` / ``serial_fallbacks`` counters.
     """
 
     spec: SuiteSpec
@@ -628,6 +795,7 @@ class SuiteResult:
     seconds: float
     store: Any
     arena: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    supervisor: Dict[str, Any] = dataclasses.field(default_factory=dict)
 
     def rows(self) -> List[Dict[str, Any]]:
         """Flat table rows (grid parameters + measured metrics) per cell."""
@@ -820,7 +988,7 @@ def _run_pool_arena(
     from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 
     from repro.graphs.csr import CSRUnsupported
-    from repro.pipeline.arena import ArenaUnavailable, CSRArena
+    from repro.pipeline.arena import ArenaUnavailable, CSRArena, install_worker_cleanup
 
     total = sum(len(_group_task_cells(cells)) for _, cells in groups)
     stats = {
@@ -847,7 +1015,9 @@ def _run_pool_arena(
     arena_broken = False
 
     try:
-        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=context, initializer=install_worker_cleanup
+        ) as pool:
             def _dispatch_fallback(cells) -> None:
                 """Per-worker rebuilds — exactly the shared_graphs=off path.
 
@@ -949,6 +1119,482 @@ def _run_pool_arena(
     return stats
 
 
+# --------------------------------------------------------------------- #
+# Supervised execution (faults / deadlines / retries / quarantine)
+# --------------------------------------------------------------------- #
+def _forced_crashes(spec: SuiteSpec, groups, policy) -> frozenset:
+    """The exact first-attempt crash victims of an integer ``crash`` budget."""
+    if policy.faults is None or not policy.faults.crash:
+        return frozenset()
+    base_ids = []
+    seen = set()
+    for _, cells in groups:
+        for task_cells in _group_task_cells(cells):
+            base_id = task_cells[0].base_id
+            if base_id not in seen:
+                seen.add(base_id)
+                base_ids.append(base_id)
+    return policy.faults.schedule_crashes(spec.master_seed, base_ids)
+
+
+def _fault_payload(
+    policy, base_id: str, attempt: int, forced: frozenset, hard_crash: bool
+) -> Optional[Dict[str, Any]]:
+    """This attempt's injection parameters for one task group (or ``None``)."""
+    if policy.faults is None:
+        return None
+    return {
+        "plan": policy.faults.to_spec(),
+        "attempt": attempt,
+        "forced_crash": attempt == 1 and base_id in forced,
+        "hard_crash": hard_crash,
+        "cell_timeout": policy.cell_timeout,
+    }
+
+
+def _run_serial_supervised(
+    spec: SuiteSpec,
+    groups: List[Tuple[str, List[Cell]]],
+    store,
+    policy,
+    shared: bool,
+    sstats: Dict[str, Any],
+) -> Dict[str, Any]:
+    """Serial execution under a supervisor policy.
+
+    Column batching is preserved (the column graph is built once and reused
+    across attempts — cell faults never mutate the topology); every task
+    group runs an attempt loop with seeded backoff, and a group that
+    exhausts its attempts is quarantined as explicit failure records
+    instead of aborting the suite.  Injected crashes raise
+    :class:`~repro.congest.faults.InjectedFault` here (``os._exit`` would
+    kill the suite itself).
+    """
+    from repro.pipeline import supervisor as sup
+
+    stats = {
+        "mode": "column" if shared else "off",
+        "columns": len(groups),
+        "graph_builds": 0,
+        "algorithm_runs": 0,
+        "build_s": 0.0,
+        "freeze_s": 0.0,
+    }
+    forced = _forced_crashes(spec, groups, policy)
+    for _, cells in groups:
+        graph = None
+        build_s = freeze_s = 0.0
+        first = True
+        for task_cells in _group_task_cells(cells):
+            base_id = task_cells[0].base_id
+            attempt = 1
+            while True:
+                fault = _fault_payload(policy, base_id, attempt, forced, hard_crash=False)
+                try:
+                    if shared:
+                        if graph is None:
+                            graph, _, build_s, freeze_s = _build_column_graph(
+                                spec, cells[0], mark_frozen=True
+                            )
+                            stats["graph_builds"] += 1
+                            stats["build_s"] += build_s
+                            stats["freeze_s"] += freeze_s
+                        records = _compute_group_records(
+                            task_cells,
+                            graph,
+                            spec.backend,
+                            spec.validate,
+                            spec.master_seed,
+                            build_s if first else 0.0,
+                            freeze_s if first else 0.0,
+                            source="build" if first else "column",
+                            kernel=spec.kernel,
+                            graph_backend=spec.graph_backend,
+                            partition_nodes=spec.partition_nodes,
+                            fault=fault,
+                            attempt=attempt,
+                            degrade=True,
+                        )
+                    else:
+                        payload = _group_payload(task_cells, spec)
+                        payload["degrade"] = True
+                        payload["attempt"] = attempt
+                        if fault is not None:
+                            payload["fault"] = fault
+                        records = _execute_cells(payload)
+                except KeyboardInterrupt:
+                    raise
+                except Exception as error:
+                    sstats["failures"] += 1
+                    if isinstance(error, sup.CellTimeout):
+                        sstats["timeouts"] += 1
+                    if attempt >= policy.max_attempts:
+                        sstats["quarantined"] += 1
+                        for record in sup.failure_records(
+                            task_cells, spec, error, attempt
+                        ):
+                            store.add(record)
+                        break
+                    sstats["retries"] += 1
+                    time.sleep(policy.backoff_s(spec.master_seed, base_id, attempt))
+                    attempt += 1
+                    continue
+                stats["algorithm_runs"] += 1
+                for record in records:
+                    store.add(record)
+                if attempt > 1:
+                    sstats["retried_ok"] += 1
+                break
+            first = False
+    stats["build_s"] = round(stats["build_s"], 6)
+    stats["freeze_s"] = round(stats["freeze_s"], 6)
+    return stats
+
+
+def _run_pool_supervised(
+    spec: SuiteSpec,
+    groups: List[Tuple[str, List[Cell]]],
+    store,
+    workers: int,
+    arena_mb: int,
+    context,
+    policy,
+    shared: bool,
+    sstats: Dict[str, Any],
+) -> Dict[str, Any]:
+    """Pool execution under a supervisor policy.
+
+    The legacy pool paths abort the whole suite on the first failure; this
+    scheduler instead treats every task group as an independently retryable
+    work item:
+
+    * **deadlines** — each in-flight future carries an absolute deadline;
+      an expired one cannot be cancelled (``ProcessPoolExecutor`` has no
+      kill switch for a *running* task), so the supervisor terminates the
+      worker processes, respawns the pool, requeues the collateral
+      in-flight groups at their current attempt and charges the expired
+      groups a failed attempt;
+    * **worker death** (injected hard crash, OOM kill, segfault) — every
+      in-flight future surfaces ``BrokenProcessPool``; which group was
+      guilty is unknowable, so the pool is respawned and all victims fall
+      back to *serial in-parent* execution, where injected crashes are
+      soft (``InjectedFault``) and the normal retry/quarantine logic
+      applies;
+    * **retries** are re-enqueued with a seeded not-before backoff stamp
+      rather than sleeping the parent; **quarantine** writes explicit
+      failure records, and the suite always drains the full grid.
+
+    Columns are published into the shared-memory arena on first dispatch
+    and released when their last group finishes terminally (ok or
+    quarantined); columns the arena cannot carry fall back to per-cell
+    rebuilds exactly like the legacy path.
+    """
+    import collections
+    from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+    from concurrent.futures import wait as futures_wait
+    from concurrent.futures.process import BrokenProcessPool
+
+    from repro.graphs.csr import CSRUnsupported
+    from repro.pipeline import supervisor as sup
+    from repro.pipeline.arena import ArenaUnavailable, CSRArena, install_worker_cleanup
+
+    stats = {
+        "mode": "arena" if shared else "off",
+        "columns": len(groups),
+        "graph_builds": 0,
+        "algorithm_runs": 0,
+        "build_s": 0.0,
+        "freeze_s": 0.0,
+        "published_segments": 0,
+        "published_bytes": 0,
+        "spilled_segments": 0,
+        "spilled_bytes": 0,
+        "fallback_cells": 0,
+        "arena_mb": arena_mb,
+    }
+    forced = _forced_crashes(spec, groups, policy)
+    column_cells = {key: cells for key, cells in groups}
+
+    # Work items: (column key or None, task cells, attempt, not-before).
+    work = collections.deque()
+    outstanding: Dict[str, int] = {}
+    for key, cells in groups:
+        for task_cells in _group_task_cells(cells):
+            column = key if shared else None
+            work.append((column, task_cells, 1, 0.0))
+            if column is not None:
+                outstanding[column] = outstanding.get(column, 0) + 1
+
+    arena = CSRArena(max_bytes=arena_mb * 1024 * 1024, spill_dir=spec.spill_dir) if shared else None
+    segments: Dict[str, Any] = {}  # column key -> descriptor (None: fallback)
+    arena_broken = False
+    futures: Dict[Any, Tuple[Optional[str], List[Cell], int, Optional[float]]] = {}
+    pool = ProcessPoolExecutor(
+        max_workers=workers, mp_context=context, initializer=install_worker_cleanup
+    )
+
+    def _new_pool():
+        nonlocal pool
+        sstats["pool_respawns"] += 1
+        pool = ProcessPoolExecutor(
+            max_workers=workers, mp_context=context, initializer=install_worker_cleanup
+        )
+
+    def _kill_pool() -> None:
+        """Terminate every worker and discard the executor (it cannot
+        cancel a *running* task any other way)."""
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except (OSError, AttributeError):  # pragma: no cover - best effort
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def _column_done(key: Optional[str]) -> None:
+        """One of the column's groups finished terminally (ok/quarantined)."""
+        if key is None or key not in outstanding:
+            return
+        outstanding[key] -= 1
+        if outstanding[key] == 0:
+            del outstanding[key]
+            if arena is not None and segments.get(key) is not None:
+                arena.release(key)
+            segments.pop(key, None)
+
+    def _descriptor_for(key: str):
+        """Publish the column on first dispatch; ``None`` means fallback."""
+        nonlocal arena_broken
+        if key in segments:
+            return segments[key]
+        if arena_broken:
+            segments[key] = None
+            stats["fallback_cells"] += len(column_cells[key])
+            return None
+        _, csr, build_s, freeze_s = _build_column_graph(
+            spec, column_cells[key][0], mark_frozen=True, force_freeze=True
+        )
+        descriptor = None
+        if csr is not None:
+            try:
+                descriptor = arena.publish(key, csr.to_buffers())
+            except CSRUnsupported:
+                descriptor = None
+            except ArenaUnavailable as error:
+                warnings.warn(
+                    "shared-memory arena degraded ({}); remaining columns "
+                    "fall back to per-cell rebuilds".format(error),
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                arena_broken = True
+                descriptor = None
+        segments[key] = descriptor
+        if descriptor is None:
+            stats["fallback_cells"] += len(column_cells[key])
+        else:
+            stats["graph_builds"] += 1
+            stats["build_s"] += build_s
+            stats["freeze_s"] += freeze_s
+            stats["published_segments"] += 1
+            stats["published_bytes"] += descriptor.total_len
+        return descriptor
+
+    def _submit(key: Optional[str], task_cells: List[Cell], attempt: int) -> None:
+        payload = _group_payload(task_cells, spec)
+        payload["degrade"] = True
+        payload["attempt"] = attempt
+        fault = _fault_payload(
+            policy, task_cells[0].base_id, attempt, forced, hard_crash=True
+        )
+        if fault is not None:
+            payload["fault"] = fault
+        descriptor = _descriptor_for(key) if key is not None else None
+        if descriptor is not None:
+            payload["segment"] = descriptor.to_dict()
+            target = _execute_arena_cells
+        else:
+            target = _execute_cells
+        try:
+            future = pool.submit(target, payload)
+        except BrokenProcessPool:
+            # A worker died between batches; the break surfaces here rather
+            # than through a future.  Respawn once and resubmit.
+            _kill_pool()
+            _new_pool()
+            future = pool.submit(target, payload)
+        deadline = (
+            time.monotonic() + policy.cell_timeout
+            if policy.cell_timeout is not None
+            else None
+        )
+        stats["algorithm_runs"] += 1
+        futures[future] = (key, task_cells, attempt, deadline)
+
+    def _fail(key, task_cells, attempt, error) -> bool:
+        """Account one failed attempt; True = retry allowed, False = quarantined."""
+        sstats["failures"] += 1
+        if isinstance(error, sup.CellTimeout):
+            sstats["timeouts"] += 1
+        if attempt >= policy.max_attempts:
+            sstats["quarantined"] += 1
+            for record in sup.failure_records(task_cells, spec, error, attempt):
+                store.add(record)
+            _column_done(key)
+            return False
+        sstats["retries"] += 1
+        return True
+
+    def _serial_attempts(key, task_cells, attempt) -> None:
+        """Run one group to a terminal state in the parent (broken-pool path).
+
+        ``hard_crash=False``: an injected crash raises instead of exiting,
+        so the parent survives and the retry loop handles it like any other
+        failure.
+        """
+        base_id = task_cells[0].base_id
+        while True:
+            payload = _group_payload(task_cells, spec)
+            payload["degrade"] = True
+            payload["attempt"] = attempt
+            fault = _fault_payload(policy, base_id, attempt, forced, hard_crash=False)
+            if fault is not None:
+                payload["fault"] = fault
+            try:
+                records = _execute_cells(payload)
+            except KeyboardInterrupt:
+                raise
+            except Exception as error:
+                if _fail(key, task_cells, attempt, error):
+                    time.sleep(policy.backoff_s(spec.master_seed, base_id, attempt))
+                    attempt += 1
+                    continue
+                return
+            stats["algorithm_runs"] += 1
+            for record in records:
+                store.add(record)
+            if attempt > 1:
+                sstats["retried_ok"] += 1
+            _column_done(key)
+            return
+
+    try:
+        while work or futures:
+            # Top up the pool, honouring not-before backoff stamps.
+            now = time.monotonic()
+            deferred = []
+            while work and len(futures) < workers * 2:
+                item = work.popleft()
+                if item[3] > now:
+                    deferred.append(item)
+                    continue
+                _submit(item[0], item[1], item[2])
+            work.extend(deferred)
+
+            if not futures:
+                if work:
+                    delay = min(item[3] for item in work) - time.monotonic()
+                    time.sleep(max(0.01, min(delay, policy.backoff_cap_s)))
+                continue
+
+            wait_timeout = None
+            if policy.cell_timeout is not None:
+                deadlines = [
+                    deadline for (_, _, _, deadline) in futures.values() if deadline
+                ]
+                if deadlines:
+                    wait_timeout = max(0.05, min(deadlines) - time.monotonic() + 0.05)
+            done, _ = futures_wait(
+                set(futures), timeout=wait_timeout, return_when=FIRST_COMPLETED
+            )
+
+            if not done:
+                # Deadline sweep: some in-flight group overran its budget.
+                now = time.monotonic()
+                expired = [
+                    meta
+                    for meta in futures.values()
+                    if meta[3] is not None and meta[3] <= now
+                ]
+                if not expired:
+                    continue
+                collateral = [
+                    meta
+                    for meta in futures.values()
+                    if meta[3] is None or meta[3] > now
+                ]
+                futures.clear()
+                _kill_pool()
+                _new_pool()
+                for key, task_cells, attempt, _ in expired:
+                    error = sup.CellTimeout(
+                        "cell group {!r} exceeded the {}s deadline (attempt {})".format(
+                            task_cells[0].base_id, policy.cell_timeout, attempt
+                        )
+                    )
+                    if _fail(key, task_cells, attempt, error):
+                        ready_at = time.monotonic() + policy.backoff_s(
+                            spec.master_seed, task_cells[0].base_id, attempt
+                        )
+                        work.appendleft((key, task_cells, attempt + 1, ready_at))
+                for key, task_cells, attempt, _ in collateral:
+                    # Not their fault: requeue at the same attempt, no backoff.
+                    work.appendleft((key, task_cells, attempt, 0.0))
+                continue
+
+            broken_victims = []
+            for future in done:
+                key, task_cells, attempt, _ = futures.pop(future)
+                try:
+                    records = future.result()
+                except BrokenProcessPool:
+                    # Same attempt, but *serially*: re-submitting to a fresh
+                    # pool would let a deterministic hard crash kill pool
+                    # after pool; in the parent the crash is soft and the
+                    # normal retry/quarantine loop bounds it.
+                    broken_victims.append((key, task_cells, attempt))
+                except KeyboardInterrupt:
+                    raise
+                except Exception as error:
+                    if _fail(key, task_cells, attempt, error):
+                        ready_at = time.monotonic() + policy.backoff_s(
+                            spec.master_seed, task_cells[0].base_id, attempt
+                        )
+                        work.append((key, task_cells, attempt + 1, ready_at))
+                else:
+                    for record in records:
+                        store.add(record)
+                    if attempt > 1:
+                        sstats["retried_ok"] += 1
+                    _column_done(key)
+            if broken_victims:
+                # The executor is unusable and every other in-flight future
+                # is lost too; respawn, then finish the victims serially in
+                # the parent so one bad group cannot wedge the pool in a
+                # crash loop.  Queued (not yet submitted) work stays queued
+                # for the fresh pool.
+                victims = broken_victims + [
+                    (key, task_cells, attempt)
+                    for (key, task_cells, attempt, _) in futures.values()
+                ]
+                futures.clear()
+                _kill_pool()
+                _new_pool()
+                sstats["serial_fallbacks"] += len(victims)
+                for key, task_cells, attempt in victims:
+                    _serial_attempts(key, task_cells, attempt)
+        if arena is not None:
+            stats["spilled_segments"] = arena.spilled_count
+            stats["spilled_bytes"] = arena.spilled_bytes
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+        if arena is not None:
+            arena.close()
+    stats["build_s"] = round(stats["build_s"], 6)
+    stats["freeze_s"] = round(stats["freeze_s"], 6)
+    return stats
+
+
 def run_suite(
     spec: Union[SuiteSpec, Dict[str, Any], str],
     store: Union[None, str, "RunStore"] = None,
@@ -957,6 +1603,9 @@ def run_suite(
     arena_mb: int = 256,
     start_method: Optional[str] = None,
     store_backend: Optional[str] = None,
+    faults: Union[None, str, "FaultPlan"] = None,
+    cell_timeout: Optional[float] = None,
+    max_retries: int = 0,
 ) -> SuiteResult:
     """Run every cell of a suite, resuming from ``store`` when possible.
 
@@ -993,6 +1642,20 @@ def run_suite(
             selects by extension (see
             :func:`repro.pipeline.backends.open_store`).  Resume and the
             shared-graph arena work identically on every backend.
+        faults: Optional fault-injection plan — a ``"kind:value,..."``
+            spec string (see :data:`repro.congest.faults.FAULT_KINDS`) or a
+            :class:`~repro.congest.faults.FaultPlan`.  Enables supervised
+            execution.
+        cell_timeout: Per-cell wall-clock deadline in seconds; expired
+            cells count a failed attempt (pool workers are terminated and
+            the pool respawned).  Enables supervised execution.
+        max_retries: Retries per failing cell before it is quarantined as
+            an explicit ``status="failed"`` record (with the captured
+            error) instead of aborting the suite.  Enables supervised
+            execution.  With all three knobs at their defaults the legacy
+            fail-fast behaviour is unchanged.  Failed records are treated
+            as pending on resume, so rerunning the suite heals exactly the
+            quarantined cells.
 
     Returns:
         A :class:`SuiteResult`; ``result.records`` has one record per grid
@@ -1001,11 +1664,15 @@ def run_suite(
         sharing was active).
     """
     from repro.pipeline.backends import open_store
+    from repro.pipeline.supervisor import resolve_policy
 
     if isinstance(spec, str):
         spec = load_spec(spec)
     elif isinstance(spec, dict):
         spec = SuiteSpec.from_dict(spec)
+    policy = resolve_policy(
+        faults=faults, cell_timeout=cell_timeout, max_retries=max_retries
+    )
 
     if store is None or isinstance(store, str):
         store = open_store(
@@ -1022,8 +1689,12 @@ def run_suite(
         record = completed_before.get(cell.cell_id)
         if record is None:
             pending.append(cell)
-        else:
-            _check_record_matches(record, cell, spec)
+            continue
+        _check_record_matches(record, cell, spec)
+        if record.get("status") == "failed":
+            # A quarantined cell has no result — resume re-executes it (the
+            # self-healing path), and a fresh ok record supersedes it.
+            pending.append(cell)
     skipped = len(cells) - len(pending)
     # The schedulable unit is a task group, not a cell — a pool larger than
     # the group count would only spawn idle workers.
@@ -1053,8 +1724,32 @@ def run_suite(
         "graph_builds": len(task_groups),
         "algorithm_runs": len(task_groups),
     }
+    supervisor_stats: Dict[str, Any] = {}
     if pending:
-        if workers == 1:
+        if policy.active:
+            supervisor_stats = policy.stats()
+            if workers == 1:
+                arena_stats.update(
+                    _run_serial_supervised(
+                        spec, groups, store, policy, shared, supervisor_stats
+                    )
+                )
+            else:
+                context = multiprocessing.get_context(start_method)
+                arena_stats.update(
+                    _run_pool_supervised(
+                        spec,
+                        groups,
+                        store,
+                        workers,
+                        arena_mb,
+                        context,
+                        policy,
+                        shared,
+                        supervisor_stats,
+                    )
+                )
+        elif workers == 1:
             if shared:
                 arena_stats.update(_run_serial_batched(spec, groups, store))
             else:
@@ -1062,6 +1757,8 @@ def run_suite(
                     for record in _execute_cells(_group_payload(task_cells, spec)):
                         store.add(record)
         else:
+            from repro.pipeline.arena import install_worker_cleanup
+
             if shared:
                 context = multiprocessing.get_context(start_method)
                 arena_stats.update(
@@ -1070,7 +1767,9 @@ def run_suite(
             else:
                 context = multiprocessing.get_context(start_method)
                 payloads = [_group_payload(task_cells, spec) for task_cells in task_groups]
-                with context.Pool(processes=workers) as pool:
+                with context.Pool(
+                    processes=workers, initializer=install_worker_cleanup
+                ) as pool:
                     for records in pool.imap_unordered(_execute_cells, payloads):
                         for record in records:
                             store.add(record)
@@ -1089,4 +1788,5 @@ def run_suite(
         seconds=seconds,
         store=store,
         arena=arena_stats,
+        supervisor=supervisor_stats,
     )

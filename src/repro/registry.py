@@ -24,7 +24,9 @@ A third registry rides along as a re-export: :data:`KERNELS`
 behind the ``--kernel`` switch.  It lives in :mod:`repro.kernels` (the
 graph layer must reach it without importing the algorithm registries), but
 callers that already program against this module can validate kernel
-strings here too.
+strings here too.  The fault-kind vocabulary behind the ``--faults`` /
+``--list-fault-kinds`` switches (:data:`FAULT_KINDS`, :class:`FaultPlan`;
+home: :mod:`repro.congest.faults`) rides along the same way.
 
 Tasks consume a :class:`~repro.clustering.decomposition.NetworkDecomposition`
 and charge their CONGEST cost through the ``C * D`` color template
@@ -43,6 +45,7 @@ import networkx as nx
 from repro.clustering.carving import BallCarving
 from repro.clustering.decomposition import NetworkDecomposition
 from repro.congest.rounds import RoundLedger
+from repro.congest.faults import FAULT_KINDS, FAULT_KIND_NAMES, FaultKindSpec, FaultPlan
 from repro.kernels import KERNEL_CHOICES, KERNELS, KernelRegistry, KernelSpec
 
 # Callable shapes the registry stores.  ``rng`` is the method's private
@@ -423,6 +426,10 @@ TASK_NAMES: Tuple[str, ...] = TASKS.names()
 __all__ = [
     "CARVING_METHODS",
     "DECOMPOSITION_METHODS",
+    "FAULT_KINDS",
+    "FAULT_KIND_NAMES",
+    "FaultKindSpec",
+    "FaultPlan",
     "KERNELS",
     "KERNEL_CHOICES",
     "KernelRegistry",

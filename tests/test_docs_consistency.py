@@ -17,6 +17,7 @@ import re
 import pytest
 
 from repro.cli import build_parser
+from repro.congest.faults import FAULT_KIND_NAMES
 from repro.core.api import CARVING_METHODS
 from repro.kernels import KERNELS
 from repro.registry import TASKS
@@ -82,6 +83,19 @@ class TestKernelTable:
         )
 
 
+class TestFaultKindTable:
+    def test_robustness_doc_fault_table_matches_registry(self):
+        robustness = _read(os.path.join(REPO_ROOT, "docs", "robustness.md"))
+        documented = re.findall(
+            r"^\|\s*`([a-z][a-z0-9-]*)`\s*\|", robustness, flags=re.MULTILINE
+        )
+        assert documented, "docs/robustness.md has no fault-kind table rows"
+        assert set(documented) == set(FAULT_KIND_NAMES), (
+            "docs/robustness.md fault-kind table ({}) out of sync with the "
+            "fault registry ({})".format(sorted(documented), sorted(FAULT_KIND_NAMES))
+        )
+
+
 class TestCliFlags:
     def test_every_documented_flag_exists_on_the_parser(self):
         parser_flags = set()
@@ -122,5 +136,11 @@ class TestLinks:
                 )
 
     def test_docs_tree_exists(self):
-        for name in ("architecture.md", "kernels.md", "out_of_core.md", "pipeline.md"):
+        for name in (
+            "architecture.md",
+            "kernels.md",
+            "out_of_core.md",
+            "pipeline.md",
+            "robustness.md",
+        ):
             assert os.path.exists(os.path.join(REPO_ROOT, "docs", name))

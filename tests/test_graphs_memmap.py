@@ -8,6 +8,7 @@ skipped with a warning while mid-file corruption is a hard error.
 """
 
 import os
+import warnings
 
 import numpy as np
 import pytest
@@ -159,6 +160,31 @@ class TestCrashResume:
         # The torn line contributes nothing: parsing fails before either
         # endpoint is recorded.
         assert 7 not in graph and 8 not in graph
+
+    def test_truncated_final_line_warns_once_per_path(self, tmp_path):
+        """Re-parsing the same torn file must not repeat the warning.
+
+        Force rebuilds re-run the parse pass over the unchanged source; a
+        single damaged download should be reported once per process, not
+        once per rebuild."""
+        source = _write_edgelist(
+            tmp_path / "torn-twice.edges", extra_lines=["9 10x"]
+        )
+        dest = str(tmp_path / "torn-twice.csrbin")
+        with pytest.warns(UserWarning, match="truncated final line"):
+            ingest_edge_list(source, dest)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            ingest_edge_list(source, dest, force=True)
+        assert not [
+            w for w in caught if "truncated final line" in str(w.message)
+        ]
+        # A *different* torn file still gets its own (single) warning.
+        other = _write_edgelist(
+            tmp_path / "torn-other.edges", extra_lines=["9 10x"]
+        )
+        with pytest.warns(UserWarning, match="truncated final line"):
+            ingest_edge_list(other, str(tmp_path / "torn-other.csrbin"))
 
     def test_malformed_line_mid_file_is_fatal(self, tmp_path):
         source = tmp_path / "bad.edges"

@@ -60,6 +60,33 @@ def _spec(**overrides):
     return SuiteSpec(**base)
 
 
+def _sigterm_worker(descriptor_dict, marker_path, ready):
+    """Child body for the SIGTERM-cleanup regression test (fork target)."""
+    import signal
+    import time
+
+    from repro.pipeline import arena as arena_module
+    from repro.pipeline.arena import install_worker_cleanup
+
+    install_worker_cleanup()
+    # Wrap the installed handler so the attach-cache size *after* its
+    # detach_all is observable from the parent (multiprocessing children
+    # exit through os._exit, so atexit hooks cannot carry the evidence out).
+    installed = signal.getsignal(signal.SIGTERM)
+
+    def observing_handler(signum, frame):
+        try:
+            installed(signum, frame)
+        finally:
+            with open(marker_path, "w", encoding="utf-8") as handle:
+                handle.write(str(len(arena_module._ATTACHED)))
+
+    signal.signal(signal.SIGTERM, observing_handler)
+    attach_column(SegmentDescriptor.from_dict(descriptor_dict))
+    ready.set()
+    time.sleep(60)
+
+
 @requires_shm
 class TestArenaSegments:
     def _csr(self):
@@ -117,6 +144,47 @@ class TestArenaSegments:
             with pytest.raises(FileNotFoundError):
                 shared_memory.SharedMemory(name=name)
         arena.close()  # idempotent
+
+    @requires_fork
+    def test_sigterm_mid_attach_detaches_cleanly(self, tmp_path):
+        """Regression: a worker SIGTERMed while holding attachments must run
+        its cleanup hooks (detach, atexit) instead of dying handler-less —
+        the pre-fix behaviour leaked the attached segment handles whenever
+        the supervisor (or ``Executor.shutdown``) terminated a worker."""
+        csr = self._csr()
+        marker = os.path.join(tmp_path, "cache-size.txt")
+        context = multiprocessing.get_context("fork")
+        ready = context.Event()
+        with CSRArena() as arena:
+            descriptor = arena.publish("col", csr)
+            child = context.Process(
+                target=_sigterm_worker,
+                args=(descriptor.to_dict(), marker, ready),
+            )
+            child.start()
+            try:
+                assert ready.wait(timeout=30), "child never attached"
+                child.terminate()  # SIGTERM — the signal the supervisor sends
+                child.join(timeout=30)
+            finally:
+                if child.is_alive():
+                    child.kill()
+                    child.join(timeout=30)
+            # SystemExit(128+15) from the handler, not a raw signal death
+            # (which would report exitcode -15 and skip every cleanup hook).
+            assert child.exitcode == 143
+            # The wrapped handler observed an empty attach cache: detach_all
+            # ran before the process died.
+            with open(marker, "r", encoding="utf-8") as handle:
+                assert handle.read() == "0"
+            # Detaching never unlinks: the parent's segment is still live.
+            column, _ = attach_column(descriptor)
+            assert column.csr.n == csr.n
+            detach_all()
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=descriptor.name)
 
 
 class TestColumnBatchedSerial:
