@@ -13,6 +13,7 @@ Run the harness with::
 
 from __future__ import annotations
 
+import json
 import os
 import random
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
@@ -106,6 +107,32 @@ def emit_table(name: str, rows: Sequence[Dict[str, Any]], title: str) -> str:
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(table + "\n")
     return table
+
+
+def emit_metrics(
+    name: str,
+    metrics: Sequence[Dict[str, Any]],
+    config: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Archive machine-readable results as ``results/<name>.json``.
+
+    The structured companion of :func:`emit_table`: each entry of
+    ``metrics`` is one measured quantity (``{"metric": ..., "value": ...,
+    "unit": ..., "n": ..., ...}``), ``config`` records the benchmark's
+    configuration once.  CI and regression tooling read these instead of
+    parsing the rendered ``.txt`` tables.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    payload = {
+        "benchmark": name,
+        "config": dict(config or {}),
+        "results": [dict(metric) for metric in metrics],
+    }
+    path = os.path.join(RESULTS_DIR, "{}.json".format(name))
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 def run_once(benchmark, func: Callable[[], Any]) -> Any:

@@ -1,0 +1,265 @@
+"""Telemetry overhead experiment: observability must be (nearly) free.
+
+The unified telemetry layer (``--trace`` / ``--metrics``; see
+``docs/telemetry.md``) instruments every pipeline phase, the arena, the
+supervisor, the CONGEST simulator and the memmap ingester.  Two promises
+back that ubiquity:
+
+1. **enabled is cheap** — a suite run with span tracing *and* the metrics
+   registry on stays within a few percent of the untelemetered wall clock
+   (spans are one ``os.write`` per close, counters one dict add);
+2. **disabled is free** — every entry point is a single module-boolean
+   check returning a shared no-op, so the instrumentation's cost with
+   telemetry off is measured in nanoseconds per call site.
+
+Three legs over a 24-cell serial grid, interleaved to decorrelate machine
+drift, ``REPS`` repetitions each after one warmup:
+
+* **off** — ``run_suite(spec, store=...)``: telemetry disabled (the
+  default path every existing caller takes);
+* **on** — the same run with ``trace=...`` and ``metrics=True``;
+* **disabled-path micro** — ``span()`` / ``inc()`` hammered in a loop with
+  telemetry off, converted to the share of the *off* wall clock that the
+  run's actual call volume (span lines + counter updates of the *on* leg)
+  would cost.
+
+Acceptance targets (ISSUE 9):
+
+* best-of-``REPS`` enabled wall clock within **3%** of disabled;
+* the disabled-path share is below **0.5%** of the suite wall clock;
+* the *on* and *off* stores hold **identical** result records modulo the
+  volatile wall-clock fields — the only store-level difference is the
+  per-run ``telemetry`` summary record the *on* leg appends.
+
+Run with ``pytest benchmarks/bench_telemetry_overhead.py -s`` or directly
+with ``PYTHONPATH=src python benchmarks/bench_telemetry_overhead.py``.
+"""
+
+import json
+import os
+import statistics
+import sys
+import tempfile
+import time
+
+import pytest
+
+import repro
+from _harness import emit_metrics, emit_table
+from repro import telemetry
+from repro.pipeline import SuiteSpec
+
+MAX_ENABLED_OVERHEAD = 0.03  # enabled best-of-N within 3% of disabled best
+MAX_DISABLED_SHARE = 0.005  # disabled-path cost below 0.5% of the wall clock
+REPS = 5
+MICRO_OPS = 200_000
+
+GRID = SuiteSpec(
+    name="telemetry-overhead",
+    scenarios=("torus", "grid"),
+    sizes=(400, 900),
+    methods=("strong-log3", "mpx", "weak-rg20"),
+    mode="decomposition",
+    seeds=(0, 1),
+)  # 2 scenarios x 2 sizes x 3 methods x 2 seeds = 24 cells
+
+#: Wall-clock fields that legitimately differ between repetitions.
+VOLATILE_KEYS = ("seconds", "timings")
+
+
+def _timed_run(tmp, label, **kwargs):
+    """One fresh-store serial suite run; returns (seconds, SuiteResult)."""
+    store = os.path.join(tmp, "{}.jsonl".format(label))
+    start = time.perf_counter()
+    result = repro.run_suite(GRID, store=store, **kwargs)
+    return time.perf_counter() - start, result
+
+
+def _strip_volatile(record):
+    return {key: value for key, value in record.items() if key not in VOLATILE_KEYS}
+
+
+def _record_key(record):
+    return (record["scenario"], record["n"], record["method"], record["seed"])
+
+
+def _micro_disabled_per_op():
+    """Seconds per disabled-path telemetry call (span/inc averaged)."""
+    assert not telemetry.tracing_enabled() and not telemetry.metrics_enabled()
+    start = time.perf_counter()
+    for _ in range(MICRO_OPS):
+        with telemetry.span("cell.task", cell="micro"):
+            pass
+        telemetry.inc("cells_ok")
+    # Each iteration is two entry-point calls (one span, one counter).
+    return (time.perf_counter() - start) / (2 * MICRO_OPS)
+
+
+#: The telemetry entry points the pipeline calls on its hot paths.
+_ENTRY_POINTS = ("span", "inc", "observe", "event", "emit_completed")
+
+
+def _call_volume(tmp):
+    """Count the instrumentation calls one (serial) suite run makes.
+
+    Wraps the telemetry entry points with counting shims and replays the
+    grid once with telemetry off — every call found here is a call the
+    disabled path pays for, so ``volume * per_op`` bounds its total cost.
+    """
+    calls = [0]
+    originals = {name: getattr(telemetry, name) for name in _ENTRY_POINTS}
+
+    def counting(func):
+        def shim(*args, **kwargs):
+            calls[0] += 1
+            return func(*args, **kwargs)
+
+        return shim
+
+    try:
+        for name, func in originals.items():
+            setattr(telemetry, name, counting(func))
+        _timed_run(tmp, "volume")
+    finally:
+        for name, func in originals.items():
+            setattr(telemetry, name, func)
+    return calls[0]
+
+
+def overhead_rows():
+    """Interleaved off/on timings plus the micro-benchmark derived share."""
+    rows = []
+    with tempfile.TemporaryDirectory() as tmp:
+        _timed_run(tmp, "warmup")  # imports, first-touch allocations
+        off_seconds, on_seconds = [], []
+        off_result = on_result = None
+        trace_path = os.path.join(tmp, "trace.jsonl")
+        for rep in range(REPS):
+            seconds, off_result = _timed_run(tmp, "off{}".format(rep))
+            off_seconds.append(seconds)
+            if os.path.exists(trace_path):
+                os.remove(trace_path)
+            seconds, on_result = _timed_run(
+                tmp, "on{}".format(rep), trace=trace_path, metrics=True
+            )
+            on_seconds.append(seconds)
+        summaries = on_result.store.summaries()
+        assert len(summaries) == 1, "expected one telemetry summary record"
+        volume = _call_volume(tmp)
+
+        # Record identity: on vs off, modulo wall-clock fields.  The
+        # summary record lives outside results(), so the record lists
+        # must match exactly.
+        off_records = sorted(off_result.records, key=_record_key)
+        on_records = sorted(on_result.records, key=_record_key)
+        assert len(off_records) == len(on_records) == len(GRID.expand())
+        for before, after in zip(off_records, on_records):
+            assert _strip_volatile(before) == _strip_volatile(after), (
+                "telemetry changed the record for {}".format(_record_key(before))
+            )
+
+    per_op = _micro_disabled_per_op()
+    enabled_overhead = min(on_seconds) / min(off_seconds) - 1.0
+    disabled_share = volume * per_op / min(off_seconds)
+
+    def leg_row(label, samples):
+        return {
+            "run": label,
+            "cells": len(GRID.expand()),
+            "reps": REPS,
+            "best s": round(min(samples), 3),
+            "median s": round(statistics.median(samples), 3),
+        }
+
+    rows = [
+        leg_row("telemetry off", off_seconds),
+        leg_row("trace + metrics on", on_seconds),
+        {
+            "run": "enabled overhead",
+            "best s": "{:+.2%}".format(enabled_overhead),
+            "median s": "{:+.2%}".format(
+                statistics.median(on_seconds) / statistics.median(off_seconds) - 1.0
+            ),
+        },
+        {
+            "run": "disabled path",
+            "best s": "{:.0f}ns/op".format(per_op * 1e9),
+            "median s": "{:.3%} of wall".format(disabled_share),
+        },
+    ]
+    metrics = [
+        {"metric": "off_best_s", "value": round(min(off_seconds), 4), "unit": "s", "n": 24},
+        {"metric": "on_best_s", "value": round(min(on_seconds), 4), "unit": "s", "n": 24},
+        {
+            "metric": "enabled_overhead_pct",
+            "value": round(100.0 * enabled_overhead, 3),
+            "unit": "%",
+            "n": 24,
+        },
+        {
+            "metric": "disabled_ns_per_op",
+            "value": round(per_op * 1e9, 1),
+            "unit": "ns",
+            "n": MICRO_OPS,
+        },
+        {
+            "metric": "disabled_share_pct",
+            "value": round(100.0 * disabled_share, 4),
+            "unit": "%",
+            "n": volume,
+        },
+        {"metric": "call_volume", "value": volume, "unit": "ops", "n": 24},
+    ]
+    return rows, metrics, enabled_overhead, disabled_share
+
+
+def _check(enabled_overhead, disabled_share):
+    ok = (
+        enabled_overhead < MAX_ENABLED_OVERHEAD
+        and disabled_share < MAX_DISABLED_SHARE
+    )
+    return ok, (
+        "telemetry overhead {:+.2%} enabled (target < {:.0%}), disabled-path "
+        "share {:.3%} (target < {:.1%}), best of {}".format(
+            enabled_overhead,
+            MAX_ENABLED_OVERHEAD,
+            disabled_share,
+            MAX_DISABLED_SHARE,
+            REPS,
+        )
+    )
+
+
+def _emit(rows, metrics):
+    emit_table(
+        "telemetry_overhead",
+        rows,
+        "Telemetry overhead — 24-cell serial grid, off vs trace+metrics, "
+        "best/median of {}".format(REPS),
+    )
+    emit_metrics(
+        "telemetry_overhead",
+        metrics,
+        config={"cells": 24, "reps": REPS, "mode": "serial", "micro_ops": MICRO_OPS},
+    )
+
+
+@pytest.mark.benchmark(group="telemetry-overhead")
+def test_telemetry_overhead():
+    rows, metrics, enabled_overhead, disabled_share = overhead_rows()
+    _emit(rows, metrics)
+    ok, message = _check(enabled_overhead, disabled_share)
+    print("\n" + message)
+    assert ok, message
+
+
+def main() -> int:
+    rows, metrics, enabled_overhead, disabled_share = overhead_rows()
+    _emit(rows, metrics)
+    ok, message = _check(enabled_overhead, disabled_share)
+    print("{} ({})".format(message, "PASS" if ok else "FAIL"))
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

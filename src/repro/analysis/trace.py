@@ -1,0 +1,357 @@
+"""Trace analysis: span-tree reconstruction and reports over a JSONL trace.
+
+A trace file (written by :mod:`repro.telemetry.spans` under ``--trace``)
+holds one JSON line per *closed* span, appended concurrently by the parent
+process and every pool worker.  This module turns that flat stream back
+into the suite's execution tree and answers the questions a perf
+investigation starts with:
+
+* :func:`summarize` — per-span-name counts/totals plus the per-phase
+  breakdown (``graph_build`` / ``freeze`` / ``decompose`` / ``task``) that
+  reconciles with the run store's ``timings`` sums (``cell.validate``
+  nests *inside* ``cell.decompose``, so validation time is not double
+  counted);
+* :func:`slowest` — the top-N spans by duration, optionally filtered by
+  name;
+* :func:`critical_path` — the heaviest root-to-leaf chain of the tree
+  (where the wall-clock actually went);
+* :func:`outliers` — cell groups whose clustering time sits ``sigma``
+  standard deviations above their cohort (same grid column, other seeds).
+
+Loading is tolerant by construction: a worker killed mid-write can tear at
+most its final line, so unparseable lines are *skipped and counted*, never
+fatal — the same truncated-tail policy as the JSONL run store.  The CLI
+verbs ``repro trace summarize|slowest|critical-path`` are thin wrappers
+over these functions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Top-level phase spans summed for the per-phase breakdown.  ``cell.validate``
+#: is deliberately absent: it runs nested inside ``cell.decompose`` and would
+#: double-count (it is still reported per-name by :func:`summarize`).
+PHASE_SPANS: Dict[str, str] = {
+    "graph_build": "cell.graph_build",
+    "freeze": "cell.freeze",
+    "decompose": "cell.decompose",
+    "task": "cell.task",
+}
+
+
+@dataclasses.dataclass
+class TraceSpan:
+    """One reconstructed span (a parsed trace line plus its children)."""
+
+    name: str
+    span_id: str
+    parent: Optional[str]
+    pid: int
+    ts: float
+    dur_s: float
+    status: str
+    error: Optional[str] = None
+    attrs: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    children: List["TraceSpan"] = dataclasses.field(default_factory=list)
+
+    @property
+    def label(self) -> str:
+        """A short human label: the name plus its most telling attribute."""
+        for key in ("cell", "base_id", "column", "source", "suite"):
+            if key in self.attrs:
+                return "{}[{}]".format(self.name, self.attrs[key])
+        return self.name
+
+
+@dataclasses.dataclass
+class Trace:
+    """A loaded trace: all spans, the id index, and the forest roots."""
+
+    spans: List[TraceSpan]
+    by_id: Dict[str, TraceSpan]
+    roots: List[TraceSpan]
+    skipped_lines: int = 0
+
+    def named(self, name: str) -> List[TraceSpan]:
+        return [span for span in self.spans if span.name == name]
+
+
+def load_trace(path: str) -> Trace:
+    """Load a trace file and rebuild the span forest.
+
+    Unparseable or non-span lines are skipped and counted in
+    ``skipped_lines`` — a torn final line from a killed worker must not
+    make the rest of the trace unreadable.  Spans whose parent never
+    closed (the parent process died mid-span) become roots.
+    """
+    spans: List[TraceSpan] = []
+    skipped = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                skipped += 1
+                continue
+            if not isinstance(record, dict) or record.get("kind") != "span":
+                skipped += 1
+                continue
+            try:
+                spans.append(
+                    TraceSpan(
+                        name=str(record["name"]),
+                        span_id=str(record["id"]),
+                        parent=record.get("parent"),
+                        pid=int(record.get("pid", 0)),
+                        ts=float(record.get("ts", 0.0)),
+                        dur_s=float(record.get("dur_s", 0.0)),
+                        status=str(record.get("status", "ok")),
+                        error=record.get("error"),
+                        attrs=dict(record.get("attrs") or {}),
+                    )
+                )
+            except (KeyError, TypeError, ValueError):
+                skipped += 1
+    by_id = {span.span_id: span for span in spans}
+    roots: List[TraceSpan] = []
+    for span in spans:
+        parent = by_id.get(span.parent) if span.parent else None
+        if parent is None:
+            roots.append(span)
+        else:
+            parent.children.append(span)
+    for span in spans:
+        span.children.sort(key=lambda child: child.ts)
+    roots.sort(key=lambda root: root.ts)
+    return Trace(spans=spans, by_id=by_id, roots=roots, skipped_lines=skipped)
+
+
+# --------------------------------------------------------------------- #
+# Reports
+# --------------------------------------------------------------------- #
+def phase_totals(trace: Trace) -> Dict[str, float]:
+    """Seconds per pipeline phase, summed over the phase's spans.
+
+    The four phases cover disjoint spans (validation nests inside
+    ``cell.decompose``), so the totals reconcile with the run store's
+    ``timings`` sums: ``graph_build ≈ Σ graph_build_s`` (shared columns
+    build once), ``freeze ≈ Σ freeze_s``, ``decompose + task ≈ Σ algo_s``.
+    """
+    totals = {phase: 0.0 for phase in PHASE_SPANS}
+    for phase, span_name in PHASE_SPANS.items():
+        totals[phase] = sum(span.dur_s for span in trace.named(span_name))
+    return totals
+
+
+def summarize(trace: Trace) -> Dict[str, Any]:
+    """Aggregate view: per-name stats, per-phase totals, error counts."""
+    by_name: Dict[str, Dict[str, Any]] = {}
+    errors = 0
+    for span in trace.spans:
+        stats = by_name.setdefault(
+            span.name, {"count": 0, "total_s": 0.0, "max_s": 0.0}
+        )
+        stats["count"] += 1
+        stats["total_s"] += span.dur_s
+        stats["max_s"] = max(stats["max_s"], span.dur_s)
+        if span.status != "ok":
+            errors += 1
+    suites = trace.named("suite")
+    wall = sum(span.dur_s for span in suites)
+    return {
+        "spans": len(trace.spans),
+        "skipped_lines": trace.skipped_lines,
+        "errors": errors,
+        "wall_s": wall,
+        "cells": sum(stats["count"] for name, stats in by_name.items() if name == "cell.task"),
+        "phases": phase_totals(trace),
+        "by_name": by_name,
+    }
+
+
+def slowest(
+    trace: Trace, top: int = 10, name: Optional[str] = None
+) -> List[TraceSpan]:
+    """The ``top`` longest spans, optionally restricted to one span name."""
+    spans = trace.named(name) if name else list(trace.spans)
+    spans.sort(key=lambda span: span.dur_s, reverse=True)
+    return spans[: max(0, int(top))]
+
+
+def critical_path(trace: Trace) -> List[TraceSpan]:
+    """The heaviest root-to-leaf chain: where the wall-clock actually went.
+
+    Starts at the longest root span and, at every level, descends into the
+    longest child.  With pool workers the children of one parent overlap in
+    real time, so this is the *dominant* chain rather than a strict serial
+    path — exactly the span to shrink first either way.
+    """
+    if not trace.roots:
+        return []
+    path: List[TraceSpan] = []
+    current = max(trace.roots, key=lambda span: span.dur_s)
+    while current is not None:
+        path.append(current)
+        current = max(current.children, key=lambda span: span.dur_s, default=None)
+    return path
+
+
+def _cohort_key(base_id: str) -> str:
+    """A group's cohort: its base id with the trailing seed axis dropped."""
+    parts = base_id.rsplit("/", 1)
+    if len(parts) == 2 and parts[1].startswith("s") and parts[1][1:].isdigit():
+        return parts[0]
+    return base_id
+
+
+def outliers(
+    trace: Trace, sigma: float = 2.0, min_cohort: int = 3
+) -> List[Dict[str, Any]]:
+    """Cell groups abnormally slow versus their column cohort.
+
+    Groups ``cell.group`` spans by grid column (base id minus the seed
+    axis) and flags spans more than ``sigma`` standard deviations above
+    the cohort mean.  Cohorts smaller than ``min_cohort`` are skipped —
+    a two-seed cohort has no meaningful spread.
+    """
+    cohorts: Dict[str, List[TraceSpan]] = {}
+    for span in trace.named("cell.group"):
+        base_id = str(span.attrs.get("base_id", ""))
+        cohorts.setdefault(_cohort_key(base_id), []).append(span)
+    flagged: List[Dict[str, Any]] = []
+    for cohort, members in sorted(cohorts.items()):
+        if len(members) < min_cohort:
+            continue
+        durations = [span.dur_s for span in members]
+        mean = sum(durations) / len(durations)
+        variance = sum((d - mean) ** 2 for d in durations) / len(durations)
+        spread = math.sqrt(variance)
+        threshold = mean + sigma * spread
+        for span in members:
+            if spread > 0.0 and span.dur_s > threshold:
+                flagged.append(
+                    {
+                        "cohort": cohort,
+                        "base_id": span.attrs.get("base_id"),
+                        "dur_s": span.dur_s,
+                        "cohort_mean_s": mean,
+                        "cohort_std_s": spread,
+                        "sigmas": (span.dur_s - mean) / spread,
+                    }
+                )
+    flagged.sort(key=lambda entry: entry["sigmas"], reverse=True)
+    return flagged
+
+
+# --------------------------------------------------------------------- #
+# Plain-text rendering (the `repro trace` CLI verbs)
+# --------------------------------------------------------------------- #
+def _fmt_seconds(value: float) -> str:
+    if value >= 100:
+        return "{:.0f}s".format(value)
+    if value >= 1:
+        return "{:.2f}s".format(value)
+    return "{:.1f}ms".format(value * 1e3)
+
+
+def format_summary(trace: Trace) -> str:
+    """Render :func:`summarize` (plus outliers) as the CLI report."""
+    summary = summarize(trace)
+    lines = [
+        "trace: {} spans, {} skipped line(s), {} error span(s)".format(
+            summary["spans"], summary["skipped_lines"], summary["errors"]
+        ),
+        "wall (suite spans): {}".format(_fmt_seconds(summary["wall_s"])),
+        "",
+        "phase breakdown:",
+    ]
+    phases = summary["phases"]
+    total = sum(phases.values()) or 1.0
+    for phase in PHASE_SPANS:
+        seconds = phases[phase]
+        lines.append(
+            "  {:<12} {:>10}  {:5.1f}%".format(
+                phase, _fmt_seconds(seconds), 100.0 * seconds / total
+            )
+        )
+    lines.append("")
+    lines.append("spans by name:")
+    lines.append(
+        "  {:<22} {:>6} {:>10} {:>10}".format("name", "count", "total", "max")
+    )
+    for name, stats in sorted(
+        summary["by_name"].items(), key=lambda item: -item[1]["total_s"]
+    ):
+        lines.append(
+            "  {:<22} {:>6} {:>10} {:>10}".format(
+                name,
+                stats["count"],
+                _fmt_seconds(stats["total_s"]),
+                _fmt_seconds(stats["max_s"]),
+            )
+        )
+    flagged = outliers(trace)
+    if flagged:
+        lines.append("")
+        lines.append("outlier cell groups (vs column cohort):")
+        for entry in flagged[:10]:
+            lines.append(
+                "  {}  {}  ({:+.1f} sigma, cohort mean {})".format(
+                    entry["base_id"],
+                    _fmt_seconds(entry["dur_s"]),
+                    entry["sigmas"],
+                    _fmt_seconds(entry["cohort_mean_s"]),
+                )
+            )
+    return "\n".join(lines)
+
+
+def format_slowest(trace: Trace, top: int = 10, name: Optional[str] = None) -> str:
+    """Render :func:`slowest` as an aligned plain-text table."""
+    spans = slowest(trace, top=top, name=name)
+    if not spans:
+        return "no matching spans"
+    lines = ["{:>10}  {:<8} {}".format("dur", "status", "span")]
+    for span in spans:
+        lines.append(
+            "{:>10}  {:<8} {}".format(
+                _fmt_seconds(span.dur_s), span.status, span.label
+            )
+        )
+    return "\n".join(lines)
+
+
+def format_critical_path(trace: Trace) -> str:
+    """Render :func:`critical_path` as an indented chain."""
+    path = critical_path(trace)
+    if not path:
+        return "empty trace"
+    lines = []
+    for depth, span in enumerate(path):
+        lines.append(
+            "{}{}  {}".format("  " * depth, _fmt_seconds(span.dur_s), span.label)
+        )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "PHASE_SPANS",
+    "Trace",
+    "TraceSpan",
+    "critical_path",
+    "format_critical_path",
+    "format_slowest",
+    "format_summary",
+    "load_trace",
+    "outliers",
+    "phase_totals",
+    "slowest",
+    "summarize",
+]

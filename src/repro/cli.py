@@ -35,6 +35,13 @@ else the JSON-lines interchange format).  ``--mode diff`` regression-diffs
 two stores (``--store`` vs ``--baseline``) into a Markdown report, and the
 ``store`` verbs (``python -m repro store migrate|export|info``) convert
 between backends losslessly.
+
+``--trace`` / ``--metrics`` / ``--progress`` switch on the unified
+telemetry layer: a pool-safe span trace, a per-run metrics summary record
+in the store, and a live stderr heartbeat.  ``python -m repro trace
+summarize|slowest|critical-path FILE`` analyses a trace;
+``python -m repro telemetry export --store PATH`` prints the stored
+metrics in Prometheus text format — see ``docs/telemetry.md``.
 """
 
 from __future__ import annotations
@@ -303,6 +310,34 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help=(
+            "suite mode: append a span trace (one JSON line per closed "
+            "span, pool-safe) to FILE; analyse it with 'python -m repro "
+            "trace summarize|slowest|critical-path FILE' — see "
+            "docs/telemetry.md"
+        ),
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help=(
+            "suite mode: collect the run's counters/histograms and store "
+            "them as a per-run telemetry summary record; export with "
+            "'python -m repro telemetry export --store PATH'"
+        ),
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help=(
+            "suite mode: print a rate-limited live heartbeat to stderr "
+            "(cells done/failed/retried, rate, ETA)"
+        ),
+    )
+    parser.add_argument(
         "--list-scenarios",
         action="store_true",
         help="print the registered workload scenarios and exit",
@@ -376,6 +411,9 @@ def _run_suite_mode(args) -> int:
         faults=args.faults,
         cell_timeout=args.cell_timeout,
         max_retries=args.max_retries,
+        trace=args.trace,
+        metrics=args.metrics,
+        progress=args.progress,
     )
     print(
         format_table(
@@ -543,12 +581,143 @@ def _store_main(argv: List[str]) -> int:
     return 0
 
 
+def build_trace_parser() -> argparse.ArgumentParser:
+    """Parser for the trace-analysis verbs (``python -m repro trace``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-decompose trace",
+        description=(
+            "Analyse a span trace written by a --trace suite run: rebuild "
+            "the span tree and report where the time went."
+        ),
+    )
+    verbs = parser.add_subparsers(dest="verb", required=True)
+
+    summarize = verbs.add_parser(
+        "summarize",
+        help="per-phase breakdown, per-span-name totals, and outlier cells",
+    )
+    summarize.add_argument("trace_file", help="span trace (JSON lines)")
+
+    slowest = verbs.add_parser("slowest", help="the top-N longest spans")
+    slowest.add_argument("trace_file", help="span trace (JSON lines)")
+    slowest.add_argument(
+        "--top", type=int, default=10, metavar="N", help="spans to show (default 10)"
+    )
+    slowest.add_argument(
+        "--name",
+        default=None,
+        metavar="SPAN",
+        help="restrict to one span name (e.g. cell.task)",
+    )
+
+    critical = verbs.add_parser(
+        "critical-path",
+        help="the heaviest root-to-leaf chain of the span tree",
+    )
+    critical.add_argument("trace_file", help="span trace (JSON lines)")
+    return parser
+
+
+def _trace_main(argv: List[str]) -> int:
+    """Dispatch the ``trace summarize|slowest|critical-path`` verbs."""
+    import os
+
+    from repro.analysis.trace import (
+        format_critical_path,
+        format_slowest,
+        format_summary,
+        load_trace,
+    )
+
+    args = build_trace_parser().parse_args(argv)
+    if not os.path.exists(args.trace_file):
+        print(
+            "trace {}: no such trace file: {}".format(args.verb, args.trace_file),
+            file=sys.stderr,
+        )
+        return 1
+    trace = load_trace(args.trace_file)
+    if args.verb == "summarize":
+        print(format_summary(trace))
+    elif args.verb == "slowest":
+        print(format_slowest(trace, top=args.top, name=args.name))
+    else:
+        print(format_critical_path(trace))
+    return 0
+
+
+def build_telemetry_parser() -> argparse.ArgumentParser:
+    """Parser for the metrics verbs (``python -m repro telemetry``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-decompose telemetry",
+        description=(
+            "Export the telemetry summary records a --metrics suite run "
+            "stored alongside its results."
+        ),
+    )
+    verbs = parser.add_subparsers(dest="verb", required=True)
+
+    export = verbs.add_parser(
+        "export",
+        help="print a store's metrics in Prometheus text exposition format",
+    )
+    export.add_argument(
+        "--store", required=True, metavar="PATH", help="run store to export from"
+    )
+    export.add_argument(
+        "--store-backend",
+        choices=("auto", "jsonl", "sqlite"),
+        default="auto",
+        help="store backend override ('auto' selects by extension)",
+    )
+    return parser
+
+
+def _telemetry_main(argv: List[str]) -> int:
+    """Dispatch the ``telemetry export`` verb."""
+    import os
+
+    from repro import telemetry
+    from repro.pipeline.backends import open_store
+
+    args = build_telemetry_parser().parse_args(argv)
+    if not os.path.exists(args.store):
+        print(
+            "telemetry {}: no such run store: {}".format(args.verb, args.store),
+            file=sys.stderr,
+        )
+        return 1
+    store = open_store(args.store, backend=args.store_backend)
+    summaries = [
+        record for record in store.summaries() if record.get("kind") == "telemetry"
+    ]
+    store.close()
+    if not summaries:
+        print(
+            "telemetry export: store has no telemetry summaries "
+            "(run the suite with --metrics)",
+            file=sys.stderr,
+        )
+        return 1
+    # Later runs of a resumed suite re-count from zero, so merge the
+    # summaries into one cumulative registry before rendering.
+    registry = telemetry.MetricsRegistry()
+    for record in summaries:
+        registry.merge(record.get("metrics") or {})
+    print(telemetry.render_prometheus(registry.snapshot()))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "store":
         return _store_main(list(argv[1:]))
+    if argv and argv[0] == "trace":
+        return _trace_main(list(argv[1:]))
+    if argv and argv[0] == "telemetry":
+        return _telemetry_main(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
 

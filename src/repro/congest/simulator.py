@@ -33,10 +33,12 @@ instead of rebuilding an n-entry dict of lists every round.
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Type
 
 import networkx as nx
 
+from repro import telemetry
 from repro.congest.algorithm import NodeAlgorithm, NodeContext
 from repro.congest.faults import FaultPlan
 from repro.congest.messages import Message, default_bandwidth, message_bits
@@ -171,6 +173,29 @@ class CongestSimulator:
             A :class:`SimulationReport` with round and message statistics and
             the per-node outputs.
         """
+        with telemetry.span(
+            "congest.run",
+            n=self.n,
+            bandwidth_bits=self.bandwidth_bits,
+            faulty=self.fault_plan is not None,
+        ) as run_span:
+            report = self._run_impl(algorithm_factory, max_rounds, extra_inputs)
+            run_span.set("rounds", report.rounds)
+            run_span.set("messages", report.messages_sent)
+        telemetry.inc("congest_rounds", report.rounds)
+        telemetry.inc("congest_messages", report.messages_sent)
+        if report.fault_counters:
+            for kind, count in sorted(report.fault_counters.items()):
+                if count:
+                    telemetry.inc("faults_injected", count, kind=kind)
+        return report
+
+    def _run_impl(
+        self,
+        algorithm_factory: Callable[[NodeContext], NodeAlgorithm],
+        max_rounds: int,
+        extra_inputs: Optional[Mapping[Any, Mapping[str, Any]]],
+    ) -> SimulationReport:
         from repro.graphs.csr import _graph_fingerprint
 
         if _graph_fingerprint(self.graph) != self._frozen_fingerprint:
@@ -225,6 +250,10 @@ class CongestSimulator:
         touched: List[Any] = []
 
         rounds = 0
+        # Round batches are emitted retroactively (no per-round span
+        # push/pop); only the boundary check itself lands on the hot path.
+        batch_first = 1
+        batch_t0 = time.perf_counter()
         for round_number in range(1, max_rounds + 1):
             # Deliver the messages produced in the previous step.
             for node in touched:
@@ -324,8 +353,22 @@ class CongestSimulator:
                 # list the program may have kept.  Non-empty inboxes are safe
                 # — they are re-bound to fresh lists at the next round.
                 outgoing[node] = program.step(round_number, inbox if inbox else []) or {}
+            if round_number % telemetry.ROUND_BATCH == 0:
+                telemetry.emit_completed(
+                    "congest.rounds",
+                    batch_t0,
+                    first=batch_first,
+                    rounds=round_number - batch_first + 1,
+                )
+                batch_first = round_number + 1
+                batch_t0 = time.perf_counter()
         else:
             raise RuntimeError("simulation did not terminate within {} rounds".format(max_rounds))
+
+        if rounds >= batch_first:  # the final, partial batch
+            telemetry.emit_completed(
+                "congest.rounds", batch_t0, first=batch_first, rounds=rounds - batch_first + 1
+            )
 
         outputs = {node: program.output() for node, program in programs.items()}
         return SimulationReport(

@@ -296,6 +296,9 @@ def run_suite(
     faults=None,
     cell_timeout: Optional[float] = None,
     max_retries: int = 0,
+    trace: Optional[str] = None,
+    metrics: bool = False,
+    progress=False,
 ):
     """Run a whole experiment grid (the batched form of carve/decompose).
 
@@ -349,6 +352,14 @@ def run_suite(
             explicit ``status="failed"`` record; enables supervised
             execution.  All three default to off — the legacy fail-fast
             behaviour.
+        trace: Optional span-trace file: every pipeline phase (and pool
+            worker) appends one JSON line per closed span — analyse with
+            ``python -m repro trace summarize`` (see docs/telemetry.md).
+        metrics: Collect run counters/histograms and store them as one
+            per-run ``telemetry`` summary record (export with
+            ``python -m repro telemetry export``).
+        progress: ``True`` for a rate-limited live heartbeat on stderr,
+            or a writable stream to send it elsewhere.
 
     Returns:
         A :class:`repro.pipeline.SuiteResult` (records, executed/skipped
@@ -368,4 +379,7 @@ def run_suite(
         faults=faults,
         cell_timeout=cell_timeout,
         max_retries=max_retries,
+        trace=trace,
+        metrics=metrics,
+        progress=progress,
     )

@@ -48,6 +48,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.graphs.csr import CSRGraph, _CACHE
 
 MAGIC = b"REPROCSR"
@@ -386,79 +387,89 @@ def ingest_edge_list(
     # publish via os.replace — last writer wins with identical bytes.
     tmp_path = "{}.tmp.{}".format(dest_path, os.getpid())
     pairs_path = "{}.pairs.tmp.{}".format(dest_path, os.getpid())
-    try:
-        pair_count, headers, loops = _parse_pass(source_path, pairs_path)
-        if loops:
-            warnings.warn(
-                "{}: dropped {} self-loop edge(s) (CSR graphs are simple)".format(
-                    source_path, loops
-                ),
-                stacklevel=2,
-            )
-        if pair_count:
-            pairs = np.memmap(
-                pairs_path, dtype=np.int64, mode="r", shape=(pair_count, 2)
-            )
-            flat = pairs.reshape(-1)
-            # Node order = first appearance in the file, exactly like
-            # nx.Graph insertion order under read_edge_list.
-            labels, first_pos = np.unique(flat, return_index=True)
-            appearance = np.argsort(first_pos, kind="stable")
-            nodes_arr = labels[appearance]
-            n = len(labels)
-            if n >= 2**31:
-                raise CSRFileError("graph exceeds int32 node capacity")
-            position = np.empty(n, dtype=np.int64)
-            position[appearance] = np.arange(n, dtype=np.int64)
-            u_idx = position[np.searchsorted(labels, pairs[:, 0])]
-            v_idx = position[np.searchsorted(labels, pairs[:, 1])]
-            edge_mask = u_idx != v_idx
-            lo = np.minimum(u_idx, v_idx)[edge_mask]
-            hi = np.maximum(u_idx, v_idx)[edge_mask]
-            keys = np.unique((lo << 32) | hi)
-            lo = (keys >> 32).astype(np.int32)
-            hi = (keys & 0xFFFFFFFF).astype(np.int32)
-            m = len(keys)
-            del keys, u_idx, v_idx, edge_mask, pairs, flat
-            degrees = np.bincount(lo, minlength=n) + np.bincount(hi, minlength=n)
-            indptr64 = np.concatenate(
-                ([0], np.cumsum(degrees, dtype=np.int64))
-            )
-            if indptr64[-1] >= 2**31:
-                raise CSRFileError("graph exceeds int32 edge capacity")
-            srcs = np.concatenate((lo, hi))
-            dsts = np.concatenate((hi, lo))
-            order = np.argsort(
-                (srcs.astype(np.int64) << 32) | dsts, kind="stable"
-            )
-            indices = np.ascontiguousarray(dsts[order])
-            indptr = indptr64.astype(np.int32)
-            nodes_list = [int(x) for x in nodes_arr]
-        else:
-            n = m = 0
-            indptr = np.zeros(1, dtype=np.int32)
-            indices = np.empty(0, dtype=np.int32)
-            nodes_list = []
-        uids_list = _assign_uids(nodes_list, headers)
-        meta = json.dumps(
-            {"nodes": nodes_list, "uids": uids_list, "built_edges": m},
-            separators=(",", ":"),
-        ).encode("utf-8")
-        with open(tmp_path, "wb") as handle:
-            _write_sections(
-                handle,
-                n,
-                indptr.tobytes(),
-                indices.tobytes(),
-                meta,
-                m,
-                signature,
-            )
-        os.replace(tmp_path, dest_path)
-    finally:
-        for leftover in (pairs_path,):
-            if os.path.exists(leftover):
-                os.remove(leftover)
+    with telemetry.span(
+        "memmap.ingest", source=os.path.basename(source_path)
+    ) as ingest_span:
+        try:
+            with telemetry.span("memmap.ingest.pass", stage="parse"):
+                pair_count, headers, loops = _parse_pass(source_path, pairs_path)
+            if loops:
+                warnings.warn(
+                    "{}: dropped {} self-loop edge(s) (CSR graphs are simple)".format(
+                        source_path, loops
+                    ),
+                    stacklevel=2,
+                )
+            with telemetry.span("memmap.ingest.pass", stage="fill"):
+                if pair_count:
+                    pairs = np.memmap(
+                        pairs_path, dtype=np.int64, mode="r", shape=(pair_count, 2)
+                    )
+                    flat = pairs.reshape(-1)
+                    # Node order = first appearance in the file, exactly like
+                    # nx.Graph insertion order under read_edge_list.
+                    labels, first_pos = np.unique(flat, return_index=True)
+                    appearance = np.argsort(first_pos, kind="stable")
+                    nodes_arr = labels[appearance]
+                    n = len(labels)
+                    if n >= 2**31:
+                        raise CSRFileError("graph exceeds int32 node capacity")
+                    position = np.empty(n, dtype=np.int64)
+                    position[appearance] = np.arange(n, dtype=np.int64)
+                    u_idx = position[np.searchsorted(labels, pairs[:, 0])]
+                    v_idx = position[np.searchsorted(labels, pairs[:, 1])]
+                    edge_mask = u_idx != v_idx
+                    lo = np.minimum(u_idx, v_idx)[edge_mask]
+                    hi = np.maximum(u_idx, v_idx)[edge_mask]
+                    keys = np.unique((lo << 32) | hi)
+                    lo = (keys >> 32).astype(np.int32)
+                    hi = (keys & 0xFFFFFFFF).astype(np.int32)
+                    m = len(keys)
+                    del keys, u_idx, v_idx, edge_mask, pairs, flat
+                    degrees = np.bincount(lo, minlength=n) + np.bincount(
+                        hi, minlength=n
+                    )
+                    indptr64 = np.concatenate(
+                        ([0], np.cumsum(degrees, dtype=np.int64))
+                    )
+                    if indptr64[-1] >= 2**31:
+                        raise CSRFileError("graph exceeds int32 edge capacity")
+                    srcs = np.concatenate((lo, hi))
+                    dsts = np.concatenate((hi, lo))
+                    order = np.argsort(
+                        (srcs.astype(np.int64) << 32) | dsts, kind="stable"
+                    )
+                    indices = np.ascontiguousarray(dsts[order])
+                    indptr = indptr64.astype(np.int32)
+                    nodes_list = [int(x) for x in nodes_arr]
+                else:
+                    n = m = 0
+                    indptr = np.zeros(1, dtype=np.int32)
+                    indices = np.empty(0, dtype=np.int32)
+                    nodes_list = []
+                uids_list = _assign_uids(nodes_list, headers)
+                meta = json.dumps(
+                    {"nodes": nodes_list, "uids": uids_list, "built_edges": m},
+                    separators=(",", ":"),
+                ).encode("utf-8")
+                with open(tmp_path, "wb") as handle:
+                    _write_sections(
+                        handle,
+                        n,
+                        indptr.tobytes(),
+                        indices.tobytes(),
+                        meta,
+                        m,
+                        signature,
+                    )
+                os.replace(tmp_path, dest_path)
+        finally:
+            for leftover in (pairs_path,):
+                if os.path.exists(leftover):
+                    os.remove(leftover)
+        ingest_span.set("nodes", n)
+        ingest_span.set("edges", m)
+    telemetry.inc("memmap_ingests")
     return dest_path
 
 

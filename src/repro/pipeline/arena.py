@@ -55,6 +55,7 @@ import weakref
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro import telemetry
 from repro.graphs.csr import CSRGraph
 
 try:  # pragma: no cover - import guard exercised only on exotic platforms
@@ -217,33 +218,37 @@ class CSRArena:
         buffers = source.to_buffers() if isinstance(source, CSRGraph) else source
         lengths = (len(buffers["indptr"]), len(buffers["indices"]), len(buffers["meta"]))
         total = sum(lengths) or 1
-        if self.spill_enabled and not self.fits(total):
-            return self._spill(column_key, buffers, lengths)
-        try:
-            segment = _shared_memory.SharedMemory(create=True, size=total)
-        except OSError as error:
-            if self.spill_enabled:
+        with telemetry.span("arena.publish", column=column_key, bytes=total):
+            if self.spill_enabled and not self.fits(total):
                 return self._spill(column_key, buffers, lengths)
-            raise ArenaUnavailable(
-                "cannot allocate a {} byte shared-memory segment: {}".format(total, error)
-            ) from error
-        offset = 0
-        for section in ("indptr", "indices", "meta"):
-            data = buffers[section]
-            segment.buf[offset : offset + len(data)] = data
-            offset += len(data)
-        descriptor = SegmentDescriptor(
-            name=segment.name,
-            column_key=column_key,
-            indptr_len=lengths[0],
-            indices_len=lengths[1],
-            meta_len=lengths[2],
-        )
-        self._segments[column_key] = segment
-        self._descriptors[column_key] = descriptor
-        self.live_bytes += total
-        self.published_count += 1
-        self.published_bytes += total
+            try:
+                segment = _shared_memory.SharedMemory(create=True, size=total)
+            except OSError as error:
+                if self.spill_enabled:
+                    return self._spill(column_key, buffers, lengths)
+                raise ArenaUnavailable(
+                    "cannot allocate a {} byte shared-memory segment: {}".format(
+                        total, error
+                    )
+                ) from error
+            offset = 0
+            for section in ("indptr", "indices", "meta"):
+                data = buffers[section]
+                segment.buf[offset : offset + len(data)] = data
+                offset += len(data)
+            descriptor = SegmentDescriptor(
+                name=segment.name,
+                column_key=column_key,
+                indptr_len=lengths[0],
+                indices_len=lengths[1],
+                meta_len=lengths[2],
+            )
+            self._segments[column_key] = segment
+            self._descriptors[column_key] = descriptor
+            self.live_bytes += total
+            self.published_count += 1
+            self.published_bytes += total
+            telemetry.inc("arena_published")
         return descriptor
 
     def _spill(
@@ -254,10 +259,13 @@ class CSRArena:
         digest = hashlib.sha256(column_key.encode("utf-8")).hexdigest()[:16]
         path = os.path.join(self.spill_dir, "column-{}.seg".format(digest))
         tmp_path = path + ".tmp"
-        with open(tmp_path, "wb") as handle:
-            for section in ("indptr", "indices", "meta"):
-                handle.write(buffers[section])
-        os.replace(tmp_path, path)
+        with telemetry.span("arena.spill", column=column_key, bytes=sum(lengths)):
+            with open(tmp_path, "wb") as handle:
+                for section in ("indptr", "indices", "meta"):
+                    handle.write(buffers[section])
+            os.replace(tmp_path, path)
+        telemetry.inc("arena_spills")
+        telemetry.inc("arena_spilled_bytes", sum(lengths))
         descriptor = SegmentDescriptor(
             name=path,
             column_key=column_key,
@@ -279,6 +287,8 @@ class CSRArena:
         spill_path = self._spill_paths.pop(column_key, None)
         if spill_path is not None:
             self._descriptors.pop(column_key, None)
+            telemetry.event("arena.evict", column=column_key, location="file")
+            telemetry.inc("arena_evictions")
             try:
                 os.remove(spill_path)
             except OSError:  # pragma: no cover - best effort
@@ -288,6 +298,8 @@ class CSRArena:
         descriptor = self._descriptors.pop(column_key, None)
         if segment is None:
             return
+        telemetry.event("arena.evict", column=column_key, location="shm")
+        telemetry.inc("arena_evictions")
         self.live_bytes -= descriptor.total_len if descriptor else 0
         for operation in (segment.close, segment.unlink):
             try:
@@ -395,12 +407,16 @@ def attach_column(descriptor: SegmentDescriptor) -> Tuple[AttachedColumn, bool]:
     cached = _ATTACHED.get(descriptor.name)
     if cached is not None:
         _ATTACHED.move_to_end(descriptor.name)
+        telemetry.inc("arena_attach_hits")
         return cached, True
-    column = AttachedColumn(descriptor)
+    with telemetry.span("arena.attach", column=descriptor.column_key):
+        column = AttachedColumn(descriptor)
+    telemetry.inc("arena_attach_misses")
     _ATTACHED[descriptor.name] = column
     while len(_ATTACHED) > _WORKER_CACHE_COLUMNS:
         _, evicted = _ATTACHED.popitem(last=False)
         evicted.close()
+        telemetry.inc("arena_evictions")
     return column, False
 
 

@@ -131,6 +131,8 @@ def convert_store(
     # add_many re-applies the "kind" tag in place (dict update preserves the
     # original key position), so the re-serialised JSON matches byte-for-byte.
     destination_store.add_many(source_store.results())
+    for summary in source_store.summaries():
+        destination_store.add_summary(summary)
     source_store.close()
     return destination_store
 

@@ -39,7 +39,15 @@ shape, not the container format):
   ``attempts`` (how many executions the record took under
   ``--max-retries``) and optional ``fault_stats`` (what the fault plan
   injected; see docs/robustness.md).  A missing ``status`` means ``"ok"``
-  — every pre-5 record is implicitly a successful cell.
+  — every pre-5 record is implicitly a successful cell;
+* **6** — added **summary records** (``kind="telemetry"``): at most a few
+  per store, written by :meth:`~RunStoreBase.add_summary` and read back by
+  :meth:`~RunStoreBase.summaries`, carrying the run's aggregated metrics
+  snapshot (see docs/telemetry.md).  Result records additionally gain an
+  optional ``rounds["attempt"]`` tag naming the supervised attempt whose
+  ledger produced the snapshot, so traces from abandoned attempts are
+  distinguishable.  Older stores load unchanged and simply report no
+  summaries.
 
 Each addition is optional for consumers, so every older version still loads.
 """
@@ -48,13 +56,13 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterator, List, Optional
 
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 #: Schema versions this build can safely read.  Versions 1–2 lack the
 #: ``timings`` / ``rounds`` keys, version 3 the ``task`` keys, version 4
-#: the ``status`` / ``attempts`` keys — all of which every consumer treats
-#: as optional.
-COMPATIBLE_SCHEMAS = (1, 2, 3, 4, 5)
+#: the ``status`` / ``attempts`` keys, version 5 the telemetry summaries —
+#: all of which every consumer treats as optional.
+COMPATIBLE_SCHEMAS = (1, 2, 3, 4, 5, 6)
 
 #: Grid parameters a :meth:`RunStoreBase.query` may filter on.  The SQLite
 #: backend keeps each (minus ``mode``) as an indexed column.
@@ -182,6 +190,27 @@ class RunStoreBase:
         raise NotImplementedError
 
     def _extend(self, records: List[Dict[str, Any]]) -> None:
+        raise NotImplementedError
+
+    def add_summary(self, record: Dict[str, Any]) -> Dict[str, Any]:
+        """Append one per-run summary record (schema 6).
+
+        Summaries live alongside the result records but outside the resume
+        index: they never count as completed cells and :meth:`results` /
+        :meth:`query` never return them.  The runner stores one
+        ``kind="telemetry"`` summary per metrics-enabled run.  Returns the
+        stored record.
+        """
+        record = dict(record)
+        record.setdefault("kind", "telemetry")
+        self._append_summary(record)
+        return record
+
+    def summaries(self) -> List[Dict[str, Any]]:
+        """All summary records, in insertion order (empty for old stores)."""
+        raise NotImplementedError
+
+    def _append_summary(self, record: Dict[str, Any]) -> None:
         raise NotImplementedError
 
     # ------------------------------------------------------------------ #

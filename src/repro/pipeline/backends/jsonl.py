@@ -23,6 +23,10 @@ File format (one JSON object per line)::
      "rounds": {"total": ..., "by_primitive": {"bfs": ..., ...}}}
     {"kind": "result", "cell": "torus/n256/mpx/mis/s0", ...,
      "task": "mis", "task_rounds": 18, "task_metrics": {"mis_size": 64, "verified": true}}
+    {"kind": "telemetry", "metrics": {"counters": {...}, "histograms": {...}}}
+
+Lines of kind ``telemetry`` are per-run summary records (schema 6): they
+never enter the resume index and are read back via ``summaries()``.
 
 Durability: every :meth:`add` is flushed *and fsynced*, so a killed worker
 loses at most the line it was writing.  A store whose **final** line is
@@ -76,6 +80,7 @@ class JsonlRunStore(RunStoreBase):
     ) -> None:
         super().__init__(path, suite=suite, metadata=metadata, schema=schema)
         self._records: List[Dict[str, Any]] = []
+        self._summaries: List[Dict[str, Any]] = []
         self._completed: Dict[str, Dict[str, Any]] = {}
         self._header_written = False
         # Crash-repair state discovered by _load, applied lazily by the
@@ -141,6 +146,8 @@ class JsonlRunStore(RunStoreBase):
                 continue
             if kind == "result":
                 self._remember(record)
+            elif kind == "telemetry":
+                self._summaries.append(record)
 
     def _remember(self, record: Dict[str, Any]) -> None:
         self._records.append(record)
@@ -199,6 +206,14 @@ class JsonlRunStore(RunStoreBase):
         self._write_lines(records)
         for record in records:
             self._remember(record)
+
+    def _append_summary(self, record: Dict[str, Any]) -> None:
+        self._ensure_header()
+        self._write_lines([record])
+        self._summaries.append(record)
+
+    def summaries(self) -> List[Dict[str, Any]]:
+        return list(self._summaries)
 
     def completed_cells(self) -> Dict[str, Dict[str, Any]]:
         return dict(self._completed)

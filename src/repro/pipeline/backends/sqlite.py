@@ -63,6 +63,10 @@ _CREATE_STATEMENTS = (
     "CREATE INDEX IF NOT EXISTS idx_results_seed ON results (seed)",
     "CREATE INDEX IF NOT EXISTS idx_results_task ON results (task)",
     "CREATE INDEX IF NOT EXISTS idx_results_status ON results (status)",
+    # Per-run summary records (record schema 6) — outside the resume index.
+    """CREATE TABLE IF NOT EXISTS summaries (
+        id INTEGER PRIMARY KEY AUTOINCREMENT,
+        record TEXT NOT NULL)""",
 )
 
 
@@ -169,6 +173,14 @@ class SqliteRunStore(RunStoreBase):
                         column
                     )
                 )
+        # Pre-schema-6 databases lack the summaries table; creating it is a
+        # pure container upgrade (the record-schema version stays put).
+        with self._conn:
+            self._conn.execute(
+                """CREATE TABLE IF NOT EXISTS summaries (
+                    id INTEGER PRIMARY KEY AUTOINCREMENT,
+                    record TEXT NOT NULL)"""
+            )
 
     # ------------------------------------------------------------------ #
     # Writing
@@ -200,6 +212,16 @@ class SqliteRunStore(RunStoreBase):
     def _extend(self, records: List[Dict[str, Any]]) -> None:
         with self._conn:  # one transaction for the whole batch
             self._conn.executemany(self._INSERT, [self._row(r) for r in records])
+
+    def _append_summary(self, record: Dict[str, Any]) -> None:
+        with self._conn:
+            self._conn.execute(
+                "INSERT INTO summaries (record) VALUES (?)", (json.dumps(record),)
+            )
+
+    def summaries(self) -> List[Dict[str, Any]]:
+        cursor = self._conn.execute("SELECT record FROM summaries ORDER BY id")
+        return [json.loads(row[0]) for row in cursor]
 
     # ------------------------------------------------------------------ #
     # Reading

@@ -80,6 +80,8 @@ import time
 import warnings
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro import telemetry
+
 MODES = ("decomposition", "carving")
 
 SHARED_GRAPH_CHOICES = ("on", "off", "auto")
@@ -342,13 +344,16 @@ def _freeze_index(graph, backend: str, mark_frozen: bool = False):
     if backend != "csr":
         return None, 0.0
     start = time.perf_counter()
-    try:
-        csr = CSRGraph.from_networkx(graph)
-    except CSRUnsupported:
-        return None, time.perf_counter() - start
-    if mark_frozen:
-        csr.frozen = True
-    return csr, time.perf_counter() - start
+    with telemetry.span("cell.freeze"):
+        try:
+            csr = CSRGraph.from_networkx(graph)
+        except CSRUnsupported:
+            return None, time.perf_counter() - start
+        if mark_frozen:
+            csr.frozen = True
+    freeze_s = time.perf_counter() - start
+    telemetry.observe("phase_seconds", freeze_s, phase="freeze")
+    return csr, freeze_s
 
 
 def _materialize_graph(
@@ -367,11 +372,16 @@ def _materialize_graph(
     from repro.pipeline.scenarios import build_workload, build_workload_memmap
 
     start = time.perf_counter()
-    if graph_backend == "memmap":
-        graph = build_workload_memmap(scenario, n, seed=graph_seed, spill_dir=spill_dir)
-    else:
-        graph = build_workload(scenario, n, seed=graph_seed)
-    return graph, time.perf_counter() - start
+    with telemetry.span("cell.graph_build", scenario=scenario, n=n):
+        if graph_backend == "memmap":
+            graph = build_workload_memmap(
+                scenario, n, seed=graph_seed, spill_dir=spill_dir
+            )
+        else:
+            graph = build_workload(scenario, n, seed=graph_seed)
+    build_s = time.perf_counter() - start
+    telemetry.observe("phase_seconds", build_s, phase="graph_build")
+    return graph, build_s
 
 
 # Supervised degradation chain for explicitly requested kernel tiers whose
@@ -523,6 +533,7 @@ def _compute_group_records(
             forced_crash=fault.get("forced_crash", False),
         )
         if draw.crash:
+            telemetry.inc("faults_injected", kind="crash")
             if fault.get("hard_crash"):
                 # Fail-stop: the worker vanishes mid-cell, exactly like an
                 # OOM kill — the parent sees BrokenProcessPool.
@@ -533,9 +544,13 @@ def _compute_group_records(
                 )
             )
         if draw.hang:
+            telemetry.inc("faults_injected", kind="hang")
             _injected_hang(fault.get("cell_timeout"), head.base_id)
         if draw.delay_s:
+            telemetry.inc("faults_injected", kind="delay")
             time.sleep(draw.delay_s)
+        if draw.corrupt:
+            telemetry.inc("faults_injected", kind="corrupt")
 
     # One fresh ledger per group: the algorithm charges its CONGEST round
     # budget into it, and the per-primitive totals land in every member
@@ -545,77 +560,96 @@ def _compute_group_records(
     decomposition = None
     # Every execution path (serial batched or not, pool workers, arena
     # reattaches) funnels through here, so scoping the kernel switch once
-    # covers the clustering and every task of the group.
-    with use_kernel(kernel):
+    # covers the clustering and every task of the group — and one
+    # ``cell.group`` span covers the whole unit in the trace.
+    with telemetry.span(
+        "cell.group", base_id=head.base_id, cells=len(cells), attempt=attempt
+    ), use_kernel(kernel):
         kernel_name = active_kernel().name
+        telemetry.inc("kernel_selected", kernel=kernel_name)
+        if degraded:
+            telemetry.inc("kernel_degraded")
         start = time.perf_counter()
-        if head.mode == "carving":
-            result = repro.carve(
-                graph, head.eps, method=head.method, seed=algo_seed, backend=backend,
-                ledger=ledger,
-            )
-            if draw is not None and draw.corrupt:
-                from repro.pipeline.supervisor import corrupt_clustering
+        with telemetry.span("cell.decompose", method=head.method, mode=head.mode):
+            if head.mode == "carving":
+                result = repro.carve(
+                    graph, head.eps, method=head.method, seed=algo_seed,
+                    backend=backend, ledger=ledger,
+                )
+                if draw is not None and draw.corrupt:
+                    from repro.pipeline.supervisor import corrupt_clustering
 
-                corrupt_clustering(result)
-            if validate or draw is not None:
-                lenient = not METHODS.get(head.method).deterministic
-                max_dead = 0.99 if lenient else None
-                if draw is not None:
-                    from repro.clustering.validation import check_ball_carving_under_faults
+                    corrupt_clustering(result)
+                if validate or draw is not None:
+                    lenient = not METHODS.get(head.method).deterministic
+                    max_dead = 0.99 if lenient else None
+                    with telemetry.span("cell.validate"):
+                        if draw is not None:
+                            from repro.clustering.validation import (
+                                check_ball_carving_under_faults,
+                            )
 
-                    check_ball_carving_under_faults(
-                        result, fault_stats=draw.as_stats(), max_dead_fraction=max_dead
-                    )
-                else:
-                    check_ball_carving(result, max_dead_fraction=max_dead)
-            metrics = evaluate_carving(result, head.method).as_row()
-        else:
-            decomposition = repro.decompose(
-                graph,
-                method=head.method,
-                seed=algo_seed,
-                backend=backend,
-                ledger=ledger,
-                partition_nodes=partition_nodes,
-            )
-            if draw is not None and draw.corrupt:
-                from repro.pipeline.supervisor import corrupt_clustering
+                            check_ball_carving_under_faults(
+                                result,
+                                fault_stats=draw.as_stats(),
+                                max_dead_fraction=max_dead,
+                            )
+                        else:
+                            check_ball_carving(result, max_dead_fraction=max_dead)
+                metrics = evaluate_carving(result, head.method).as_row()
+            else:
+                decomposition = repro.decompose(
+                    graph,
+                    method=head.method,
+                    seed=algo_seed,
+                    backend=backend,
+                    ledger=ledger,
+                    partition_nodes=partition_nodes,
+                )
+                if draw is not None and draw.corrupt:
+                    from repro.pipeline.supervisor import corrupt_clustering
 
-                corrupt_clustering(decomposition)
-            if validate or draw is not None:
-                if draw is not None:
-                    from repro.clustering.validation import (
-                        check_network_decomposition_under_faults,
-                    )
+                    corrupt_clustering(decomposition)
+                if validate or draw is not None:
+                    with telemetry.span("cell.validate"):
+                        if draw is not None:
+                            from repro.clustering.validation import (
+                                check_network_decomposition_under_faults,
+                            )
 
-                    check_network_decomposition_under_faults(
-                        decomposition, fault_stats=draw.as_stats()
-                    )
-                else:
-                    check_network_decomposition(decomposition)
-            metrics = evaluate_decomposition(decomposition, head.method).as_row()
+                            check_network_decomposition_under_faults(
+                                decomposition, fault_stats=draw.as_stats()
+                            )
+                        else:
+                            check_network_decomposition(decomposition)
+                metrics = evaluate_decomposition(decomposition, head.method).as_row()
         clustering_s = time.perf_counter() - start
+        telemetry.observe("phase_seconds", clustering_s, phase="decompose")
+        if telemetry.metrics_enabled():
+            for primitive, value in ledger.breakdown().items():
+                telemetry.inc("ledger_rounds", value, primitive=primitive)
 
         records: List[Dict[str, Any]] = []
         for position, cell in enumerate(cells):
             task_spec = TASKS.get(cell.task)
             task_start = time.perf_counter()
-            if task_spec.solve is None:
-                task_rounds, task_metrics = 0, {}
-            else:
-                # The shared single task-execution path (same as run_task), so
-                # suite records cannot drift from single-shot results.
-                _, task_rounds, task_metrics = _execute_task(
-                    task_spec, decomposition, graph, backend
-                )
-                if validate and not task_metrics["verified"]:
-                    raise ValueError(
-                        "task {!r} produced an unverified solution for cell {!r}".format(
-                            cell.task, cell.cell_id
-                        )
+            with telemetry.span("cell.task", cell=cell.cell_id, task=cell.task):
+                if task_spec.solve is None:
+                    task_rounds, task_metrics = 0, {}
+                else:
+                    # The shared single task-execution path (same as
+                    # run_task), so suite records cannot drift from
+                    # single-shot results.
+                    _, task_rounds, task_metrics = _execute_task(
+                        task_spec, decomposition, graph, backend
                     )
+                    if validate and not task_metrics["verified"]:
+                        raise ValueError(
+                            "task {!r} produced an unverified solution for "
+                            "cell {!r}".format(cell.task, cell.cell_id)
+                        )
             task_s = time.perf_counter() - task_start
+            telemetry.observe("phase_seconds", task_s, phase="task")
             algo_s = (clustering_s + task_s) if position == 0 else task_s
             build_s = graph_build_s if position == 0 else 0.0
             frozen_s = freeze_s if position == 0 else 0.0
@@ -629,6 +663,8 @@ def _compute_group_records(
             }
             if degraded:
                 timings["degraded"] = list(degraded)
+            if timings["source"] != "build":
+                telemetry.inc("graphs_shared")
             record = {
                 "cell": cell.cell_id,
                 "scenario": cell.scenario,
@@ -649,6 +685,10 @@ def _compute_group_records(
                 "rounds": {
                     "total": ledger.total_rounds,
                     "by_primitive": ledger.breakdown(),
+                    # Schema 6: which supervised attempt produced this
+                    # snapshot — the ledger is fresh per attempt, so the
+                    # trace always reflects only the successful one.
+                    "attempt": attempt,
                 },
                 "seconds": round(build_s + frozen_s + algo_s, 6),
                 "timings": timings,
@@ -656,6 +696,40 @@ def _compute_group_records(
             if draw is not None:
                 record["fault_stats"] = draw.as_stats()
             records.append(record)
+    return records
+
+
+def _apply_worker_telemetry(payload: Dict[str, Any]):
+    """Apply the parent's telemetry config in an execution entrypoint.
+
+    The config rides the task payload exactly like the seed plumbing, so
+    spawn-started workers pick it up too (fork-started ones inherit it but
+    re-applying is idempotent).  Returns a metrics marker to diff against
+    when this process is a *pool worker* with metrics on — the delta rides
+    back to the parent as a sentinel on the record list — or ``None`` when
+    the entrypoint runs in the parent itself (serial paths, broken-pool
+    fallbacks), whose registry already counted the increments live; a
+    returned delta there would double-count.
+    """
+    config = payload.get("telemetry")
+    if not config:
+        return None
+    if config.get("trace"):
+        telemetry.configure_tracing(config["trace"], parent=config.get("parent"))
+    if config.get("metrics"):
+        telemetry.configure_metrics(True)
+        if multiprocessing.parent_process() is not None:
+            return telemetry.marker()
+    return None
+
+
+def _finish_worker_telemetry(
+    records: List[Dict[str, Any]], mark
+) -> List[Dict[str, Any]]:
+    """Append the worker's metrics delta sentinel (pool workers only)."""
+    if mark is not None:
+        records = list(records)
+        records.append(telemetry.delta_record(telemetry.delta_since(mark)))
     return records
 
 
@@ -668,6 +742,7 @@ def _execute_cells(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
     decomposition is still computed only once — task reuse is semantic, not
     a transport optimisation.
     """
+    mark = _apply_worker_telemetry(payload)
     cells = [Cell(**cell) for cell in payload["cells"]]
     backend = payload["backend"]
     graph_backend = payload.get("graph_backend", "memory")
@@ -683,7 +758,7 @@ def _execute_cells(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
     # Memmap facades pre-seed the CSR cache, so this freeze is a cache hit.
     _, freeze_s = _freeze_index(graph, backend)
 
-    return _compute_group_records(
+    records = _compute_group_records(
         cells,
         graph,
         backend,
@@ -700,6 +775,7 @@ def _execute_cells(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
         degrade=payload.get("degrade", False),
         degraded=payload.get("degraded"),
     )
+    return _finish_worker_telemetry(records, mark)
 
 
 def _execute_arena_cells(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
@@ -720,6 +796,7 @@ def _execute_arena_cells(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
     """
     from repro.pipeline.arena import SegmentDescriptor, attach_column
 
+    mark = _apply_worker_telemetry(payload)
     cells = [Cell(**cell) for cell in payload["cells"]]
     descriptor = SegmentDescriptor.from_dict(payload["segment"])
     graph_backend = payload.get("graph_backend", "memory")
@@ -732,8 +809,11 @@ def _execute_arena_cells(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
             raise
         fallback = dict(payload)
         fallback.pop("segment", None)
+        # Telemetry is already configured (and the marker taken) here; the
+        # in-process fallback must not re-apply it or append its own delta.
+        fallback.pop("telemetry", None)
         fallback["degraded"] = list(payload.get("degraded") or []) + ["arena-attach"]
-        return _execute_cells(fallback)
+        return _finish_worker_telemetry(_execute_cells(fallback), mark)
     if graph_backend == "memmap":
         from repro.graphs.memmap import graph_from_csr
 
@@ -742,7 +822,7 @@ def _execute_arena_cells(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
         graph = column.graph
     attach_s = time.perf_counter() - start
 
-    return _compute_group_records(
+    records = _compute_group_records(
         cells,
         graph,
         payload["backend"],
@@ -759,6 +839,7 @@ def _execute_arena_cells(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
         degrade=payload.get("degrade", False),
         degraded=payload.get("degraded"),
     )
+    return _finish_worker_telemetry(records, mark)
 
 
 @dataclasses.dataclass
@@ -892,18 +973,26 @@ def _build_column_graph(
     "freeze" is a cache hit and the build time covers the file round trip.
     """
     graph_seed = derive_cell_seed(spec.master_seed, "graph:" + cell.column_key)
-    graph, build_s = _materialize_graph(
-        cell.scenario, cell.n, graph_seed, spec.graph_backend, spec.spill_dir
-    )
-    if spec.graph_backend == "memmap":
-        return graph, graph.csr, build_s, 0.0
-    freeze_backend = "csr" if force_freeze else spec.backend
-    csr, freeze_s = _freeze_index(graph, freeze_backend, mark_frozen=mark_frozen)
+    with telemetry.span("suite.column", column=cell.column_key):
+        telemetry.inc("columns_built")
+        graph, build_s = _materialize_graph(
+            cell.scenario, cell.n, graph_seed, spec.graph_backend, spec.spill_dir
+        )
+        if spec.graph_backend == "memmap":
+            return graph, graph.csr, build_s, 0.0
+        freeze_backend = "csr" if force_freeze else spec.backend
+        csr, freeze_s = _freeze_index(graph, freeze_backend, mark_frozen=mark_frozen)
     return graph, csr, build_s, freeze_s
 
 
+# Run-scoped telemetry config stamped into every task payload (set by
+# run_suite around execution, cleared in its finally).  It rides next to
+# the seed plumbing so spawn-started pool workers configure themselves.
+_TELEMETRY_CONFIG: Optional[Dict[str, Any]] = None
+
+
 def _group_payload(cells: Sequence[Cell], spec: SuiteSpec) -> Dict[str, Any]:
-    return {
+    payload = {
         "cells": [dataclasses.asdict(cell) for cell in cells],
         "backend": spec.backend,
         "kernel": spec.kernel,
@@ -913,6 +1002,57 @@ def _group_payload(cells: Sequence[Cell], spec: SuiteSpec) -> Dict[str, Any]:
         "master_seed": spec.master_seed,
         "validate": spec.validate,
     }
+    if _TELEMETRY_CONFIG is not None:
+        payload["telemetry"] = _TELEMETRY_CONFIG
+    return payload
+
+
+def _harvest_records(records: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Strip worker telemetry-delta sentinels, merging them into the parent.
+
+    Every site that iterates a worker-returned record list funnels through
+    here, so metrics aggregated over a pool match a serial run exactly.
+    """
+    out = []
+    for record in records:
+        if telemetry.is_delta_record(record):
+            telemetry.merge(record["metrics"])
+        else:
+            out.append(record)
+    return out
+
+
+class _InstrumentedStore:
+    """Store proxy counting stored cells into metrics and live progress.
+
+    Only installed when telemetry is requested, so disabled runs keep the
+    raw store on the hot path.  Counting happens here — the one choke point
+    every execution mode stores records through — so cells_ok/failed/
+    retried are mode-independent by construction.
+    """
+
+    def __init__(self, store, progress: Optional["telemetry.ProgressReporter"] = None):
+        self._store = store
+        self._progress = progress
+
+    def add(self, record: Dict[str, Any]) -> Dict[str, Any]:
+        stored = self._store.add(record)
+        ok = record.get("status", "ok") != "failed"
+        attempts = record.get("attempts", 1)
+        telemetry.inc("cells_ok" if ok else "cells_failed")
+        if ok and attempts > 1:
+            telemetry.inc("cells_retried")
+        if self._progress is not None:
+            scenario = record.get("scenario")
+            if scenario is not None:
+                self._progress.set_column(
+                    "{}/n{}/s{}".format(scenario, record.get("n"), record.get("seed"))
+                )
+            self._progress.cell_done(ok=ok, retries=max(0, attempts - 1))
+        return stored
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._store, name)
 
 
 def _run_serial_batched(
@@ -1098,7 +1238,7 @@ def _run_pool_arena(
                     # Re-raises the group's own exception, or BrokenProcessPool
                     # when the worker running it died.
                     try:
-                        for record in future.result():
+                        for record in _harvest_records(future.result()):
                             store.add(record)
                     except BaseException:
                         # Don't sit out the queued groups during unwind.
@@ -1189,6 +1329,7 @@ def _run_serial_supervised(
             base_id = task_cells[0].base_id
             attempt = 1
             while True:
+                telemetry.event("supervisor.attempt", base_id=base_id, attempt=attempt)
                 fault = _fault_payload(policy, base_id, attempt, forced, hard_crash=False)
                 try:
                     if shared:
@@ -1228,14 +1369,23 @@ def _run_serial_supervised(
                     sstats["failures"] += 1
                     if isinstance(error, sup.CellTimeout):
                         sstats["timeouts"] += 1
+                        telemetry.inc("supervisor_timeouts")
                     if attempt >= policy.max_attempts:
                         sstats["quarantined"] += 1
+                        telemetry.event(
+                            "supervisor.quarantine",
+                            base_id=base_id,
+                            attempts=attempt,
+                            error=type(error).__name__,
+                        )
                         for record in sup.failure_records(
                             task_cells, spec, error, attempt
                         ):
                             store.add(record)
                         break
                     sstats["retries"] += 1
+                    telemetry.inc("supervisor_retries")
+                    telemetry.event("supervisor.retry", base_id=base_id, attempt=attempt)
                     time.sleep(policy.backoff_s(spec.master_seed, base_id, attempt))
                     attempt += 1
                     continue
@@ -1336,6 +1486,8 @@ def _run_pool_supervised(
     def _new_pool():
         nonlocal pool
         sstats["pool_respawns"] += 1
+        telemetry.inc("supervisor_respawns")
+        telemetry.event("supervisor.respawn")
         pool = ProcessPoolExecutor(
             max_workers=workers, mp_context=context, initializer=install_worker_cleanup
         )
@@ -1401,6 +1553,9 @@ def _run_pool_supervised(
         return descriptor
 
     def _submit(key: Optional[str], task_cells: List[Cell], attempt: int) -> None:
+        telemetry.event(
+            "supervisor.attempt", base_id=task_cells[0].base_id, attempt=attempt
+        )
         payload = _group_payload(task_cells, spec)
         payload["degrade"] = True
         payload["attempt"] = attempt
@@ -1436,13 +1591,24 @@ def _run_pool_supervised(
         sstats["failures"] += 1
         if isinstance(error, sup.CellTimeout):
             sstats["timeouts"] += 1
+            telemetry.inc("supervisor_timeouts")
         if attempt >= policy.max_attempts:
             sstats["quarantined"] += 1
+            telemetry.event(
+                "supervisor.quarantine",
+                base_id=task_cells[0].base_id,
+                attempts=attempt,
+                error=type(error).__name__,
+            )
             for record in sup.failure_records(task_cells, spec, error, attempt):
                 store.add(record)
             _column_done(key)
             return False
         sstats["retries"] += 1
+        telemetry.inc("supervisor_retries")
+        telemetry.event(
+            "supervisor.retry", base_id=task_cells[0].base_id, attempt=attempt
+        )
         return True
 
     def _serial_attempts(key, task_cells, attempt) -> None:
@@ -1454,6 +1620,7 @@ def _run_pool_supervised(
         """
         base_id = task_cells[0].base_id
         while True:
+            telemetry.event("supervisor.attempt", base_id=base_id, attempt=attempt)
             payload = _group_payload(task_cells, spec)
             payload["degrade"] = True
             payload["attempt"] = attempt
@@ -1562,7 +1729,7 @@ def _run_pool_supervised(
                         )
                         work.append((key, task_cells, attempt + 1, ready_at))
                 else:
-                    for record in records:
+                    for record in _harvest_records(records):
                         store.add(record)
                     if attempt > 1:
                         sstats["retried_ok"] += 1
@@ -1606,6 +1773,9 @@ def run_suite(
     faults: Union[None, str, "FaultPlan"] = None,
     cell_timeout: Optional[float] = None,
     max_retries: int = 0,
+    trace: Optional[str] = None,
+    metrics: bool = False,
+    progress: Union[bool, Any] = False,
 ) -> SuiteResult:
     """Run every cell of a suite, resuming from ``store`` when possible.
 
@@ -1656,6 +1826,18 @@ def run_suite(
             fail-fast behaviour is unchanged.  Failed records are treated
             as pending on resume, so rerunning the suite heals exactly the
             quarantined cells.
+        trace: Path of a JSONL span-trace file (``--trace``); appended to,
+            one writer per process, covering the whole suite tree — see
+            docs/telemetry.md and ``python -m repro trace``.
+        metrics: Aggregate the :mod:`repro.telemetry` metrics registry
+            across all workers (``--metrics``) and snapshot it into the
+            store as a per-run ``telemetry`` summary record.
+        progress: Emit a rate-limited stderr heartbeat (``--progress``)
+            with cells done/failed/retried, current column, cells/s and
+            ETA.  Pass a writable stream instead of ``True`` to redirect
+            it.  All three telemetry knobs are off by default and records
+            are byte-identical with them on or off (modulo the summary
+            record).
 
     Returns:
         A :class:`SuiteResult`; ``result.records`` has one record per grid
@@ -1725,58 +1907,130 @@ def run_suite(
         "algorithm_runs": len(task_groups),
     }
     supervisor_stats: Dict[str, Any] = {}
-    if pending:
-        if policy.active:
-            supervisor_stats = policy.stats()
-            if workers == 1:
-                arena_stats.update(
-                    _run_serial_supervised(
-                        spec, groups, store, policy, shared, supervisor_stats
-                    )
-                )
-            else:
-                context = multiprocessing.get_context(start_method)
-                arena_stats.update(
-                    _run_pool_supervised(
-                        spec,
-                        groups,
-                        store,
-                        workers,
-                        arena_mb,
-                        context,
-                        policy,
-                        shared,
-                        supervisor_stats,
-                    )
-                )
-        elif workers == 1:
-            if shared:
-                arena_stats.update(_run_serial_batched(spec, groups, store))
-            else:
-                for task_cells in task_groups:
-                    for record in _execute_cells(_group_payload(task_cells, spec)):
-                        store.add(record)
-        else:
-            from repro.pipeline.arena import install_worker_cleanup
 
-            if shared:
-                context = multiprocessing.get_context(start_method)
-                arena_stats.update(
-                    _run_pool_arena(spec, groups, store, workers, arena_mb, context)
-                )
+    # --- telemetry setup (all three knobs default off; ~zero cost then) ---
+    global _TELEMETRY_CONFIG
+    trace_was_on = telemetry.tracing_enabled()
+    metrics_was_on = telemetry.metrics_enabled()
+    if trace:
+        telemetry.configure_tracing(trace)
+    if metrics:
+        telemetry.configure_metrics(True)
+    # Summaries report this run only: diff against the registry state at
+    # entry, so back-to-back runs in one process do not bleed together.
+    metrics_mark = telemetry.marker() if metrics else None
+    reporter = None
+    if progress:
+        stream = progress if hasattr(progress, "write") else None
+        reporter = telemetry.ProgressReporter(
+            len(pending), stream=stream, label=spec.name or "suite"
+        )
+    exec_store = (
+        _InstrumentedStore(store, progress=reporter)
+        if (metrics or reporter is not None)
+        else store
+    )
+
+    try:
+        with telemetry.span(
+            "suite", suite=spec.name, cells=len(pending), skipped=skipped
+        ) as suite_span:
+            if trace or metrics:
+                _TELEMETRY_CONFIG = {
+                    "trace": trace,
+                    "metrics": bool(metrics),
+                    "parent": suite_span.id,
+                }
+            if pending:
+                if policy.active:
+                    supervisor_stats = policy.stats()
+                    if workers == 1:
+                        arena_stats.update(
+                            _run_serial_supervised(
+                                spec, groups, exec_store, policy, shared,
+                                supervisor_stats,
+                            )
+                        )
+                    else:
+                        context = multiprocessing.get_context(start_method)
+                        arena_stats.update(
+                            _run_pool_supervised(
+                                spec,
+                                groups,
+                                exec_store,
+                                workers,
+                                arena_mb,
+                                context,
+                                policy,
+                                shared,
+                                supervisor_stats,
+                            )
+                        )
+                elif workers == 1:
+                    if shared:
+                        arena_stats.update(
+                            _run_serial_batched(spec, groups, exec_store)
+                        )
+                    else:
+                        for task_cells in task_groups:
+                            records = _execute_cells(
+                                _group_payload(task_cells, spec)
+                            )
+                            for record in _harvest_records(records):
+                                exec_store.add(record)
+                else:
+                    from repro.pipeline.arena import install_worker_cleanup
+
+                    if shared:
+                        context = multiprocessing.get_context(start_method)
+                        arena_stats.update(
+                            _run_pool_arena(
+                                spec, groups, exec_store, workers, arena_mb, context
+                            )
+                        )
+                    else:
+                        context = multiprocessing.get_context(start_method)
+                        payloads = [
+                            _group_payload(task_cells, spec)
+                            for task_cells in task_groups
+                        ]
+                        with context.Pool(
+                            processes=workers, initializer=install_worker_cleanup
+                        ) as pool:
+                            for records in pool.imap_unordered(
+                                _execute_cells, payloads
+                            ):
+                                for record in _harvest_records(records):
+                                    exec_store.add(record)
             else:
-                context = multiprocessing.get_context(start_method)
-                payloads = [_group_payload(task_cells, spec) for task_cells in task_groups]
-                with context.Pool(
-                    processes=workers, initializer=install_worker_cleanup
-                ) as pool:
-                    for records in pool.imap_unordered(_execute_cells, payloads):
-                        for record in records:
-                            store.add(record)
-    else:
-        arena_stats["graph_builds"] = 0
-        arena_stats["algorithm_runs"] = 0
-    seconds = time.perf_counter() - start
+                arena_stats["graph_builds"] = 0
+                arena_stats["algorithm_runs"] = 0
+    finally:
+        _TELEMETRY_CONFIG = None
+        if reporter is not None:
+            reporter.finish()
+        seconds = time.perf_counter() - start
+        if metrics:
+            # Best-effort by design: the summary must never mask the run's
+            # own outcome (including an exception already unwinding here).
+            try:
+                store.add_summary(
+                    telemetry.summary_record(
+                        telemetry.delta_since(metrics_mark),
+                        run_info={
+                            "suite": spec.name,
+                            "executed": len(pending),
+                            "skipped": skipped,
+                            "seconds": round(seconds, 6),
+                        },
+                    )
+                )
+            except Exception:  # pragma: no cover - damaged store mid-unwind
+                pass
+            if not metrics_was_on:
+                telemetry.configure_metrics(False)
+        if trace and not trace_was_on:
+            telemetry.disable_tracing()
 
     completed = store.completed_cells()
     records = [completed[cell.cell_id] for cell in cells]

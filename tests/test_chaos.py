@@ -40,7 +40,13 @@ CHAOS_VOLATILE_KEYS = VOLATILE_RECORD_KEYS + ("fault_stats", "attempts")
 
 
 def strip_chaos(record):
-    return {k: v for k, v in record.items() if k not in CHAOS_VOLATILE_KEYS}
+    stripped = {k: v for k, v in record.items() if k not in CHAOS_VOLATILE_KEYS}
+    # rounds["attempt"] is supervision bookkeeping (schema 6): a healed cell
+    # legitimately records a later attempt than its fault-free twin.
+    rounds = stripped.get("rounds")
+    if isinstance(rounds, dict) and "attempt" in rounds:
+        stripped["rounds"] = {k: v for k, v in rounds.items() if k != "attempt"}
+    return stripped
 
 
 def _spec(**overrides):

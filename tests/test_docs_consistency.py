@@ -96,11 +96,85 @@ class TestFaultKindTable:
         )
 
 
-class TestCliFlags:
-    def test_every_documented_flag_exists_on_the_parser(self):
+def _section(text, header):
+    """The body of one ``## header`` section (up to the next ``## ``)."""
+    marker = "## " + header
+    start = text.index(marker) + len(marker)
+    end = text.find("\n## ", start)
+    return text[start:] if end == -1 else text[start:end]
+
+
+class TestTelemetryTables:
+    def test_span_table_matches_registry(self):
+        from repro.telemetry import SPAN_NAMES
+
+        doc = _read(os.path.join(REPO_ROOT, "docs", "telemetry.md"))
+        documented = re.findall(
+            r"^\|\s*`([a-z][a-z._]*)`\s*\|",
+            _section(doc, "Span taxonomy"),
+            flags=re.MULTILINE,
+        )
+        assert documented, "docs/telemetry.md has no span table rows"
+        assert sorted(documented) == sorted(set(documented)), "duplicate span rows"
+        assert set(documented) == set(SPAN_NAMES), (
+            "docs/telemetry.md span table ({}) out of sync with SPAN_NAMES "
+            "({})".format(sorted(documented), sorted(SPAN_NAMES))
+        )
+
+    def test_metric_table_matches_registry(self):
+        from repro.telemetry import METRIC_NAMES
+
+        doc = _read(os.path.join(REPO_ROOT, "docs", "telemetry.md"))
+        documented = re.findall(
+            r"^\|\s*`([a-z][a-z_]*(?:\[[a-z]+\])?)`\s*\|",
+            _section(doc, "Metric registry"),
+            flags=re.MULTILINE,
+        )
+        assert documented, "docs/telemetry.md has no metric table rows"
+        assert sorted(documented) == sorted(set(documented)), "duplicate metric rows"
+        assert set(documented) == set(METRIC_NAMES), (
+            "docs/telemetry.md metric table ({}) out of sync with "
+            "METRIC_NAMES ({})".format(sorted(documented), sorted(METRIC_NAMES))
+        )
+
+    def test_telemetry_cli_flags_exist(self):
         parser_flags = set()
         for action in build_parser()._actions:
             parser_flags.update(action.option_strings)
+        for flag in ("--trace", "--metrics", "--progress"):
+            assert flag in parser_flags
+
+
+class TestCliFlags:
+    def test_every_documented_flag_exists_on_the_parser(self):
+        # Docs reference the whole CLI surface: the suite parser plus the
+        # store / trace / telemetry verb parsers.
+        from repro.cli import (
+            build_store_parser,
+            build_telemetry_parser,
+            build_trace_parser,
+        )
+
+        parser_flags = set()
+        # Walk verb subparsers too (trace slowest --top, store export ...).
+        for builder in (
+            build_parser,
+            build_store_parser,
+            build_trace_parser,
+            build_telemetry_parser,
+        ):
+            stack = [builder()]
+            while stack:
+                parser = stack.pop()
+                for action in parser._actions:
+                    parser_flags.update(action.option_strings)
+                    choices = getattr(action, "choices", None)
+                    if isinstance(choices, dict):
+                        stack.extend(
+                            sub
+                            for sub in choices.values()
+                            if hasattr(sub, "_actions")
+                        )
 
         flag_pattern = re.compile(r"(?<![\w-])(--[a-z][a-z0-9-]+)")
         for path in _doc_paths():
