@@ -44,7 +44,7 @@ import tempfile
 import time
 
 import repro
-from _harness import emit_table
+from _harness import emit_metrics, emit_table
 from repro.graphs.io import read_edge_list
 from repro.graphs.memmap import ingest_edge_list, load_graph
 
@@ -201,6 +201,39 @@ def _run(assert_targets):
         "Out-of-core scaling — {} over memmap CSR, partition={}, no networkx".format(
             METHOD, PARTITION if PARTITION > 0 else "off"
         ),
+    )
+    metrics = []
+    for row in scaling:
+        for field, unit in (
+            ("ingest_s", "s"),
+            ("decompose_s", "s"),
+            ("peak_mb", "MiB"),
+        ):
+            metrics.append(
+                {
+                    "metric": "n{}_{}".format(row["n"], field),
+                    "value": row[field],
+                    "unit": unit,
+                    "n": row["n"],
+                }
+            )
+    metrics.append(
+        {
+            "metric": "equivalence_identical",
+            "value": all(row["identical"] for row in equivalence),
+            "unit": "bool",
+            "n": EQUIVALENCE_N,
+        }
+    )
+    emit_metrics(
+        "ooc_scaling",
+        metrics,
+        config={
+            "method": METHOD,
+            "max_n": N,
+            "partition": PARTITION,
+            "rss_ceiling_mb": RSS_CEILING_MB,
+        },
     )
     problems = _check(scaling, equivalence)
     print(

@@ -33,7 +33,7 @@ import time
 import pytest
 
 import repro
-from _harness import emit_table
+from _harness import emit_metrics, emit_table
 from repro.pipeline import SuiteSpec
 
 TARGET_SPEEDUP = 2.0
@@ -123,15 +123,59 @@ def _check(rows):
     )
 
 
-@pytest.mark.benchmark(group="pipeline-throughput")
-def test_pipeline_throughput():
-    rows = throughput_rows()
+def _emit(rows):
     emit_table(
         "pipeline_throughput",
         rows,
         "Pipeline throughput — 24-cell grid, serial vs parallel vs arena vs warm rerun "
         "(cpus={})".format(os.cpu_count() or 1),
     )
+    by_run = {row["run"]: row for row in rows}
+    metrics = [
+        {
+            "metric": "{}_s".format(key),
+            "value": by_run[label]["seconds"],
+            "unit": "s",
+            "n": by_run[label]["cells"],
+        }
+        for key, label in (
+            ("serial", "serial"),
+            ("parallel", "parallel"),
+            ("parallel_arena", "parallel+arena"),
+            ("rerun_warm", "rerun (warm store)"),
+        )
+    ]
+    metrics.append(
+        {
+            "metric": "parallel_speedup",
+            "value": by_run["parallel"]["speedup"],
+            "unit": "x",
+            "n": by_run["parallel"]["cells"],
+        }
+    )
+    metrics.append(
+        {
+            "metric": "arena_graph_builds",
+            "value": by_run["parallel+arena"]["graph builds"],
+            "unit": "builds",
+            "n": by_run["parallel+arena"]["cells"],
+        }
+    )
+    emit_metrics(
+        "pipeline_throughput",
+        metrics,
+        config={
+            "cells": rows[0]["cells"],
+            "workers": PARALLEL_WORKERS,
+            "cpus": os.cpu_count() or 1,
+        },
+    )
+
+
+@pytest.mark.benchmark(group="pipeline-throughput")
+def test_pipeline_throughput():
+    rows = throughput_rows()
+    _emit(rows)
     ok, message = _check(rows)
     print("\n" + message)
     assert ok, message
@@ -139,12 +183,7 @@ def test_pipeline_throughput():
 
 def main() -> int:
     rows = throughput_rows()
-    emit_table(
-        "pipeline_throughput",
-        rows,
-        "Pipeline throughput — 24-cell grid, serial vs parallel vs arena vs warm rerun "
-        "(cpus={})".format(os.cpu_count() or 1),
-    )
+    _emit(rows)
     ok, message = _check(rows)
     print("{} ({})".format(message, "PASS" if ok else "FAIL"))
     return 0 if ok else 1

@@ -30,7 +30,7 @@ import time
 
 import pytest
 
-from _harness import emit_table
+from _harness import emit_metrics, emit_table
 from repro.pipeline import open_store
 
 TOTAL_RECORDS = 50_000
@@ -172,10 +172,63 @@ _TITLE = (
 )
 
 
+def _emit(rows):
+    emit_table("store_backends", rows, _TITLE)
+    metrics = []
+    for row in rows:
+        backend = row["backend"]
+        metrics.extend(
+            [
+                {
+                    "metric": "{}_batched_append_rec_per_s".format(backend),
+                    "value": row["batched append (rec/s)"],
+                    "unit": "rec/s",
+                    "n": row["records"],
+                },
+                {
+                    "metric": "{}_streamed_append_rec_per_s".format(backend),
+                    "value": row["streamed append (rec/s)"],
+                    "unit": "rec/s",
+                    "n": STREAMING_RECORDS,
+                },
+                {
+                    "metric": "{}_cold_query_s".format(backend),
+                    "value": row["cold query (s)"],
+                    "unit": "s",
+                    "n": row["slice rows"],
+                },
+                {
+                    "metric": "{}_bytes".format(backend),
+                    "value": row["bytes"],
+                    "unit": "B",
+                    "n": row["records"],
+                },
+            ]
+        )
+    by_backend = {row["backend"]: row for row in rows}
+    metrics.append(
+        {
+            "metric": "sqlite_query_speedup",
+            "value": by_backend["sqlite"]["query speedup"],
+            "unit": "x",
+            "n": by_backend["sqlite"]["records"],
+        }
+    )
+    emit_metrics(
+        "store_backends",
+        metrics,
+        config={
+            "records": TOTAL_RECORDS,
+            "streaming_records": STREAMING_RECORDS,
+            "query": QUERY,
+        },
+    )
+
+
 @pytest.mark.benchmark(group="store-backends")
 def test_store_backends():
     rows = backend_rows()
-    emit_table("store_backends", rows, _TITLE)
+    _emit(rows)
     ok, message = _check(rows)
     print("\n" + message)
     assert ok, message
@@ -183,7 +236,7 @@ def test_store_backends():
 
 def main() -> int:
     rows = backend_rows()
-    emit_table("store_backends", rows, _TITLE)
+    _emit(rows)
     ok, message = _check(rows)
     print("{} ({})".format(message, "PASS" if ok else "FAIL"))
     return 0 if ok else 1

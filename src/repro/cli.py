@@ -33,8 +33,11 @@ The run store behind ``--store`` is pluggable (``--store-backend``, or by
 extension: ``.sqlite``/``.db`` selects the indexed SQLite backend, anything
 else the JSON-lines interchange format).  ``--mode diff`` regression-diffs
 two stores (``--store`` vs ``--baseline``) into a Markdown report, and the
-``store`` verbs (``python -m repro store migrate|export|info``) convert
-between backends losslessly.
+``store`` verbs (``python -m repro store migrate|export|merge|info``)
+convert between backends and union shard stores losslessly.  ``--shard
+I/K`` runs one deterministic slice of a grid (each shard writing its own
+store) so a sweep can fan out across machines; ``store merge`` reassembles
+the shards into a store indistinguishable from an unsharded run's.
 
 ``--trace`` / ``--metrics`` / ``--progress`` switch on the unified
 telemetry layer: a pool-safe span trace, a per-run metrics summary record
@@ -267,6 +270,20 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--shard",
+        metavar="I/K",
+        default=None,
+        help=(
+            "suite mode: run only deterministic shard I of a K-way split of "
+            "the grid (0 <= I < K), e.g. '--shard 0/2'; cells are "
+            "partitioned by a stable hash of their topology column, so "
+            "task groups and column batching stay intact and the split "
+            "never changes when the grid is reordered.  Each shard writes "
+            "its own --store; union them afterwards with 'python -m repro "
+            "store merge'"
+        ),
+    )
+    parser.add_argument(
         "--tasks",
         metavar="TASKS",
         default="decompose",
@@ -414,6 +431,7 @@ def _run_suite_mode(args) -> int:
         trace=args.trace,
         metrics=args.metrics,
         progress=args.progress,
+        shard=args.shard,
     )
     print(
         format_table(
@@ -500,7 +518,8 @@ def build_store_parser() -> argparse.ArgumentParser:
         prog="repro-decompose store",
         description=(
             "Run-store maintenance: convert stores between the JSON-lines "
-            "interchange format and the indexed SQLite backend, losslessly."
+            "interchange format and the indexed SQLite backend, and merge "
+            "shard stores into one — losslessly."
         ),
     )
     verbs = parser.add_subparsers(dest="verb", required=True)
@@ -527,20 +546,67 @@ def build_store_parser() -> argparse.ArgumentParser:
     export.add_argument("source", help="existing run store (any backend)")
     export.add_argument("destination", help="JSON-lines file to create")
 
+    merge = verbs.add_parser(
+        "merge",
+        help="union shard run stores (written by --shard suite runs) into "
+        "one store, byte-losslessly; refuses conflicting cells and "
+        "mismatched suite specs",
+    )
+    merge.add_argument(
+        "sources", nargs="+", help="shard run stores to merge (any backend)"
+    )
+    merge.add_argument("destination", help="merged store file to create")
+    merge.add_argument(
+        "--store-backend",
+        choices=("auto", "jsonl", "sqlite"),
+        default="auto",
+        help="destination backend ('auto' selects by extension)",
+    )
+
     info = verbs.add_parser("info", help="print a store's header and cell count")
     info.add_argument("source", help="run store to inspect (any backend)")
     return parser
 
 
 def _store_main(argv: List[str]) -> int:
-    """Dispatch the ``store migrate`` / ``store export`` / ``store info`` verbs."""
+    """Dispatch the ``store migrate|export|merge|info`` verbs."""
     import json
 
-    from repro.pipeline.backends import backend_for_path, convert_store, open_store
+    from repro.pipeline.backends import (
+        StoreMergeError,
+        backend_for_path,
+        convert_store,
+        merge_stores,
+        open_store,
+        shard_provenance,
+    )
 
     import os
 
     args = build_store_parser().parse_args(argv)
+    if args.verb == "merge":
+        try:
+            destination = merge_stores(
+                args.sources,
+                args.destination,
+                destination_backend=args.store_backend,
+            )
+        except (StoreMergeError, ValueError, OSError) as error:
+            print("store merge: {}".format(error), file=sys.stderr)
+            return 1
+        count = len(destination)
+        destination.close()
+        print(
+            "merged {} record(s) from {} store(s) -> {} ({})".format(
+                count,
+                len(args.sources),
+                args.destination,
+                args.store_backend
+                if args.store_backend != "auto"
+                else backend_for_path(args.destination),
+            )
+        )
+        return 0
     if not os.path.exists(args.source):
         print("store {}: no such store: {}".format(args.verb, args.source), file=sys.stderr)
         return 1
@@ -551,6 +617,24 @@ def _store_main(argv: List[str]) -> int:
         )
         if store.metadata:
             print("metadata: {}".format(json.dumps(store.metadata)))
+        provenance = shard_provenance(store)
+        if provenance is not None:
+            shard = provenance.get("shard")
+            if isinstance(shard, dict):
+                print(
+                    "shard: {}/{}".format(shard.get("index"), shard.get("count"))
+                )
+            for entry in provenance.get("merged_from") or []:
+                entry_shard = entry.get("shard")
+                print(
+                    "merged-from: {} (shard {}, {} cell(s))".format(
+                        entry.get("source"),
+                        "{}/{}".format(entry_shard.get("index"), entry_shard.get("count"))
+                        if isinstance(entry_shard, dict)
+                        else "-",
+                        entry.get("cells"),
+                    )
+                )
         store.close()
         return 0
 

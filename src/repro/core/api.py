@@ -299,6 +299,7 @@ def run_suite(
     trace: Optional[str] = None,
     metrics: bool = False,
     progress=False,
+    shard=None,
 ):
     """Run a whole experiment grid (the batched form of carve/decompose).
 
@@ -360,6 +361,11 @@ def run_suite(
             ``python -m repro telemetry export``).
         progress: ``True`` for a rate-limited live heartbeat on stderr,
             or a writable stream to send it elsewhere.
+        shard: Run only one deterministic slice of the grid — an
+            ``(index, count)`` pair or an ``"i/k"`` string (the CLI's
+            ``--shard``).  Each shard invocation writes its own store;
+            union them with ``python -m repro store merge``.  See
+            :func:`repro.pipeline.runner.shard_of` for the partition.
 
     Returns:
         A :class:`repro.pipeline.SuiteResult` (records, executed/skipped
@@ -382,4 +388,5 @@ def run_suite(
         trace=trace,
         metrics=metrics,
         progress=progress,
+        shard=shard,
     )

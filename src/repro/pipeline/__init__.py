@@ -29,7 +29,10 @@ from repro.pipeline.runner import (
     SuiteSpec,
     derive_cell_seed,
     load_spec,
+    parse_shard,
     run_suite,
+    shard_cells,
+    shard_of,
 )
 from repro.pipeline.scenarios import (
     Scenario,
@@ -44,9 +47,12 @@ from repro.pipeline.backends import (
     RunStoreBase,
     SqliteRunStore,
     StoreCorruptError,
+    StoreMergeError,
     backend_for_path,
     convert_store,
+    merge_stores,
     open_store,
+    shard_provenance,
 )
 from repro.pipeline.store import SCHEMA_VERSION, RunStore, StoreSchemaError, read_records
 
@@ -59,7 +65,10 @@ __all__ = [
     "SuiteSpec",
     "derive_cell_seed",
     "load_spec",
+    "parse_shard",
     "run_suite",
+    "shard_cells",
+    "shard_of",
     "Scenario",
     "build_workload",
     "get_scenario",
@@ -72,9 +81,12 @@ __all__ = [
     "RunStoreBase",
     "SqliteRunStore",
     "StoreCorruptError",
+    "StoreMergeError",
     "StoreSchemaError",
     "backend_for_path",
     "convert_store",
+    "merge_stores",
     "open_store",
     "read_records",
+    "shard_provenance",
 ]

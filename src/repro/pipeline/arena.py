@@ -51,6 +51,7 @@ import hashlib
 import mmap
 import os
 import signal
+import threading
 import weakref
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Tuple
@@ -156,6 +157,10 @@ class CSRArena:
     (a completed column is never reattached) and unconditionally on
     :meth:`close`, which the runner calls in a ``finally`` block so success,
     failure and ``KeyboardInterrupt`` all clean up.
+
+    The arena is **thread-safe**: the runner's builder thread publishes the
+    next column while the main thread releases completed ones, so every
+    mutating entry point serialises on one re-entrant lock.
     """
 
     def __init__(
@@ -167,6 +172,7 @@ class CSRArena:
             raise ArenaUnavailable("multiprocessing.shared_memory is not importable")
         self.max_bytes = max(1, int(max_bytes))
         self.spill_dir = spill_dir
+        self._lock = threading.RLock()
         self._segments: "OrderedDict[str, Any]" = OrderedDict()
         self._descriptors: Dict[str, SegmentDescriptor] = {}
         self._spill_paths: Dict[str, str] = {}
@@ -191,9 +197,10 @@ class CSRArena:
         budget must still be runnable, just with no neighbours.  Spilled
         columns live on disk and do not consume the window.
         """
-        if not self._segments:
-            return True
-        return self.live_bytes + int(extra_bytes) <= self.max_bytes
+        with self._lock:
+            if not self._segments:
+                return True
+            return self.live_bytes + int(extra_bytes) <= self.max_bytes
 
     def publish(self, column_key: str, source) -> SegmentDescriptor:
         """Publish a frozen index; returns the (picklable) descriptor.
@@ -213,12 +220,16 @@ class CSRArena:
         for that column) and :class:`ArenaUnavailable` when the kernel
         refuses the allocation and no spill directory is available.
         """
-        if column_key in self._segments or column_key in self._spill_paths:
-            raise ValueError("column {!r} is already published".format(column_key))
         buffers = source.to_buffers() if isinstance(source, CSRGraph) else source
         lengths = (len(buffers["indptr"]), len(buffers["indices"]), len(buffers["meta"]))
         total = sum(lengths) or 1
-        with telemetry.span("arena.publish", column=column_key, bytes=total):
+        with self._lock, telemetry.span(
+            "arena.publish", column=column_key, bytes=total
+        ):
+            if column_key in self._segments or column_key in self._spill_paths:
+                raise ValueError(
+                    "column {!r} is already published".format(column_key)
+                )
             if self.spill_enabled and not self.fits(total):
                 return self._spill(column_key, buffers, lengths)
             try:
@@ -284,6 +295,10 @@ class CSRArena:
 
     def release(self, column_key: str) -> None:
         """Close and unlink one column's segment or spill file (idempotent)."""
+        with self._lock:
+            self._release_locked(column_key)
+
+    def _release_locked(self, column_key: str) -> None:
         spill_path = self._spill_paths.pop(column_key, None)
         if spill_path is not None:
             self._descriptors.pop(column_key, None)
@@ -309,8 +324,9 @@ class CSRArena:
 
     def close(self) -> None:
         """Release every remaining segment (safe to call repeatedly)."""
-        for column_key in list(self._segments) + list(self._spill_paths):
-            self.release(column_key)
+        with self._lock:
+            for column_key in list(self._segments) + list(self._spill_paths):
+                self._release_locked(column_key)
 
     def __enter__(self) -> "CSRArena":
         return self

@@ -21,8 +21,9 @@ so a JSONL → SQLite → JSONL round trip is byte-identical.
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Any, Dict, Optional, Type
+from typing import Any, Dict, List, Optional, Sequence, Type
 
 from repro.pipeline.backends.base import (
     COMPATIBLE_SCHEMAS,
@@ -30,7 +31,9 @@ from repro.pipeline.backends.base import (
     SCHEMA_VERSION,
     RunStoreBase,
     StoreCorruptError,
+    StoreMergeError,
     StoreSchemaError,
+    shard_provenance,
 )
 from repro.pipeline.backends.jsonl import JsonlRunStore
 from repro.pipeline.backends.sqlite import SqliteRunStore
@@ -137,6 +140,179 @@ def convert_store(
     return destination_store
 
 
+def _grid_order(spec_dict: Optional[Dict[str, Any]]) -> Optional[Dict[str, int]]:
+    """Map cell id → store position from a stored suite spec, if expandable.
+
+    The runner executes **column-batched**: topology columns in first-
+    appearance order over the expanded grid, and each column's cells
+    together in grid order.  Replaying that order here makes a merged
+    store's record sequence identical to an unsharded run's.
+    """
+    if not spec_dict:
+        return None
+    from repro.pipeline.runner import SuiteSpec
+
+    try:
+        cells = SuiteSpec.from_dict(spec_dict).expand()
+    except (KeyError, ValueError, TypeError):
+        return None
+    columns: Dict[str, List[str]] = {}
+    column_order: List[str] = []
+    for cell in cells:
+        key = cell.column_key
+        if key not in columns:
+            columns[key] = []
+            column_order.append(key)
+        columns[key].append(cell.cell_id)
+    flat = [cell_id for key in column_order for cell_id in columns[key]]
+    return {cell_id: position for position, cell_id in enumerate(flat)}
+
+
+def merge_stores(
+    sources: Sequence[str],
+    destination: str,
+    source_backend: Optional[str] = None,
+    destination_backend: Optional[str] = None,
+) -> RunStoreBase:
+    """Merge shard run stores into one store, losslessly.
+
+    The companion of :func:`convert_store` for sharded suites
+    (``run_suite(shard=(i, k))`` — see docs/pipeline.md): each shard
+    invocation wrote its own store; this unions them into a single store
+    that ``--mode diff``, tables/report and resume treat exactly like an
+    unsharded run's.  Records travel as plain dictionaries re-serialised by
+    ``json.dumps`` — byte-lossless, like ``store migrate``.
+
+    Validation (all failures raise :class:`StoreMergeError`):
+
+    * every source must carry the same suite name and — when recorded — the
+      same suite spec in its header metadata;
+    * sources stamped with shard provenance must agree on the shard count;
+    * a cell id appearing in two sources must carry **byte-identical**
+      records (re-merging overlapping shards is then a no-op — merge is
+      idempotent); conflicting records are refused, never clobbered.
+
+    Result records are written in grid order when the header spec is
+    expandable (so a merged store lays out like an unsharded run), with any
+    off-grid records appended in source order.  Telemetry summaries are
+    carried over from every source; the merged store is stamped with a
+    ``kind="shard"`` provenance summary listing each source, its shard
+    stamp and its cell count — ``store info`` prints it and resume accepts
+    it.
+
+    Refuses an existing non-empty destination, like :func:`convert_store`.
+
+    Returns:
+        The populated merged destination store.
+    """
+    if not sources:
+        raise StoreMergeError("store merge needs at least one source store")
+    if os.path.exists(destination) and os.path.getsize(destination) > 0:
+        raise ValueError(
+            "destination store {!r} already exists; merge into a fresh "
+            "path (or delete it first)".format(destination)
+        )
+    opened: List[RunStoreBase] = []
+    try:
+        for path in sources:
+            if not os.path.exists(path):
+                raise StoreMergeError("source store {!r} does not exist".format(path))
+            opened.append(open_store(path, backend=source_backend))
+
+        # -- header compatibility ------------------------------------------
+        suites = {store.suite for store in opened}
+        if len(suites) > 1:
+            raise StoreMergeError(
+                "cannot merge stores from different suites: {}".format(
+                    ", ".join(sorted(repr(name) for name in suites))
+                )
+            )
+        spec_dict: Optional[Dict[str, Any]] = None
+        spec_source: Optional[str] = None
+        for store in opened:
+            spec = store.metadata.get("spec")
+            if spec is None:
+                continue
+            if spec_dict is None:
+                spec_dict, spec_source = spec, store.path
+            elif spec != spec_dict:
+                raise StoreMergeError(
+                    "suite specs differ between {!r} and {!r}; shards of the "
+                    "same suite share one spec".format(spec_source, store.path)
+                )
+
+        # -- shard-provenance compatibility --------------------------------
+        provenances = [shard_provenance(store) for store in opened]
+        counts = set()
+        for provenance in provenances:
+            if provenance and isinstance(provenance.get("shard"), dict):
+                counts.add(provenance["shard"].get("count"))
+        if len(counts) > 1:
+            raise StoreMergeError(
+                "sources carry incompatible shard provenance (shard counts "
+                "{}); merge shards of one k-way split at a time".format(
+                    sorted(counts)
+                )
+            )
+
+        # -- record union with conflict detection --------------------------
+        merged: List[Dict[str, Any]] = []
+        seen: Dict[str, str] = {}
+        origin: Dict[str, Optional[str]] = {}
+        for store in opened:
+            for record in store.results():
+                cell = str(record.get("cell"))
+                text = json.dumps(record)
+                previous = seen.get(cell)
+                if previous is None:
+                    seen[cell] = text
+                    origin[cell] = store.path
+                    merged.append(record)
+                elif previous != text:
+                    raise StoreMergeError(
+                        "cell {!r} conflicts between {!r} and {!r}: the "
+                        "stored records differ".format(
+                            cell, origin[cell], store.path
+                        )
+                    )
+        order = _grid_order(spec_dict)
+        if order is not None:
+            off_grid = len(order)
+            merged.sort(
+                key=lambda record: order.get(str(record.get("cell")), off_grid)
+            )
+
+        destination_store = open_store(
+            destination,
+            suite=opened[0].suite,
+            metadata=opened[0].metadata,
+            backend=destination_backend,
+            schema=max([SCHEMA_VERSION] + [store.schema for store in opened]),
+        )
+        destination_store.add_many(merged)
+        for store in opened:
+            for summary in store.summaries():
+                if summary.get("kind") != "shard":
+                    destination_store.add_summary(summary)
+        destination_store.add_summary(
+            {
+                "kind": "shard",
+                "merged_from": [
+                    {
+                        "source": store.path,
+                        "shard": (provenance or {}).get("shard"),
+                        "cells": len(store),
+                    }
+                    for store, provenance in zip(opened, provenances)
+                ],
+            }
+        )
+        return destination_store
+    finally:
+        for store in opened:
+            store.close()
+
+
 __all__ = [
     "BACKENDS",
     "COMPATIBLE_SCHEMAS",
@@ -147,8 +323,11 @@ __all__ = [
     "SQLITE_EXTENSIONS",
     "SqliteRunStore",
     "StoreCorruptError",
+    "StoreMergeError",
     "StoreSchemaError",
     "backend_for_path",
     "convert_store",
+    "merge_stores",
     "open_store",
+    "shard_provenance",
 ]

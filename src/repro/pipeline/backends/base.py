@@ -47,7 +47,15 @@ shape, not the container format):
   optional ``rounds["attempt"]`` tag naming the supervised attempt whose
   ledger produced the snapshot, so traces from abandoned attempts are
   distinguishable.  Older stores load unchanged and simply report no
-  summaries.
+  summaries;
+* **7** — added **shard-provenance summaries** (``kind="shard"``): a
+  sharded ``run_suite(shard=(i, k))`` invocation stamps its store with
+  ``{"kind": "shard", "shard": {"index": i, "count": k}}`` and
+  ``store merge`` stamps the merged store with ``{"kind": "shard",
+  "merged_from": [{"source", "shard", "cells"}, ...]}`` — what
+  ``store info`` prints and what merge/resume validate against.  Result
+  records are unchanged; older stores load unchanged and simply carry no
+  provenance.
 
 Each addition is optional for consumers, so every older version still loads.
 """
@@ -56,13 +64,14 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterator, List, Optional
 
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 
 #: Schema versions this build can safely read.  Versions 1–2 lack the
 #: ``timings`` / ``rounds`` keys, version 3 the ``task`` keys, version 4
-#: the ``status`` / ``attempts`` keys, version 5 the telemetry summaries —
-#: all of which every consumer treats as optional.
-COMPATIBLE_SCHEMAS = (1, 2, 3, 4, 5, 6)
+#: the ``status`` / ``attempts`` keys, version 5 the telemetry summaries,
+#: version 6 the shard-provenance summaries — all of which every consumer
+#: treats as optional.
+COMPATIBLE_SCHEMAS = (1, 2, 3, 4, 5, 6, 7)
 
 #: Grid parameters a :meth:`RunStoreBase.query` may filter on.  The SQLite
 #: backend keeps each (minus ``mode``) as an indexed column.
@@ -77,6 +86,26 @@ class StoreSchemaError(ValueError):
 
 class StoreCorruptError(ValueError):
     """Raised when a store file exists but cannot be read as its format."""
+
+
+class StoreMergeError(ValueError):
+    """Raised when stores cannot be merged (conflicting cells, mismatched
+    suite specs, or incompatible shard provenance)."""
+
+
+def shard_provenance(store: "RunStoreBase") -> Optional[Dict[str, Any]]:
+    """The store's shard-provenance summary (schema 7), or ``None``.
+
+    Returns the last ``kind="shard"`` summary record: either a shard stamp
+    (``{"shard": {"index": i, "count": k}}``) written by a sharded
+    ``run_suite`` invocation, or a merge stamp (``{"merged_from": [...]}``)
+    written by ``store merge``.  Pre-7 stores report ``None``.
+    """
+    provenance = None
+    for record in store.summaries():
+        if record.get("kind") == "shard":
+            provenance = record
+    return provenance
 
 
 def check_schema(version: Any, path: Optional[str]) -> int:

@@ -25,8 +25,9 @@ File format (one JSON object per line)::
      "task": "mis", "task_rounds": 18, "task_metrics": {"mis_size": 64, "verified": true}}
     {"kind": "telemetry", "metrics": {"counters": {...}, "histograms": {...}}}
 
-Lines of kind ``telemetry`` are per-run summary records (schema 6): they
-never enter the resume index and are read back via ``summaries()``.
+Lines of kind ``telemetry`` (schema 6) and ``shard`` (schema 7) — and any
+future non-result kind — are per-run summary records: they never enter the
+resume index and are read back via ``summaries()``.
 
 Durability: every :meth:`add` is flushed *and fsynced*, so a killed worker
 loses at most the line it was writing.  A store whose **final** line is
@@ -146,7 +147,11 @@ class JsonlRunStore(RunStoreBase):
                 continue
             if kind == "result":
                 self._remember(record)
-            elif kind == "telemetry":
+            else:
+                # Every non-result, non-header kind is a summary record
+                # ("telemetry", "shard", future kinds): keep them all so a
+                # reload round-trips exactly what add_summary wrote — the
+                # SQLite backend's summaries table has the same behaviour.
                 self._summaries.append(record)
 
     def _remember(self, record: Dict[str, Any]) -> None:

@@ -105,6 +105,62 @@ def _format_eps(eps: float) -> str:
     return format(float(eps), "g")
 
 
+def parse_shard(shard: Union[None, str, Sequence[int]]) -> Optional[Tuple[int, int]]:
+    """Normalise a shard selector to ``(index, count)`` (or ``None``).
+
+    Accepts an ``(i, k)`` pair or the CLI's ``"i/k"`` string; validates
+    ``k >= 1`` and ``0 <= i < k``.
+    """
+    if shard is None:
+        return None
+    if isinstance(shard, str):
+        head, sep, tail = shard.partition("/")
+        try:
+            if not sep:
+                raise ValueError
+            index, count = int(head), int(tail)
+        except ValueError:
+            raise ValueError(
+                "shard must look like 'i/k' (e.g. '0/4'), got {!r}".format(shard)
+            )
+    else:
+        try:
+            index, count = (int(value) for value in shard)
+        except (TypeError, ValueError):
+            raise ValueError(
+                "shard must be an (index, count) pair or an 'i/k' string, "
+                "got {!r}".format(shard)
+            )
+    if count < 1:
+        raise ValueError("shard count must be >= 1, got {}".format(count))
+    if not 0 <= index < count:
+        raise ValueError(
+            "shard index must satisfy 0 <= i < k, got {}/{}".format(index, count)
+        )
+    return index, count
+
+
+def shard_of(column_key: str, count: int) -> int:
+    """Deterministic shard index of a grid column under a ``count``-way split.
+
+    Hashes the **column key** — the graph-identity prefix of the store key
+    (``scenario/nN/sS``) — with SHA-256, so the partition is stable across
+    processes, platforms and grid reorderings, and every cell of a column
+    (and therefore every task group) lands in the same shard: shards never
+    split a shared topology or a shared decomposition.
+    """
+    digest = hashlib.sha256(("shard:" + column_key).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % int(count)
+
+
+def shard_cells(cells: Sequence[Cell], shard: Optional[Tuple[int, int]]) -> List[Cell]:
+    """The subset of ``cells`` owned by ``shard`` (grid order preserved)."""
+    if shard is None:
+        return list(cells)
+    index, count = shard
+    return [cell for cell in cells if shard_of(cell.column_key, count) == index]
+
+
 @dataclasses.dataclass(frozen=True)
 class Cell:
     """One grid point of a suite: a single algorithm (or task) run."""
@@ -464,7 +520,7 @@ def _compute_group_records(
     graph_build_s: float,
     freeze_s: float,
     source: str,
-    kernel: str = "auto",
+    kernel: Optional[str] = "auto",
     graph_backend: str = "memory",
     partition_nodes: Optional[int] = None,
     fault: Optional[Dict[str, Any]] = None,
@@ -496,7 +552,9 @@ def _compute_group_records(
     ``"arena-cached"`` — reattached from a shared-memory segment).
     ``timings["kernel"]`` records the *resolved* hot-path kernel tier (never
     the ``"auto"`` alias), so stores written under different tiers can be
-    regression-diffed; ``timings["graph_backend"]`` likewise records where
+    regression-diffed; ``kernel=None`` keeps the ambient tier — the serial
+    column path resolves the tier once per column batch and passes ``None``
+    so groups skip the per-group re-resolution; ``timings["graph_backend"]`` likewise records where
     the topology lived (``"memory"`` / ``"memmap"``) — both are pure
     execution provenance, the schema is otherwise unchanged and older
     records still resume.  ``seconds`` stays the per-record total for
@@ -630,8 +688,12 @@ def _compute_group_records(
                 telemetry.inc("ledger_rounds", value, primitive=primitive)
 
         records: List[Dict[str, Any]] = []
+        # Hoisted registry lookups: one TASKS.get per distinct task of the
+        # group instead of one per cell (cells of a group differ only in
+        # task, so this is the whole batch's worth of lookups).
+        task_specs = {task: TASKS.get(task) for task in {cell.task for cell in cells}}
         for position, cell in enumerate(cells):
-            task_spec = TASKS.get(cell.task)
+            task_spec = task_specs[cell.task]
             task_start = time.perf_counter()
             with telemetry.span("cell.task", cell=cell.cell_id, task=cell.task):
                 if task_spec.solve is None:
@@ -731,6 +793,18 @@ def _finish_worker_telemetry(
         records = list(records)
         records.append(telemetry.delta_record(telemetry.delta_since(mark)))
     return records
+
+
+def _pool_warmup() -> None:
+    """No-op pool task; top-level so pools can pickle it.
+
+    Submitted ``workers`` times before the column builder thread starts so
+    the executor forks its whole worker set while the parent is still
+    effectively single-threaded (the sleep keeps the first workers busy
+    long enough that every submit forks a fresh process instead of reusing
+    an idle one).
+    """
+    time.sleep(0.05)
 
 
 def _execute_cells(payload: Dict[str, Any]) -> List[Dict[str, Any]]:
@@ -908,6 +982,53 @@ def _check_record_matches(record: Dict[str, Any], cell: Cell, spec: SuiteSpec) -
             )
 
 
+def _apply_shard_provenance(store, shard: Optional[Tuple[int, int]]) -> None:
+    """Validate (and stamp) a store's shard provenance for this invocation.
+
+    A sharded invocation owns one store: the first sharded run stamps it
+    with a ``kind="shard"`` summary (schema 7) and every resume validates
+    against the stamp, so shards of different splits — or different shard
+    indexes of the same split — can never silently interleave into one
+    file.  Unsharded runs refuse stores stamped as single shards (merge
+    them first, or pass the stamp's ``shard=``); merged stores
+    (``merged_from`` stamps) resume unsharded like any complete store.
+    """
+    from repro.pipeline.backends.base import shard_provenance
+
+    provenance = shard_provenance(store)
+    stamp = provenance.get("shard") if provenance else None
+    merged = provenance.get("merged_from") if provenance else None
+    if shard is None:
+        if stamp:
+            raise ValueError(
+                "store {!r} carries shard provenance {}/{}; resume it with "
+                "shard=({}, {}) or merge the shards first (python -m repro "
+                "store merge)".format(
+                    store.path, stamp.get("index"), stamp.get("count"),
+                    stamp.get("index"), stamp.get("count"),
+                )
+            )
+        return
+    index, count = shard
+    if merged is not None:
+        raise ValueError(
+            "store {!r} is a merged store; run it unsharded, or point the "
+            "shard at a fresh store file".format(store.path)
+        )
+    if stamp:
+        if (stamp.get("index"), stamp.get("count")) != (index, count):
+            raise ValueError(
+                "store {!r} carries shard provenance {}/{}, but this "
+                "invocation is shard {}/{}; each shard owns its own store "
+                "file".format(
+                    store.path, stamp.get("index"), stamp.get("count"),
+                    index, count,
+                )
+            )
+        return
+    store.add_summary({"kind": "shard", "shard": {"index": index, "count": count}})
+
+
 def _resolve_workers(workers: Optional[int]) -> int:
     if workers is None or workers <= 0:
         return max(1, os.cpu_count() or 1)
@@ -1059,7 +1180,15 @@ def _run_serial_batched(
     spec: SuiteSpec, groups: List[Tuple[str, List[Cell]]], store
 ) -> Dict[str, Any]:
     """Serial column-batched execution: one build per column, one clustering
-    per task group — every cell reuses both."""
+    per task group — every cell reuses both.
+
+    The kernel tier is resolved **once per column batch**: the resolved
+    tier is constant within a column (the spec names one tier for the whole
+    suite), so the per-group ``use_kernel`` re-resolution is hoisted to a
+    single column-scoped switch and the groups run with ``kernel=None``
+    (keep the ambient tier)."""
+    from repro.kernels import use_kernel
+
     stats = {
         "mode": "column",
         "columns": len(groups),
@@ -1074,24 +1203,25 @@ def _run_serial_batched(
         stats["build_s"] += build_s
         stats["freeze_s"] += freeze_s
         first = True
-        for task_cells in _group_task_cells(cells):
-            records = _compute_group_records(
-                task_cells,
-                graph,
-                spec.backend,
-                spec.validate,
-                spec.master_seed,
-                build_s if first else 0.0,
-                freeze_s if first else 0.0,
-                source="build" if first else "column",
-                kernel=spec.kernel,
-                graph_backend=spec.graph_backend,
-                partition_nodes=spec.partition_nodes,
-            )
-            first = False
-            stats["algorithm_runs"] += 1
-            for record in records:
-                store.add(record)
+        with use_kernel(spec.kernel):
+            for task_cells in _group_task_cells(cells):
+                records = _compute_group_records(
+                    task_cells,
+                    graph,
+                    spec.backend,
+                    spec.validate,
+                    spec.master_seed,
+                    build_s if first else 0.0,
+                    freeze_s if first else 0.0,
+                    source="build" if first else "column",
+                    kernel=None,
+                    graph_backend=spec.graph_backend,
+                    partition_nodes=spec.partition_nodes,
+                )
+                first = False
+                stats["algorithm_runs"] += 1
+                for record in records:
+                    store.add(record)
     stats["build_s"] = round(stats["build_s"], 6)
     stats["freeze_s"] = round(stats["freeze_s"], 6)
     return stats
@@ -1105,17 +1235,22 @@ def _run_pool_arena(
     arena_mb: int,
     context,
 ) -> Dict[str, Any]:
-    """Pool execution against shared-memory column segments.
+    """Pool execution against shared-memory column segments, pipelined.
 
-    Publishes columns into the :class:`~repro.pipeline.arena.CSRArena` as
-    long as the byte budget allows (always at least one), fans each column's
-    cells out as executor futures, and releases a column's segment the
-    moment its last cell completes — so the live-segment window slides over
-    the grid instead of growing with it.  With a ``spill_dir`` configured,
-    columns that exceed the live budget are *spilled* to disk files instead
-    of waiting — workers attach them via ``mmap`` and the suite degrades
-    gracefully rather than serialising on the budget.  Columns whose graphs
-    the arena cannot serialise fall back to per-cell rebuilds transparently.
+    A dedicated **builder thread** runs ahead of the workers: it builds,
+    freezes and serialises upcoming columns and publishes them into the
+    :class:`~repro.pipeline.arena.CSRArena` while the pool drains the
+    current column's cells — on many-core boxes the parent-side column
+    builds overlap cell execution instead of serialising before it (the
+    ``arena["builder"]`` stats report how much build time was hidden).
+    Backpressure is the arena byte budget: the builder blocks on a
+    condition variable (signalled by every column release) while the next
+    segment would overflow the live window — unless spill is enabled, in
+    which case over-budget columns go to disk exactly as before.  Columns
+    whose graphs the arena cannot serialise fall back to per-cell rebuilds,
+    and a kernel refusing segment allocations degrades the remaining
+    columns the same way — both unchanged from the unpipelined scheduler,
+    and records are identical in every mode.
 
     The pool is a :class:`concurrent.futures.ProcessPoolExecutor` rather
     than ``multiprocessing.Pool``: when a worker process dies abruptly
@@ -1125,6 +1260,8 @@ def _run_pool_arena(
     close still unlinks every segment on success, failure, worker death and
     ``KeyboardInterrupt`` alike.
     """
+    import queue as queue_module
+    import threading
     from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 
     from repro.graphs.csr import CSRUnsupported
@@ -1145,15 +1282,97 @@ def _run_pool_arena(
         "fallback_cells": 0,
         "arena_mb": arena_mb,
     }
+    builder_stats = {"columns": 0, "build_s": 0.0, "blocked_s": 0.0, "overlap_s": 0.0}
 
     arena = CSRArena(max_bytes=arena_mb * 1024 * 1024, spill_dir=spec.spill_dir)
-    staged = None  # (key, cells, buffers) serialised but deferred by the budget
-    next_group = 0
+    ready: "queue_module.Queue" = queue_module.Queue()
+    budget = threading.Condition()
+    stop = threading.Event()
+    # The executor forks workers lazily inside ``pool.submit`` — on the
+    # main thread, concurrently with the builder.  The multiprocessing
+    # resource tracker guards its pipe with a process-wide RLock, and
+    # ``arena.publish`` writes to it (segment create/unlink register):
+    # a worker forked at that instant inherits the RLock *held* by a
+    # thread that does not exist in the child, and its first segment
+    # attach then blocks forever.  Serialising every submit against
+    # every publish makes the fork moment tracker-quiet.
+    fork_lock = threading.Lock()
     futures: Dict[Any, Optional[str]] = {}  # future -> column key (None: fallback)
     outstanding: Dict[str, int] = {}
     completed = 0
     arena_broken = False
+    builder_error: List[BaseException] = []
+    parent_span = telemetry.current_span_id()
 
+    def _build_ahead() -> None:
+        """The builder stage: build → freeze → serialise → publish, running
+        ahead of the workers under the arena byte budget.
+
+        Products land on the ``ready`` queue as tagged tuples; a ``None``
+        sentinel marks the end.  The builder never touches the kernel
+        switch or the store — it only builds and publishes, so the ambient
+        kernel state stays owned by the workers and the main thread.
+        """
+        telemetry.set_thread_parent(parent_span)
+        broken = False
+        try:
+            for key, cells in groups:
+                if stop.is_set():
+                    return
+                if broken:
+                    # The kernel refused segment allocations: don't waste
+                    # builder time on graphs that could only ride the arena.
+                    ready.put(("fallback", key, cells))
+                    continue
+                overlapped = bool(futures)  # racy snapshot; stats only
+                _, csr, build_s, freeze_s = _build_column_graph(
+                    spec, cells[0], mark_frozen=True, force_freeze=True
+                )
+                if csr is None:
+                    ready.put(("fallback", key, cells))
+                    continue
+                try:
+                    buffers = csr.to_buffers()
+                except CSRUnsupported:
+                    # Labels that don't survive the typed JSON round trip
+                    # cannot ride the arena.
+                    ready.put(("fallback", key, cells))
+                    continue
+                if not arena.spill_enabled:
+                    # Backpressure: hold the column until the live window
+                    # has room (each release notifies).  With spill enabled
+                    # publish() handles over-budget columns itself.
+                    total_bytes = sum(len(part) for part in buffers.values())
+                    blocked_at = time.perf_counter()
+                    with budget:
+                        while not arena.fits(total_bytes) and not stop.is_set():
+                            budget.wait(0.05)
+                    builder_stats["blocked_s"] += time.perf_counter() - blocked_at
+                    if stop.is_set():
+                        return
+                try:
+                    with fork_lock:
+                        descriptor = arena.publish(key, buffers)
+                except ArenaUnavailable as error:
+                    # The wasted build is deliberately NOT counted into
+                    # graph_builds/build_s, which account only for builds
+                    # that serve shared columns.
+                    broken = True
+                    ready.put(("degraded", key, cells, error))
+                    continue
+                builder_stats["columns"] += 1
+                builder_stats["build_s"] += build_s + freeze_s
+                if overlapped:
+                    builder_stats["overlap_s"] += build_s + freeze_s
+                ready.put(("column", key, cells, descriptor, build_s, freeze_s))
+        except BaseException as error:  # pragma: no cover - surfaced below
+            builder_error.append(error)
+        finally:
+            ready.put(None)
+
+    builder = threading.Thread(
+        target=_build_ahead, name="repro-column-builder", daemon=True
+    )
     try:
         with ProcessPoolExecutor(
             max_workers=workers, mp_context=context, initializer=install_worker_cleanup
@@ -1167,57 +1386,34 @@ def _run_pool_arena(
                 stats["fallback_cells"] += len(cells)
                 for task_cells in _group_task_cells(cells):
                     stats["algorithm_runs"] += 1
-                    futures[
-                        pool.submit(_execute_cells, _group_payload(task_cells, spec))
-                    ] = None
+                    with fork_lock:
+                        future = pool.submit(
+                            _execute_cells, _group_payload(task_cells, spec)
+                        )
+                    futures[future] = None
 
-            while completed < total:
-                while next_group < len(groups) or staged is not None:
-                    if staged is None:
-                        key, cells = groups[next_group]
-                        next_group += 1
-                        if arena_broken:
-                            # The kernel refused segment allocations: don't
-                            # waste parent time building graphs that could
-                            # only ride the arena.
-                            _dispatch_fallback(cells)
-                            continue
-                        _, csr, build_s, freeze_s = _build_column_graph(
-                            spec, cells[0], mark_frozen=True, force_freeze=True
-                        )
-                        if csr is None:
-                            _dispatch_fallback(cells)
-                            continue
-                        try:
-                            buffers = csr.to_buffers()
-                        except CSRUnsupported:
-                            # Labels that don't survive the typed JSON round
-                            # trip cannot ride the arena.
-                            _dispatch_fallback(cells)
-                            continue
-                        staged = (key, cells, buffers, build_s, freeze_s)
-                    key, cells, buffers, build_s, freeze_s = staged
-                    if not arena.fits(
-                        sum(len(part) for part in buffers.values())
-                    ) and not arena.spill_enabled:
-                        break  # wait for a column to complete and release
-                    try:
-                        descriptor = arena.publish(key, buffers)
-                    except ArenaUnavailable as error:
-                        warnings.warn(
-                            "shared-memory arena degraded ({}); remaining columns "
-                            "fall back to per-cell rebuilds".format(error),
-                            RuntimeWarning,
-                            stacklevel=2,
-                        )
-                        # The staged build is wasted (rare: the kernel
-                        # refused the allocation); it is deliberately NOT
-                        # counted into graph_builds/build_s, which account
-                        # only for builds that serve shared columns.
-                        arena_broken = True
-                        _dispatch_fallback(cells)
-                        staged = None
-                        continue
+            def _handle(item) -> bool:
+                """Apply one builder product; ``False`` for the sentinel."""
+                nonlocal arena_broken
+                if item is None:
+                    if builder_error:
+                        raise builder_error[0]
+                    return False
+                if item[0] == "fallback":
+                    _, _key, cells = item
+                    _dispatch_fallback(cells)
+                elif item[0] == "degraded":
+                    _, _key, cells, error = item
+                    warnings.warn(
+                        "shared-memory arena degraded ({}); remaining columns "
+                        "fall back to per-cell rebuilds".format(error),
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+                    arena_broken = True
+                    _dispatch_fallback(cells)
+                else:
+                    _, key, cells, descriptor, build_s, freeze_s = item
                     stats["graph_builds"] += 1
                     stats["build_s"] += build_s
                     stats["freeze_s"] += freeze_s
@@ -1229,8 +1425,50 @@ def _run_pool_arena(
                         payload = _group_payload(task_cells, spec)
                         payload["segment"] = descriptor.to_dict()
                         stats["algorithm_runs"] += 1
-                        futures[pool.submit(_execute_arena_cells, payload)] = key
-                    staged = None
+                        with fork_lock:
+                            future = pool.submit(_execute_arena_cells, payload)
+                        futures[future] = key
+                return True
+
+            # Fork the whole worker set up front, while this process still
+            # has no builder thread: each warmup submit forks one worker
+            # (the sleep inside keeps early workers busy so none is reused),
+            # and once ``len(_processes) == workers`` the executor never
+            # forks again.  Any residual spawn — e.g. if a warmup finished
+            # implausibly fast — is still serialised by ``fork_lock``.
+            warmup = [pool.submit(_pool_warmup) for _ in range(workers)]
+            deadline = time.monotonic() + 2.0
+            processes = getattr(pool, "_processes", None)
+            while (
+                processes is not None
+                and len(processes) < workers
+                and time.monotonic() < deadline
+            ):
+                warmup.append(pool.submit(_pool_warmup))
+                time.sleep(0.01)
+            wait(warmup)
+
+            builder.start()
+            builder_alive = True
+            while completed < total:
+                # Drain whatever the builder has ready without blocking...
+                while builder_alive:
+                    try:
+                        item = ready.get_nowait()
+                    except queue_module.Empty:
+                        break
+                    if not _handle(item):
+                        builder_alive = False
+                # ...blocking for it only while the pool has nothing to chew.
+                if not futures:
+                    if not builder_alive:
+                        raise RuntimeError(
+                            "column builder finished with {} of {} task "
+                            "groups unaccounted".format(total - completed, total)
+                        )
+                    if not _handle(ready.get()):
+                        builder_alive = False
+                    continue
 
                 done, _ = wait(set(futures), return_when=FIRST_COMPLETED)
                 for future in done:
@@ -1250,12 +1488,27 @@ def _run_pool_arena(
                         if outstanding[key] == 0:
                             del outstanding[key]
                             arena.release(key)
+                            with budget:
+                                budget.notify_all()
             stats["spilled_segments"] = arena.spilled_count
             stats["spilled_bytes"] = arena.spilled_bytes
     finally:
+        # Unblock and retire the builder before tearing the arena down (it
+        # is a daemon thread, so a stuck join can never wedge the process).
+        stop.set()
+        with budget:
+            budget.notify_all()
+        if builder.ident is not None:
+            builder.join(timeout=5.0)
         arena.close()
     stats["build_s"] = round(stats["build_s"], 6)
     stats["freeze_s"] = round(stats["freeze_s"], 6)
+    stats["builder"] = {
+        "columns": builder_stats["columns"],
+        "build_s": round(builder_stats["build_s"], 6),
+        "blocked_s": round(builder_stats["blocked_s"], 6),
+        "overlap_s": round(builder_stats["overlap_s"], 6),
+    }
     return stats
 
 
@@ -1776,6 +2029,7 @@ def run_suite(
     trace: Optional[str] = None,
     metrics: bool = False,
     progress: Union[bool, Any] = False,
+    shard: Union[None, str, Tuple[int, int]] = None,
 ) -> SuiteResult:
     """Run every cell of a suite, resuming from ``store`` when possible.
 
@@ -1838,6 +2092,18 @@ def run_suite(
             it.  All three telemetry knobs are off by default and records
             are byte-identical with them on or off (modulo the summary
             record).
+        shard: Run only this invocation's slice of the grid: an
+            ``(index, count)`` pair or an ``"i/k"`` string (the CLI's
+            ``--shard``).  The grid is partitioned deterministically by
+            hashing each cell's column key with SHA-256 (:func:`shard_of`),
+            so the split is stable under grid reordering and column/task
+            groups stay intact within a shard — records are identical to
+            the unsharded run's, just distributed.  Each shard invocation
+            writes its **own** store (stamped with a shard-provenance
+            summary; resuming with a different shard is refused) and the
+            shard stores union losslessly via ``python -m repro store
+            merge``.  Resume, supervision, faults, the arena and telemetry
+            all work per-shard unchanged.
 
     Returns:
         A :class:`SuiteResult`; ``result.records`` has one record per grid
@@ -1855,6 +2121,7 @@ def run_suite(
     policy = resolve_policy(
         faults=faults, cell_timeout=cell_timeout, max_retries=max_retries
     )
+    shard_split = parse_shard(shard)
 
     if store is None or isinstance(store, str):
         store = open_store(
@@ -1863,8 +2130,12 @@ def run_suite(
             metadata={"spec": spec.to_dict()},
             backend=store_backend,
         )
+    _apply_shard_provenance(store, shard_split)
 
-    cells = spec.expand()
+    # A sharded invocation sees only its slice of the grid: off-shard cells
+    # are not pending, not skipped, not in result.records — they belong to
+    # sibling invocations and arrive via `store merge`.
+    cells = shard_cells(spec.expand(), shard_split)
     completed_before = store.completed_cells()
     pending = []
     for cell in cells:
@@ -1906,6 +2177,12 @@ def run_suite(
         "graph_builds": len(task_groups),
         "algorithm_runs": len(task_groups),
     }
+    if shard_split is not None:
+        arena_stats["shard"] = {
+            "index": shard_split[0],
+            "count": shard_split[1],
+            "cells": len(cells),
+        }
     supervisor_stats: Dict[str, Any] = {}
 
     # --- telemetry setup (all three knobs default off; ~zero cost then) ---

@@ -35,6 +35,7 @@ from .spans import (
     disable_tracing,
     emit_completed,
     event,
+    set_thread_parent,
     span,
     tracing_enabled,
 )
@@ -63,6 +64,7 @@ __all__ = [
     "observe",
     "render_prometheus",
     "reset_metrics",
+    "set_thread_parent",
     "snapshot",
     "span",
     "summary_record",

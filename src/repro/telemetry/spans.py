@@ -31,8 +31,10 @@ Design constraints (see docs/telemetry.md):
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
+import threading
 import time
 from typing import Any, Dict, Optional
 
@@ -68,15 +70,18 @@ ROUND_BATCH = 256
 
 
 class _TraceState:
-    __slots__ = ("enabled", "path", "fd", "fd_pid", "counter", "stack", "default_parent")
+    __slots__ = ("enabled", "path", "fd", "fd_pid", "counter", "local", "default_parent")
 
     def __init__(self) -> None:
         self.enabled = False
         self.path: Optional[str] = None
         self.fd: Optional[int] = None
         self.fd_pid: Optional[int] = None
-        self.counter = 0
-        self.stack: list = []
+        self.counter = itertools.count(1)
+        # The ambient span stack is *thread-local*: helper threads (the
+        # runner's column builder) push and pop their own spans without
+        # ever corrupting the main thread's ambient parent.
+        self.local = threading.local()
         self.default_parent: Optional[str] = None
 
 
@@ -88,11 +93,34 @@ def tracing_enabled() -> bool:
     return _STATE.enabled
 
 
+def _stack() -> list:
+    """This thread's ambient span stack (created on first use)."""
+    stack = getattr(_STATE.local, "stack", None)
+    if stack is None:
+        stack = _STATE.local.stack = []
+    return stack
+
+
 def current_span_id() -> Optional[str]:
     """The ambient span id new spans would attach to (or ``None``)."""
-    if _STATE.stack:
-        return _STATE.stack[-1]
+    stack = _stack()
+    if stack:
+        return stack[-1]
+    thread_parent = getattr(_STATE.local, "parent", None)
+    if thread_parent is not None:
+        return thread_parent
     return _STATE.default_parent
+
+
+def set_thread_parent(span_id: Optional[str]) -> None:
+    """Set the ambient parent span id for the *current thread* only.
+
+    Helper threads call this once at startup (the runner's column builder
+    passes the suite span's id) so their spans attach below the right
+    parent instead of floating as roots — the process-wide
+    ``default_parent`` set by :func:`configure_tracing` stays untouched.
+    """
+    _STATE.local.parent = span_id
 
 
 def configure_tracing(path: str, parent: Optional[str] = None) -> None:
@@ -122,9 +150,9 @@ def disable_tracing() -> None:
     _STATE.fd_pid = None
     _STATE.enabled = False
     _STATE.path = None
-    _STATE.stack = []
+    _STATE.local = threading.local()
     _STATE.default_parent = None
-    _STATE.counter = 0
+    _STATE.counter = itertools.count(1)
 
 
 def _writer_fd() -> int:
@@ -149,8 +177,9 @@ def _emit(payload: Dict[str, Any]) -> None:
 
 
 def _next_id() -> str:
-    _STATE.counter += 1
-    return "{:x}.{:x}".format(os.getpid(), _STATE.counter)
+    # itertools.count.__next__ is atomic, so concurrent threads (main +
+    # builder) never mint duplicate ids.
+    return "{:x}.{:x}".format(os.getpid(), next(_STATE.counter))
 
 
 class _NoopSpan:
@@ -197,13 +226,14 @@ class Span:
         self.attrs[key] = value
 
     def __enter__(self) -> "Span":
-        _STATE.stack.append(self.span_id)
+        _stack().append(self.span_id)
         return self
 
     def __exit__(self, exc_type, exc, _tb) -> bool:
         duration = time.perf_counter() - self._t0
-        if _STATE.stack and _STATE.stack[-1] == self.span_id:
-            _STATE.stack.pop()
+        stack = _stack()
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
         payload: Dict[str, Any] = {
             "kind": "span",
             "name": self.name,

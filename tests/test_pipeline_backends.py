@@ -340,7 +340,7 @@ class TestTaskSchema:
         path = os.path.join(tmp_path, "tasks." + extension)
         self._task_suite(path)
         store = open_store(path)
-        assert store.schema == SCHEMA_VERSION == 6
+        assert store.schema == SCHEMA_VERSION == 7
         mis_records = store.query(task="mis")
         assert len(mis_records) == 1
         assert mis_records[0]["task_metrics"]["verified"] is True
